@@ -1,0 +1,107 @@
+//! Criterion bench `edge_flooding`: end-to-end flooding on stationary and
+//! worst-case-start edge-MEG (the workload behind `exp_edge_vs_n`,
+//! `exp_edge_vs_density` and `exp_edge_stationary_vs_worst`), plus the
+//! dense-vs-sparse engine comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use meg_core::evolving::InitialDistribution;
+use meg_core::flooding::flood;
+use meg_edge::{DenseEdgeMeg, EdgeMegParams, SparseEdgeMeg};
+use std::time::Duration;
+
+fn bench_flooding_vs_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edge_flooding/vs_n");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for &n in &[1_000usize, 4_000, 16_000] {
+        let p_hat = 3.0 * (n as f64).ln() / n as f64;
+        let params = EdgeMegParams::with_stationary(n, p_hat, 0.5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &params, |b, &params| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut meg = SparseEdgeMeg::stationary(params, seed);
+                flood(&mut meg, 0, 1_000_000).rounds
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_flooding_vs_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edge_flooding/vs_density");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let n = 2_000usize;
+    let threshold = (n as f64).ln() / n as f64;
+    for &factor in &[3.0f64, 10.0, 40.0] {
+        let params = EdgeMegParams::with_stationary(n, threshold * factor, 0.5);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("phat_x{factor}")),
+            &params,
+            |b, &params| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let mut meg = SparseEdgeMeg::stationary(params, seed);
+                    flood(&mut meg, 0, 1_000_000).rounds
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_stationary_vs_worst_case(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edge_flooding/stationary_vs_worst");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    let n = 1_000usize;
+    let p_hat = 4.0 * (n as f64).ln() / n as f64;
+    let params = EdgeMegParams::with_stationary(n, p_hat, 0.05);
+    for (label, init) in [
+        ("stationary", InitialDistribution::Stationary),
+        ("empty_start", InitialDistribution::Empty),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &init, |b, &init| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut meg = SparseEdgeMeg::new(params, init, seed);
+                flood(&mut meg, 0, 1_000_000).rounds
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_dense_vs_sparse_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edge_flooding/engine");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let n = 600usize;
+    let p_hat = 4.0 * (n as f64).ln() / n as f64;
+    let params = EdgeMegParams::with_stationary(n, p_hat, 0.5);
+    group.bench_function("dense", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut meg = DenseEdgeMeg::stationary(params, seed);
+            flood(&mut meg, 0, 1_000_000).rounds
+        });
+    });
+    group.bench_function("sparse", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut meg = SparseEdgeMeg::stationary(params, seed);
+            flood(&mut meg, 0, 1_000_000).rounds
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_flooding_vs_n,
+    bench_flooding_vs_density,
+    bench_stationary_vs_worst_case,
+    bench_dense_vs_sparse_engine
+);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench `expansion`: measuring expansion profiles of stationary
+//! snapshots (the workload behind `exp_geo_expansion`, `exp_edge_expansion`
+//! and `exp_general_bound`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use meg_edge::init::sample_stationary_snapshot;
+use meg_edge::EdgeMegParams;
+use meg_geometric::snapshot::sample_paper_snapshot;
+use meg_geometric::GeometricMegParams;
+use meg_graph::expansion::{ExpansionProfile, SamplingStrategy};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
+
+fn bench_profile_on_gnp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expansion/gnp_profile");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for &n in &[500usize, 2_000] {
+        let p_hat = 4.0 * (n as f64).ln() / n as f64;
+        let params = EdgeMegParams::with_stationary(n, p_hat, 0.5);
+        let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+        let g = sample_stationary_snapshot(params, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            b.iter(|| ExpansionProfile::measure(g, 10, SamplingStrategy::Mixed, &mut rng).points.len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_profile_on_geometric(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expansion/geometric_profile");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for &n in &[500usize, 2_000] {
+        let radius = 2.0 * (n as f64).ln().sqrt();
+        let params = GeometricMegParams::new(n, radius / 2.0, radius);
+        let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+        let snap = sample_paper_snapshot(params, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &snap.graph, |b, g| {
+            let mut rng = ChaCha8Rng::seed_from_u64(2);
+            b.iter(|| ExpansionProfile::measure(g, 10, SamplingStrategy::Mixed, &mut rng).points.len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_profile_on_gnp, bench_profile_on_geometric);
+criterion_main!(benches);

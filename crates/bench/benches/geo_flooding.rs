@@ -1,0 +1,76 @@
+//! Criterion bench `geo_flooding`: end-to-end flooding on stationary
+//! geometric-MEG (the workload behind `exp_geo_vs_n`, `exp_geo_vs_radius` and
+//! `exp_geo_mobility`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use meg_core::flooding::flood;
+use meg_geometric::{GeometricMeg, GeometricMegParams};
+use std::time::Duration;
+
+fn bench_flooding_vs_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("geo_flooding/vs_n");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for &n in &[500usize, 1_000, 2_000] {
+        let radius = 2.0 * (n as f64).ln().sqrt();
+        let params = GeometricMegParams::new(n, radius / 2.0, radius);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &params, |b, &params| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut meg = GeometricMeg::from_params(params, seed);
+                flood(&mut meg, 0, 1_000_000).rounds
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_flooding_vs_radius(c: &mut Criterion) {
+    let mut group = c.benchmark_group("geo_flooding/vs_radius");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let n = 1_000usize;
+    let threshold = 2.0 * (n as f64).ln().sqrt();
+    for &factor in &[1.0f64, 2.0, 4.0] {
+        let radius = threshold * factor;
+        let params = GeometricMegParams::new(n, radius / 2.0, radius);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("Rx{factor}")),
+            &params,
+            |b, &params| {
+                let mut seed = 100u64;
+                b.iter(|| {
+                    seed += 1;
+                    let mut meg = GeometricMeg::from_params(params, seed);
+                    flood(&mut meg, 0, 1_000_000).rounds
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_mobility_speed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("geo_flooding/vs_speed");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let n = 1_000usize;
+    let radius = 2.0 * (n as f64).ln().sqrt();
+    for &ratio in &[0.5f64, 2.0] {
+        let params = GeometricMegParams::new(n, radius * ratio, radius);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("r/R={ratio}")),
+            &params,
+            |b, &params| {
+                let mut seed = 200u64;
+                b.iter(|| {
+                    seed += 1;
+                    let mut meg = GeometricMeg::from_params(params, seed);
+                    flood(&mut meg, 0, 1_000_000).rounds
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flooding_vs_n, bench_flooding_vs_radius, bench_mobility_speed);
+criterion_main!(benches);

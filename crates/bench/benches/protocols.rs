@@ -1,0 +1,57 @@
+//! Criterion bench `protocols`: flooding vs its protocol variants on the same
+//! stationary edge-MEG (the workload behind `exp_protocol_variants`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use meg_core::protocols::{parsimonious_flood, probabilistic_flood, push_pull_gossip};
+use meg_edge::{EdgeMegParams, SparseEdgeMeg};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocols/edge_meg");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let n = 1_000usize;
+    let p_hat = 4.0 * (n as f64).ln() / n as f64;
+    let params = EdgeMegParams::with_stationary(n, p_hat, 0.2);
+
+    group.bench_function("flooding", |b| {
+        let mut seed = 0u64;
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        b.iter(|| {
+            seed += 1;
+            let mut meg = SparseEdgeMeg::stationary(params, seed);
+            probabilistic_flood(&mut meg, 0, 1.0, 100_000, &mut rng).rounds
+        });
+    });
+    group.bench_function("probabilistic_beta_0.3", |b| {
+        let mut seed = 0u64;
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        b.iter(|| {
+            seed += 1;
+            let mut meg = SparseEdgeMeg::stationary(params, seed);
+            probabilistic_flood(&mut meg, 0, 0.3, 100_000, &mut rng).rounds
+        });
+    });
+    group.bench_function("parsimonious_k_2", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut meg = SparseEdgeMeg::stationary(params, seed);
+            parsimonious_flood(&mut meg, 0, 2, 100_000).rounds
+        });
+    });
+    group.bench_function("push_pull", |b| {
+        let mut seed = 0u64;
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        b.iter(|| {
+            seed += 1;
+            let mut meg = SparseEdgeMeg::stationary(params, seed);
+            push_pull_gossip(&mut meg, 0, 100_000, &mut rng).rounds
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Criterion bench `substrates`: the per-step building blocks every
+//! experiment pays for — snapshot construction (radius graph, Erdős–Rényi,
+//! sparse edge-chain step), mobility steps, and node-set operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use meg_core::evolving::EvolvingGraph;
+use meg_edge::{EdgeMegParams, SparseEdgeMeg};
+use meg_geometric::radius_graph;
+use meg_graph::{generators, Graph, NodeSet};
+use meg_mobility::grid_walk::{GridWalk, GridWalkParams};
+use meg_mobility::space::Region;
+use meg_mobility::Mobility;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
+
+fn bench_radius_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/radius_graph");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    for &n in &[1_000usize, 4_000] {
+        let side = (n as f64).sqrt();
+        let radius = 2.0 * (n as f64).ln().sqrt();
+        let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+        let positions: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &positions, |b, pos| {
+            b.iter(|| radius_graph(pos, radius, Region::Square { side }).num_edges());
+        });
+    }
+    group.finish();
+}
+
+fn bench_erdos_renyi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/erdos_renyi");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    for &n in &[4_000usize, 16_000] {
+        let p = 3.0 * (n as f64).ln() / n as f64;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            b.iter(|| generators::erdos_renyi(n, p, &mut rng).num_edges());
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparse_edge_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/sparse_edge_step");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    for &n in &[4_000usize, 16_000] {
+        let p_hat = 3.0 * (n as f64).ln() / n as f64;
+        let params = EdgeMegParams::with_stationary(n, p_hat, 0.5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &params, |b, &params| {
+            let mut meg = SparseEdgeMeg::stationary(params, 1);
+            b.iter(|| meg.advance().num_edges());
+        });
+    }
+    group.finish();
+}
+
+fn bench_grid_walk_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/grid_walk_step");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    for &n in &[4_000usize, 16_000] {
+        let params = GridWalkParams::paper(n, 2.0, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &params, |b, &params| {
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            let mut walk = GridWalk::new(params, &mut rng);
+            b.iter(|| {
+                walk.advance(&mut rng);
+                walk.positions()[0]
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_nodeset_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/nodeset");
+    group.sample_size(50).measurement_time(Duration::from_secs(2));
+    let n = 100_000usize;
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let a = NodeSet::from_iter(n, (0..n as u32).filter(|_| rng.gen_bool(0.3)));
+    let b = NodeSet::from_iter(n, (0..n as u32).filter(|_| rng.gen_bool(0.3)));
+    group.bench_function("union_100k", |bench| {
+        bench.iter(|| {
+            let mut x = a.clone();
+            x.union_with(&b);
+            x.len()
+        });
+    });
+    group.bench_function("iterate_100k", |bench| {
+        bench.iter(|| a.iter().map(|v| v as u64).sum::<u64>());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_radius_graph,
+    bench_erdos_renyi,
+    bench_sparse_edge_step,
+    bench_grid_walk_step,
+    bench_nodeset_ops
+);
+criterion_main!(benches);

@@ -1,0 +1,185 @@
+//! Shared infrastructure for the experiment binaries and Criterion benches.
+//!
+//! Every experiment follows the same pattern: build a model configuration,
+//! run several seeded flooding trials, aggregate into a
+//! [`Summary`], and print a table whose rows are compared
+//! against the paper's closed-form shapes in `EXPERIMENTS.md`. The helpers
+//! here keep the binaries short and make sure all of them honour the same
+//! environment knobs:
+//!
+//! * `MEG_SEED`   — master seed (default 2009, the paper's publication year);
+//! * `MEG_TRIALS` — trials per configuration (default 5);
+//! * `MEG_SCALE`  — multiplies the default problem sizes (default 1.0), so a
+//!   quick laptop run and a long server run use the same binaries;
+//! * `MEG_CSV`    — when set, tables are also emitted as CSV after the ASCII
+//!   rendering.
+
+use meg_core::evolving::{EvolvingGraph, InitialDistribution};
+use meg_core::flooding::flood;
+use meg_edge::{EdgeMegParams, SparseEdgeMeg};
+use meg_geometric::{GeometricMeg, GeometricMegParams};
+use meg_stats::{run_trials, Summary, Table};
+
+/// Master seed used by every experiment (override with `MEG_SEED`).
+pub fn master_seed() -> u64 {
+    std::env::var("MEG_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2009)
+}
+
+/// Number of Monte-Carlo trials per configuration (override with `MEG_TRIALS`).
+pub fn trials() -> usize {
+    std::env::var("MEG_TRIALS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5)
+        .max(1)
+}
+
+/// Global problem-size multiplier (override with `MEG_SCALE`).
+pub fn scale() -> f64 {
+    std::env::var("MEG_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0f64)
+        .max(0.01)
+}
+
+/// Scales a nominal problem size by [`scale`].
+pub fn scaled(n: usize) -> usize {
+    ((n as f64) * scale()).round().max(4.0) as usize
+}
+
+/// Prints a table as ASCII, plus CSV when `MEG_CSV` is set.
+pub fn emit(table: &Table) {
+    println!("{}", table.render_ascii());
+    if std::env::var("MEG_CSV").is_ok() {
+        println!("{}", table.render_csv());
+    }
+}
+
+/// Round budget used by flooding runs: generous enough that only genuinely
+/// disconnected regimes fail to complete.
+pub const ROUND_BUDGET: u64 = 2_000_000;
+
+/// Runs `trials` independent stationary geometric-MEG flooding trials and
+/// returns the summary of the completed runs together with the completion
+/// rate.
+pub fn geo_flooding_summary(
+    params: GeometricMegParams,
+    trials: usize,
+    seed: u64,
+) -> (Option<Summary>, f64) {
+    let times = run_trials(seed, trials, |i, _rng| {
+        let mut meg = GeometricMeg::from_params(params, seed ^ (i as u64).wrapping_mul(0x9E37));
+        flood(&mut meg, 0, ROUND_BUDGET).flooding_time()
+    });
+    summarize_optional_times(&times)
+}
+
+/// Runs `trials` independent edge-MEG flooding trials (sparse engine) and
+/// returns the summary of completed runs plus the completion rate.
+pub fn edge_flooding_summary(
+    params: EdgeMegParams,
+    init: InitialDistribution,
+    trials: usize,
+    seed: u64,
+) -> (Option<Summary>, f64) {
+    let times = run_trials(seed, trials, |i, _rng| {
+        let mut meg = SparseEdgeMeg::new(params, init, seed ^ (i as u64).wrapping_mul(0x5851));
+        flood(&mut meg, 0, ROUND_BUDGET).flooding_time()
+    });
+    summarize_optional_times(&times)
+}
+
+/// Turns a vector of optional flooding times into (summary of completed runs,
+/// completion rate).
+pub fn summarize_optional_times(times: &[Option<u64>]) -> (Option<Summary>, f64) {
+    let completed: Vec<f64> = times.iter().flatten().map(|&t| t as f64).collect();
+    let rate = if times.is_empty() {
+        0.0
+    } else {
+        completed.len() as f64 / times.len() as f64
+    };
+    (Summary::of(&completed), rate)
+}
+
+/// Generic helper: run `trials` flooding trials on evolving graphs produced by
+/// `make` (one fresh instance per trial) and summarise.
+pub fn flooding_summary_with<M, F>(trials: usize, mut make: F) -> (Option<Summary>, f64)
+where
+    M: EvolvingGraph,
+    F: FnMut(usize) -> M,
+{
+    let times: Vec<Option<u64>> = (0..trials)
+        .map(|i| {
+            let mut meg = make(i);
+            flood(&mut meg, 0, ROUND_BUDGET).flooding_time()
+        })
+        .collect();
+    summarize_optional_times(&times)
+}
+
+/// Formats an optional summary's mean for a table cell.
+pub fn mean_cell(summary: &Option<Summary>) -> String {
+    match summary {
+        Some(s) => format!("{:.2}", s.mean),
+        None => "-".to_string(),
+    }
+}
+
+/// Formats an optional summary's min–max range for a table cell.
+pub fn range_cell(summary: &Option<Summary>) -> String {
+    match summary {
+        Some(s) => format!("{:.0}–{:.0}", s.min, s.max),
+        None => "-".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults() {
+        assert!(trials() >= 1);
+        assert!(scale() > 0.0);
+        assert!(master_seed() > 0);
+        assert!(scaled(100) >= 4);
+    }
+
+    #[test]
+    fn summarize_handles_failures() {
+        let (summary, rate) = summarize_optional_times(&[Some(3), None, Some(5)]);
+        let s = summary.unwrap();
+        assert_eq!(s.count, 2);
+        assert!((s.mean - 4.0).abs() < 1e-12);
+        assert!((rate - 2.0 / 3.0).abs() < 1e-12);
+        let (none_summary, zero_rate) = summarize_optional_times(&[None, None]);
+        assert!(none_summary.is_none());
+        assert_eq!(zero_rate, 0.0);
+        assert_eq!(mean_cell(&none_summary), "-");
+    }
+
+    #[test]
+    fn small_geo_and_edge_summaries_complete() {
+        let geo = GeometricMegParams::new(200, 1.0, 6.0);
+        let (summary, rate) = geo_flooding_summary(geo, 2, 1);
+        assert!(rate > 0.0);
+        assert!(summary.unwrap().mean >= 1.0);
+
+        let edge = EdgeMegParams::with_stationary(200, 0.08, 0.5);
+        let (summary, rate) =
+            edge_flooding_summary(edge, InitialDistribution::Stationary, 2, 1);
+        assert_eq!(rate, 1.0);
+        assert!(summary.unwrap().mean >= 1.0);
+    }
+
+    #[test]
+    fn cells_render() {
+        let (summary, _) = summarize_optional_times(&[Some(2), Some(4)]);
+        assert_eq!(mean_cell(&summary), "3.00");
+        assert_eq!(range_cell(&summary), "2–4");
+    }
+}

@@ -1,0 +1,261 @@
+//! Closed-form flooding-time bounds proved in the paper.
+//!
+//! These are *shape* functions: the theorems hide absolute constants inside
+//! `O(·)` / `Ω(·)`, so each function exposes the constant as a parameter with
+//! a default of 1. The experiments compare measured flooding times against
+//! these shapes (ratio plots, fitted constants), never against absolute
+//! values.
+
+/// Bounds for stationary geometric-MEG (Section 3).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GeometricBounds {
+    /// Number of nodes (the square has side `√n` at density 1).
+    pub n: usize,
+    /// Transmission radius `R`.
+    pub radius: f64,
+    /// Move radius `r` (maximum node speed).
+    pub move_radius: f64,
+}
+
+impl GeometricBounds {
+    /// Creates the bound helper. Panics on non-positive radius or `n = 0`.
+    pub fn new(n: usize, radius: f64, move_radius: f64) -> Self {
+        assert!(n > 0, "n must be positive");
+        assert!(radius > 0.0, "transmission radius must be positive");
+        assert!(move_radius >= 0.0, "move radius must be non-negative");
+        GeometricBounds { n, radius, move_radius }
+    }
+
+    /// Theorem 3.4 upper bound shape: `√n / R + log log R` (natural logs,
+    /// clamped at 0 for small `R`).
+    pub fn upper_shape(&self) -> f64 {
+        let sqrt_n = (self.n as f64).sqrt();
+        let loglog_r = if self.radius > std::f64::consts::E {
+            self.radius.ln().ln().max(0.0)
+        } else {
+            0.0
+        };
+        sqrt_n / self.radius + loglog_r
+    }
+
+    /// Theorem 3.4 upper bound with an explicit constant: `c · upper_shape()`.
+    pub fn upper(&self, c: f64) -> f64 {
+        c * self.upper_shape()
+    }
+
+    /// Theorem 3.5 lower bound: `√n / (2 (R + 2r))` rounds are needed w.h.p.
+    /// (this is the explicit constant the proof of Theorem 3.5 yields).
+    pub fn lower(&self) -> f64 {
+        (self.n as f64).sqrt() / (2.0 * (self.radius + 2.0 * self.move_radius))
+    }
+
+    /// The dominant `√n / R` term alone, i.e. the `Θ(√n/R)` value of
+    /// Corollary 3.6.
+    pub fn theta_shape(&self) -> f64 {
+        (self.n as f64).sqrt() / self.radius
+    }
+
+    /// Theorem 3.2 expansion prediction in the small regime
+    /// (`1 ≤ h ≤ αR²`): an `(h, αR²/h)`-expander.
+    pub fn expansion_small(&self, h: usize, alpha: f64) -> f64 {
+        alpha * self.radius * self.radius / h as f64
+    }
+
+    /// Theorem 3.2 expansion prediction in the large regime
+    /// (`αR² ≤ h ≤ n/2`): an `(h, βR/√h)`-expander.
+    pub fn expansion_large(&self, h: usize, beta: f64) -> f64 {
+        beta * self.radius / (h as f64).sqrt()
+    }
+
+    /// The crossover set size `αR²` between the two expansion regimes.
+    pub fn expansion_crossover(&self, alpha: f64) -> f64 {
+        alpha * self.radius * self.radius
+    }
+}
+
+/// Bounds for stationary edge-MEG (Section 4).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EdgeBounds {
+    /// Number of nodes.
+    pub n: usize,
+    /// Stationary edge probability `p̂ = p / (p + q)`.
+    pub p_hat: f64,
+}
+
+impl EdgeBounds {
+    /// Creates the bound helper. Panics unless `0 < p̂ ≤ 1` and `n ≥ 2`.
+    pub fn new(n: usize, p_hat: f64) -> Self {
+        assert!(n >= 2, "need at least two nodes");
+        assert!(p_hat > 0.0 && p_hat <= 1.0, "p̂ must lie in (0, 1]");
+        EdgeBounds { n, p_hat }
+    }
+
+    /// Expected stationary degree `(n − 1) p̂ ≈ n p̂`.
+    pub fn expected_degree(&self) -> f64 {
+        (self.n as f64 - 1.0) * self.p_hat
+    }
+
+    /// Theorem 4.3 upper bound shape:
+    /// `log n / log(np̂) + log log(np̂)` (natural logs; the `log log` term is
+    /// clamped at 0 when `np̂ ≤ e`).
+    pub fn upper_shape(&self) -> f64 {
+        let nphat = self.n as f64 * self.p_hat;
+        let lead = (self.n as f64).ln() / nphat.ln().max(f64::MIN_POSITIVE);
+        let loglog = if nphat > std::f64::consts::E {
+            nphat.ln().ln().max(0.0)
+        } else {
+            0.0
+        };
+        lead + loglog
+    }
+
+    /// Theorem 4.3 upper bound with an explicit constant.
+    pub fn upper(&self, c: f64) -> f64 {
+        c * self.upper_shape()
+    }
+
+    /// Theorem 4.4 lower bound: `log(n/2) / log(2np̂)` rounds are needed
+    /// w.h.p. (the explicit form appearing in the proof).
+    pub fn lower(&self) -> f64 {
+        let nphat = self.n as f64 * self.p_hat;
+        (self.n as f64 / 2.0).ln() / (2.0 * nphat).ln().max(f64::MIN_POSITIVE)
+    }
+
+    /// The `Θ(log n / log(np̂))` value of Corollary 4.5.
+    pub fn theta_shape(&self) -> f64 {
+        let nphat = self.n as f64 * self.p_hat;
+        (self.n as f64).ln() / nphat.ln().max(f64::MIN_POSITIVE)
+    }
+
+    /// Theorem 4.1 expansion prediction in the small regime (`h ≤ 1/p̂`):
+    /// an `(h, np̂/c)`-expander.
+    pub fn expansion_small(&self, c: f64) -> f64 {
+        self.n as f64 * self.p_hat / c
+    }
+
+    /// Theorem 4.1 expansion prediction in the large regime
+    /// (`1/p̂ ≤ h ≤ n/2`): an `(h, n/(c·h))`-expander.
+    pub fn expansion_large(&self, h: usize, c: f64) -> f64 {
+        self.n as f64 / (c * h as f64)
+    }
+
+    /// The crossover set size `1/p̂` between the two expansion regimes.
+    pub fn expansion_crossover(&self) -> f64 {
+        1.0 / self.p_hat
+    }
+
+    /// Worst-case flooding-time scale for a sparse edge-MEG started far from
+    /// stationarity (from \[9\]: roughly `1/p` when the birth rate dominates,
+    /// i.e. the time for the first edges to even appear). Used only to
+    /// illustrate the stationary-vs-worst-case gap; pass the *birth rate* `p`,
+    /// not `p̂`.
+    pub fn worst_case_scale(p: f64) -> f64 {
+        assert!(p > 0.0 && p <= 1.0, "p must lie in (0, 1]");
+        1.0 / p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_upper_decreases_with_radius() {
+        let small_r = GeometricBounds::new(10_000, 10.0, 1.0);
+        let large_r = GeometricBounds::new(10_000, 50.0, 1.0);
+        assert!(small_r.upper_shape() > large_r.upper_shape());
+        assert!(small_r.theta_shape() > large_r.theta_shape());
+        assert!((small_r.theta_shape() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_lower_below_upper_shape() {
+        for n in [1_000usize, 10_000, 100_000] {
+            let b = GeometricBounds::new(n, (n as f64).sqrt() / 10.0, 1.0);
+            assert!(b.lower() <= b.upper(1.0) + 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn geometric_lower_accounts_for_mobility() {
+        let slow = GeometricBounds::new(10_000, 10.0, 0.0);
+        let fast = GeometricBounds::new(10_000, 10.0, 50.0);
+        assert!(fast.lower() < slow.lower());
+    }
+
+    #[test]
+    fn geometric_expansion_regimes_meet_at_crossover() {
+        let b = GeometricBounds::new(40_000, 20.0, 1.0);
+        let alpha: f64 = 0.5;
+        let beta = alpha.sqrt(); // makes the two regime formulas agree at h = αR²
+        let crossover = b.expansion_crossover(alpha) as usize;
+        let small = b.expansion_small(crossover, alpha);
+        let large = b.expansion_large(crossover, beta);
+        assert!((small - large).abs() / small < 1e-9);
+        // Small sets expand by ~R² ≫ large sets' ~R/√h.
+        assert!(b.expansion_small(1, alpha) > b.expansion_large(b.n / 2, beta));
+    }
+
+    #[test]
+    fn edge_upper_shape_matches_known_regimes() {
+        // Very dense: np̂ = n^0.9 → log n / log(np̂) ≈ 1.11, loglog small.
+        let dense = EdgeBounds::new(100_000, 100_000f64.powf(-0.1));
+        assert!(dense.theta_shape() < 1.5);
+        // Near the connectivity threshold: np̂ = c log n → leading term
+        // ≈ log n / log log n, which grows.
+        let n = 100_000usize;
+        let sparse = EdgeBounds::new(n, 3.0 * (n as f64).ln() / n as f64);
+        assert!(sparse.theta_shape() > 3.0);
+        assert!(sparse.upper_shape() > sparse.theta_shape());
+    }
+
+    #[test]
+    fn edge_lower_below_upper() {
+        for &(n, phat) in &[(1_000usize, 0.01f64), (10_000, 0.002), (100_000, 0.0002)] {
+            let b = EdgeBounds::new(n, phat);
+            assert!(b.lower() <= b.upper(1.0) + 1e-9, "n={n} p̂={phat}");
+        }
+    }
+
+    #[test]
+    fn edge_expansion_crossover_consistency() {
+        let b = EdgeBounds::new(10_000, 0.005);
+        let c = 20.0;
+        let crossover = b.expansion_crossover(); // 200
+        assert!((crossover - 200.0).abs() < 1e-9);
+        // At the crossover the two formulas agree: np̂/c = n/(c · 1/p̂).
+        let small = b.expansion_small(c);
+        let large = b.expansion_large(crossover as usize, c);
+        assert!((small - large).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worst_case_scale_is_large_for_sparse_birth_rates() {
+        let p = 1e-6;
+        assert_eq!(EdgeBounds::worst_case_scale(p), 1e6);
+        // Stationary flooding for p̂ = c log n / n is polylogarithmic — the
+        // "exponential gap" of Section 1.
+        let n = 10_000usize;
+        let stationary = EdgeBounds::new(n, 20.0 * (n as f64).ln() / n as f64);
+        assert!(stationary.upper_shape() < 20.0);
+        assert!(EdgeBounds::worst_case_scale(p) / stationary.upper_shape() > 1e4);
+    }
+
+    #[test]
+    fn expected_degree() {
+        let b = EdgeBounds::new(101, 0.1);
+        assert!((b.expected_degree() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_radius_rejected() {
+        GeometricBounds::new(100, 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_phat_rejected() {
+        EdgeBounds::new(100, 0.0);
+    }
+}

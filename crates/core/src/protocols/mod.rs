@@ -1,0 +1,54 @@
+//! Protocol variants built on the flooding machinery.
+//!
+//! The paper motivates flooding as the baseline every dissemination protocol
+//! is measured against. This module implements the most common alternatives
+//! from the literature it cites so the benchmark harness can compare them on
+//! the same evolving-graph models:
+//!
+//! * [`probabilistic`] — each informed node forwards at each step only with
+//!   probability `β` (probabilistic flooding, \[29\] in the paper);
+//! * [`parsimonious`] — each node forwards only for the first `k` steps after
+//!   becoming informed (parsimonious flooding, \[4\] in the paper);
+//! * [`push_pull`] — classic randomized push–pull gossip, the standard
+//!   point of comparison for complete-graph rumor spreading.
+//!
+//! All three reduce to plain flooding in a limiting case (β = 1, k = ∞,
+//! fan-out = all neighbors), which is what their tests verify.
+
+pub mod parsimonious;
+pub mod probabilistic;
+pub mod push_pull;
+
+pub use parsimonious::parsimonious_flood;
+pub use probabilistic::probabilistic_flood;
+pub use push_pull::push_pull_gossip;
+
+/// Outcome of a protocol run (shared by all protocol variants).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtocolResult {
+    /// `true` if every node was informed within the round budget.
+    pub completed: bool,
+    /// Rounds executed (equals the completion time when `completed`).
+    pub rounds: u64,
+    /// `informed_per_round[t]` is the number of informed nodes after `t`
+    /// rounds (index 0 holds the initial count).
+    pub informed_per_round: Vec<usize>,
+    /// Total number of point-to-point message transmissions performed.
+    pub messages_sent: u64,
+}
+
+impl ProtocolResult {
+    /// Completion time if the protocol finished.
+    pub fn completion_time(&self) -> Option<u64> {
+        if self.completed {
+            Some(self.rounds)
+        } else {
+            None
+        }
+    }
+
+    /// Final number of informed nodes.
+    pub fn informed_count(&self) -> usize {
+        *self.informed_per_round.last().expect("at least the initial count")
+    }
+}

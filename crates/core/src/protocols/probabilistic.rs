@@ -1,0 +1,132 @@
+//! Probabilistic flooding: every informed node, at every round, forwards the
+//! message to all of its current neighbors with probability `beta`
+//! (independently per node per round).
+//!
+//! `beta = 1` is exactly plain flooding; smaller `beta` trades completion time
+//! for message overhead, which is why it is the standard "cheap" variant in
+//! the unstructured-network literature the paper cites.
+
+use super::ProtocolResult;
+use crate::evolving::EvolvingGraph;
+use meg_graph::{Graph, Node, NodeSet};
+use rand::Rng;
+
+/// Runs probabilistic flooding from `source` with forwarding probability
+/// `beta` for at most `max_rounds` rounds.
+pub fn probabilistic_flood<M, R>(
+    meg: &mut M,
+    source: Node,
+    beta: f64,
+    max_rounds: u64,
+    rng: &mut R,
+) -> ProtocolResult
+where
+    M: EvolvingGraph,
+    R: Rng,
+{
+    assert!((0.0..=1.0).contains(&beta), "beta={beta} outside [0, 1]");
+    let n = meg.num_nodes();
+    assert!((source as usize) < n, "source out of range");
+    let mut informed = NodeSet::singleton(n, source);
+    let mut informed_per_round = vec![informed.len()];
+    let mut messages = 0u64;
+    let mut rounds = 0u64;
+    let mut completed = informed.is_full();
+    while rounds < max_rounds && !completed {
+        let snapshot = meg.advance();
+        let mut newly: Vec<Node> = Vec::new();
+        for u in informed.iter() {
+            if beta < 1.0 && !rng.gen_bool(beta) {
+                continue;
+            }
+            snapshot.for_each_neighbor(u, &mut |v| {
+                messages += 1;
+                if !informed.contains(v) {
+                    newly.push(v);
+                }
+            });
+        }
+        for v in newly {
+            informed.insert(v);
+        }
+        rounds += 1;
+        informed_per_round.push(informed.len());
+        completed = informed.is_full();
+    }
+    ProtocolResult {
+        completed,
+        rounds,
+        informed_per_round,
+        messages_sent: messages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evolving::FrozenGraph;
+    use crate::flooding::flood_static;
+    use meg_graph::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn beta_one_matches_plain_flooding() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let g = generators::grid2d(6, 6);
+        let plain = flood_static(&g, 0);
+        let mut meg = FrozenGraph::new(g);
+        let prob = probabilistic_flood(&mut meg, 0, 1.0, 200, &mut rng);
+        assert!(prob.completed);
+        assert_eq!(Some(prob.rounds), plain.flooding_time());
+        assert_eq!(
+            prob.informed_per_round,
+            plain.informed_per_round,
+            "β = 1 must reproduce the flooding trajectory exactly"
+        );
+    }
+
+    #[test]
+    fn beta_zero_never_spreads() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut meg = FrozenGraph::new(generators::complete(10));
+        let r = probabilistic_flood(&mut meg, 0, 0.0, 50, &mut rng);
+        assert!(!r.completed);
+        assert_eq!(r.informed_count(), 1);
+        assert_eq!(r.messages_sent, 0);
+    }
+
+    #[test]
+    fn lower_beta_is_slower_but_still_completes_on_cliques() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut fast = FrozenGraph::new(generators::complete(30));
+        let mut slow = FrozenGraph::new(generators::complete(30));
+        let r_fast = probabilistic_flood(&mut fast, 0, 1.0, 500, &mut rng);
+        let r_slow = probabilistic_flood(&mut slow, 0, 0.2, 500, &mut rng);
+        assert!(r_fast.completed && r_slow.completed);
+        assert!(r_slow.rounds >= r_fast.rounds);
+    }
+
+    #[test]
+    fn message_count_scales_with_beta() {
+        // On a fixed dense graph with a round budget too small to finish,
+        // fewer activations mean fewer transmissions.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut a = FrozenGraph::new(generators::complete(40));
+        let mut b = FrozenGraph::new(generators::complete(40));
+        let full = probabilistic_flood(&mut a, 0, 1.0, 1, &mut rng);
+        let half = probabilistic_flood(&mut b, 0, 0.5, 1, &mut rng);
+        assert!(half.messages_sent <= full.messages_sent);
+    }
+
+    #[test]
+    fn completion_time_accessor() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut meg = FrozenGraph::new(generators::path(4));
+        let r = probabilistic_flood(&mut meg, 0, 1.0, 10, &mut rng);
+        assert_eq!(r.completion_time(), Some(3));
+        let mut meg2 = FrozenGraph::new(generators::path(4));
+        let r2 = probabilistic_flood(&mut meg2, 0, 1.0, 1, &mut rng);
+        assert_eq!(r2.completion_time(), None);
+    }
+}

@@ -1,0 +1,172 @@
+//! Parameter-regime predicates.
+//!
+//! Each theorem in the paper holds only in a specific parameter regime
+//! (connectivity thresholds, tightness windows). Encoding those regimes as
+//! predicates keeps the experiment harness honest: every table row records
+//! whether its configuration actually satisfies the hypotheses of the theorem
+//! it is compared against.
+
+/// The connectivity-threshold constant `c` in `R ≥ c√(log n)` and
+/// `p̂ ≥ c log n / n`. The paper only requires "a sufficiently large
+/// constant"; simulations show `c = 2` already gives connected snapshots with
+/// overwhelming probability at the sizes we run, and the harness treats the
+/// constant as configurable.
+pub const DEFAULT_THRESHOLD_CONSTANT: f64 = 2.0;
+
+/// Parameter regime of a geometric-MEG configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GeometricRegime {
+    /// `R < c√(log n)`: below the connectivity threshold; Theorem 3.4 does not
+    /// apply (snapshots are disconnected w.h.p.).
+    BelowConnectivity,
+    /// Theorem 3.4 applies (`c√(log n) ≤ R ≤ √n`) but the tightness window of
+    /// Corollary 3.6 does not (either `R > √n/log log n` or `r ≫ R`).
+    UpperBoundOnly,
+    /// Corollary 3.6 applies: flooding time is `Θ(√n/R)`.
+    Tight,
+    /// `R > √n`: the transmission radius exceeds the region diagonal scale;
+    /// snapshots are essentially complete graphs.
+    Saturated,
+}
+
+/// Classifies a geometric-MEG configuration (density 1, square side `√n`).
+pub fn geometric_regime(n: usize, radius: f64, move_radius: f64, c: f64) -> GeometricRegime {
+    let sqrt_n = (n as f64).sqrt();
+    let threshold = c * (n as f64).ln().max(1.0).sqrt();
+    if radius < threshold {
+        return GeometricRegime::BelowConnectivity;
+    }
+    if radius > sqrt_n {
+        return GeometricRegime::Saturated;
+    }
+    let loglog_n = (n as f64).ln().ln().max(1.0);
+    let tight_radius = radius <= sqrt_n / loglog_n;
+    let tight_speed = move_radius <= radius;
+    if tight_radius && tight_speed {
+        GeometricRegime::Tight
+    } else {
+        GeometricRegime::UpperBoundOnly
+    }
+}
+
+/// The geometric connectivity threshold `c√(log n)` (density 1).
+pub fn geometric_connectivity_threshold(n: usize, c: f64) -> f64 {
+    c * (n as f64).ln().max(1.0).sqrt()
+}
+
+/// Observation 3.3: for general density `δ(n)` the threshold scales to
+/// `c√(log n / δ)`.
+pub fn geometric_connectivity_threshold_density(n: usize, density: f64, c: f64) -> f64 {
+    assert!(density > 0.0, "density must be positive");
+    c * ((n as f64).ln().max(1.0) / density).sqrt()
+}
+
+/// Parameter regime of an edge-MEG configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeRegime {
+    /// `p̂ < c log n / n`: below the connectivity threshold; Theorem 4.3 does
+    /// not apply.
+    BelowConnectivity,
+    /// Theorem 4.3 applies but the tightness window of Corollary 4.5 does not
+    /// (`p̂ > n^{1/log log n} / n`).
+    UpperBoundOnly,
+    /// Corollary 4.5 applies: flooding time is `Θ(log n / log(np̂))`.
+    Tight,
+}
+
+/// Classifies an edge-MEG configuration by its stationary edge probability.
+pub fn edge_regime(n: usize, p_hat: f64, c: f64) -> EdgeRegime {
+    let threshold = c * (n as f64).ln() / n as f64;
+    if p_hat < threshold {
+        return EdgeRegime::BelowConnectivity;
+    }
+    let loglog_n = (n as f64).ln().ln().max(1.0);
+    let tight_cap = (n as f64).powf(1.0 / loglog_n) / n as f64;
+    if p_hat <= tight_cap {
+        EdgeRegime::Tight
+    } else {
+        EdgeRegime::UpperBoundOnly
+    }
+}
+
+/// The edge-MEG connectivity threshold `c log n / n` on `p̂`.
+pub fn edge_connectivity_threshold(n: usize, c: f64) -> f64 {
+    c * (n as f64).ln() / n as f64
+}
+
+/// Section 1 gap condition (first form): birth rate `p = O(1/n^{1+ε})` and
+/// death rate `q = O(np/log n)` give an exponential gap between stationary and
+/// worst-case flooding. The predicate checks the concrete inequalities with
+/// constants 1.
+pub fn exponential_gap_condition_sparse(n: usize, p: f64, q: f64, epsilon: f64) -> bool {
+    let n = n as f64;
+    p <= 1.0 / n.powf(1.0 + epsilon) && q <= n * p / n.ln()
+}
+
+/// Section 1 gap condition (second form): `p = O(log n / n)` and
+/// `q = O(p √n)`.
+pub fn exponential_gap_condition_moderate(n: usize, p: f64, q: f64) -> bool {
+    let n = n as f64;
+    p <= n.ln() / n && q <= p * n.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_regimes_partition_parameter_space() {
+        let n = 100_000usize;
+        let c = DEFAULT_THRESHOLD_CONSTANT;
+        let thr = geometric_connectivity_threshold(n, c);
+        assert_eq!(geometric_regime(n, thr * 0.5, 1.0, c), GeometricRegime::BelowConnectivity);
+        assert_eq!(geometric_regime(n, thr * 2.0, 1.0, c), GeometricRegime::Tight);
+        let sqrt_n = (n as f64).sqrt();
+        assert_eq!(geometric_regime(n, sqrt_n * 0.9, 1.0, c), GeometricRegime::UpperBoundOnly);
+        assert_eq!(geometric_regime(n, sqrt_n * 1.5, 1.0, c), GeometricRegime::Saturated);
+        // High speed breaks tightness even at moderate radius.
+        assert_eq!(
+            geometric_regime(n, thr * 2.0, thr * 20.0, c),
+            GeometricRegime::UpperBoundOnly
+        );
+    }
+
+    #[test]
+    fn geometric_threshold_scales_with_density() {
+        let n = 10_000usize;
+        let at_density_1 = geometric_connectivity_threshold(n, 1.0);
+        let at_density_4 = geometric_connectivity_threshold_density(n, 4.0, 1.0);
+        assert!((at_density_4 - at_density_1 / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_regimes_partition_parameter_space() {
+        let n = 100_000usize;
+        let c = DEFAULT_THRESHOLD_CONSTANT;
+        let thr = edge_connectivity_threshold(n, c);
+        assert_eq!(edge_regime(n, thr * 0.5, c), EdgeRegime::BelowConnectivity);
+        assert_eq!(edge_regime(n, thr * 2.0, c), EdgeRegime::Tight);
+        assert_eq!(edge_regime(n, 0.5, c), EdgeRegime::UpperBoundOnly);
+    }
+
+    #[test]
+    fn edge_threshold_value() {
+        let n = 1_000usize;
+        let thr = edge_connectivity_threshold(n, 1.0);
+        assert!((thr - (1_000f64).ln() / 1_000.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn gap_conditions() {
+        let n = 100_000usize;
+        // p = n^{-1.5}, q = np/(2 log n): sparse gap condition holds.
+        let p = (n as f64).powf(-1.5);
+        let q = n as f64 * p / (2.0 * (n as f64).ln());
+        assert!(exponential_gap_condition_sparse(n, p, q, 0.5));
+        assert!(!exponential_gap_condition_sparse(n, 0.1, q, 0.5));
+        // moderate form
+        let p2 = (n as f64).ln() / n as f64;
+        assert!(exponential_gap_condition_moderate(n, p2, p2));
+        assert!(!exponential_gap_condition_moderate(n, 0.5, 0.5));
+    }
+}

@@ -1,0 +1,194 @@
+//! Dense edge-MEG engine: one explicit Markov-chain state per potential edge.
+//!
+//! Every step touches all `C(n, 2)` pairs, so this engine is `O(n²)` per
+//! snapshot. It is the exact, obviously-correct reference used to validate
+//! the sparse engine, and it is perfectly adequate for the dense regimes
+//! (`p̂ = Ω(1)`) and for `n` up to a few thousand.
+
+use crate::model::EdgeMegParams;
+use meg_core::evolving::{EvolvingGraph, InitialDistribution};
+use meg_graph::{AdjacencyList, Node};
+use meg_markov::TwoStateChain;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Edge-MEG with a dense per-pair state vector.
+#[derive(Clone, Debug)]
+pub struct DenseEdgeMeg {
+    params: EdgeMegParams,
+    chain: TwoStateChain,
+    /// `alive[k]` is the state of the pair with linear index `k`.
+    alive: Vec<bool>,
+    rng: StdRng,
+    snapshot: AdjacencyList,
+    time: u64,
+}
+
+impl DenseEdgeMeg {
+    /// Creates the evolving graph with the given initial distribution.
+    pub fn new(params: EdgeMegParams, init: InitialDistribution, seed: u64) -> Self {
+        let chain = params.chain();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let num_pairs = params.num_pairs() as usize;
+        let alive = match init {
+            InitialDistribution::Empty => vec![false; num_pairs],
+            InitialDistribution::Full => vec![true; num_pairs],
+            InitialDistribution::Stationary => {
+                let phat = chain.stationary_edge_probability();
+                (0..num_pairs).map(|_| rng.gen_bool(phat)).collect()
+            }
+        };
+        DenseEdgeMeg {
+            params,
+            chain,
+            alive,
+            rng,
+            snapshot: AdjacencyList::new(params.n),
+            time: 0,
+        }
+    }
+
+    /// Stationary-start constructor (the paper's setting).
+    pub fn stationary(params: EdgeMegParams, seed: u64) -> Self {
+        Self::new(params, InitialDistribution::Stationary, seed)
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> EdgeMegParams {
+        self.params
+    }
+
+    /// Number of currently alive edges.
+    pub fn alive_edges(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    fn rebuild_snapshot(&mut self) {
+        self.snapshot.clear_edges();
+        let n = self.params.n as u64;
+        for (k, &alive) in self.alive.iter().enumerate() {
+            if alive {
+                let (a, b) = meg_graph::generators::pair_from_index(n, k as u64);
+                self.snapshot.add_edge_unchecked(a as Node, b as Node);
+            }
+        }
+    }
+}
+
+impl EvolvingGraph for DenseEdgeMeg {
+    type Snapshot = AdjacencyList;
+
+    fn num_nodes(&self) -> usize {
+        self.params.n
+    }
+
+    fn advance(&mut self) -> &AdjacencyList {
+        // Snapshot G_t reflects the current edge states; the chain then moves
+        // to the states of time t+1.
+        self.rebuild_snapshot();
+        for state in self.alive.iter_mut() {
+            *state = self.chain.step(*state, &mut self.rng);
+        }
+        self.time += 1;
+        &self.snapshot
+    }
+
+    fn time(&self) -> u64 {
+        self.time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meg_core::flooding::{flood, FloodingOutcome};
+    use meg_graph::{degree, Graph};
+
+    #[test]
+    fn initial_distributions() {
+        let params = EdgeMegParams::new(60, 0.05, 0.05);
+        let empty = DenseEdgeMeg::new(params, InitialDistribution::Empty, 1);
+        assert_eq!(empty.alive_edges(), 0);
+        let full = DenseEdgeMeg::new(params, InitialDistribution::Full, 1);
+        assert_eq!(full.alive_edges(), 60 * 59 / 2);
+        let stat = DenseEdgeMeg::stationary(params, 1);
+        let expected = params.expected_stationary_edges();
+        let got = stat.alive_edges() as f64;
+        assert!(
+            (got - expected).abs() < 0.25 * expected,
+            "stationary edges {got} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn snapshot_matches_alive_count() {
+        let params = EdgeMegParams::new(40, 0.2, 0.3);
+        let mut meg = DenseEdgeMeg::stationary(params, 7);
+        for _ in 0..5 {
+            let before = meg.alive_edges();
+            let snap_edges = meg.advance().num_edges();
+            assert_eq!(snap_edges, before, "snapshot must reflect the pre-step states");
+        }
+        assert_eq!(meg.time(), 5);
+    }
+
+    #[test]
+    fn stationary_degree_distribution_matches_erdos_renyi() {
+        let params = EdgeMegParams::with_stationary(300, 0.05, 0.5);
+        let mut meg = DenseEdgeMeg::stationary(params, 3);
+        let snap = meg.advance();
+        let stats = degree::degree_stats(snap).unwrap();
+        let expected_mean = 299.0 * 0.05;
+        assert!(
+            (stats.mean - expected_mean).abs() < 3.0,
+            "mean degree {} vs expected {expected_mean}",
+            stats.mean
+        );
+    }
+
+    #[test]
+    fn edge_count_stays_near_stationary_level_over_time() {
+        let params = EdgeMegParams::with_stationary(120, 0.1, 0.3);
+        let mut meg = DenseEdgeMeg::stationary(params, 9);
+        let expected = params.expected_stationary_edges();
+        for _ in 0..20 {
+            let edges = meg.advance().num_edges() as f64;
+            assert!(
+                (edges - expected).abs() < 0.35 * expected,
+                "edges {edges} drifted from stationary level {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_start_grows_toward_stationarity() {
+        let params = EdgeMegParams::new(80, 0.01, 0.0);
+        let mut meg = DenseEdgeMeg::new(params, InitialDistribution::Empty, 5);
+        let first = meg.advance().num_edges();
+        assert_eq!(first, 0, "the first snapshot of an empty start has no edges");
+        for _ in 0..60 {
+            meg.advance();
+        }
+        let later = meg.advance().num_edges();
+        assert!(later > 0, "edges must eventually appear");
+    }
+
+    #[test]
+    fn flooding_completes_in_connected_regime() {
+        // p̂ = 0.08 ≫ log(200)/200 ≈ 0.026.
+        let params = EdgeMegParams::with_stationary(200, 0.08, 0.5);
+        let mut meg = DenseEdgeMeg::stationary(params, 11);
+        let result = flood(&mut meg, 0, 1_000);
+        assert_eq!(result.outcome, FloodingOutcome::Completed);
+        assert!(result.flooding_time().unwrap() <= 10);
+    }
+
+    #[test]
+    fn frozen_chain_keeps_the_graph_fixed() {
+        let params = EdgeMegParams::new(50, 0.0, 0.0);
+        let mut meg = DenseEdgeMeg::stationary(params, 13);
+        let a = meg.advance().num_edges();
+        let b = meg.advance().num_edges();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,30 @@
+//! # meg-edge
+//!
+//! Edge-Markovian evolving graphs (Section 4 of the paper): every one of the
+//! `C(n, 2)` potential edges evolves as an independent two-state Markov chain
+//! with birth rate `p` and death rate `q`. The stationary snapshot is the
+//! Erdős–Rényi graph `G(n, p̂)` with `p̂ = p/(p+q)`.
+//!
+//! Two evolution engines implement the same model:
+//!
+//! * [`DenseEdgeMeg`] — one bit of state per potential
+//!   edge, `O(n²)` work per step; exact and simple, the reference engine.
+//! * [`SparseEdgeMeg`] — stores only the alive edges
+//!   and samples births by geometric skip-sampling over the pair indices, so a
+//!   step costs `O(m_alive + births)`; this is what makes the sparse regimes
+//!   (`p̂ = Θ(log n / n)`, `n` up to 10⁵⁻⁶) tractable.
+//!
+//! [`init`] provides the stationary / empty / full initialisations used by the
+//! stationary-vs-worst-case gap experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dense;
+pub mod init;
+pub mod model;
+pub mod sparse;
+
+pub use dense::DenseEdgeMeg;
+pub use model::EdgeMegParams;
+pub use sparse::SparseEdgeMeg;

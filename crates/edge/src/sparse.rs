@@ -1,0 +1,310 @@
+//! Sparse edge-MEG engine.
+//!
+//! In the regimes the paper cares about (`p̂` around `log n / n`) the snapshot
+//! has only `Θ(n log n)` edges out of `Θ(n²)` potential pairs, so touching
+//! every pair per step (the dense engine) wastes almost all of its work. This
+//! engine stores only the alive edges and advances the chain in
+//! `O(m_alive + births)` expected time per step:
+//!
+//! * **deaths** — each alive edge is kept with probability `1 − q`;
+//! * **births** — candidate pair indices are drawn by geometric skip-sampling
+//!   over the full index space with per-pair probability `p`; candidates that
+//!   are already alive are ignored (their transition is governed by the death
+//!   rule), so each *absent* pair independently turns on with probability `p`,
+//!   exactly as the model prescribes.
+
+use crate::model::EdgeMegParams;
+use meg_core::evolving::{EvolvingGraph, InitialDistribution};
+use meg_graph::generators::pair_from_index;
+use meg_graph::{AdjacencyList, Graph, Node};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Edge-MEG storing only the alive edges.
+#[derive(Clone, Debug)]
+pub struct SparseEdgeMeg {
+    params: EdgeMegParams,
+    /// Linear pair indices of the alive edges.
+    alive: HashSet<u64>,
+    rng: StdRng,
+    snapshot: AdjacencyList,
+    time: u64,
+}
+
+impl SparseEdgeMeg {
+    /// Creates the evolving graph with the given initial distribution.
+    pub fn new(params: EdgeMegParams, init: InitialDistribution, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let total_pairs = params.num_pairs();
+        let alive: HashSet<u64> = match init {
+            InitialDistribution::Empty => HashSet::new(),
+            InitialDistribution::Full => (0..total_pairs).collect(),
+            InitialDistribution::Stationary => {
+                let phat = params.stationary_edge_probability();
+                let mut set = HashSet::new();
+                sample_bernoulli_indices(total_pairs, phat, &mut rng, |idx| {
+                    set.insert(idx);
+                });
+                set
+            }
+        };
+        SparseEdgeMeg {
+            params,
+            alive,
+            rng,
+            snapshot: AdjacencyList::new(params.n),
+            time: 0,
+        }
+    }
+
+    /// Stationary-start constructor (the paper's setting).
+    pub fn stationary(params: EdgeMegParams, seed: u64) -> Self {
+        Self::new(params, InitialDistribution::Stationary, seed)
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> EdgeMegParams {
+        self.params
+    }
+
+    /// Number of currently alive edges.
+    pub fn alive_edges(&self) -> usize {
+        self.alive.len()
+    }
+
+    fn rebuild_snapshot(&mut self) {
+        self.snapshot.clear_edges();
+        let n = self.params.n as u64;
+        for &idx in &self.alive {
+            let (a, b) = pair_from_index(n, idx);
+            self.snapshot.add_edge_unchecked(a as Node, b as Node);
+        }
+    }
+
+    fn step_chain(&mut self) {
+        let total_pairs = self.params.num_pairs();
+        let p = self.params.p;
+        let q = self.params.q;
+        // Deaths: keep each alive edge with probability 1 − q.
+        if q > 0.0 {
+            let rng = &mut self.rng;
+            self.alive.retain(|_| !rng.gen_bool(q));
+        }
+        // Births: each pair that was absent *before* this step turns on with
+        // probability p. Pairs that were alive before the step are skipped:
+        // if they survived the death phase they stay alive anyway, and if they
+        // just died the model says they need a full step absent before they
+        // can be reborn. To distinguish "alive before the step" from "alive
+        // after the death phase" we consult the pre-step snapshot, which holds
+        // exactly the pre-step edge set.
+        if p > 0.0 {
+            let mut births: Vec<u64> = Vec::new();
+            sample_bernoulli_indices(total_pairs, p, &mut self.rng, |idx| {
+                let (a, b) = pair_from_index(self.params.n as u64, idx);
+                if !self.snapshot.has_edge(a as Node, b as Node) {
+                    births.push(idx);
+                }
+            });
+            for idx in births {
+                self.alive.insert(idx);
+            }
+        }
+    }
+}
+
+/// Calls `visit` on each index in `0..total` selected independently with
+/// probability `prob`, using geometric skip-sampling (expected cost
+/// `O(total · prob)`).
+fn sample_bernoulli_indices<R: Rng>(total: u64, prob: f64, rng: &mut R, mut visit: impl FnMut(u64)) {
+    if prob <= 0.0 || total == 0 {
+        return;
+    }
+    if prob >= 1.0 {
+        for idx in 0..total {
+            visit(idx);
+        }
+        return;
+    }
+    let log_q = (1.0 - prob).ln();
+    let mut idx: u64 = 0;
+    loop {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let skip = (u.ln() / log_q).floor();
+        if !skip.is_finite() || skip >= (total as f64) {
+            break;
+        }
+        idx = match idx.checked_add(skip as u64) {
+            Some(v) => v,
+            None => break,
+        };
+        if idx >= total {
+            break;
+        }
+        visit(idx);
+        idx += 1;
+        if idx >= total {
+            break;
+        }
+    }
+}
+
+impl EvolvingGraph for SparseEdgeMeg {
+    type Snapshot = AdjacencyList;
+
+    fn num_nodes(&self) -> usize {
+        self.params.n
+    }
+
+    fn advance(&mut self) -> &AdjacencyList {
+        self.rebuild_snapshot();
+        self.step_chain();
+        self.time += 1;
+        &self.snapshot
+    }
+
+    fn time(&self) -> u64 {
+        self.time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseEdgeMeg;
+    use meg_core::flooding::{flood, FloodingOutcome};
+    use meg_graph::{degree, Graph};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn skip_sampling_matches_bernoulli_rate() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let total = 200_000u64;
+        let prob = 0.01;
+        let mut count = 0u64;
+        let mut last = None;
+        sample_bernoulli_indices(total, prob, &mut rng, |idx| {
+            if let Some(prev) = last {
+                assert!(idx > prev, "indices must be strictly increasing");
+            }
+            assert!(idx < total);
+            last = Some(idx);
+            count += 1;
+        });
+        let expected = total as f64 * prob;
+        assert!(
+            (count as f64 - expected).abs() < 0.1 * expected,
+            "count {count} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn skip_sampling_extremes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut count = 0;
+        sample_bernoulli_indices(100, 0.0, &mut rng, |_| count += 1);
+        assert_eq!(count, 0);
+        sample_bernoulli_indices(100, 1.0, &mut rng, |_| count += 1);
+        assert_eq!(count, 100);
+        sample_bernoulli_indices(0, 0.5, &mut rng, |_| count += 1);
+        assert_eq!(count, 100);
+    }
+
+    #[test]
+    fn stationary_start_matches_expected_edge_count() {
+        let params = EdgeMegParams::with_stationary(500, 0.02, 0.5);
+        let meg = SparseEdgeMeg::stationary(params, 2);
+        let expected = params.expected_stationary_edges();
+        let got = meg.alive_edges() as f64;
+        assert!(
+            (got - expected).abs() < 0.2 * expected,
+            "alive {got} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn initial_distributions() {
+        let params = EdgeMegParams::new(30, 0.1, 0.1);
+        assert_eq!(
+            SparseEdgeMeg::new(params, InitialDistribution::Empty, 0).alive_edges(),
+            0
+        );
+        assert_eq!(
+            SparseEdgeMeg::new(params, InitialDistribution::Full, 0).alive_edges(),
+            30 * 29 / 2
+        );
+    }
+
+    #[test]
+    fn edge_count_stays_near_stationary_level() {
+        let params = EdgeMegParams::with_stationary(400, 0.03, 0.25);
+        let mut meg = SparseEdgeMeg::stationary(params, 5);
+        let expected = params.expected_stationary_edges();
+        for _ in 0..30 {
+            let edges = meg.advance().num_edges() as f64;
+            assert!(
+                (edges - expected).abs() < 0.3 * expected,
+                "edges {edges} drifted from stationary level {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_and_dense_agree_statistically() {
+        // Same parameters, different engines: average snapshot degree over a
+        // window must agree within a few percent.
+        let params = EdgeMegParams::with_stationary(250, 0.04, 0.3);
+        let mut sparse = SparseEdgeMeg::stationary(params, 21);
+        let mut dense = DenseEdgeMeg::stationary(params, 22);
+        let window = 20;
+        let mut sparse_mean = 0.0;
+        let mut dense_mean = 0.0;
+        for _ in 0..window {
+            sparse_mean += degree::degree_stats(sparse.advance()).unwrap().mean;
+            dense_mean += degree::degree_stats(dense.advance()).unwrap().mean;
+        }
+        sparse_mean /= window as f64;
+        dense_mean /= window as f64;
+        let expected = 249.0 * 0.04;
+        assert!((sparse_mean - expected).abs() < 1.5, "sparse mean {sparse_mean}");
+        assert!((dense_mean - expected).abs() < 1.5, "dense mean {dense_mean}");
+        assert!((sparse_mean - dense_mean).abs() < 2.0);
+    }
+
+    #[test]
+    fn flooding_completes_in_connected_regime() {
+        // n = 2000, p̂ = 3 log n / n ≈ 0.0114 — sparse but connected.
+        let n = 2_000usize;
+        let phat = 3.0 * (n as f64).ln() / n as f64;
+        let params = EdgeMegParams::with_stationary(n, phat, 0.5);
+        let mut meg = SparseEdgeMeg::stationary(params, 33);
+        let result = flood(&mut meg, 0, 10_000);
+        assert_eq!(result.outcome, FloodingOutcome::Completed);
+        let t = result.flooding_time().unwrap();
+        assert!(t >= 2 && t <= 30, "flooding time {t}");
+    }
+
+    #[test]
+    fn empty_start_takes_much_longer_than_stationary_in_sparse_regime() {
+        // The "exponential gap" of Section 1 in miniature: with a tiny birth
+        // rate, a stationary start floods quickly while an empty start must
+        // first wait for edges to be born at all.
+        let n = 300usize;
+        let phat = 6.0 * (n as f64).ln() / n as f64; // ≈ 0.114
+        let q = 0.002; // slow chain: edges are born very rarely (p ≈ 2.6e-4)
+        let params = EdgeMegParams::with_stationary(n, phat, q);
+        let mut stationary = SparseEdgeMeg::stationary(params, 44);
+        let stat_time = flood(&mut stationary, 0, 100_000)
+            .flooding_time()
+            .expect("stationary flooding completes");
+        let mut empty = SparseEdgeMeg::new(params, InitialDistribution::Empty, 45);
+        let empty_time = flood(&mut empty, 0, 100_000)
+            .flooding_time()
+            .expect("worst-case flooding completes eventually");
+        assert!(
+            empty_time > 4 * stat_time,
+            "empty start {empty_time} should be much slower than stationary {stat_time}"
+        );
+    }
+}

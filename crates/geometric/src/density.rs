@@ -1,0 +1,74 @@
+//! Density scaling (Observation 3.3).
+//!
+//! The paper states its results for density 1 (a `√n × √n` square) purely for
+//! notational convenience: for a general node density `δ(n)` everything scales
+//! once the connectivity threshold is read as `R ≥ c√(log n / δ)`. These
+//! helpers perform that bookkeeping for experiments that sweep density.
+
+/// Side of the support square holding `n` nodes at density `density`
+/// (nodes per unit area).
+pub fn side_for_density(n: usize, density: f64) -> f64 {
+    assert!(n > 0, "n must be positive");
+    assert!(density > 0.0, "density must be positive");
+    (n as f64 / density).sqrt()
+}
+
+/// Node density obtained by placing `n` nodes in a square of side `side`.
+pub fn density_for_side(n: usize, side: f64) -> f64 {
+    assert!(side > 0.0, "side must be positive");
+    n as f64 / (side * side)
+}
+
+/// Expected number of nodes within transmission range of a typical node
+/// (`δ · πR²`) — the expected snapshot degree, ignoring border effects.
+pub fn expected_degree(density: f64, radius: f64) -> f64 {
+    density * std::f64::consts::PI * radius * radius
+}
+
+/// Rescales a density-1 configuration `(n, R, r)` to density `δ`, preserving
+/// the expected degree and the ratio `r/R`: returns the scaled `(R, r)`.
+pub fn rescale_radii(radius: f64, move_radius: f64, density: f64) -> (f64, f64) {
+    assert!(density > 0.0, "density must be positive");
+    let scale = 1.0 / density.sqrt();
+    (radius * scale, move_radius * scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn side_and_density_are_inverse() {
+        let side = side_for_density(400, 4.0);
+        assert_eq!(side, 10.0);
+        assert_eq!(density_for_side(400, side), 4.0);
+        assert_eq!(side_for_density(400, 1.0), 20.0);
+    }
+
+    #[test]
+    fn expected_degree_scales_linearly_with_density() {
+        let d1 = expected_degree(1.0, 5.0);
+        let d4 = expected_degree(4.0, 5.0);
+        assert!((d4 / d1 - 4.0).abs() < 1e-12);
+        assert!((d1 - std::f64::consts::PI * 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rescaling_preserves_expected_degree() {
+        let density = 4.0;
+        let (r_scaled, move_scaled) = rescale_radii(6.0, 2.0, density);
+        assert_eq!(r_scaled, 3.0);
+        assert_eq!(move_scaled, 1.0);
+        let before = expected_degree(1.0, 6.0);
+        let after = expected_degree(density, r_scaled);
+        assert!((before - after).abs() < 1e-9);
+        // ratio r/R preserved
+        assert!((move_scaled / r_scaled - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_density_rejected() {
+        side_for_density(10, 0.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Snapshot construction: the graph induced by node positions and a
+//! transmission radius, under either the square (Euclidean) or toroidal
+//! metric.
+//!
+//! A uniform bucket grid with cell side `≥ R` reduces the candidate pairs to
+//! nodes in the same or adjacent cells, so a snapshot costs
+//! `O(n + #candidate pairs)` — the dominant cost of simulating geometric-MEG,
+//! incurred once per time step.
+
+use meg_graph::{AdjacencyList, Node};
+use meg_mobility::space::{Point, Region};
+
+/// Builds the radius graph of `positions` under the metric of `region`.
+///
+/// Nodes are connected iff their distance (Euclidean in a square, wrap-around
+/// on a torus) is at most `radius`.
+pub fn radius_graph(positions: &[Point], radius: f64, region: Region) -> AdjacencyList {
+    let n = positions.len();
+    let mut g = AdjacencyList::new(n);
+    if n == 0 || radius <= 0.0 {
+        return g;
+    }
+    let side = region.side();
+    let r2 = radius * radius;
+    // Number of buckets per axis; each bucket has side ≥ radius so only the
+    // 8-neighborhood needs to be examined. On a torus the neighborhood wraps.
+    let buckets_per_axis = ((side / radius).floor() as usize).max(1);
+    let bucket_side = side / buckets_per_axis as f64;
+    let bucket_of = |p: Point| -> (usize, usize) {
+        let bx = ((p.0 / bucket_side) as usize).min(buckets_per_axis - 1);
+        let by = ((p.1 / bucket_side) as usize).min(buckets_per_axis - 1);
+        (bx, by)
+    };
+    let mut buckets: Vec<Vec<Node>> = vec![Vec::new(); buckets_per_axis * buckets_per_axis];
+    for (i, &p) in positions.iter().enumerate() {
+        let (bx, by) = bucket_of(p);
+        buckets[by * buckets_per_axis + bx].push(i as Node);
+    }
+    let wrap = region.is_torus();
+    let m = buckets_per_axis as isize;
+    for by in 0..buckets_per_axis {
+        for bx in 0..buckets_per_axis {
+            let here = &buckets[by * buckets_per_axis + bx];
+            // Same-bucket pairs.
+            for (i, &u) in here.iter().enumerate() {
+                for &v in &here[i + 1..] {
+                    if region.distance_squared(positions[u as usize], positions[v as usize]) <= r2 {
+                        g.add_edge_unchecked(u.min(v), u.max(v));
+                    }
+                }
+            }
+            // Forward neighbor buckets (E, SW, S, SE) so each unordered bucket
+            // pair is visited once. With few buckets per axis the wrapped
+            // neighbor can coincide with an already-visited bucket, so guard
+            // against processing a pair twice via a canonical-index check.
+            for (dx, dy) in [(1isize, 0isize), (-1, 1), (0, 1), (1, 1)] {
+                let (nx, ny) = if wrap {
+                    (((bx as isize + dx).rem_euclid(m)) as usize,
+                     ((by as isize + dy).rem_euclid(m)) as usize)
+                } else {
+                    let nx = bx as isize + dx;
+                    let ny = by as isize + dy;
+                    if nx < 0 || ny < 0 || nx >= m || ny >= m {
+                        continue;
+                    }
+                    (nx as usize, ny as usize)
+                };
+                let here_idx = by * buckets_per_axis + bx;
+                let there_idx = ny * buckets_per_axis + nx;
+                if there_idx == here_idx {
+                    continue; // wrapped onto ourselves (tiny grids)
+                }
+                let there = &buckets[there_idx];
+                for &u in here {
+                    for &v in there {
+                        if region.distance_squared(positions[u as usize], positions[v as usize])
+                            <= r2
+                        {
+                            // On wrapped tiny grids the same bucket pair can be
+                            // reached through two different offsets; add_edge
+                            // (checked) keeps the graph simple in that case.
+                            if buckets_per_axis <= 3 {
+                                g.add_edge(u.min(v), u.max(v));
+                            } else {
+                                g.add_edge_unchecked(u.min(v), u.max(v));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    g
+}
+
+/// Brute-force reference implementation (O(n²)), used by tests and available
+/// for very small inputs.
+pub fn radius_graph_brute_force(positions: &[Point], radius: f64, region: Region) -> AdjacencyList {
+    let n = positions.len();
+    let mut g = AdjacencyList::new(n);
+    let r2 = radius * radius;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if region.distance_squared(positions[u], positions[v]) <= r2 {
+                g.add_edge_unchecked(u as Node, v as Node);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meg_graph::Graph;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_positions(n: usize, side: f64, seed: u64) -> Vec<Point> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+            .collect()
+    }
+
+    fn assert_same_graph(a: &AdjacencyList, b: &AdjacencyList) {
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(a.num_edges(), b.num_edges());
+        for u in 0..a.num_nodes() as Node {
+            let mut na = a.neighbors(u).to_vec();
+            let mut nb = b.neighbors(u).to_vec();
+            na.sort_unstable();
+            nb.sort_unstable();
+            assert_eq!(na, nb, "neighbors of {u}");
+        }
+    }
+
+    #[test]
+    fn square_metric_matches_brute_force() {
+        let region = Region::Square { side: 20.0 };
+        for (n, radius, seed) in [(150usize, 2.0f64, 1u64), (80, 5.0, 2), (60, 0.7, 3)] {
+            let pos = random_positions(n, 20.0, seed);
+            let fast = radius_graph(&pos, radius, region);
+            let slow = radius_graph_brute_force(&pos, radius, region);
+            assert_same_graph(&fast, &slow);
+        }
+    }
+
+    #[test]
+    fn torus_metric_matches_brute_force() {
+        let region = Region::Torus { side: 20.0 };
+        for (n, radius, seed) in [(150usize, 2.0f64, 4u64), (80, 5.0, 5), (50, 9.0, 6)] {
+            let pos = random_positions(n, 20.0, seed);
+            let fast = radius_graph(&pos, radius, region);
+            let slow = radius_graph_brute_force(&pos, radius, region);
+            assert_same_graph(&fast, &slow);
+        }
+    }
+
+    #[test]
+    fn torus_connects_across_the_seam() {
+        let region = Region::Torus { side: 10.0 };
+        let pos = [(0.2, 5.0), (9.8, 5.0), (5.0, 5.0)];
+        let g = radius_graph(&pos, 1.0, region);
+        assert!(g.has_edge(0, 1), "nodes near opposite edges are close on the torus");
+        assert_eq!(g.num_edges(), 1);
+        // Same positions under the square metric are far apart.
+        let sq = radius_graph(&pos, 1.0, Region::Square { side: 10.0 });
+        assert_eq!(sq.num_edges(), 0);
+    }
+
+    #[test]
+    fn radius_larger_than_region_gives_complete_graph() {
+        let region = Region::Square { side: 5.0 };
+        let pos = random_positions(30, 5.0, 7);
+        let g = radius_graph(&pos, 10.0, region);
+        assert_eq!(g.num_edges(), 30 * 29 / 2);
+        let torus = radius_graph(&pos, 10.0, Region::Torus { side: 5.0 });
+        assert_eq!(torus.num_edges(), 30 * 29 / 2);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let region = Region::Square { side: 5.0 };
+        assert_eq!(radius_graph(&[], 1.0, region).num_nodes(), 0);
+        assert_eq!(radius_graph(&[(1.0, 1.0)], 1.0, region).num_edges(), 0);
+        assert_eq!(radius_graph(&[(1.0, 1.0), (1.5, 1.0)], 0.0, region).num_edges(), 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Compressed sparse row (CSR) representation of an undirected graph.
+//!
+//! A frozen snapshot that is queried many times (expansion profiling, repeated
+//! BFS for diameters) benefits from the contiguous neighbor storage of CSR:
+//! a single `Vec<Node>` of column indices plus an offset array, giving
+//! cache-friendly neighbor scans and no per-node allocation.
+
+use crate::{AdjacencyList, Graph, Node};
+
+/// Immutable CSR graph.
+#[derive(Clone, Debug)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    targets: Vec<Node>,
+    num_edges: usize,
+}
+
+impl Csr {
+    /// Builds a CSR graph with `n` nodes from an edge list.
+    ///
+    /// Self-loops are dropped. Duplicate edges are kept as given (callers that
+    /// need a simple graph should deduplicate first); all generators in this
+    /// workspace produce unique edges.
+    pub fn from_edges(n: usize, edges: &[(Node, Node)]) -> Self {
+        let mut deg = vec![0usize; n];
+        let mut kept = 0usize;
+        for &(u, v) in edges {
+            if u == v {
+                continue;
+            }
+            assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of range");
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+            kept += 1;
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + deg[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0 as Node; 2 * kept];
+        for &(u, v) in edges {
+            if u == v {
+                continue;
+            }
+            targets[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            targets[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        Csr {
+            offsets,
+            targets,
+            num_edges: kept,
+        }
+    }
+
+    /// Converts an adjacency list into CSR form.
+    pub fn from_adjacency(g: &AdjacencyList) -> Self {
+        let n = g.num_nodes();
+        let mut offsets = vec![0usize; n + 1];
+        for u in 0..n {
+            offsets[u + 1] = offsets[u] + g.neighbors(u as Node).len();
+        }
+        let mut targets = Vec::with_capacity(offsets[n]);
+        for u in 0..n {
+            targets.extend_from_slice(g.neighbors(u as Node));
+        }
+        Csr {
+            offsets,
+            targets,
+            num_edges: g.num_edges(),
+        }
+    }
+
+    /// Borrows the neighbor slice of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: Node) -> &[Node] {
+        &self.targets[self.offsets[u as usize]..self.offsets[u as usize + 1]]
+    }
+}
+
+impl From<&AdjacencyList> for Csr {
+    fn from(g: &AdjacencyList) -> Self {
+        Csr::from_adjacency(g)
+    }
+}
+
+impl Graph for Csr {
+    fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    fn for_each_neighbor(&self, u: Node, f: &mut dyn FnMut(Node)) {
+        for &v in self.neighbors(u) {
+            f(v);
+        }
+    }
+
+    fn degree(&self, u: Node) -> usize {
+        self.offsets[u as usize + 1] - self.offsets[u as usize]
+    }
+
+    fn has_edge(&self, u: Node, v: Node) -> bool {
+        self.neighbors(u).contains(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn csr_matches_adjacency() {
+        let adj = generators::cycle(10);
+        let csr = Csr::from_adjacency(&adj);
+        assert_eq!(csr.num_nodes(), 10);
+        assert_eq!(csr.num_edges(), 10);
+        for u in 0..10u32 {
+            let mut a = adj.neighbors(u).to_vec();
+            let mut c = csr.neighbors(u).to_vec();
+            a.sort_unstable();
+            c.sort_unstable();
+            assert_eq!(a, c, "neighbors of {u}");
+            assert_eq!(Graph::degree(&csr, u), 2);
+        }
+    }
+
+    #[test]
+    fn csr_from_edges_drops_self_loops() {
+        let csr = Csr::from_edges(3, &[(0, 1), (1, 1), (1, 2)]);
+        assert_eq!(csr.num_edges(), 2);
+        assert_eq!(Graph::degree(&csr, 1), 2);
+        assert!(csr.has_edge(0, 1));
+        assert!(!csr.has_edge(0, 2));
+    }
+
+    #[test]
+    fn csr_empty_graph() {
+        let csr = Csr::from_edges(4, &[]);
+        assert_eq!(csr.num_nodes(), 4);
+        assert_eq!(csr.num_edges(), 0);
+        for u in 0..4u32 {
+            assert!(csr.neighbors(u).is_empty());
+        }
+    }
+}

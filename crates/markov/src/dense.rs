@@ -1,0 +1,188 @@
+//! Dense finite Markov chain with an explicit row-stochastic transition matrix.
+//!
+//! This is the brute-force reference implementation: it is used to validate
+//! the closed-form two-state chain and the support-graph random walk on small
+//! instances, and to compute stationary laws and mixing diagnostics for
+//! arbitrary user-supplied chains.
+
+use rand::Rng;
+
+/// Errors produced when constructing or using a [`DenseChain`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChainError {
+    /// The matrix is empty or not square.
+    BadShape,
+    /// A row does not sum to 1 (within tolerance) or has a negative entry.
+    NotStochastic {
+        /// Index of the offending row.
+        row: usize,
+    },
+    /// Power iteration failed to converge within the iteration budget.
+    NoConvergence,
+}
+
+impl std::fmt::Display for ChainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChainError::BadShape => write!(f, "transition matrix must be square and non-empty"),
+            ChainError::NotStochastic { row } => {
+                write!(f, "row {row} is not a probability distribution")
+            }
+            ChainError::NoConvergence => write!(f, "power iteration did not converge"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+/// A finite Markov chain over states `0 .. n` with a dense transition matrix.
+#[derive(Clone, Debug)]
+pub struct DenseChain {
+    rows: Vec<Vec<f64>>,
+}
+
+impl DenseChain {
+    /// Builds a chain from a row-stochastic matrix.
+    ///
+    /// Each row must be a probability distribution (non-negative entries
+    /// summing to 1 within `1e-9`).
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Result<Self, ChainError> {
+        let n = rows.len();
+        if n == 0 || rows.iter().any(|r| r.len() != n) {
+            return Err(ChainError::BadShape);
+        }
+        for (i, row) in rows.iter().enumerate() {
+            let sum: f64 = row.iter().sum();
+            if row.iter().any(|&x| x < -1e-12) || (sum - 1.0).abs() > 1e-9 {
+                return Err(ChainError::NotStochastic { row: i });
+            }
+        }
+        Ok(DenseChain { rows })
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Transition probability `P(i → j)`.
+    pub fn prob(&self, i: usize, j: usize) -> f64 {
+        self.rows[i][j]
+    }
+
+    /// One step of distribution evolution: returns `mu · P`.
+    pub fn step_distribution(&self, mu: &[f64]) -> Vec<f64> {
+        let n = self.num_states();
+        assert_eq!(mu.len(), n, "distribution has wrong length");
+        let mut out = vec![0.0; n];
+        for (i, &mass) in mu.iter().enumerate() {
+            if mass == 0.0 {
+                continue;
+            }
+            for (j, &p) in self.rows[i].iter().enumerate() {
+                out[j] += mass * p;
+            }
+        }
+        out
+    }
+
+    /// Samples the next state from state `i`.
+    pub fn sample_next<R: Rng>(&self, i: usize, rng: &mut R) -> usize {
+        let mut u: f64 = rng.gen();
+        for (j, &p) in self.rows[i].iter().enumerate() {
+            if u < p {
+                return j;
+            }
+            u -= p;
+        }
+        // Floating-point slack: fall back to the last state with positive mass.
+        self.rows[i]
+            .iter()
+            .rposition(|&p| p > 0.0)
+            .expect("stochastic row has positive mass")
+    }
+
+    /// Simulates a trajectory of `steps` transitions starting from `start`,
+    /// returning every visited state (length `steps + 1`).
+    pub fn trajectory<R: Rng>(&self, start: usize, steps: usize, rng: &mut R) -> Vec<usize> {
+        let mut out = Vec::with_capacity(steps + 1);
+        let mut state = start;
+        out.push(state);
+        for _ in 0..steps {
+            state = self.sample_next(state, rng);
+            out.push(state);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn two_state() -> DenseChain {
+        DenseChain::from_rows(vec![vec![0.9, 0.1], vec![0.5, 0.5]]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert_eq!(DenseChain::from_rows(vec![]).unwrap_err(), ChainError::BadShape);
+        assert_eq!(
+            DenseChain::from_rows(vec![vec![1.0, 0.0]]).unwrap_err(),
+            ChainError::BadShape
+        );
+        assert_eq!(
+            DenseChain::from_rows(vec![vec![0.5, 0.4], vec![0.5, 0.5]]).unwrap_err(),
+            ChainError::NotStochastic { row: 0 }
+        );
+        assert_eq!(
+            DenseChain::from_rows(vec![vec![1.5, -0.5], vec![0.5, 0.5]]).unwrap_err(),
+            ChainError::NotStochastic { row: 0 }
+        );
+        assert!(DenseChain::from_rows(vec![vec![0.0, 1.0], vec![1.0, 0.0]]).is_ok());
+    }
+
+    #[test]
+    fn step_distribution_preserves_mass() {
+        let c = two_state();
+        let mu = vec![0.25, 0.75];
+        let nu = c.step_distribution(&mu);
+        assert!((nu.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((nu[0] - (0.25 * 0.9 + 0.75 * 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_transition_probabilities() {
+        let c = two_state();
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let trials = 20_000;
+        let mut to_one = 0usize;
+        for _ in 0..trials {
+            if c.sample_next(0, &mut rng) == 1 {
+                to_one += 1;
+            }
+        }
+        let freq = to_one as f64 / trials as f64;
+        assert!((freq - 0.1).abs() < 0.01, "frequency {freq}");
+    }
+
+    #[test]
+    fn trajectory_has_expected_length_and_valid_states() {
+        let c = two_state();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let traj = c.trajectory(1, 50, &mut rng);
+        assert_eq!(traj.len(), 51);
+        assert_eq!(traj[0], 1);
+        assert!(traj.iter().all(|&s| s < 2));
+    }
+
+    #[test]
+    fn deterministic_chain_cycles() {
+        let c = DenseChain::from_rows(vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let traj = c.trajectory(0, 4, &mut rng);
+        assert_eq!(traj, vec![0, 1, 0, 1, 0]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Mixing diagnostics.
+//!
+//! Stationarity tells us how to *start* an evolving graph; mixing tells us how
+//! quickly a chain started elsewhere forgets its start. The "exponential gap"
+//! experiments (stationary vs worst-case start of an edge-MEG) are exactly a
+//! statement about slow mixing of the per-edge chain relative to the flooding
+//! horizon, so these diagnostics are reported alongside those experiments.
+
+use crate::dense::DenseChain;
+use crate::stationary::{power_iteration, total_variation};
+
+/// Result of a mixing-time estimate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MixingEstimate {
+    /// Smallest `t` with worst-case TV distance ≤ `eps`, if found within the
+    /// horizon.
+    pub mixing_time: Option<usize>,
+    /// Worst-case TV distance to stationarity at the horizon (or at the mixing
+    /// time if it was found).
+    pub final_distance: f64,
+}
+
+/// Estimates the `eps`-mixing time of `chain` by evolving the point-mass
+/// distributions of every starting state up to `horizon` steps.
+///
+/// Exact (no sampling), cost `O(horizon · n²)`; intended for the small chains
+/// used in tests and for the two-state edge chain.
+pub fn mixing_time(chain: &DenseChain, eps: f64, horizon: usize) -> MixingEstimate {
+    let n = chain.num_states();
+    let pi = match power_iteration(chain, 100_000, 1e-13) {
+        Ok(pi) => pi,
+        Err(_) => {
+            return MixingEstimate {
+                mixing_time: None,
+                final_distance: f64::NAN,
+            }
+        }
+    };
+    let mut dists: Vec<Vec<f64>> = (0..n)
+        .map(|s| {
+            let mut d = vec![0.0; n];
+            d[s] = 1.0;
+            d
+        })
+        .collect();
+    let mut worst = dists
+        .iter()
+        .map(|d| total_variation(d, &pi))
+        .fold(0.0, f64::max);
+    if worst <= eps {
+        return MixingEstimate {
+            mixing_time: Some(0),
+            final_distance: worst,
+        };
+    }
+    for t in 1..=horizon {
+        for d in dists.iter_mut() {
+            *d = chain.step_distribution(d);
+        }
+        worst = dists
+            .iter()
+            .map(|d| total_variation(d, &pi))
+            .fold(0.0, f64::max);
+        if worst <= eps {
+            return MixingEstimate {
+                mixing_time: Some(t),
+                final_distance: worst,
+            };
+        }
+    }
+    MixingEstimate {
+        mixing_time: None,
+        final_distance: worst,
+    }
+}
+
+/// Closed-form `eps`-mixing time of the two-state chain with birth `p`, death
+/// `q`.
+///
+/// From start state `x` the TV distance to stationarity after `t` steps is
+/// exactly `π_{1−x} · |λ|^t` with `λ = 1 − p − q`, so the worst-case distance
+/// is `max(π_0, π_1) · |λ|^t` and the mixing time is the smallest `t` making
+/// that ≤ `eps`.
+///
+/// Returns `None` when the chain does not mix (`p + q ∈ {0, 2}` gives
+/// `|λ| = 1`).
+pub fn two_state_mixing_time(p: f64, q: f64, eps: f64) -> Option<usize> {
+    let lambda = (1.0 - p - q).abs();
+    if lambda >= 1.0 {
+        return None;
+    }
+    let s = p + q;
+    let pi_max = (p / s).max(q / s);
+    if pi_max <= eps {
+        return Some(0);
+    }
+    if lambda == 0.0 {
+        return Some(1);
+    }
+    let t = ((eps / pi_max).ln() / lambda.ln()).ceil();
+    Some(t.max(0.0) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TwoStateChain;
+
+    fn dense_two_state(p: f64, q: f64) -> DenseChain {
+        DenseChain::from_rows(vec![vec![1.0 - p, p], vec![q, 1.0 - q]]).unwrap()
+    }
+
+    #[test]
+    fn fast_chain_mixes_quickly() {
+        let c = dense_two_state(0.5, 0.5);
+        let m = mixing_time(&c, 1e-6, 100);
+        assert_eq!(m.mixing_time, Some(1));
+    }
+
+    #[test]
+    fn slow_chain_mixes_slowly() {
+        let c = dense_two_state(0.01, 0.01);
+        let m = mixing_time(&c, 0.01, 10_000);
+        let t = m.mixing_time.expect("should mix within horizon");
+        assert!(t > 100, "two-state chain with p=q=0.01 needs many steps, got {t}");
+        // closed form agrees within one step of rounding
+        let closed = two_state_mixing_time(0.01, 0.01, 0.01).unwrap();
+        assert!((t as i64 - closed as i64).abs() <= 1, "numeric {t} vs closed {closed}");
+    }
+
+    #[test]
+    fn non_mixing_chain_reports_failure() {
+        let c = DenseChain::from_rows(vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let m = mixing_time(&c, 0.01, 50);
+        assert_eq!(m.mixing_time, None);
+        assert!(m.final_distance > 0.4);
+        assert_eq!(two_state_mixing_time(1.0, 1.0, 0.01), None);
+        assert_eq!(two_state_mixing_time(0.0, 0.0, 0.01), None);
+    }
+
+    #[test]
+    fn closed_form_is_monotone_in_eps() {
+        let loose = two_state_mixing_time(0.05, 0.02, 0.1).unwrap();
+        let tight = two_state_mixing_time(0.05, 0.02, 0.001).unwrap();
+        assert!(tight >= loose);
+    }
+
+    #[test]
+    fn chain_second_eigenvalue_governs_decay() {
+        let chain = TwoStateChain::new(0.3, 0.4);
+        let lambda = chain.second_eigenvalue();
+        // After t steps the deviation from stationarity shrinks by λ^t; verify
+        // via the closed-form multi-step transition probability.
+        let phat = chain.stationary_edge_probability();
+        let dev0 = (chain.prob_present_after(true, 0) - phat).abs();
+        let dev3 = (chain.prob_present_after(true, 3) - phat).abs();
+        assert!((dev3 - dev0 * lambda.abs().powi(3)).abs() < 1e-12);
+    }
+}

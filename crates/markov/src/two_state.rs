@@ -1,0 +1,198 @@
+//! The two-state birth/death chain driving every edge of an edge-MEG
+//! (Section 4 of the paper).
+//!
+//! State `0` = "edge absent", state `1` = "edge present". The transition
+//! matrix is
+//!
+//! ```text
+//!          to 0      to 1
+//! from 0   1 − p       p        (birth rate p)
+//! from 1     q       1 − q      (death rate q)
+//! ```
+//!
+//! For `0 < p, q < 1` the chain is irreducible and aperiodic with the unique
+//! stationary law `π = (q/(p+q), p/(p+q))`; the stationary edge probability
+//! `p̂ = p/(p+q)` is the quantity all of the paper's edge-MEG bounds are
+//! phrased in.
+
+use rand::Rng;
+
+/// A two-state Markov chain with birth rate `p` and death rate `q`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TwoStateChain {
+    p: f64,
+    q: f64,
+}
+
+impl TwoStateChain {
+    /// Creates the chain. Panics unless `p, q ∈ [0, 1]`.
+    pub fn new(p: f64, q: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "birth rate p={p} outside [0,1]");
+        assert!((0.0..=1.0).contains(&q), "death rate q={q} outside [0,1]");
+        TwoStateChain { p, q }
+    }
+
+    /// The time-independent special case `q = 1 − p`, i.e. the state at time
+    /// `t+1` is `1` with probability `p` regardless of the state at time `t`
+    /// (the dynamic random graphs of \[10\] / \[5\]).
+    pub fn time_independent(p: f64) -> Self {
+        Self::new(p, 1.0 - p)
+    }
+
+    /// Birth rate `p`.
+    pub fn birth_rate(&self) -> f64 {
+        self.p
+    }
+
+    /// Death rate `q`.
+    pub fn death_rate(&self) -> f64 {
+        self.q
+    }
+
+    /// Stationary distribution `(π_0, π_1) = (q, p)/(p + q)`.
+    ///
+    /// When `p = q = 0` every distribution is stationary; this returns the
+    /// conventional `(0.5, 0.5)` in that degenerate case.
+    pub fn stationary(&self) -> (f64, f64) {
+        let s = self.p + self.q;
+        if s == 0.0 {
+            (0.5, 0.5)
+        } else {
+            (self.q / s, self.p / s)
+        }
+    }
+
+    /// Stationary edge probability `p̂ = p/(p+q)`.
+    pub fn stationary_edge_probability(&self) -> f64 {
+        self.stationary().1
+    }
+
+    /// Expected return time to state 1 (`1/π_1`), i.e. the mean time between
+    /// consecutive appearances of the edge in the stationary regime. Returns
+    /// `f64::INFINITY` when `p = 0`.
+    pub fn mean_recurrence_time_present(&self) -> f64 {
+        let p1 = self.stationary_edge_probability();
+        if p1 == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / p1
+        }
+    }
+
+    /// One-step transition probability from `state` to state `1`.
+    pub fn prob_present_next(&self, state: bool) -> f64 {
+        if state {
+            1.0 - self.q
+        } else {
+            self.p
+        }
+    }
+
+    /// `t`-step transition probability of being in state `1` starting from
+    /// `state`, by the standard closed form
+    /// `P^t(x, 1) = p̂ + (1{x=1} − p̂)(1 − p − q)^t`.
+    pub fn prob_present_after(&self, state: bool, t: u32) -> f64 {
+        let phat = self.stationary_edge_probability();
+        let lambda = 1.0 - self.p - self.q;
+        let x1 = if state { 1.0 } else { 0.0 };
+        phat + (x1 - phat) * lambda.powi(t as i32)
+    }
+
+    /// Samples the next state given the current one.
+    #[inline]
+    pub fn step<R: Rng>(&self, state: bool, rng: &mut R) -> bool {
+        if state {
+            !rng.gen_bool(self.q)
+        } else {
+            rng.gen_bool(self.p)
+        }
+    }
+
+    /// Samples a state from the stationary distribution.
+    #[inline]
+    pub fn sample_stationary<R: Rng>(&self, rng: &mut R) -> bool {
+        rng.gen_bool(self.stationary_edge_probability())
+    }
+
+    /// Relaxation parameter `λ = 1 − p − q`; `|λ|` governs how fast the chain
+    /// forgets its initial state.
+    pub fn second_eigenvalue(&self) -> f64 {
+        1.0 - self.p - self.q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn stationary_closed_form() {
+        let c = TwoStateChain::new(0.1, 0.3);
+        let (pi0, pi1) = c.stationary();
+        assert!((pi0 - 0.75).abs() < 1e-12);
+        assert!((pi1 - 0.25).abs() < 1e-12);
+        assert!((c.stationary_edge_probability() - 0.25).abs() < 1e-12);
+        assert!((c.mean_recurrence_time_present() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_chains() {
+        let frozen = TwoStateChain::new(0.0, 0.0);
+        assert_eq!(frozen.stationary(), (0.5, 0.5));
+        let never = TwoStateChain::new(0.0, 0.5);
+        assert_eq!(never.stationary_edge_probability(), 0.0);
+        assert_eq!(never.mean_recurrence_time_present(), f64::INFINITY);
+        let always = TwoStateChain::new(0.5, 0.0);
+        assert_eq!(always.stationary_edge_probability(), 1.0);
+    }
+
+    #[test]
+    fn time_independent_case() {
+        let c = TwoStateChain::time_independent(0.3);
+        assert!((c.stationary_edge_probability() - 0.3).abs() < 1e-12);
+        assert_eq!(c.second_eigenvalue(), 0.0);
+        // Next state does not depend on the current one.
+        assert!((c.prob_present_next(true) - 0.3).abs() < 1e-12);
+        assert!((c.prob_present_next(false) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_step_probability_converges_to_stationary() {
+        let c = TwoStateChain::new(0.2, 0.1);
+        let phat = c.stationary_edge_probability();
+        assert!((c.prob_present_after(true, 0) - 1.0).abs() < 1e-12);
+        assert!((c.prob_present_after(false, 0) - 0.0).abs() < 1e-12);
+        assert!((c.prob_present_after(true, 1) - 0.9).abs() < 1e-12);
+        assert!((c.prob_present_after(false, 1) - 0.2).abs() < 1e-12);
+        assert!((c.prob_present_after(true, 500) - phat).abs() < 1e-9);
+        assert!((c.prob_present_after(false, 500) - phat).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stationarity_is_preserved_by_simulation() {
+        // Start from the stationary law, run many independent chains one step,
+        // and check the fraction in state 1 is still ≈ p̂.
+        let c = TwoStateChain::new(0.05, 0.15);
+        let phat = c.stationary_edge_probability();
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let trials = 40_000;
+        let mut present = 0usize;
+        for _ in 0..trials {
+            let s0 = c.sample_stationary(&mut rng);
+            let s1 = c.step(s0, &mut rng);
+            if s1 {
+                present += 1;
+            }
+        }
+        let freq = present as f64 / trials as f64;
+        assert!((freq - phat).abs() < 0.01, "freq {freq} vs p̂ {phat}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_rate_panics() {
+        TwoStateChain::new(1.5, 0.1);
+    }
+}

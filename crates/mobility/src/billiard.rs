@@ -1,0 +1,205 @@
+//! Random direction with reflection — the "billiard" model ([3, 25, 28] in the
+//! paper).
+//!
+//! Each node carries a heading and a speed; at every step it advances along
+//! its heading and reflects off the walls of the square like a billiard ball.
+//! With probability `turn_probability` per step it redraws a fresh uniform
+//! heading (and speed), which keeps the model ergodic. The stationary
+//! distribution of positions is uniform over the square, which is the property
+//! the paper's expansion argument needs.
+
+use crate::space::{Point, Region};
+use crate::traits::Mobility;
+use rand::Rng;
+
+/// Random-direction mobility with billiard reflection in a square.
+#[derive(Clone, Debug)]
+pub struct Billiard {
+    n: usize,
+    side: f64,
+    speed_min: f64,
+    speed_max: f64,
+    turn_probability: f64,
+    positions: Vec<Point>,
+    /// Velocity vector of each node (already scaled by its speed).
+    velocities: Vec<(f64, f64)>,
+}
+
+impl Billiard {
+    /// Creates the model with stationary initial state.
+    ///
+    /// `turn_probability` is the per-step probability of redrawing the
+    /// heading; `0` gives straight billiard trajectories forever.
+    pub fn new<R: Rng>(
+        n: usize,
+        side: f64,
+        speed_min: f64,
+        speed_max: f64,
+        turn_probability: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(n > 0, "need at least one node");
+        assert!(side > 0.0, "side must be positive");
+        assert!(
+            speed_min > 0.0 && speed_min <= speed_max,
+            "need 0 < speed_min ≤ speed_max"
+        );
+        assert!(
+            (0.0..=1.0).contains(&turn_probability),
+            "turn probability must lie in [0, 1]"
+        );
+        let mut model = Billiard {
+            n,
+            side,
+            speed_min,
+            speed_max,
+            turn_probability,
+            positions: vec![(0.0, 0.0); n],
+            velocities: vec![(0.0, 0.0); n],
+        };
+        model.sample_stationary(rng);
+        model
+    }
+
+    /// Current velocity vectors.
+    pub fn velocities(&self) -> &[(f64, f64)] {
+        &self.velocities
+    }
+
+    fn random_velocity<R: Rng>(&self, rng: &mut R) -> (f64, f64) {
+        let speed = if self.speed_min == self.speed_max {
+            self.speed_min
+        } else {
+            rng.gen_range(self.speed_min..self.speed_max)
+        };
+        let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+        (speed * angle.cos(), speed * angle.sin())
+    }
+}
+
+impl Mobility for Billiard {
+    fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    fn region(&self) -> Region {
+        Region::Square { side: self.side }
+    }
+
+    fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    fn advance<R: Rng>(&mut self, rng: &mut R) {
+        for node in 0..self.n {
+            if self.turn_probability > 0.0 && rng.gen_bool(self.turn_probability) {
+                self.velocities[node] = self.random_velocity(rng);
+            }
+            let (x, y) = self.positions[node];
+            let (vx, vy) = self.velocities[node];
+            let mut nx = x + vx;
+            let mut ny = y + vy;
+            let mut nvx = vx;
+            let mut nvy = vy;
+            if nx < 0.0 || nx > self.side {
+                nvx = -nvx;
+                nx = crate::space::reflect_coord(nx, self.side);
+            }
+            if ny < 0.0 || ny > self.side {
+                nvy = -nvy;
+                ny = crate::space::reflect_coord(ny, self.side);
+            }
+            self.positions[node] = (nx, ny);
+            self.velocities[node] = (nvx, nvy);
+        }
+    }
+
+    fn sample_stationary<R: Rng>(&mut self, rng: &mut R) {
+        for node in 0..self.n {
+            self.positions[node] =
+                (rng.gen_range(0.0..self.side), rng.gen_range(0.0..self.side));
+            self.velocities[node] = self.random_velocity(rng);
+        }
+    }
+
+    fn max_step_distance(&self) -> f64 {
+        self.speed_max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::max_displacement;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn construction() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let m = Billiard::new(20, 10.0, 0.5, 1.5, 0.1, &mut rng);
+        assert_eq!(m.num_nodes(), 20);
+        assert_eq!(m.velocities().len(), 20);
+        assert_eq!(m.max_step_distance(), 1.5);
+        for &(vx, vy) in m.velocities() {
+            let speed = (vx * vx + vy * vy).sqrt();
+            assert!((0.5..=1.5 + 1e-9).contains(&speed), "speed {speed}");
+        }
+    }
+
+    #[test]
+    fn nodes_stay_inside_and_respect_speed() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut m = Billiard::new(50, 8.0, 0.3, 1.2, 0.05, &mut rng);
+        for _ in 0..100 {
+            let before = m.positions().to_vec();
+            m.advance(&mut rng);
+            // Reflection can shorten the net displacement but never lengthen it
+            // beyond the speed budget.
+            assert!(max_displacement(&before, &m) <= 1.2 + 1e-9);
+            for &p in m.positions() {
+                assert!(m.region().contains(p), "escaped: {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn straight_mover_reflects_off_walls() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut m = Billiard::new(1, 4.0, 1.0, 1.0, 0.0, &mut rng);
+        // Force a known state: heading straight right from near the right wall.
+        m.positions[0] = (3.5, 2.0);
+        m.velocities[0] = (1.0, 0.0);
+        m.advance(&mut rng);
+        assert!((m.positions()[0].0 - 3.5).abs() < 1e-12);
+        assert_eq!(m.velocities()[0], (-1.0, 0.0));
+        m.advance(&mut rng);
+        assert!((m.positions()[0].0 - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn long_run_occupancy_is_roughly_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut m = Billiard::new(500, 10.0, 0.4, 1.0, 0.2, &mut rng);
+        let mut lower_left = 0usize;
+        let mut total = 0usize;
+        for _ in 0..40 {
+            m.advance(&mut rng);
+            lower_left += m
+                .positions()
+                .iter()
+                .filter(|p| p.0 < 5.0 && p.1 < 5.0)
+                .count();
+            total += m.num_nodes();
+        }
+        let frac = lower_left as f64 / total as f64;
+        assert!((frac - 0.25).abs() < 0.05, "quadrant occupancy {frac}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_turn_probability_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        Billiard::new(5, 10.0, 1.0, 1.0, 1.5, &mut rng);
+    }
+}

@@ -1,0 +1,407 @@
+//! The paper's mobility model (Section 3): independent random walks on the
+//! grid `L_{side,ε}` inside a square with solid walls.
+//!
+//! A node at grid point `x` moves, in one time step, to a grid point chosen
+//! uniformly at random from `Γ(x) = {y : d(x, y) ≤ r}` — note `x ∈ Γ(x)`, so
+//! the walk is lazy. Because border points have smaller `Γ`, the stationary
+//! law is not exactly uniform but `π(x) ∝ |Γ(x)|`, which is uniform up to a
+//! constant factor (the fact Claim 1 of the paper leans on).
+
+use crate::space::{Point, Region};
+use crate::traits::Mobility;
+use rand::Rng;
+
+/// Parameters of a [`GridWalk`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GridWalkParams {
+    /// Number of nodes.
+    pub n: usize,
+    /// Side length of the square region.
+    pub side: f64,
+    /// Move radius `r` (maximum node speed). Must be positive.
+    pub move_radius: f64,
+    /// Grid resolution `ε` (must satisfy `0 < ε ≤ side`).
+    pub resolution: f64,
+}
+
+impl GridWalkParams {
+    /// The paper's canonical setting: density 1, i.e. a `√n × √n` square.
+    pub fn paper(n: usize, move_radius: f64, resolution: f64) -> Self {
+        GridWalkParams {
+            n,
+            side: (n as f64).sqrt(),
+            move_radius,
+            resolution,
+        }
+    }
+}
+
+/// Independent lazy random walks of `n` nodes on the grid `L_{side,ε}`.
+#[derive(Clone, Debug)]
+pub struct GridWalk {
+    params: GridWalkParams,
+    /// Grid points per axis (indices `0 ..= pts_per_axis - 1`).
+    pts_per_axis: i64,
+    /// Half-width of the move window in grid units: `⌊r/ε⌋`.
+    dr: i64,
+    /// `col_span[dx + dr]` = maximal `|dy|` allowed at horizontal offset `dx`.
+    col_span: Vec<i64>,
+    /// Integer grid coordinates of every node.
+    coords: Vec<(i64, i64)>,
+    /// Cached continuous positions (kept in sync with `coords`).
+    positions: Vec<Point>,
+}
+
+impl GridWalk {
+    /// Creates the model and draws the initial positions from the stationary
+    /// distribution (perfect simulation).
+    pub fn new<R: Rng>(params: GridWalkParams, rng: &mut R) -> Self {
+        assert!(params.n > 0, "need at least one node");
+        assert!(params.side > 0.0, "side must be positive");
+        assert!(params.move_radius > 0.0, "move radius must be positive");
+        assert!(
+            params.resolution > 0.0 && params.resolution <= params.side,
+            "resolution must lie in (0, side]"
+        );
+        let pts_per_axis = (params.side / params.resolution).floor() as i64 + 1;
+        let dr = (params.move_radius / params.resolution).floor() as i64;
+        let mut col_span = Vec::with_capacity((2 * dr + 1) as usize);
+        let r2 = params.move_radius * params.move_radius;
+        for dx in -dr..=dr {
+            let x = dx as f64 * params.resolution;
+            let remaining = (r2 - x * x).max(0.0).sqrt();
+            col_span.push((remaining / params.resolution).floor() as i64);
+        }
+        let mut walk = GridWalk {
+            params,
+            pts_per_axis,
+            dr,
+            col_span,
+            coords: vec![(0, 0); params.n],
+            positions: vec![(0.0, 0.0); params.n],
+        };
+        walk.sample_stationary(rng);
+        walk
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> GridWalkParams {
+        self.params
+    }
+
+    /// Number of grid points per axis.
+    pub fn points_per_axis(&self) -> usize {
+        self.pts_per_axis as usize
+    }
+
+    /// Total number of grid points `|L_{side,ε}|`.
+    pub fn num_grid_points(&self) -> usize {
+        (self.pts_per_axis * self.pts_per_axis) as usize
+    }
+
+    /// `|Γ(x)|` for the grid point with integer coordinates `(i, j)`:
+    /// the number of grid points (including `(i, j)` itself) within distance
+    /// `r`, clipped to the region.
+    pub fn neighborhood_size(&self, i: i64, j: i64) -> u64 {
+        debug_assert!(self.in_range(i, j), "grid point ({i},{j}) out of range");
+        let mut total = 0u64;
+        for (idx, &span) in self.col_span.iter().enumerate() {
+            let dx = idx as i64 - self.dr;
+            let x = i + dx;
+            if x < 0 || x >= self.pts_per_axis {
+                continue;
+            }
+            let lo = (j - span).max(0);
+            let hi = (j + span).min(self.pts_per_axis - 1);
+            if hi >= lo {
+                total += (hi - lo + 1) as u64;
+            }
+        }
+        total
+    }
+
+    /// `|Γ(x)|` for an unconstrained interior point — the maximum over the
+    /// grid, used for rejection sampling of the stationary law.
+    pub fn max_neighborhood_size(&self) -> u64 {
+        self.col_span.iter().map(|&s| (2 * s + 1) as u64).sum()
+    }
+
+    /// Integer grid coordinates of every node.
+    pub fn coords(&self) -> &[(i64, i64)] {
+        &self.coords
+    }
+
+    fn in_range(&self, i: i64, j: i64) -> bool {
+        (0..self.pts_per_axis).contains(&i) && (0..self.pts_per_axis).contains(&j)
+    }
+
+    fn sync_position(&mut self, node: usize) {
+        let (i, j) = self.coords[node];
+        self.positions[node] = (
+            i as f64 * self.params.resolution,
+            j as f64 * self.params.resolution,
+        );
+    }
+
+    /// Moves a single node one step (uniform choice over `Γ(x)`).
+    fn step_node<R: Rng>(&mut self, node: usize, rng: &mut R) {
+        let (i, j) = self.coords[node];
+        let total = self.neighborhood_size(i, j);
+        debug_assert!(total >= 1);
+        let mut pick = rng.gen_range(0..total);
+        for (idx, &span) in self.col_span.iter().enumerate() {
+            let dx = idx as i64 - self.dr;
+            let x = i + dx;
+            if x < 0 || x >= self.pts_per_axis {
+                continue;
+            }
+            let lo = (j - span).max(0);
+            let hi = (j + span).min(self.pts_per_axis - 1);
+            if hi < lo {
+                continue;
+            }
+            let count = (hi - lo + 1) as u64;
+            if pick < count {
+                self.coords[node] = (x, lo + pick as i64);
+                self.sync_position(node);
+                return;
+            }
+            pick -= count;
+        }
+        unreachable!("pick index exceeded |Γ(x)|");
+    }
+
+    /// Draws one grid point from the stationary law `π(x) ∝ |Γ(x)|` by
+    /// rejection sampling against the uniform proposal.
+    fn sample_stationary_point<R: Rng>(&self, rng: &mut R) -> (i64, i64) {
+        let max = self.max_neighborhood_size();
+        loop {
+            let i = rng.gen_range(0..self.pts_per_axis);
+            let j = rng.gen_range(0..self.pts_per_axis);
+            let accept = self.neighborhood_size(i, j) as f64 / max as f64;
+            if rng.gen_bool(accept) {
+                return (i, j);
+            }
+        }
+    }
+}
+
+impl Mobility for GridWalk {
+    fn num_nodes(&self) -> usize {
+        self.params.n
+    }
+
+    fn region(&self) -> Region {
+        Region::Square {
+            side: self.params.side,
+        }
+    }
+
+    fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    fn advance<R: Rng>(&mut self, rng: &mut R) {
+        for node in 0..self.params.n {
+            self.step_node(node, rng);
+        }
+    }
+
+    fn sample_stationary<R: Rng>(&mut self, rng: &mut R) {
+        for node in 0..self.params.n {
+            self.coords[node] = self.sample_stationary_point(rng);
+            self.sync_position(node);
+        }
+    }
+
+    fn max_step_distance(&self) -> f64 {
+        self.params.move_radius
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::max_displacement;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn small_walk(seed: u64) -> GridWalk {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        GridWalk::new(
+            GridWalkParams {
+                n: 50,
+                side: 10.0,
+                move_radius: 1.5,
+                resolution: 1.0,
+            },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn grid_dimensions() {
+        let w = small_walk(0);
+        assert_eq!(w.points_per_axis(), 11);
+        assert_eq!(w.num_grid_points(), 121);
+        assert_eq!(w.num_nodes(), 50);
+        assert_eq!(w.max_step_distance(), 1.5);
+        assert!(!w.region().is_torus());
+    }
+
+    #[test]
+    fn neighborhood_sizes_match_brute_force() {
+        let w = small_walk(1);
+        let eps = 1.0;
+        let r2 = 1.5f64 * 1.5;
+        for &(i, j) in &[(0i64, 0i64), (0, 5), (5, 5), (10, 10), (1, 9)] {
+            let mut brute = 0u64;
+            for x in 0..11i64 {
+                for y in 0..11i64 {
+                    let dx = (x - i) as f64 * eps;
+                    let dy = (y - j) as f64 * eps;
+                    if dx * dx + dy * dy <= r2 {
+                        brute += 1;
+                    }
+                }
+            }
+            assert_eq!(w.neighborhood_size(i, j), brute, "at ({i},{j})");
+        }
+        // interior point matches the declared maximum
+        assert_eq!(w.neighborhood_size(5, 5), w.max_neighborhood_size());
+        // corner point has roughly a quarter of the interior neighborhood
+        assert!(w.neighborhood_size(0, 0) < w.max_neighborhood_size());
+    }
+
+    #[test]
+    fn steps_never_exceed_move_radius_or_leave_region() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut w = small_walk(2);
+        for _ in 0..50 {
+            let before = w.positions().to_vec();
+            w.advance(&mut rng);
+            let disp = max_displacement(&before, &w);
+            assert!(disp <= w.max_step_distance() + 1e-9, "displacement {disp}");
+            for &p in w.positions() {
+                assert!(w.region().contains(p), "position {p:?} escaped the region");
+            }
+        }
+    }
+
+    #[test]
+    fn laziness_nodes_can_stay_put() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut w = small_walk(3);
+        let mut stayed = 0usize;
+        let mut moved = 0usize;
+        for _ in 0..20 {
+            let before = w.coords().to_vec();
+            w.advance(&mut rng);
+            for (a, b) in before.iter().zip(w.coords().iter()) {
+                if a == b {
+                    stayed += 1;
+                } else {
+                    moved += 1;
+                }
+            }
+        }
+        assert!(stayed > 0, "a lazy walk must sometimes stay");
+        assert!(moved > 0, "and must sometimes move");
+    }
+
+    #[test]
+    fn stationary_occupancy_is_proportional_to_neighborhood_size() {
+        // Single node, many stationary redraws: the empirical probability of a
+        // corner cell vs an interior cell should reflect |Γ(corner)|/|Γ(interior)|.
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let w = GridWalk::new(
+            GridWalkParams {
+                n: 1,
+                side: 4.0,
+                move_radius: 1.0,
+                resolution: 1.0,
+            },
+            &mut rng,
+        );
+        let total_weight: f64 = (0..5)
+            .flat_map(|i| (0..5).map(move |j| (i, j)))
+            .map(|(i, j)| w.neighborhood_size(i, j) as f64)
+            .sum();
+        let p_corner = w.neighborhood_size(0, 0) as f64 / total_weight;
+        let p_center = w.neighborhood_size(2, 2) as f64 / total_weight;
+        let trials = 60_000usize;
+        let mut at_corner = 0usize;
+        let mut at_center = 0usize;
+        let mut model = w;
+        for _ in 0..trials {
+            model.sample_stationary(&mut rng);
+            match model.coords()[0] {
+                (0, 0) => at_corner += 1,
+                (2, 2) => at_center += 1,
+                _ => {}
+            }
+        }
+        let f_corner = at_corner as f64 / trials as f64;
+        let f_center = at_center as f64 / trials as f64;
+        assert!((f_corner - p_corner).abs() < 0.01, "corner {f_corner} vs {p_corner}");
+        assert!((f_center - p_center).abs() < 0.01, "center {f_center} vs {p_center}");
+    }
+
+    #[test]
+    fn stationarity_is_preserved_by_one_step() {
+        // Chi-squared-style check: start stationary, advance once, and verify
+        // the border-vs-interior occupancy ratio stays close to stationary.
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let params = GridWalkParams {
+            n: 2_000,
+            side: 20.0,
+            move_radius: 2.0,
+            resolution: 1.0,
+        };
+        let mut w = GridWalk::new(params, &mut rng);
+        let is_border = |&(i, j): &(i64, i64)| i == 0 || j == 0 || i == 20 || j == 20;
+        // Expected stationary border mass.
+        let mut border_weight = 0.0;
+        let mut total_weight = 0.0;
+        for i in 0..21i64 {
+            for j in 0..21i64 {
+                let wgt = w.neighborhood_size(i, j) as f64;
+                total_weight += wgt;
+                if is_border(&(i, j)) {
+                    border_weight += wgt;
+                }
+            }
+        }
+        let expected = border_weight / total_weight;
+        w.advance(&mut rng);
+        w.advance(&mut rng);
+        let observed =
+            w.coords().iter().filter(|c| is_border(c)).count() as f64 / params.n as f64;
+        assert!(
+            (observed - expected).abs() < 0.04,
+            "border occupancy {observed} vs stationary {expected}"
+        );
+    }
+
+    #[test]
+    fn paper_params_use_unit_density() {
+        let p = GridWalkParams::paper(400, 1.0, 0.5);
+        assert_eq!(p.side, 20.0);
+        assert_eq!(p.n, 400);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_move_radius_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        GridWalk::new(
+            GridWalkParams {
+                n: 1,
+                side: 5.0,
+                move_radius: 0.0,
+                resolution: 1.0,
+            },
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! Geometry of the support region: a square (reflecting / clamping walls) or a
+//! torus (wrap-around), with the distance functions the radius-graph
+//! construction needs.
+
+/// A point of the plane.
+pub type Point = (f64, f64);
+
+/// The region nodes move in.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Region {
+    /// An axis-aligned square `[0, side] × [0, side]` with solid walls.
+    Square {
+        /// Side length.
+        side: f64,
+    },
+    /// A flat torus of the given side (opposite edges identified).
+    Torus {
+        /// Side length.
+        side: f64,
+    },
+}
+
+impl Region {
+    /// Side length of the region.
+    pub fn side(&self) -> f64 {
+        match *self {
+            Region::Square { side } | Region::Torus { side } => side,
+        }
+    }
+
+    /// Area of the region.
+    pub fn area(&self) -> f64 {
+        let s = self.side();
+        s * s
+    }
+
+    /// Returns `true` for the toroidal topology.
+    pub fn is_torus(&self) -> bool {
+        matches!(self, Region::Torus { .. })
+    }
+
+    /// Euclidean distance between two points, accounting for wrap-around on
+    /// the torus.
+    pub fn distance(&self, a: Point, b: Point) -> f64 {
+        self.distance_squared(a, b).sqrt()
+    }
+
+    /// Squared distance (cheaper when only comparisons are needed).
+    pub fn distance_squared(&self, a: Point, b: Point) -> f64 {
+        match *self {
+            Region::Square { .. } => {
+                let dx = a.0 - b.0;
+                let dy = a.1 - b.1;
+                dx * dx + dy * dy
+            }
+            Region::Torus { side } => {
+                let dx = torus_delta(a.0, b.0, side);
+                let dy = torus_delta(a.1, b.1, side);
+                dx * dx + dy * dy
+            }
+        }
+    }
+
+    /// Clamps (square) or wraps (torus) a point back into the region.
+    pub fn normalize(&self, p: Point) -> Point {
+        match *self {
+            Region::Square { side } => (p.0.clamp(0.0, side), p.1.clamp(0.0, side)),
+            Region::Torus { side } => (wrap(p.0, side), wrap(p.1, side)),
+        }
+    }
+
+    /// Reflects a point off the walls of a square region (no-op coordinates
+    /// already inside). On a torus this simply wraps.
+    pub fn reflect(&self, p: Point) -> Point {
+        match *self {
+            Region::Square { side } => (reflect_coord(p.0, side), reflect_coord(p.1, side)),
+            Region::Torus { side } => (wrap(p.0, side), wrap(p.1, side)),
+        }
+    }
+
+    /// Returns `true` if the point lies inside the region (always true for a
+    /// torus after wrapping).
+    pub fn contains(&self, p: Point) -> bool {
+        match *self {
+            Region::Square { side } => {
+                (0.0..=side).contains(&p.0) && (0.0..=side).contains(&p.1)
+            }
+            Region::Torus { .. } => true,
+        }
+    }
+}
+
+/// Signed minimal displacement from `b` to `a` on a circle of circumference
+/// `side`.
+pub fn torus_delta(a: f64, b: f64, side: f64) -> f64 {
+    let mut d = a - b;
+    if d > side / 2.0 {
+        d -= side;
+    } else if d < -side / 2.0 {
+        d += side;
+    }
+    d
+}
+
+/// Wraps a coordinate into `[0, side)`.
+pub fn wrap(x: f64, side: f64) -> f64 {
+    let mut y = x % side;
+    if y < 0.0 {
+        y += side;
+    }
+    y
+}
+
+/// Reflects a coordinate into `[0, side]` (handles displacements up to one
+/// full period beyond either wall, which covers any sane speed).
+pub fn reflect_coord(x: f64, side: f64) -> f64 {
+    let mut y = x;
+    if y < 0.0 {
+        y = -y;
+    }
+    if y > side {
+        y = 2.0 * side - y;
+    }
+    y.clamp(0.0, side)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_distance_is_euclidean() {
+        let r = Region::Square { side: 10.0 };
+        assert_eq!(r.distance((0.0, 0.0), (3.0, 4.0)), 5.0);
+        assert_eq!(r.distance_squared((1.0, 1.0), (1.0, 1.0)), 0.0);
+        assert_eq!(r.side(), 10.0);
+        assert_eq!(r.area(), 100.0);
+        assert!(!r.is_torus());
+    }
+
+    #[test]
+    fn torus_distance_wraps_around() {
+        let t = Region::Torus { side: 10.0 };
+        // points near opposite edges are actually close
+        assert!((t.distance((0.5, 0.0), (9.5, 0.0)) - 1.0).abs() < 1e-12);
+        assert!((t.distance((0.0, 0.5), (0.0, 9.5)) - 1.0).abs() < 1e-12);
+        // but the "interior" distance is unchanged
+        assert_eq!(t.distance((2.0, 2.0), (5.0, 6.0)), 5.0);
+        assert!(t.is_torus());
+    }
+
+    #[test]
+    fn normalization() {
+        let sq = Region::Square { side: 4.0 };
+        assert_eq!(sq.normalize((-1.0, 5.0)), (0.0, 4.0));
+        assert!(sq.contains(sq.normalize((-1.0, 5.0))));
+        let t = Region::Torus { side: 4.0 };
+        assert_eq!(t.normalize((-1.0, 5.0)), (3.0, 1.0));
+        assert_eq!(t.normalize((4.0, 0.0)), (0.0, 0.0));
+    }
+
+    #[test]
+    fn reflection() {
+        let sq = Region::Square { side: 4.0 };
+        assert_eq!(sq.reflect((-1.0, 2.0)), (1.0, 2.0));
+        assert_eq!(sq.reflect((5.0, 2.0)), (3.0, 2.0));
+        assert_eq!(sq.reflect((2.0, 2.0)), (2.0, 2.0));
+        assert_eq!(reflect_coord(4.0, 4.0), 4.0);
+        assert_eq!(reflect_coord(0.0, 4.0), 0.0);
+    }
+
+    #[test]
+    fn wrap_and_delta_helpers() {
+        assert_eq!(wrap(11.0, 10.0), 1.0);
+        assert_eq!(wrap(-1.0, 10.0), 9.0);
+        assert_eq!(wrap(10.0, 10.0), 0.0);
+        assert_eq!(torus_delta(1.0, 9.0, 10.0), 2.0);
+        assert_eq!(torus_delta(9.0, 1.0, 10.0), -2.0);
+        assert_eq!(torus_delta(3.0, 1.0, 10.0), 2.0);
+    }
+
+    #[test]
+    fn contains_checks_square_bounds() {
+        let sq = Region::Square { side: 2.0 };
+        assert!(sq.contains((0.0, 2.0)));
+        assert!(!sq.contains((2.1, 1.0)));
+        let t = Region::Torus { side: 2.0 };
+        assert!(t.contains((100.0, -3.0)));
+    }
+}

@@ -1,0 +1,95 @@
+//! The [`Mobility`] trait shared by every node-mobility model.
+
+use crate::space::{Point, Region};
+use rand::Rng;
+
+/// A model of `n` nodes moving in a planar region in discrete time.
+///
+/// The contract mirrors the Markov chain `P(n, r, ε)` of Section 3 of the
+/// paper: `advance` performs one synchronous move of all nodes,
+/// `sample_stationary` re-draws all positions (and any hidden per-node state
+/// such as a waypoint or a heading) from the model's stationary distribution,
+/// which is what "stationary geometric-MEG" means.
+pub trait Mobility {
+    /// Number of nodes.
+    fn num_nodes(&self) -> usize;
+
+    /// The region nodes move in.
+    fn region(&self) -> Region;
+
+    /// Current positions of all nodes (length `num_nodes`).
+    fn positions(&self) -> &[Point];
+
+    /// Moves every node one time step.
+    fn advance<R: Rng>(&mut self, rng: &mut R);
+
+    /// Re-draws every node's state from the stationary distribution of the
+    /// mobility chain ("perfect simulation" start).
+    fn sample_stationary<R: Rng>(&mut self, rng: &mut R);
+
+    /// Maximum distance a node can travel in one time step (the move radius
+    /// `r`, i.e. the maximum node speed).
+    fn max_step_distance(&self) -> f64;
+}
+
+/// Verifies that one `advance` call moved no node farther than the declared
+/// [`Mobility::max_step_distance`] (plus a small tolerance). Returns the
+/// largest displacement observed. Intended for tests of new models.
+pub fn max_displacement<M: Mobility>(before: &[Point], model: &M) -> f64 {
+    let region = model.region();
+    before
+        .iter()
+        .zip(model.positions().iter())
+        .map(|(&a, &b)| region.distance(a, b))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// A trivial model used to exercise the helper: nodes never move.
+    struct Frozen {
+        positions: Vec<Point>,
+        region: Region,
+    }
+
+    impl Mobility for Frozen {
+        fn num_nodes(&self) -> usize {
+            self.positions.len()
+        }
+        fn region(&self) -> Region {
+            self.region
+        }
+        fn positions(&self) -> &[Point] {
+            &self.positions
+        }
+        fn advance<R: Rng>(&mut self, _rng: &mut R) {}
+        fn sample_stationary<R: Rng>(&mut self, rng: &mut R) {
+            let side = self.region.side();
+            for p in self.positions.iter_mut() {
+                *p = (rng.gen_range(0.0..side), rng.gen_range(0.0..side));
+            }
+        }
+        fn max_step_distance(&self) -> f64 {
+            0.0
+        }
+    }
+
+    #[test]
+    fn frozen_model_has_zero_displacement() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut m = Frozen {
+            positions: vec![(0.0, 0.0), (1.0, 1.0)],
+            region: Region::Square { side: 4.0 },
+        };
+        m.sample_stationary(&mut rng);
+        let before = m.positions().to_vec();
+        m.advance(&mut rng);
+        assert_eq!(max_displacement(&before, &m), 0.0);
+        assert_eq!(m.num_nodes(), 2);
+        assert!(before.iter().all(|p| m.region().contains(*p)));
+    }
+}

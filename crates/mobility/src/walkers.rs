@@ -1,0 +1,194 @@
+//! The walkers model on a toroidal grid (\[14\] in the paper): identical to the
+//! square-grid random walk but with wrap-around boundaries, so every grid
+//! point has the same neighborhood size and the stationary law is exactly
+//! uniform.
+
+use crate::space::{Point, Region};
+use crate::traits::Mobility;
+use rand::Rng;
+
+/// Independent lazy random walks on a toroidal grid.
+#[derive(Clone, Debug)]
+pub struct TorusWalkers {
+    n: usize,
+    side: f64,
+    resolution: f64,
+    move_radius: f64,
+    pts_per_axis: i64,
+    /// Precomputed admissible offsets `(di, dj)` with `‖(di·ε, dj·ε)‖ ≤ r`.
+    offsets: Vec<(i64, i64)>,
+    coords: Vec<(i64, i64)>,
+    positions: Vec<Point>,
+}
+
+impl TorusWalkers {
+    /// Creates the model with stationary (uniform) initial positions.
+    pub fn new<R: Rng>(
+        n: usize,
+        side: f64,
+        move_radius: f64,
+        resolution: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(n > 0, "need at least one node");
+        assert!(side > 0.0 && move_radius > 0.0, "side and move radius must be positive");
+        assert!(
+            resolution > 0.0 && resolution <= side,
+            "resolution must lie in (0, side]"
+        );
+        let pts_per_axis = (side / resolution).floor() as i64;
+        assert!(pts_per_axis >= 1, "grid must contain at least one point per axis");
+        // The toroidal grid wraps after `pts_per_axis` points, so its effective
+        // circumference is `pts_per_axis · ε`; use that as the region side so
+        // that distances (and hence speed guarantees) are measured on the grid
+        // the nodes actually live on.
+        let side = pts_per_axis as f64 * resolution;
+        let dr = (move_radius / resolution).floor() as i64;
+        let r2 = move_radius * move_radius;
+        let mut offsets = Vec::new();
+        for di in -dr..=dr {
+            for dj in -dr..=dr {
+                let dx = di as f64 * resolution;
+                let dy = dj as f64 * resolution;
+                if dx * dx + dy * dy <= r2 {
+                    offsets.push((di, dj));
+                }
+            }
+        }
+        let mut model = TorusWalkers {
+            n,
+            side,
+            resolution,
+            move_radius,
+            pts_per_axis,
+            offsets,
+            coords: vec![(0, 0); n],
+            positions: vec![(0.0, 0.0); n],
+        };
+        model.sample_stationary(rng);
+        model
+    }
+
+    /// Number of grid points per axis.
+    pub fn points_per_axis(&self) -> usize {
+        self.pts_per_axis as usize
+    }
+
+    /// Neighborhood size `|Γ(x)|`, identical for every grid point on a torus.
+    pub fn neighborhood_size(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Integer grid coordinates of every node.
+    pub fn coords(&self) -> &[(i64, i64)] {
+        &self.coords
+    }
+
+    fn sync_position(&mut self, node: usize) {
+        let (i, j) = self.coords[node];
+        self.positions[node] = (i as f64 * self.resolution, j as f64 * self.resolution);
+    }
+}
+
+impl Mobility for TorusWalkers {
+    fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    fn region(&self) -> Region {
+        Region::Torus { side: self.side }
+    }
+
+    fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    fn advance<R: Rng>(&mut self, rng: &mut R) {
+        let m = self.pts_per_axis;
+        for node in 0..self.n {
+            let (i, j) = self.coords[node];
+            let (di, dj) = self.offsets[rng.gen_range(0..self.offsets.len())];
+            self.coords[node] = ((i + di).rem_euclid(m), (j + dj).rem_euclid(m));
+            self.sync_position(node);
+        }
+    }
+
+    fn sample_stationary<R: Rng>(&mut self, rng: &mut R) {
+        let m = self.pts_per_axis;
+        for node in 0..self.n {
+            self.coords[node] = (rng.gen_range(0..m), rng.gen_range(0..m));
+            self.sync_position(node);
+        }
+    }
+
+    fn max_step_distance(&self) -> f64 {
+        self.move_radius
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::max_displacement;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn construction_and_neighborhood() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let w = TorusWalkers::new(30, 10.0, 1.0, 1.0, &mut rng);
+        assert_eq!(w.points_per_axis(), 10);
+        assert_eq!(w.num_nodes(), 30);
+        // offsets within distance 1 on a unit grid: center + 4 axis neighbors
+        assert_eq!(w.neighborhood_size(), 5);
+        assert!(w.region().is_torus());
+    }
+
+    #[test]
+    fn steps_respect_move_radius_with_wraparound_distance() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut w = TorusWalkers::new(40, 12.0, 2.5, 1.0, &mut rng);
+        for _ in 0..30 {
+            let before = w.positions().to_vec();
+            w.advance(&mut rng);
+            assert!(max_displacement(&before, &w) <= 2.5 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn stationary_distribution_is_uniform() {
+        // Occupancy of a fixed grid point over many redraws ≈ 1/m².
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut w = TorusWalkers::new(1, 5.0, 1.0, 1.0, &mut rng);
+        let trials = 50_000usize;
+        let mut hits = 0usize;
+        for _ in 0..trials {
+            w.sample_stationary(&mut rng);
+            if w.coords()[0] == (2, 3) {
+                hits += 1;
+            }
+        }
+        let freq = hits as f64 / trials as f64;
+        assert!((freq - 1.0 / 25.0).abs() < 0.006, "freq {freq}");
+    }
+
+    #[test]
+    fn uniformity_is_preserved_by_steps() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut w = TorusWalkers::new(5_000, 10.0, 1.5, 1.0, &mut rng);
+        for _ in 0..3 {
+            w.advance(&mut rng);
+        }
+        // Count nodes in the left half; expect ≈ 1/2.
+        let left = w.coords().iter().filter(|&&(i, _)| i < 5).count();
+        let frac = left as f64 / 5_000.0;
+        assert!((frac - 0.5).abs() < 0.03, "left-half fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_resolution_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        TorusWalkers::new(1, 5.0, 1.0, 10.0, &mut rng);
+    }
+}

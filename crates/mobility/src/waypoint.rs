@@ -1,0 +1,209 @@
+//! Random waypoint mobility on a torus ([19, 20, 25, 28] in the paper).
+//!
+//! Each node repeatedly picks a uniformly random destination and a speed in
+//! `[v_min, v_max]`, then travels toward the destination along the shortest
+//! toroidal path at that speed; on arrival it immediately picks a new
+//! destination (zero pause time). On a torus with zero pause the stationary
+//! distribution of positions is uniform — this is precisely why the paper
+//! lists the model among those its expansion technique covers (unlike the
+//! waypoint model on a *square*, whose stationary law concentrates in the
+//! centre).
+
+use crate::space::{wrap, Point, Region};
+use crate::traits::Mobility;
+use rand::Rng;
+
+/// Random waypoint mobility on a flat torus.
+#[derive(Clone, Debug)]
+pub struct RandomWaypoint {
+    n: usize,
+    side: f64,
+    v_min: f64,
+    v_max: f64,
+    positions: Vec<Point>,
+    destinations: Vec<Point>,
+    speeds: Vec<f64>,
+}
+
+impl RandomWaypoint {
+    /// Creates the model with stationary initial state. Speeds are drawn
+    /// uniformly from `[v_min, v_max]` (`0 < v_min ≤ v_max`).
+    pub fn new<R: Rng>(n: usize, side: f64, v_min: f64, v_max: f64, rng: &mut R) -> Self {
+        assert!(n > 0, "need at least one node");
+        assert!(side > 0.0, "side must be positive");
+        assert!(
+            v_min > 0.0 && v_min <= v_max,
+            "need 0 < v_min ≤ v_max (got {v_min}, {v_max})"
+        );
+        let mut model = RandomWaypoint {
+            n,
+            side,
+            v_min,
+            v_max,
+            positions: vec![(0.0, 0.0); n],
+            destinations: vec![(0.0, 0.0); n],
+            speeds: vec![v_min; n],
+        };
+        model.sample_stationary(rng);
+        model
+    }
+
+    /// Current destination of every node.
+    pub fn destinations(&self) -> &[Point] {
+        &self.destinations
+    }
+
+    /// Current speed of every node.
+    pub fn speeds(&self) -> &[f64] {
+        &self.speeds
+    }
+
+    fn pick_leg<R: Rng>(&mut self, node: usize, rng: &mut R) {
+        self.destinations[node] = (rng.gen_range(0.0..self.side), rng.gen_range(0.0..self.side));
+        self.speeds[node] = if self.v_min == self.v_max {
+            self.v_min
+        } else {
+            rng.gen_range(self.v_min..self.v_max)
+        };
+    }
+}
+
+impl Mobility for RandomWaypoint {
+    fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    fn region(&self) -> Region {
+        Region::Torus { side: self.side }
+    }
+
+    fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    fn advance<R: Rng>(&mut self, rng: &mut R) {
+        let region = self.region();
+        for node in 0..self.n {
+            let mut budget = self.speeds[node];
+            // A node may reach its waypoint mid-step and start a new leg with
+            // the remaining travel budget.
+            let mut guard = 0;
+            while budget > 1e-12 && guard < 16 {
+                guard += 1;
+                let pos = self.positions[node];
+                let dest = self.destinations[node];
+                let dist = region.distance(pos, dest);
+                if dist <= budget {
+                    self.positions[node] = dest;
+                    budget -= dist;
+                    self.pick_leg(node, rng);
+                } else {
+                    let dx = crate::space::torus_delta(dest.0, pos.0, self.side);
+                    let dy = crate::space::torus_delta(dest.1, pos.1, self.side);
+                    let scale = budget / dist;
+                    self.positions[node] = (
+                        wrap(pos.0 + dx * scale, self.side),
+                        wrap(pos.1 + dy * scale, self.side),
+                    );
+                    budget = 0.0;
+                }
+            }
+        }
+    }
+
+    fn sample_stationary<R: Rng>(&mut self, rng: &mut R) {
+        // On the torus with zero pause time the stationary position law is
+        // uniform, and the leg state refreshes quickly; drawing position and
+        // destination uniformly (speed uniform) is the standard perfect-
+        // simulation initialisation for this variant.
+        for node in 0..self.n {
+            self.positions[node] =
+                (rng.gen_range(0.0..self.side), rng.gen_range(0.0..self.side));
+            self.pick_leg(node, rng);
+        }
+    }
+
+    fn max_step_distance(&self) -> f64 {
+        self.v_max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::max_displacement;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn construction_and_accessors() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let m = RandomWaypoint::new(25, 10.0, 0.5, 2.0, &mut rng);
+        assert_eq!(m.num_nodes(), 25);
+        assert_eq!(m.destinations().len(), 25);
+        assert_eq!(m.speeds().len(), 25);
+        assert!(m.speeds().iter().all(|&v| (0.5..=2.0).contains(&v)));
+        assert_eq!(m.max_step_distance(), 2.0);
+        assert!(m.region().is_torus());
+    }
+
+    #[test]
+    fn displacement_bounded_by_speed() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut m = RandomWaypoint::new(60, 12.0, 0.2, 1.5, &mut rng);
+        for _ in 0..40 {
+            let before = m.positions().to_vec();
+            m.advance(&mut rng);
+            // A node that reaches a waypoint mid-step may change direction, so
+            // its net displacement can only be smaller than its speed budget.
+            assert!(max_displacement(&before, &m) <= 1.5 + 1e-9);
+            for &p in m.positions() {
+                assert!(p.0 >= 0.0 && p.0 < 12.0 && p.1 >= 0.0 && p.1 < 12.0);
+            }
+        }
+    }
+
+    #[test]
+    fn nodes_make_progress_toward_destination() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut m = RandomWaypoint::new(1, 100.0, 1.0, 1.0, &mut rng);
+        let region = m.region();
+        let before_dist = region.distance(m.positions()[0], m.destinations()[0]);
+        if before_dist > 2.0 {
+            let dest = m.destinations()[0];
+            m.advance(&mut rng);
+            let after_dist = region.distance(m.positions()[0], dest);
+            assert!(after_dist < before_dist);
+            assert!((before_dist - after_dist - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn long_run_occupancy_is_roughly_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut m = RandomWaypoint::new(400, 10.0, 0.5, 1.5, &mut rng);
+        let mut left = 0usize;
+        let mut total = 0usize;
+        for _ in 0..50 {
+            m.advance(&mut rng);
+            left += m.positions().iter().filter(|p| p.0 < 5.0).count();
+            total += m.num_nodes();
+        }
+        let frac = left as f64 / total as f64;
+        assert!((frac - 0.5).abs() < 0.05, "left-half occupancy {frac}");
+    }
+
+    #[test]
+    fn fixed_speed_model_allows_vmin_equals_vmax() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let m = RandomWaypoint::new(5, 10.0, 1.0, 1.0, &mut rng);
+        assert!(m.speeds().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_speed_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        RandomWaypoint::new(5, 10.0, 0.0, 1.0, &mut rng);
+    }
+}

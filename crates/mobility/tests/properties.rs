@@ -1,0 +1,115 @@
+//! Property-based tests for the mobility models: nodes stay in their region,
+//! never exceed their speed budget, and keep roughly uniform occupancy.
+
+use meg_mobility::grid_walk::GridWalkParams;
+use meg_mobility::space::{reflect_coord, torus_delta, wrap, Region};
+use meg_mobility::stationary::{cell_occupancy, tv_from_uniform};
+use meg_mobility::traits::max_displacement;
+use meg_mobility::{Billiard, GridWalk, Mobility, RandomWaypoint, TorusWalkers};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn wrap_and_reflect_stay_in_range(x in -50.0f64..100.0, side in 1.0f64..50.0) {
+        let w = wrap(x, side);
+        prop_assert!((0.0..side).contains(&w) || (w - 0.0).abs() < 1e-12);
+        if x >= -side && x <= 2.0 * side {
+            let r = reflect_coord(x, side);
+            prop_assert!((0.0..=side).contains(&r));
+        }
+    }
+
+    #[test]
+    fn torus_distance_is_at_most_half_diagonal(ax in 0.0f64..10.0, ay in 0.0f64..10.0, bx in 0.0f64..10.0, by in 0.0f64..10.0) {
+        let t = Region::Torus { side: 10.0 };
+        let d = t.distance((ax, ay), (bx, by));
+        let max = (2.0f64 * 25.0).sqrt(); // half-side in each coordinate
+        prop_assert!(d <= max + 1e-9);
+        prop_assert!(d >= 0.0);
+        // torus distance never exceeds the square distance
+        let sq = Region::Square { side: 10.0 };
+        prop_assert!(d <= sq.distance((ax, ay), (bx, by)) + 1e-9);
+        // delta is antisymmetric
+        prop_assert!((torus_delta(ax, bx, 10.0) + torus_delta(bx, ax, 10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_walk_respects_region_and_speed(
+        n in 5usize..60,
+        side in 5.0f64..25.0,
+        move_radius in 0.5f64..4.0,
+        seed in 0u64..100,
+        steps in 1usize..8,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut walk = GridWalk::new(
+            GridWalkParams { n, side, move_radius, resolution: 1.0f64.min(side / 2.0) },
+            &mut rng,
+        );
+        for _ in 0..steps {
+            let before = walk.positions().to_vec();
+            walk.advance(&mut rng);
+            prop_assert!(max_displacement(&before, &walk) <= move_radius + 1e-9);
+            for &p in walk.positions() {
+                prop_assert!(walk.region().contains(p));
+            }
+        }
+    }
+
+    #[test]
+    fn torus_walkers_respect_region_and_speed(
+        n in 5usize..60,
+        side in 5.0f64..25.0,
+        move_radius in 0.5f64..4.0,
+        seed in 0u64..100,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut walkers = TorusWalkers::new(n, side, move_radius, 1.0, &mut rng);
+        for _ in 0..5 {
+            let before = walkers.positions().to_vec();
+            walkers.advance(&mut rng);
+            prop_assert!(max_displacement(&before, &walkers) <= move_radius + 1e-9);
+        }
+    }
+
+    #[test]
+    fn waypoint_and_billiard_respect_region_and_speed(
+        n in 5usize..50,
+        side in 5.0f64..25.0,
+        vmax in 0.5f64..3.0,
+        seed in 0u64..100,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut waypoint = RandomWaypoint::new(n, side, vmax / 2.0, vmax, &mut rng);
+        let mut billiard = Billiard::new(n, side, vmax / 2.0, vmax, 0.1, &mut rng);
+        for _ in 0..5 {
+            let before = waypoint.positions().to_vec();
+            waypoint.advance(&mut rng);
+            prop_assert!(max_displacement(&before, &waypoint) <= vmax + 1e-9);
+            for &p in waypoint.positions() {
+                prop_assert!(p.0 >= 0.0 && p.0 <= side && p.1 >= 0.0 && p.1 <= side);
+            }
+            let before = billiard.positions().to_vec();
+            billiard.advance(&mut rng);
+            prop_assert!(max_displacement(&before, &billiard) <= vmax + 1e-9);
+            for &p in billiard.positions() {
+                prop_assert!(billiard.region().contains(p));
+            }
+        }
+    }
+
+    #[test]
+    fn stationary_occupancy_counts_every_node(n in 10usize..500, cells in 1usize..6, seed in 0u64..100) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let side = 20.0;
+        let walkers = TorusWalkers::new(n, side, 1.0, 1.0, &mut rng);
+        let counts = cell_occupancy(walkers.positions(), side, cells);
+        prop_assert_eq!(counts.len(), cells * cells);
+        prop_assert_eq!(counts.iter().sum::<usize>(), n);
+        prop_assert!(tv_from_uniform(&counts) <= 1.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Confidence intervals for the mean of a sample.
+//!
+//! The harness repeats every configuration across many seeds; the reported
+//! numbers are means with normal-approximation confidence intervals, which is
+//! adequate at the trial counts used (≥ 20) and keeps the crate free of a
+//! Student-t table dependency for small samples (we simply widen with a
+//! conservative factor there).
+
+use crate::summary::Summary;
+
+/// A two-sided confidence interval for a mean.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate (sample mean).
+    pub mean: f64,
+    /// Lower endpoint.
+    pub lower: f64,
+    /// Upper endpoint.
+    pub upper: f64,
+    /// Confidence level used, e.g. 0.95.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Half-width of the interval.
+    pub fn half_width(&self) -> f64 {
+        (self.upper - self.lower) / 2.0
+    }
+
+    /// Returns `true` if `value` lies inside the interval.
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lower && value <= self.upper
+    }
+
+    /// Returns `true` if the two intervals overlap.
+    pub fn overlaps(&self, other: &ConfidenceInterval) -> bool {
+        self.lower <= other.upper && other.lower <= self.upper
+    }
+}
+
+/// z-value of the standard normal for a two-sided interval at `level`.
+///
+/// Exact for the commonly used levels; interpolates crudely otherwise.
+fn z_value(level: f64) -> f64 {
+    match level {
+        l if (l - 0.90).abs() < 1e-9 => 1.6449,
+        l if (l - 0.95).abs() < 1e-9 => 1.9600,
+        l if (l - 0.99).abs() < 1e-9 => 2.5758,
+        l if (l - 0.999).abs() < 1e-9 => 3.2905,
+        l => {
+            // Rough inverse-normal approximation (Beasley–Springer constants
+            // are overkill here); clamp to a sane range.
+            let p = 1.0 - (1.0 - l) / 2.0;
+            let t = (-2.0 * (1.0 - p).ln()).sqrt();
+            (t - (2.30753 + 0.27061 * t) / (1.0 + 0.99229 * t + 0.04481 * t * t)).clamp(0.0, 6.0)
+        }
+    }
+}
+
+/// Normal-approximation confidence interval for the mean of `samples`.
+///
+/// For very small samples (n < 10) the z-value is inflated by 20% as a crude
+/// small-sample correction. Returns `None` for empty/NaN samples or a level
+/// outside `(0, 1)`.
+pub fn mean_confidence_interval(samples: &[f64], level: f64) -> Option<ConfidenceInterval> {
+    if !(0.0..1.0).contains(&level) || level == 0.0 {
+        return None;
+    }
+    let s = Summary::of(samples)?;
+    let mut z = z_value(level);
+    if s.count < 10 {
+        z *= 1.2;
+    }
+    let hw = z * s.standard_error();
+    Some(ConfidenceInterval {
+        mean: s.mean,
+        lower: s.mean - hw,
+        upper: s.mean + hw,
+        level,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_centred_on_mean() {
+        let xs: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        let ci = mean_confidence_interval(&xs, 0.95).unwrap();
+        assert!((ci.mean - 50.5).abs() < 1e-12);
+        assert!(ci.contains(50.5));
+        assert!((ci.mean - ci.lower - ci.half_width()).abs() < 1e-12);
+        assert!(ci.lower < 50.5 && ci.upper > 50.5);
+    }
+
+    #[test]
+    fn zero_variance_gives_zero_width() {
+        let ci = mean_confidence_interval(&[2.0; 30], 0.95).unwrap();
+        assert_eq!(ci.lower, 2.0);
+        assert_eq!(ci.upper, 2.0);
+    }
+
+    #[test]
+    fn higher_level_is_wider() {
+        let xs: Vec<f64> = (0..50).map(|x| (x % 7) as f64).collect();
+        let ci90 = mean_confidence_interval(&xs, 0.90).unwrap();
+        let ci99 = mean_confidence_interval(&xs, 0.99).unwrap();
+        assert!(ci99.half_width() > ci90.half_width());
+        assert!(ci99.overlaps(&ci90));
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(mean_confidence_interval(&[], 0.95).is_none());
+        assert!(mean_confidence_interval(&[1.0], 1.5).is_none());
+        assert!(mean_confidence_interval(&[1.0], 0.0).is_none());
+    }
+
+    #[test]
+    fn coverage_of_known_mean_is_reasonable() {
+        // Deterministic LCG noise around a known mean; the 95% CI from 200
+        // points should contain the true mean.
+        let mut state = 12345u64;
+        let mut xs = Vec::new();
+        for _ in 0..200 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+            xs.push(10.0 + (u - 0.5));
+        }
+        let ci = mean_confidence_interval(&xs, 0.95).unwrap();
+        assert!(ci.contains(10.0), "CI {ci:?} should contain 10.0");
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = ConfidenceInterval { mean: 1.0, lower: 0.5, upper: 1.5, level: 0.95 };
+        let b = ConfidenceInterval { mean: 2.0, lower: 1.4, upper: 2.6, level: 0.95 };
+        let c = ConfidenceInterval { mean: 5.0, lower: 4.0, upper: 6.0, level: 0.95 };
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+    }
+}

@@ -1,0 +1,210 @@
+//! Least-squares fits used to check scaling shapes.
+//!
+//! The paper's predictions are asymptotic shapes: flooding time `~ √n/R` for
+//! geometric-MEG and `~ log n / log(np̂)` for edge-MEG. The experiments check
+//! them by fitting measured times against the predicted predictor on a log–log
+//! or linear scale and reporting the exponent / slope and the coefficient of
+//! determination `R²`.
+
+/// Result of an ordinary least-squares fit `y ≈ slope · x + intercept`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination `R²` (1 for a perfect fit; can be negative
+    /// for fits worse than the constant mean predictor).
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Ordinary least squares on `(x, y)` pairs.
+///
+/// Returns `None` when fewer than two points are supplied, when any value is
+/// non-finite, or when all `x` are identical (the slope is then undefined).
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    if xs.iter().chain(ys.iter()).any(|v| !v.is_finite()) {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|&x| (x - mean_x) * (x - mean_x)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let sxy: f64 = xs
+        .iter()
+        .zip(ys.iter())
+        .map(|(&x, &y)| (x - mean_x) * (y - mean_y))
+        .sum();
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let ss_tot: f64 = ys.iter().map(|&y| (y - mean_y) * (y - mean_y)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys.iter())
+        .map(|(&x, &y)| {
+            let e = y - (slope * x + intercept);
+            e * e
+        })
+        .sum();
+    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    })
+}
+
+/// Result of a power-law fit `y ≈ c · x^exponent`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerLawFit {
+    /// Fitted exponent.
+    pub exponent: f64,
+    /// Fitted multiplicative constant `c`.
+    pub constant: f64,
+    /// `R²` of the underlying log–log linear fit.
+    pub r_squared: f64,
+}
+
+impl PowerLawFit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.constant * x.powf(self.exponent)
+    }
+}
+
+/// Fits `y ≈ c · x^a` by linear regression of `ln y` on `ln x`.
+///
+/// All data points must be strictly positive.
+pub fn power_law_fit(xs: &[f64], ys: &[f64]) -> Option<PowerLawFit> {
+    if xs.iter().chain(ys.iter()).any(|&v| v <= 0.0) {
+        return None;
+    }
+    let lx: Vec<f64> = xs.iter().map(|&x| x.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|&y| y.ln()).collect();
+    let lf = linear_fit(&lx, &ly)?;
+    Some(PowerLawFit {
+        exponent: lf.slope,
+        constant: lf.intercept.exp(),
+        r_squared: lf.r_squared,
+    })
+}
+
+/// Ratio-based shape check: fits `y ≈ slope · predictor` through the origin
+/// and reports the slope plus the worst relative deviation of any point from
+/// the fit. Used when the theory predicts proportionality to a known
+/// predictor (e.g. `√n/R`) rather than a free power law.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProportionalFit {
+    /// Fitted proportionality constant.
+    pub slope: f64,
+    /// Maximum relative deviation `|y − slope·x| / (slope·x)` over all points.
+    pub max_relative_deviation: f64,
+}
+
+/// Least-squares fit through the origin `y ≈ slope · x`.
+pub fn proportional_fit(xs: &[f64], ys: &[f64]) -> Option<ProportionalFit> {
+    if xs.len() != ys.len() || xs.is_empty() {
+        return None;
+    }
+    if xs.iter().chain(ys.iter()).any(|v| !v.is_finite()) {
+        return None;
+    }
+    let sxx: f64 = xs.iter().map(|&x| x * x).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let sxy: f64 = xs.iter().zip(ys.iter()).map(|(&x, &y)| x * y).sum();
+    let slope = sxy / sxx;
+    let mut max_dev: f64 = 0.0;
+    for (&x, &y) in xs.iter().zip(ys.iter()) {
+        let pred = slope * x;
+        if pred != 0.0 {
+            max_dev = max_dev.max(((y - pred) / pred).abs());
+        }
+    }
+    Some(ProportionalFit {
+        slope,
+        max_relative_deviation: max_dev,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [3.0, 5.0, 7.0, 9.0];
+        let f = linear_fit(&xs, &ys).unwrap();
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept - 1.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+        assert!((f.predict(10.0) - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(linear_fit(&[1.0], &[2.0]).is_none());
+        assert!(linear_fit(&[1.0, 1.0], &[2.0, 3.0]).is_none());
+        assert!(linear_fit(&[1.0, 2.0], &[f64::NAN, 3.0]).is_none());
+        assert!(linear_fit(&[1.0, 2.0], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn noisy_line_has_reasonable_r_squared() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 3.0 * x + 1.0 + ((x * 7.3).sin())).collect();
+        let f = linear_fit(&xs, &ys).unwrap();
+        assert!((f.slope - 3.0).abs() < 0.05);
+        assert!(f.r_squared > 0.99);
+    }
+
+    #[test]
+    fn power_law_recovers_exponent() {
+        let xs: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 2.5 * x.powf(0.5)).collect();
+        let f = power_law_fit(&xs, &ys).unwrap();
+        assert!((f.exponent - 0.5).abs() < 1e-9);
+        assert!((f.constant - 2.5).abs() < 1e-9);
+        assert!((f.predict(4.0) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_law_needs_positive_data() {
+        assert!(power_law_fit(&[1.0, 2.0], &[0.0, 1.0]).is_none());
+        assert!(power_law_fit(&[-1.0, 2.0], &[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn proportional_fit_recovers_constant() {
+        let xs = [1.0, 2.0, 4.0];
+        let ys = [3.0, 6.0, 12.0];
+        let f = proportional_fit(&xs, &ys).unwrap();
+        assert!((f.slope - 3.0).abs() < 1e-12);
+        assert!(f.max_relative_deviation < 1e-12);
+    }
+
+    #[test]
+    fn proportional_fit_reports_deviation() {
+        let xs = [1.0, 2.0];
+        let ys = [3.0, 9.0];
+        let f = proportional_fit(&xs, &ys).unwrap();
+        assert!(f.max_relative_deviation > 0.1);
+        assert!(proportional_fit(&[0.0, 0.0], &[1.0, 1.0]).is_none());
+        assert!(proportional_fit(&[], &[]).is_none());
+    }
+}

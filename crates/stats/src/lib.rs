@@ -1,0 +1,32 @@
+//! # meg-stats
+//!
+//! Experiment substrate: everything the reproduction harness needs to turn raw
+//! flooding-time samples into the tables reported in `EXPERIMENTS.md`.
+//!
+//! * [`summary`] — means, variances, medians and extreme values;
+//! * [`quantile`] — order statistics on f64 samples;
+//! * [`ci`] — normal-approximation confidence intervals;
+//! * [`fit`] — least-squares fits, including log–log power-law fits used to
+//!   check the `√n/R` and `log n / log(np̂)` scaling shapes;
+//! * [`histogram`] — fixed-width binning;
+//! * [`table`] — ASCII and CSV rendering of experiment tables;
+//! * [`runner`] — seeded, rayon-parallel Monte-Carlo trial execution;
+//! * [`seeds`] — deterministic per-trial RNG stream derivation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ci;
+pub mod fit;
+pub mod histogram;
+pub mod quantile;
+pub mod runner;
+pub mod seeds;
+pub mod summary;
+pub mod table;
+
+pub use ci::ConfidenceInterval;
+pub use fit::{linear_fit, power_law_fit, LinearFit};
+pub use runner::{run_trials, run_trials_sequential};
+pub use summary::Summary;
+pub use table::Table;

@@ -1,0 +1,106 @@
+//! Order statistics.
+//!
+//! Flooding-time distributions are skewed (they are maxima over sources and
+//! carry the "with high probability" qualifier of every bound), so quantiles —
+//! not just means — are what EXPERIMENTS.md reports.
+
+/// Returns the `q`-quantile of the sample using linear interpolation between
+/// order statistics (the "type 7" estimator used by most statistics packages).
+///
+/// Returns `None` for an empty sample, a NaN-containing sample, or `q` outside
+/// `[0, 1]`.
+pub fn quantile(samples: &[f64], q: f64) -> Option<f64> {
+    if samples.is_empty() || !(0.0..=1.0).contains(&q) || samples.iter().any(|x| x.is_nan()) {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    Some(quantile_sorted(&sorted, q))
+}
+
+/// Same as [`quantile`] but assumes the input is already sorted ascending.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n as f64 - 1.0);
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Computes several quantiles at once (sorts only once).
+pub fn quantiles(samples: &[f64], qs: &[f64]) -> Option<Vec<f64>> {
+    if samples.is_empty() || samples.iter().any(|x| x.is_nan()) {
+        return None;
+    }
+    if qs.iter().any(|q| !(0.0..=1.0).contains(q)) {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    Some(qs.iter().map(|&q| quantile_sorted(&sorted, q)).collect())
+}
+
+/// Median absolute deviation (MAD): `median(|x_i − median(x)|)`.
+pub fn median_absolute_deviation(samples: &[f64]) -> Option<f64> {
+    let med = quantile(samples, 0.5)?;
+    let deviations: Vec<f64> = samples.iter().map(|&x| (x - med).abs()).collect();
+    quantile(&deviations, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quartiles_of_small_sample() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(4.0));
+        assert_eq!(quantile(&xs, 0.5), Some(2.5));
+        assert_eq!(quantile(&xs, 0.25), Some(1.75));
+    }
+
+    #[test]
+    fn quantile_is_order_invariant() {
+        let a = [5.0, 1.0, 3.0, 2.0, 4.0];
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0];
+        for q in [0.1, 0.33, 0.5, 0.9] {
+            assert_eq!(quantile(&a, q), quantile(&b, q));
+        }
+    }
+
+    #[test]
+    fn invalid_inputs() {
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(quantile(&[1.0], 1.5), None);
+        assert_eq!(quantile(&[f64::NAN], 0.5), None);
+        assert_eq!(quantiles(&[1.0], &[0.5, 2.0]), None);
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(quantile(&[7.0], 0.01), Some(7.0));
+        assert_eq!(quantile(&[7.0], 0.99), Some(7.0));
+    }
+
+    #[test]
+    fn batch_quantiles_match_individual() {
+        let xs = [3.0, 9.0, 1.0, 7.0, 5.0];
+        let qs = [0.1, 0.5, 0.9];
+        let batch = quantiles(&xs, &qs).unwrap();
+        for (i, &q) in qs.iter().enumerate() {
+            assert_eq!(Some(batch[i]), quantile(&xs, q));
+        }
+    }
+
+    #[test]
+    fn mad_of_constant_sample_is_zero() {
+        assert_eq!(median_absolute_deviation(&[4.0, 4.0, 4.0]), Some(0.0));
+        let mad = median_absolute_deviation(&[1.0, 2.0, 3.0, 4.0, 100.0]).unwrap();
+        assert_eq!(mad, 1.0);
+    }
+}

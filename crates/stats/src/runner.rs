@@ -1,0 +1,131 @@
+//! Seeded Monte-Carlo trial execution.
+//!
+//! Every experiment in the harness is "run this closure `trials` times with
+//! independent randomness and aggregate". The closure receives a trial index
+//! and its own deterministic RNG, so the result set is identical whether the
+//! trials run sequentially or on a rayon thread pool, and identical across
+//! repeated invocations with the same master seed.
+
+use crate::seeds::trial_rng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+/// Runs `trials` independent trials in parallel and collects their results in
+/// trial order.
+///
+/// `f(i, rng)` must be a pure function of its arguments for the determinism
+/// guarantee to hold.
+pub fn run_trials<T, F>(master_seed: u64, trials: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &mut ChaCha8Rng) -> T + Sync,
+{
+    (0..trials)
+        .into_par_iter()
+        .map(|i| {
+            let mut rng = trial_rng(master_seed, i as u64);
+            f(i, &mut rng)
+        })
+        .collect()
+}
+
+/// Sequential equivalent of [`run_trials`], useful inside doctests, from
+/// single-threaded contexts, and to verify scheduling independence.
+pub fn run_trials_sequential<T, F>(master_seed: u64, trials: usize, mut f: F) -> Vec<T>
+where
+    F: FnMut(usize, &mut ChaCha8Rng) -> T,
+{
+    (0..trials)
+        .map(|i| {
+            let mut rng = trial_rng(master_seed, i as u64);
+            f(i, &mut rng)
+        })
+        .collect()
+}
+
+/// Runs trials until either `max_trials` is reached or the half-width of the
+/// 95% confidence interval of the mean drops below `target_half_width`
+/// (checked every `batch` trials). Returns the collected f64 observations.
+///
+/// This adaptive mode keeps the cheap configurations cheap while spending more
+/// repetitions where the variance demands it.
+pub fn run_until_precise<F>(
+    master_seed: u64,
+    batch: usize,
+    max_trials: usize,
+    target_half_width: f64,
+    f: F,
+) -> Vec<f64>
+where
+    F: Fn(usize, &mut ChaCha8Rng) -> f64 + Sync,
+{
+    assert!(batch > 0, "batch must be positive");
+    let mut results: Vec<f64> = Vec::new();
+    while results.len() < max_trials {
+        let start = results.len();
+        let todo = batch.min(max_trials - start);
+        let mut chunk: Vec<f64> = (start..start + todo)
+            .into_par_iter()
+            .map(|i| {
+                let mut rng = trial_rng(master_seed, i as u64);
+                f(i, &mut rng)
+            })
+            .collect();
+        results.append(&mut chunk);
+        if results.len() >= 2 * batch {
+            if let Some(ci) = crate::ci::mean_confidence_interval(&results, 0.95) {
+                if ci.half_width() <= target_half_width {
+                    break;
+                }
+            }
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let par = run_trials(42, 64, |i, rng| (i, rng.gen::<u64>()));
+        let seq = run_trials_sequential(42, 64, |i, rng| (i, rng.gen::<u64>()));
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn results_are_in_trial_order() {
+        let out = run_trials(0, 100, |i, _| i);
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn different_seeds_change_results() {
+        let a = run_trials(1, 8, |_, rng| rng.gen::<u64>());
+        let b = run_trials(2, 8, |_, rng| rng.gen::<u64>());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn adaptive_runner_stops_early_for_deterministic_outcomes() {
+        let out = run_until_precise(9, 10, 1000, 0.5, |_, _| 7.0);
+        assert!(out.len() <= 20, "deterministic outcome should stop after two batches, got {}", out.len());
+        assert!(out.iter().all(|&x| x == 7.0));
+    }
+
+    #[test]
+    fn adaptive_runner_respects_max_trials() {
+        // High-variance observable with an unreachable precision target.
+        let out = run_until_precise(9, 16, 64, 1e-9, |_, rng| rng.gen_range(0.0..100.0));
+        assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn adaptive_runner_is_deterministic() {
+        let a = run_until_precise(3, 8, 40, 1e-9, |_, rng| rng.gen_range(0.0..10.0));
+        let b = run_until_precise(3, 8, 40, 1e-9, |_, rng| rng.gen_range(0.0..10.0));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,120 @@
+//! Summary statistics of a sample of f64 observations.
+
+/// Basic summary of a non-empty sample.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased (n−1) sample variance; 0 for a single observation.
+    pub variance: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Median (average of the two middle order statistics for even counts).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Computes a summary. Returns `None` for an empty sample or one that
+    /// contains a NaN.
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() || samples.iter().any(|x| x.is_nan()) {
+            return None;
+        }
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let variance = if n > 1 {
+            samples.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0)
+        } else {
+            0.0
+        };
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        Some(Summary {
+            count: n,
+            mean,
+            variance,
+            std_dev: variance.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median,
+        })
+    }
+
+    /// Convenience: summary of a sample of unsigned integers (flooding times).
+    pub fn of_counts(samples: &[u64]) -> Option<Summary> {
+        let as_f64: Vec<f64> = samples.iter().map(|&x| x as f64).collect();
+        Summary::of(&as_f64)
+    }
+
+    /// Standard error of the mean, `s/√n`.
+    pub fn standard_error(&self) -> f64 {
+        self.std_dev / (self.count as f64).sqrt()
+    }
+
+    /// Coefficient of variation `s/|mean|` (NaN when the mean is 0).
+    pub fn coefficient_of_variation(&self) -> f64 {
+        self.std_dev / self.mean.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.variance - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.median - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_of_single_point() {
+        let s = Summary::of(&[3.5]).unwrap();
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 3.5);
+        assert_eq!(s.standard_error(), 0.0);
+    }
+
+    #[test]
+    fn odd_count_median_is_middle_element() {
+        let s = Summary::of(&[9.0, 1.0, 5.0]).unwrap();
+        assert_eq!(s.median, 5.0);
+    }
+
+    #[test]
+    fn empty_or_nan_rejected() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(Summary::of(&[1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn counts_helper() {
+        let s = Summary::of_counts(&[1, 2, 3, 4]).unwrap();
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn coefficient_of_variation() {
+        let s = Summary::of(&[10.0, 10.0, 10.0]).unwrap();
+        assert_eq!(s.coefficient_of_variation(), 0.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Comparing mobility models: the paper proves its geometric-MEG bounds for
+//! the grid random walk, and argues the same technique covers any model whose
+//! stationary position distribution is (almost) uniform — random waypoint on a
+//! torus, random direction with reflection (billiard), walkers on a toroidal
+//! grid.
+//!
+//! This example measures, for each model:
+//! * how uniform its stationary occupancy actually is (TV distance and max/min
+//!   cell-occupancy ratio, the quantity Claim 1 controls), and
+//! * the flooding time of the induced geometric-MEG,
+//! and shows they all behave alike.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example mobility_models
+//! ```
+
+use meg::mobility::stationary::measure_uniformity;
+use meg::prelude::*;
+use meg::stats::table::fmt_f64;
+
+fn flooding_time_with<M: Mobility>(model: M, radius: f64, seed: u64) -> Option<u64> {
+    let mut meg = GeometricMeg::new(model, radius, seed);
+    flood(&mut meg, 0, 100_000).flooding_time()
+}
+
+fn main() {
+    let n = 1_000usize;
+    let side = (n as f64).sqrt();
+    let radius = 2.0 * (n as f64).ln().sqrt();
+    let move_radius = radius / 2.0;
+    let seed = 1234;
+    let mut rng = meg::stats::seeds::labeled_rng(seed, "mobility-models");
+
+    println!("n = {n}, square/torus side = {side:.1}, transmission radius R = {radius:.2}, move radius r = {move_radius:.2}\n");
+
+    let mut table = Table::new(
+        "Stationary uniformity and flooding time by mobility model",
+        &["model", "TV distance from uniform", "max/min cell occupancy", "flooding time"],
+    );
+
+    // The paper's grid random walk (reflecting square).
+    let grid = GridWalk::new(
+        meg::mobility::grid_walk::GridWalkParams {
+            n,
+            side,
+            move_radius,
+            resolution: 1.0,
+        },
+        &mut rng,
+    );
+    let mut grid_probe = grid.clone();
+    let report = measure_uniformity(&mut grid_probe, 4, 5, &mut rng);
+    table.push_row(&[
+        "grid random walk (paper)".to_string(),
+        fmt_f64(report.tv_distance),
+        fmt_f64(report.max_min_ratio),
+        flooding_time_with(grid, radius, seed).map_or("-".into(), |t| t.to_string()),
+    ]);
+
+    // Walkers on a toroidal grid.
+    let walkers = TorusWalkers::new(n, side, move_radius, 1.0, &mut rng);
+    let mut walkers_probe = walkers.clone();
+    let report = measure_uniformity(&mut walkers_probe, 4, 5, &mut rng);
+    table.push_row(&[
+        "walkers on toroidal grid".to_string(),
+        fmt_f64(report.tv_distance),
+        fmt_f64(report.max_min_ratio),
+        flooding_time_with(walkers, radius, seed + 1).map_or("-".into(), |t| t.to_string()),
+    ]);
+
+    // Random waypoint on a torus.
+    let waypoint = RandomWaypoint::new(n, side, move_radius / 2.0, move_radius, &mut rng);
+    let mut waypoint_probe = waypoint.clone();
+    let report = measure_uniformity(&mut waypoint_probe, 4, 5, &mut rng);
+    table.push_row(&[
+        "random waypoint on torus".to_string(),
+        fmt_f64(report.tv_distance),
+        fmt_f64(report.max_min_ratio),
+        flooding_time_with(waypoint, radius, seed + 2).map_or("-".into(), |t| t.to_string()),
+    ]);
+
+    // Random direction with reflection (billiard).
+    let billiard = Billiard::new(n, side, move_radius / 2.0, move_radius, 0.1, &mut rng);
+    let mut billiard_probe = billiard.clone();
+    let report = measure_uniformity(&mut billiard_probe, 4, 5, &mut rng);
+    table.push_row(&[
+        "random direction / billiard".to_string(),
+        fmt_f64(report.tv_distance),
+        fmt_f64(report.max_min_ratio),
+        flooding_time_with(billiard, radius, seed + 3).map_or("-".into(), |t| t.to_string()),
+    ]);
+
+    println!("{}", table.render_ascii());
+    println!(
+        "Reading: every model keeps its nodes (almost) uniformly spread, so the induced\n\
+         geometric-MEGs all flood in about the same Θ(√n/R) number of rounds — the\n\
+         uniformity property is the only thing the paper's expansion argument needs."
+    );
+}
