@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# CI gate for the meg workspace. Mirrors what a hosted pipeline would run;
+# everything works fully offline (dependencies are vendored under
+# crates/compat/). Run from the repository root:
+#
+#   ./ci.sh          # full gate
+#   ./ci.sh quick    # skip the release build and example smoke-runs
+#
+set -euo pipefail
+cd "$(dirname "$0")"
+
+MODE="${1:-full}"
+
+step() { printf '\n\033[1m== %s\033[0m\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all --check
+
+step "cargo clippy (all targets, -D warnings)"
+cargo clippy -q --workspace --all-targets --offline -- -D warnings
+
+step "cargo build"
+cargo build --workspace --offline
+
+if [ "$MODE" != "quick" ]; then
+    step "cargo build --release (tier-1)"
+    cargo build --release --workspace --offline
+fi
+
+step "cargo test -q (tier-1: unit + property + integration + doc)"
+cargo test -q --workspace --offline
+
+step "cargo doc --workspace --no-deps (must be warning-free)"
+DOCWARN=$(cargo doc --workspace --no-deps --offline 2>&1 | grep -c '^warning' || true)
+if [ "$DOCWARN" -ne 0 ]; then
+    echo "cargo doc produced $DOCWARN warning(s)" >&2
+    cargo doc --workspace --no-deps --offline 2>&1 | grep -A4 '^warning' >&2
+    exit 1
+fi
+
+if [ "$MODE" != "quick" ]; then
+    step "example smoke-runs (MEG_EXAMPLE_SCALE=0.1)"
+    for ex in examples/*.rs; do
+        name="$(basename "$ex" .rs)"
+        echo "-- example $name"
+        MEG_EXAMPLE_SCALE=0.1 cargo run -q --release --offline --example "$name" >/dev/null
+    done
+
+    step "bench compile check"
+    cargo check -q --workspace --benches --offline
+fi
+
+printf '\n\033[1;32mCI gate passed (%s mode).\033[0m\n' "$MODE"

@@ -11,7 +11,9 @@ use std::time::Duration;
 
 fn bench_flooding_vs_n(c: &mut Criterion) {
     let mut group = c.benchmark_group("edge_flooding/vs_n");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for &n in &[1_000usize, 4_000, 16_000] {
         let p_hat = 3.0 * (n as f64).ln() / n as f64;
         let params = EdgeMegParams::with_stationary(n, p_hat, 0.5);
@@ -29,7 +31,9 @@ fn bench_flooding_vs_n(c: &mut Criterion) {
 
 fn bench_flooding_vs_density(c: &mut Criterion) {
     let mut group = c.benchmark_group("edge_flooding/vs_density");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let n = 2_000usize;
     let threshold = (n as f64).ln() / n as f64;
     for &factor in &[3.0f64, 10.0, 40.0] {
@@ -52,7 +56,9 @@ fn bench_flooding_vs_density(c: &mut Criterion) {
 
 fn bench_stationary_vs_worst_case(c: &mut Criterion) {
     let mut group = c.benchmark_group("edge_flooding/stationary_vs_worst");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     let n = 1_000usize;
     let p_hat = 4.0 * (n as f64).ln() / n as f64;
     let params = EdgeMegParams::with_stationary(n, p_hat, 0.05);
@@ -74,7 +80,9 @@ fn bench_stationary_vs_worst_case(c: &mut Criterion) {
 
 fn bench_dense_vs_sparse_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("edge_flooding/engine");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let n = 600usize;
     let p_hat = 4.0 * (n as f64).ln() / n as f64;
     let params = EdgeMegParams::with_stationary(n, p_hat, 0.5);

@@ -14,7 +14,9 @@ use std::time::Duration;
 
 fn bench_profile_on_gnp(c: &mut Criterion) {
     let mut group = c.benchmark_group("expansion/gnp_profile");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for &n in &[500usize, 2_000] {
         let p_hat = 4.0 * (n as f64).ln() / n as f64;
         let params = EdgeMegParams::with_stationary(n, p_hat, 0.5);
@@ -22,7 +24,11 @@ fn bench_profile_on_gnp(c: &mut Criterion) {
         let g = sample_stationary_snapshot(params, &mut rng);
         group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
             let mut rng = ChaCha8Rng::seed_from_u64(1);
-            b.iter(|| ExpansionProfile::measure(g, 10, SamplingStrategy::Mixed, &mut rng).points.len());
+            b.iter(|| {
+                ExpansionProfile::measure(g, 10, SamplingStrategy::Mixed, &mut rng)
+                    .points
+                    .len()
+            });
         });
     }
     group.finish();
@@ -30,7 +36,9 @@ fn bench_profile_on_gnp(c: &mut Criterion) {
 
 fn bench_profile_on_geometric(c: &mut Criterion) {
     let mut group = c.benchmark_group("expansion/geometric_profile");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for &n in &[500usize, 2_000] {
         let radius = 2.0 * (n as f64).ln().sqrt();
         let params = GeometricMegParams::new(n, radius / 2.0, radius);
@@ -38,7 +46,11 @@ fn bench_profile_on_geometric(c: &mut Criterion) {
         let snap = sample_paper_snapshot(params, &mut rng);
         group.bench_with_input(BenchmarkId::from_parameter(n), &snap.graph, |b, g| {
             let mut rng = ChaCha8Rng::seed_from_u64(2);
-            b.iter(|| ExpansionProfile::measure(g, 10, SamplingStrategy::Mixed, &mut rng).points.len());
+            b.iter(|| {
+                ExpansionProfile::measure(g, 10, SamplingStrategy::Mixed, &mut rng)
+                    .points
+                    .len()
+            });
         });
     }
     group.finish();

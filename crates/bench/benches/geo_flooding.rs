@@ -9,7 +9,9 @@ use std::time::Duration;
 
 fn bench_flooding_vs_n(c: &mut Criterion) {
     let mut group = c.benchmark_group("geo_flooding/vs_n");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for &n in &[500usize, 1_000, 2_000] {
         let radius = 2.0 * (n as f64).ln().sqrt();
         let params = GeometricMegParams::new(n, radius / 2.0, radius);
@@ -27,7 +29,9 @@ fn bench_flooding_vs_n(c: &mut Criterion) {
 
 fn bench_flooding_vs_radius(c: &mut Criterion) {
     let mut group = c.benchmark_group("geo_flooding/vs_radius");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let n = 1_000usize;
     let threshold = 2.0 * (n as f64).ln().sqrt();
     for &factor in &[1.0f64, 2.0, 4.0] {
@@ -51,7 +55,9 @@ fn bench_flooding_vs_radius(c: &mut Criterion) {
 
 fn bench_mobility_speed(c: &mut Criterion) {
     let mut group = c.benchmark_group("geo_flooding/vs_speed");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let n = 1_000usize;
     let radius = 2.0 * (n as f64).ln().sqrt();
     for &ratio in &[0.5f64, 2.0] {
@@ -72,5 +78,10 @@ fn bench_mobility_speed(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_flooding_vs_n, bench_flooding_vs_radius, bench_mobility_speed);
+criterion_group!(
+    benches,
+    bench_flooding_vs_n,
+    bench_flooding_vs_radius,
+    bench_mobility_speed
+);
 criterion_main!(benches);

@@ -10,7 +10,9 @@ use std::time::Duration;
 
 fn bench_protocols(c: &mut Criterion) {
     let mut group = c.benchmark_group("protocols/edge_meg");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let n = 1_000usize;
     let p_hat = 4.0 * (n as f64).ln() / n as f64;
     let params = EdgeMegParams::with_stationary(n, p_hat, 0.2);

@@ -16,7 +16,9 @@ use std::time::Duration;
 
 fn bench_radius_graph(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrates/radius_graph");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     for &n in &[1_000usize, 4_000] {
         let side = (n as f64).sqrt();
         let radius = 2.0 * (n as f64).ln().sqrt();
@@ -33,7 +35,9 @@ fn bench_radius_graph(c: &mut Criterion) {
 
 fn bench_erdos_renyi(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrates/erdos_renyi");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     for &n in &[4_000usize, 16_000] {
         let p = 3.0 * (n as f64).ln() / n as f64;
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
@@ -46,7 +50,9 @@ fn bench_erdos_renyi(c: &mut Criterion) {
 
 fn bench_sparse_edge_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrates/sparse_edge_step");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     for &n in &[4_000usize, 16_000] {
         let p_hat = 3.0 * (n as f64).ln() / n as f64;
         let params = EdgeMegParams::with_stationary(n, p_hat, 0.5);
@@ -60,7 +66,9 @@ fn bench_sparse_edge_step(c: &mut Criterion) {
 
 fn bench_grid_walk_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrates/grid_walk_step");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     for &n in &[4_000usize, 16_000] {
         let params = GridWalkParams::paper(n, 2.0, 1.0);
         group.bench_with_input(BenchmarkId::from_parameter(n), &params, |b, &params| {
@@ -77,7 +85,9 @@ fn bench_grid_walk_step(c: &mut Criterion) {
 
 fn bench_nodeset_ops(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrates/nodeset");
-    group.sample_size(50).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(2));
     let n = 100_000usize;
     let mut rng = ChaCha8Rng::seed_from_u64(9);
     let a = NodeSet::from_iter(n, (0..n as u32).filter(|_| rng.gen_bool(0.3)));

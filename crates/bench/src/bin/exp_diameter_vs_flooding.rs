@@ -49,9 +49,10 @@ fn main() {
             .expect("rotating star completes");
         let mut probe = RotatingStar::new(n, 0);
         let mut rng = labeled_rng(2009, "diam-star");
-        let bound = measure_expansion_sequence(&mut probe, ExpansionMeasurement::default(), &mut rng)
-            .map(|seq| fmt_f64(seq.flooding_bound()))
-            .unwrap_or_else(|_| "-".into());
+        let bound =
+            measure_expansion_sequence(&mut probe, ExpansionMeasurement::default(), &mut rng)
+                .map(|seq| fmt_f64(seq.flooding_bound()))
+                .unwrap_or_else(|_| "-".into());
         table.push_row(&[
             n.to_string(),
             "rotating star".to_string(),
@@ -69,9 +70,10 @@ fn main() {
             .expect("rotating bridge completes");
         let mut probe = RotatingBridge::new(n);
         let mut rng = labeled_rng(2009, "diam-bridge");
-        let bound = measure_expansion_sequence(&mut probe, ExpansionMeasurement::default(), &mut rng)
-            .map(|seq| fmt_f64(seq.flooding_bound()))
-            .unwrap_or_else(|_| "-".into());
+        let bound =
+            measure_expansion_sequence(&mut probe, ExpansionMeasurement::default(), &mut rng)
+                .map(|seq| fmt_f64(seq.flooding_bound()))
+                .unwrap_or_else(|_| "-".into());
         table.push_row(&[
             n.to_string(),
             "rotating bridge (two cliques)".to_string(),

@@ -37,8 +37,12 @@ fn run_sweep(q: f64, sizes: &[usize], seed: u64) {
     for &n in sizes {
         let p_hat = 3.0 * (n as f64).ln() / n as f64;
         let params = EdgeMegParams::with_stationary(n, p_hat, q);
-        let (summary, rate) =
-            edge_flooding_summary(params, InitialDistribution::Stationary, trials(), seed ^ n as u64);
+        let (summary, rate) = edge_flooding_summary(
+            params,
+            InitialDistribution::Stationary,
+            trials(),
+            seed ^ n as u64,
+        );
         let bounds = params.bounds();
         let shape = bounds.theta_shape();
         let regime = spec::edge_regime(n, p_hat, spec::DEFAULT_THRESHOLD_CONSTANT);

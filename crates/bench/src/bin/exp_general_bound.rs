@@ -125,7 +125,12 @@ fn main() {
             fmt_f64(row.bound),
             fmt_f64(row.measured_mean),
             fmt_f64(row.measured_max),
-            if row.bound >= row.measured_max { "yes" } else { "NO" }.to_string(),
+            if row.bound >= row.measured_max {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
             fmt_f64(row.bound / row.measured_mean),
         ]);
     }

@@ -54,8 +54,14 @@ fn main() {
     claim1.push_row(&[
         snapshots.to_string(),
         fmt_f64(radius * radius),
-        summary.as_ref().map(|s| fmt_f64(s.mean)).unwrap_or_else(|| "∞ (empty cell)".into()),
-        summary.as_ref().map(|s| fmt_f64(s.max)).unwrap_or_else(|| "∞ (empty cell)".into()),
+        summary
+            .as_ref()
+            .map(|s| fmt_f64(s.mean))
+            .unwrap_or_else(|| "∞ (empty cell)".into()),
+        summary
+            .as_ref()
+            .map(|s| fmt_f64(s.max))
+            .unwrap_or_else(|| "∞ (empty cell)".into()),
     ]);
     emit(&claim1);
     println!("Expected: λ is a small constant (every cell holds Θ(R²) nodes).\n");
@@ -80,7 +86,8 @@ fn main() {
     let mut h = 1usize;
     let samples = 30;
     while h <= n / 2 {
-        let measured = min_expansion_sampled(&snap.graph, h, samples, SamplingStrategy::Mixed, &mut rng);
+        let measured =
+            min_expansion_sampled(&snap.graph, h, samples, SamplingStrategy::Mixed, &mut rng);
         let (regime, theory) = if (h as f64) <= crossover {
             ("small (αR²/h)", bounds.expansion_small(h, alpha))
         } else {

@@ -39,7 +39,8 @@ fn main() {
     for ratio in [0.0f64, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
         let move_radius = if ratio == 0.0 { 0.4 } else { radius * ratio };
         let params = GeometricMegParams::new(n, move_radius, radius);
-        let (summary, rate) = geo_flooding_summary(params, trials(), seed ^ (ratio * 1000.0) as u64);
+        let (summary, rate) =
+            geo_flooding_summary(params, trials(), seed ^ (ratio * 1000.0) as u64);
         let bounds = GeometricBounds::new(n, radius, move_radius);
         table.push_row(&[
             fmt_f64(ratio),

@@ -44,7 +44,8 @@ fn run_sweep(label: &str, radius_of: impl Fn(usize) -> f64, sizes: &[usize], see
         let (summary, rate) = geo_flooding_summary(params, trials(), seed ^ n as u64);
         let bounds = GeometricBounds::new(n, radius, move_radius);
         let predictor = bounds.theta_shape();
-        let regime = spec::geometric_regime(n, radius, move_radius, spec::DEFAULT_THRESHOLD_CONSTANT);
+        let regime =
+            spec::geometric_regime(n, radius, move_radius, spec::DEFAULT_THRESHOLD_CONSTANT);
         let ratio = summary
             .as_ref()
             .map(|s| s.mean / predictor)
@@ -88,7 +89,12 @@ fn main() {
         &sizes,
         seed,
     );
-    run_sweep("R = n^(1/4), a denser network", |n| (n as f64).powf(0.25), &sizes, seed ^ 0xABCD);
+    run_sweep(
+        "R = n^(1/4), a denser network",
+        |n| (n as f64).powf(0.25),
+        &sizes,
+        seed ^ 0xABCD,
+    );
 
     println!(
         "Expected shape (Corollary 3.6): with r = O(R) and R in the tight window, the\n\

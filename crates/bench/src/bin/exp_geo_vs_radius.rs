@@ -39,9 +39,11 @@ fn main() {
         let radius = (threshold * factor).min(side * 0.95);
         let move_radius = radius / 2.0;
         let params = GeometricMegParams::new(n, move_radius, radius);
-        let (summary, rate) = geo_flooding_summary(params, trials(), seed ^ (factor * 100.0) as u64);
+        let (summary, rate) =
+            geo_flooding_summary(params, trials(), seed ^ (factor * 100.0) as u64);
         let bounds = GeometricBounds::new(n, radius, move_radius);
-        let regime = spec::geometric_regime(n, radius, move_radius, spec::DEFAULT_THRESHOLD_CONSTANT);
+        let regime =
+            spec::geometric_regime(n, radius, move_radius, spec::DEFAULT_THRESHOLD_CONSTANT);
         let sandwiched = summary
             .as_ref()
             .map(|s| s.mean >= bounds.lower() * 0.99 && s.mean <= 4.0 * bounds.upper(1.0) + 4.0)

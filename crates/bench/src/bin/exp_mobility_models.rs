@@ -54,19 +54,37 @@ fn main() {
     {
         let mut rng = labeled_rng(seed, "mob-grid");
         let mut probe = GridWalk::new(
-            GridWalkParams { n, side, move_radius, resolution: 1.0 },
+            GridWalkParams {
+                n,
+                side,
+                move_radius,
+                resolution: 1.0,
+            },
             &mut rng,
         );
         let report = measure_uniformity(&mut probe, cells, 3, &mut rng);
         let (summary, rate) = flooding_summary_with(trials(), |i| {
             let mut rng = labeled_rng(seed ^ i as u64, "mob-grid-run");
             let walk = GridWalk::new(
-                GridWalkParams { n, side, move_radius, resolution: 1.0 },
+                GridWalkParams {
+                    n,
+                    side,
+                    move_radius,
+                    resolution: 1.0,
+                },
                 &mut rng,
             );
             GeometricMeg::new(walk, radius, seed ^ i as u64)
         });
-        push_model_row(&mut table, "grid random walk (paper)", report.tv_distance, report.max_min_ratio, &summary, rate, shape);
+        push_model_row(
+            &mut table,
+            "grid random walk (paper)",
+            report.tv_distance,
+            report.max_min_ratio,
+            &summary,
+            rate,
+            shape,
+        );
     }
 
     // --- walkers on a toroidal grid
@@ -79,7 +97,15 @@ fn main() {
             let model = TorusWalkers::new(n, side, move_radius, 1.0, &mut rng);
             GeometricMeg::new(model, radius, seed ^ i as u64)
         });
-        push_model_row(&mut table, "walkers on toroidal grid", report.tv_distance, report.max_min_ratio, &summary, rate, shape);
+        push_model_row(
+            &mut table,
+            "walkers on toroidal grid",
+            report.tv_distance,
+            report.max_min_ratio,
+            &summary,
+            rate,
+            shape,
+        );
     }
 
     // --- random waypoint on a torus
@@ -92,7 +118,15 @@ fn main() {
             let model = RandomWaypoint::new(n, side, move_radius / 2.0, move_radius, &mut rng);
             GeometricMeg::new(model, radius, seed ^ i as u64)
         });
-        push_model_row(&mut table, "random waypoint on torus", report.tv_distance, report.max_min_ratio, &summary, rate, shape);
+        push_model_row(
+            &mut table,
+            "random waypoint on torus",
+            report.tv_distance,
+            report.max_min_ratio,
+            &summary,
+            rate,
+            shape,
+        );
     }
 
     // --- random direction with reflection (billiard)
@@ -105,7 +139,15 @@ fn main() {
             let model = Billiard::new(n, side, move_radius / 2.0, move_radius, 0.1, &mut rng);
             GeometricMeg::new(model, radius, seed ^ i as u64)
         });
-        push_model_row(&mut table, "random direction / billiard", report.tv_distance, report.max_min_ratio, &summary, rate, shape);
+        push_model_row(
+            &mut table,
+            "random direction / billiard",
+            report.tv_distance,
+            report.max_min_ratio,
+            &summary,
+            rate,
+            shape,
+        );
     }
 
     emit(&table);

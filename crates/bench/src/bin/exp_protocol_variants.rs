@@ -15,7 +15,9 @@
 //!   dense snapshots.
 
 use meg_bench::{emit, master_seed, scaled};
-use meg_core::protocols::{parsimonious_flood, probabilistic_flood, push_pull_gossip, ProtocolResult};
+use meg_core::protocols::{
+    parsimonious_flood, probabilistic_flood, push_pull_gossip, ProtocolResult,
+};
 use meg_edge::{EdgeMegParams, SparseEdgeMeg};
 use meg_geometric::{GeometricMeg, GeometricMegParams};
 use meg_stats::seeds::labeled_rng;
@@ -39,7 +41,14 @@ fn main() {
     let budget = 100_000u64;
     let mut table = Table::new(
         "exp_protocol_variants: dissemination protocols on stationary MEGs",
-        &["model", "protocol", "completed", "rounds", "messages", "informed"],
+        &[
+            "model",
+            "protocol",
+            "completed",
+            "rounds",
+            "messages",
+            "informed",
+        ],
     );
 
     // ------------------------------------------------------------- edge-MEG
@@ -50,11 +59,23 @@ fn main() {
     let runs = vec![
         (
             "flooding",
-            probabilistic_flood(&mut SparseEdgeMeg::stationary(params, seed), 0, 1.0, budget, &mut rng),
+            probabilistic_flood(
+                &mut SparseEdgeMeg::stationary(params, seed),
+                0,
+                1.0,
+                budget,
+                &mut rng,
+            ),
         ),
         (
             "probabilistic flooding β=0.3",
-            probabilistic_flood(&mut SparseEdgeMeg::stationary(params, seed), 0, 0.3, budget, &mut rng),
+            probabilistic_flood(
+                &mut SparseEdgeMeg::stationary(params, seed),
+                0,
+                0.3,
+                budget,
+                &mut rng,
+            ),
         ),
         (
             "parsimonious flooding k=1",
@@ -66,10 +87,19 @@ fn main() {
         ),
         (
             "push–pull gossip",
-            push_pull_gossip(&mut SparseEdgeMeg::stationary(params, seed), 0, budget, &mut rng),
+            push_pull_gossip(
+                &mut SparseEdgeMeg::stationary(params, seed),
+                0,
+                budget,
+                &mut rng,
+            ),
         ),
     ];
-    push_rows(&mut table, &format!("edge-MEG (n={n}, p̂={p_hat:.4})"), &runs);
+    push_rows(
+        &mut table,
+        &format!("edge-MEG (n={n}, p̂={p_hat:.4})"),
+        &runs,
+    );
 
     // -------------------------------------------------------- geometric-MEG
     let n_geo = scaled(1_500);
@@ -79,11 +109,23 @@ fn main() {
     let runs = vec![
         (
             "flooding",
-            probabilistic_flood(&mut GeometricMeg::from_params(geo, seed), 0, 1.0, budget, &mut rng),
+            probabilistic_flood(
+                &mut GeometricMeg::from_params(geo, seed),
+                0,
+                1.0,
+                budget,
+                &mut rng,
+            ),
         ),
         (
             "probabilistic flooding β=0.3",
-            probabilistic_flood(&mut GeometricMeg::from_params(geo, seed), 0, 0.3, budget, &mut rng),
+            probabilistic_flood(
+                &mut GeometricMeg::from_params(geo, seed),
+                0,
+                0.3,
+                budget,
+                &mut rng,
+            ),
         ),
         (
             "parsimonious flooding k=1",
@@ -95,10 +137,19 @@ fn main() {
         ),
         (
             "push–pull gossip",
-            push_pull_gossip(&mut GeometricMeg::from_params(geo, seed), 0, budget, &mut rng),
+            push_pull_gossip(
+                &mut GeometricMeg::from_params(geo, seed),
+                0,
+                budget,
+                &mut rng,
+            ),
         ),
     ];
-    push_rows(&mut table, &format!("geometric-MEG (n={n_geo}, R={radius:.1})"), &runs);
+    push_rows(
+        &mut table,
+        &format!("geometric-MEG (n={n_geo}, R={radius:.1})"),
+        &runs,
+    );
 
     emit(&table);
     println!(

@@ -13,6 +13,24 @@
 //!   quick laptop run and a long server run use the same binaries;
 //! * `MEG_CSV`    — when set, tables are also emitted as CSV after the ASCII
 //!   rendering.
+//!
+//! ## Example
+//!
+//! ```
+//! use meg_edge::EdgeMegParams;
+//! use meg_core::evolving::InitialDistribution;
+//!
+//! let n = 300;
+//! let p_hat = 3.0 * (n as f64).ln() / n as f64;
+//! let params = EdgeMegParams::with_stationary(n, p_hat, 0.5);
+//! let (summary, completion) =
+//!     meg_bench::edge_flooding_summary(params, InitialDistribution::Stationary, 3, 2009);
+//! assert_eq!(completion, 1.0);
+//! assert!(summary.unwrap().mean >= 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use meg_core::evolving::{EvolvingGraph, InitialDistribution};
 use meg_core::flooding::flood;
@@ -170,8 +188,7 @@ mod tests {
         assert!(summary.unwrap().mean >= 1.0);
 
         let edge = EdgeMegParams::with_stationary(200, 0.08, 0.5);
-        let (summary, rate) =
-            edge_flooding_summary(edge, InitialDistribution::Stationary, 2, 1);
+        let (summary, rate) = edge_flooding_summary(edge, InitialDistribution::Stationary, 2, 1);
         assert_eq!(rate, 1.0);
         assert!(summary.unwrap().mean >= 1.0);
     }

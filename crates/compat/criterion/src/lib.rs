@@ -1,0 +1,222 @@
+//! Offline stand-in for the crates.io `criterion` crate.
+//!
+//! Exposes the subset of the criterion 0.5 API the workspace's benches use
+//! ([`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher`],
+//! [`black_box`], [`criterion_group!`], [`criterion_main!`]) with a
+//! deliberately simple measurement loop: each registered benchmark runs a
+//! fixed warm-up iteration followed by a small timed batch, and prints
+//! `name ... median time` to stdout.
+//!
+//! This keeps `cargo bench` functional offline (and fast enough to double as
+//! a smoke test) while preserving source compatibility so the real criterion
+//! can be swapped back in when a registry is available.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Top-level benchmark registry (stand-in for `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            iterations: DEFAULT_ITERATIONS,
+        }
+    }
+
+    /// Registers and immediately runs a single benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into(), DEFAULT_ITERATIONS, |b| f(b));
+        self
+    }
+}
+
+const DEFAULT_ITERATIONS: u64 = 3;
+
+/// A named group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    iterations: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target sample count. The shim maps this to a small fixed
+    /// iteration count so offline bench runs stay quick.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iterations = (n as u64).clamp(1, DEFAULT_ITERATIONS);
+        self
+    }
+
+    /// Sets the target measurement time. Accepted for API compatibility;
+    /// the shim's fixed iteration count ignores it.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets throughput reporting. Accepted for API compatibility.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(&label, self.iterations, |b| f(b, input));
+        self
+    }
+
+    /// Runs a benchmark identified by a plain name.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name);
+        run_one(&label, self.iterations, |b| f(b));
+        self
+    }
+
+    /// Finishes the group. No-op in the shim.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Builds an id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Throughput annotation (accepted, ignored by the shim).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] runs the routine.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` over the shim's fixed iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up, also forces lazy setup
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = Some(start.elapsed());
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, iterations: u64, mut f: F) {
+    let mut b = Bencher {
+        iterations,
+        elapsed: None,
+    };
+    f(&mut b);
+    match b.elapsed {
+        Some(total) => {
+            let per_iter = total / iterations.max(1) as u32;
+            println!("bench {label:<60} {per_iter:>12.2?}/iter ({iterations} iters)");
+        }
+        None => println!("bench {label:<60} (no iter() call)"),
+    }
+}
+
+/// Declares a function that runs the listed benchmark functions; mirrors
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that invokes the listed groups; mirrors
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_run_with_inputs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(1));
+        let mut seen = Vec::new();
+        for &n in &[1u64, 2, 3] {
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| seen.push(n));
+            });
+        }
+        group.finish();
+        assert!(seen.contains(&1) && seen.contains(&2) && seen.contains(&3));
+    }
+}

@@ -1,0 +1,549 @@
+//! Offline stand-in for the crates.io `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace's property tests
+//! use: the [`Strategy`] trait with `prop_map`/`prop_flat_map`, range and
+//! tuple strategies, [`collection::vec`](fn@collection::vec),
+//! [`bool::ANY`], [`Just`],
+//! [`ProptestConfig`], and the [`proptest!`] / [`prop_assert!`] /
+//! [`prop_assert_eq!`] / [`prop_assert_ne!`] macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports the case number and the
+//!   deterministic seed that reproduces it, but inputs are not minimised.
+//! * **Deterministic generation.** Each test function derives its RNG stream
+//!   from a fixed master seed and the test name, so failures reproduce
+//!   across runs and machines without a persistence file.
+//! * Value generation is plain uniform sampling (with light endpoint biasing
+//!   for inclusive float ranges) rather than proptest's recursive strategy
+//!   trees.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+pub use rand_core::Xoshiro256PlusPlus as TestRng;
+use rand_core::{RngCore, SeedableRng};
+
+/// Runner configuration (subset of `proptest::test_runner::ProptestConfig`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Error and runner plumbing (subset of `proptest::test_runner`).
+pub mod test_runner {
+    /// A test-case failure carrying its message; produced by the
+    /// `prop_assert*` macros and turned into a panic by the runner.
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Builds a failure from a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+}
+
+/// A generator of values of type `Value` (shrink-free analogue of
+/// `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<B, F: Fn(Self::Value) -> B>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` builds from
+    /// it (dependent generation).
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of a fixed value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, B, F: Fn(S::Value) -> B> Strategy for Map<S, F> {
+    type Value = B;
+    fn generate(&self, rng: &mut TestRng) -> B {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone, Debug)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+fn unit_f64(rng: &mut TestRng) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! impl_uint_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_uint_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let v = self.start + (self.end - self.start) * unit_f64(rng);
+        // start + span·u can round up to `end` for u near 1; keep half-open.
+        if v >= self.end {
+            self.end.next_down().max(self.start)
+        } else {
+            v
+        }
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        // Bias lightly toward the endpoints: inclusive float ranges in tests
+        // usually exist precisely to exercise the boundary values.
+        match rng.next_u64() % 50 {
+            0 => lo,
+            1 => hi,
+            _ => lo + (hi - lo) * unit_f64(rng),
+        }
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand_core::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Anything usable as the size argument of [`vec`](fn@vec): an exact
+    /// size or a range of sizes.
+    pub trait SizeRange {
+        /// Picks a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + (rng.next_u64() as usize) % (self.end - self.start)
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty size range");
+            lo + (rng.next_u64() as usize) % (hi - lo + 1)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S, Z> {
+        elem: S,
+        size: Z,
+    }
+
+    /// Builds a [`VecStrategy`]; mirrors `proptest::collection::vec`.
+    pub fn vec<S: Strategy, Z: SizeRange>(elem: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies (subset of `proptest::bool`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+    use rand_core::RngCore;
+
+    /// Strategy yielding uniformly random booleans.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Uniformly random booleans; mirrors `proptest::bool::ANY`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Re-exports matching `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+const MASTER_SEED: u64 = 0x4D45_475F_5052_4F50; // "MEG_PROP"
+
+/// Derives the per-case RNG for `(test name, case index)`. Public so the
+/// [`proptest!`] expansion can call it; not part of the emulated API.
+pub fn case_rng(test_name: &str, case: u64) -> TestRng {
+    let mut h = MASTER_SEED;
+    for b in test_name.bytes() {
+        h = splitmix(h ^ b as u64);
+    }
+    TestRng::seed_from_u64(splitmix(h ^ case))
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Executes the body closure over `config.cases` generated cases, panicking
+/// with diagnostics on the first failure. Public for the [`proptest!`]
+/// expansion; not part of the emulated API.
+pub fn run_cases<F>(config: &ProptestConfig, test_name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), test_runner::TestCaseError>,
+{
+    for case in 0..config.cases as u64 {
+        let mut rng = case_rng(test_name, case);
+        if let Err(e) = body(&mut rng) {
+            panic!(
+                "proptest failure in `{test_name}` at case {case}/{total}: {e}",
+                total = config.cases
+            );
+        }
+    }
+}
+
+/// Defines property-test functions; mirrors `proptest::proptest!`.
+///
+/// Supports the forms used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in 0usize..100, (a, b) in some_strategy()) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $pat:pat_param in $strat:expr ),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(&config, stringify!($name), |__meg_rng| {
+                    let ( $($pat,)+ ) =
+                        ( $( $crate::Strategy::generate(&($strat), __meg_rng), )+ );
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body; on failure the current
+/// case fails with the formatted message instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Asserts two values differ inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::Strategy;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = crate::case_rng("ranges", 0);
+        for _ in 0..1000 {
+            let x = (5usize..17).generate(&mut rng);
+            assert!((5..17).contains(&x));
+            let y = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&y));
+            let z = (0.0f64..=1.0).generate(&mut rng);
+            assert!((0.0..=1.0).contains(&z));
+        }
+    }
+
+    #[test]
+    fn inclusive_float_range_hits_endpoints() {
+        let mut rng = crate::case_rng("endpoints", 0);
+        let xs: Vec<f64> = (0..2000)
+            .map(|_| (0.0f64..=1.0).generate(&mut rng))
+            .collect();
+        assert!(xs.contains(&0.0));
+        assert!(xs.contains(&1.0));
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = crate::case_rng("vec", 0);
+        for _ in 0..200 {
+            let v = crate::collection::vec(0u32..10, 3usize..7).generate(&mut rng);
+            assert!((3..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+        let exact = crate::collection::vec(0u32..10, 5usize).generate(&mut rng);
+        assert_eq!(exact.len(), 5);
+    }
+
+    #[test]
+    fn flat_map_feeds_dependent_strategies() {
+        let mut rng = crate::case_rng("flat_map", 0);
+        let strat = (2usize..10).prop_flat_map(|n| (Just(n), crate::collection::vec(0usize..n, n)));
+        for _ in 0..200 {
+            let (n, v) = strat.generate(&mut rng);
+            assert_eq!(v.len(), n);
+            assert!(v.iter().all(|&x| x < n));
+        }
+    }
+
+    #[test]
+    fn map_transforms_values() {
+        let mut rng = crate::case_rng("map", 0);
+        let strat = (0u64..100).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!(v % 2 == 0 && v < 200);
+        }
+    }
+
+    #[test]
+    fn case_rng_is_deterministic_per_name_and_case() {
+        use rand_core::RngCore;
+        let mut a = crate::case_rng("t", 3);
+        let mut b = crate::case_rng("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::case_rng("t", 4);
+        assert_ne!(b.next_u64(), c.next_u64());
+    }
+
+    mod macro_smoke {
+        use crate::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            #[test]
+            fn tuple_patterns_and_multiple_args(
+                (n, v) in (1usize..20).prop_flat_map(|n| (Just(n), crate::collection::vec(0u32..100, n))),
+                flag in crate::bool::ANY,
+            ) {
+                prop_assert_eq!(v.len(), n);
+                prop_assert!(n >= 1, "n was {}", n);
+                if flag {
+                    prop_assert_ne!(n, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest failure")]
+    fn failing_property_panics_with_diagnostics() {
+        crate::run_cases(&ProptestConfig::with_cases(10), "always_fails", |_rng| {
+            Err(crate::test_runner::TestCaseError::fail("nope"))
+        });
+    }
+}

@@ -1,0 +1,64 @@
+//! Offline stand-in for the crates.io `rand_chacha` crate.
+//!
+//! Provides [`ChaCha8Rng`] with the `rand_chacha` 0.3 API surface this
+//! workspace uses (`SeedableRng::from_seed` / `seed_from_u64`, `RngCore`),
+//! plus the `rand_core` re-export that callers import
+//! (`use rand_chacha::rand_core::SeedableRng`).
+//!
+//! **Compatibility note:** the type is *named* `ChaCha8Rng` so call sites
+//! compile unchanged, but it is backed by the workspace's shared
+//! xoshiro256++ engine, not the ChaCha stream cipher. The workspace's
+//! requirements on this type are determinism under a fixed seed, stream
+//! independence across seeds, and statistical uniformity — all of which the
+//! engine provides. Do not expect bit-compatibility with crates.io
+//! `rand_chacha`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rand_core;
+
+use rand_core::{RngCore, SeedableRng, Xoshiro256PlusPlus};
+
+/// Deterministic seeded RNG, stand-in for `rand_chacha::ChaCha8Rng`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaCha8Rng(Xoshiro256PlusPlus);
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+    fn from_seed(seed: Self::Seed) -> Self {
+        ChaCha8Rng(Xoshiro256PlusPlus::from_seed(seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_streams_reproduce() {
+        let mut a = ChaCha8Rng::seed_from_u64(2009);
+        let mut b = ChaCha8Rng::seed_from_u64(2009);
+        assert_eq!(
+            (0..32).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..32).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn clone_preserves_stream_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(5);
+        a.next_u64();
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,185 @@
+//! Offline stand-in for the crates.io `rand_core` crate.
+//!
+//! The build environment for this workspace has no network access to a cargo
+//! registry, so the external RNG crates are replaced by small vendored shims
+//! under `crates/compat/` that expose exactly the API surface the workspace
+//! uses. This crate provides the two foundational traits ([`RngCore`] and
+//! [`SeedableRng`]) plus the shared [`Xoshiro256PlusPlus`] engine that the
+//! `rand` and `rand_chacha` shims wrap.
+//!
+//! **Compatibility note:** the trait signatures match the subset of
+//! `rand_core` 0.6 used by this workspace, but the generated random streams
+//! are *not* bit-compatible with the real crates. Every consumer in the
+//! workspace only relies on determinism under a fixed seed, which the shims
+//! guarantee.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A source of uniformly distributed random bits.
+///
+/// The subset of `rand_core::RngCore` used by the workspace: 32-bit and
+/// 64-bit raw output. `fill_bytes`/`try_fill_bytes` are not needed and are
+/// omitted.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// An RNG that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type (a byte array for every RNG in the workspace).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates the RNG from the full raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates the RNG from a single `u64`, expanding it into a full seed
+    /// with the SplitMix64 sequence (mirrors `rand_core`'s behaviour in
+    /// spirit, not bit-for-bit).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let out = splitmix64_mix(sm);
+            let bytes = out.to_le_bytes();
+            let len = chunk.len();
+            chunk.copy_from_slice(&bytes[..len]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// The SplitMix64 output mixing function.
+fn splitmix64_mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The single PRNG engine backing both shim RNG types in the workspace
+/// (`rand::rngs::StdRng` and `rand_chacha::ChaCha8Rng`).
+///
+/// xoshiro256++ by Blackman and Vigna: fast, 256 bits of state, passes the
+/// standard statistical batteries, and entirely adequate for Monte-Carlo
+/// simulation. Deterministic for a fixed seed.
+///
+/// ```
+/// use rand_core::{RngCore, SeedableRng, Xoshiro256PlusPlus};
+/// let mut a = Xoshiro256PlusPlus::seed_from_u64(7);
+/// let mut b = Xoshiro256PlusPlus::seed_from_u64(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    fn from_u64_seed_words(words: [u64; 4]) -> Self {
+        // All-zero state is the one invalid state for xoshiro; nudge it.
+        let mut s = words;
+        if s == [0, 0, 0, 0] {
+            s = [
+                0x9E37_79B9_7F4A_7C15,
+                0xBF58_476D_1CE4_E5B9,
+                0x94D0_49BB_1331_11EB,
+                0x2545_F491_4F6C_DD1D,
+            ];
+        }
+        Self { s }
+    }
+}
+
+impl RngCore for Xoshiro256PlusPlus {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for Xoshiro256PlusPlus {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut words = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(chunk);
+            words[i] = u64::from_le_bytes(b);
+        }
+        Self::from_u64_seed_words(words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = Xoshiro256PlusPlus::seed_from_u64(42);
+        let mut b = Xoshiro256PlusPlus::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Xoshiro256PlusPlus::seed_from_u64(1);
+        let mut b = Xoshiro256PlusPlus::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn zero_seed_is_not_degenerate() {
+        let mut r = Xoshiro256PlusPlus::from_seed([0u8; 32]);
+        let xs: Vec<u64> = (0..16).map(|_| r.next_u64()).collect();
+        assert!(xs.iter().any(|&x| x != 0));
+    }
+
+    #[test]
+    fn output_looks_balanced() {
+        let mut r = Xoshiro256PlusPlus::seed_from_u64(2009);
+        let ones: u32 = (0..1000).map(|_| r.next_u64().count_ones()).sum();
+        // 64_000 bits, expect ~32_000 ones; allow a generous band.
+        assert!((30_000..34_000).contains(&ones), "ones = {ones}");
+    }
+}

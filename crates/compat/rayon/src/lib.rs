@@ -1,0 +1,83 @@
+//! Offline stand-in for the crates.io `rayon` crate.
+//!
+//! Provides the `into_par_iter()` / `par_iter()` entry points the workspace
+//! uses, executing **sequentially** on the calling thread. Because the
+//! workspace's trial runner derives an independent RNG per trial index, its
+//! results are identical under sequential and parallel execution — swapping
+//! the real rayon back in (when a registry is available) changes wall-clock
+//! time only, not output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Conversion into a "parallel" iterator (sequential in the shim). Mirrors
+/// `rayon::iter::IntoParallelIterator`; the returned iterator is the type's
+/// ordinary sequential iterator, so the full `Iterator` API (`map`,
+/// `filter`, `collect`, …) stands in for rayon's `ParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item;
+    /// The (sequential) iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Converts `self` into an iterator; rayon would distribute it across a
+    /// thread pool, the shim yields items in order on the calling thread.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Borrowing variant: `par_iter()` on collections. Mirrors
+/// `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'data> {
+    /// The borrowed element type.
+    type Item: 'data;
+    /// The (sequential) iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Iterates `&self`; sequential in the shim.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+{
+    type Item = <&'data C as IntoIterator>::Item;
+    type Iter = <&'data C as IntoIterator>::IntoIter;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Re-exports matching `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn into_par_iter_preserves_order() {
+        let v: Vec<usize> = (0..100).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data = vec![1u64, 2, 3];
+        let sum: u64 = data.par_iter().sum();
+        assert_eq!(sum, 6);
+        assert_eq!(data.len(), 3);
+    }
+}

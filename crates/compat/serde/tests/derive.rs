@@ -1,0 +1,31 @@
+//! Exercises the shim derives from an external crate, where the emitted
+//! `impl ::serde::…` paths resolve.
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+struct Record {
+    name: String,
+    values: Vec<f64>,
+    tag: Option<u32>,
+}
+
+#[derive(Serialize, Deserialize)]
+enum Kind {
+    #[allow(dead_code)]
+    A,
+    #[allow(dead_code)]
+    B(u32),
+}
+
+fn assert_serializable<T: Serialize>(_t: &T) {}
+fn assert_deserializable<'de, T: Deserialize<'de>>() {}
+
+#[test]
+fn derived_markers_compile_for_structs_and_enums() {
+    let r = Record::default();
+    assert_serializable(&r);
+    assert_deserializable::<Record>();
+    assert_serializable(&Kind::B(3));
+    assert_deserializable::<Kind>();
+}

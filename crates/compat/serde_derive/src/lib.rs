@@ -1,0 +1,62 @@
+//! Offline stand-in for the crates.io `serde_derive` proc-macro crate.
+//!
+//! The vendored `serde` shim defines `Serialize` / `Deserialize<'de>` as
+//! marker traits (no serialization format is needed anywhere in the
+//! workspace — the traits only appear as derive targets and generic
+//! bounds). These derives implement those markers for the annotated type.
+//!
+//! Limitation: generic types are not supported — every derive target in the
+//! workspace is a plain non-generic struct. A generic target fails to
+//! compile with a clear error rather than silently misbehaving.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct`/`enum` keyword.
+fn type_name(input: TokenStream) -> Result<String, String> {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                return match tokens.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        if let Some(TokenTree::Punct(p)) = tokens.next() {
+                            if p.as_char() == '<' {
+                                return Err(format!(
+                                    "the vendored serde_derive shim does not support \
+                                     generic type `{name}`"
+                                ));
+                            }
+                        }
+                        Ok(name.to_string())
+                    }
+                    _ => Err(format!("expected a type name after `{kw}`")),
+                };
+            }
+        }
+    }
+    Err("expected a `struct` or `enum` item".to_string())
+}
+
+fn emit(input: TokenStream, render: impl Fn(&str) -> String) -> TokenStream {
+    match type_name(input) {
+        Ok(name) => render(&name).parse().expect("shim emitted invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// Derives the `serde::Serialize` marker trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    emit(input, |name| {
+        format!("impl ::serde::Serialize for {name} {{}}")
+    })
+}
+
+/// Derives the `serde::Deserialize` marker trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    emit(input, |name| {
+        format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+    })
+}

@@ -82,7 +82,8 @@ impl EvolvingGraph for RotatingStar {
         self.snapshot.clear_edges();
         for v in 0..self.n as Node {
             if v != center {
-                self.snapshot.add_edge_unchecked(center.min(v), center.max(v));
+                self.snapshot
+                    .add_edge_unchecked(center.min(v), center.max(v));
             }
         }
         self.time += 1;
@@ -113,7 +114,7 @@ impl RotatingBridge {
     /// Creates the rotating-bridge graph on `n ≥ 4` nodes (`n` even: nodes
     /// `0..n/2` form clique `A`, nodes `n/2..n` clique `B`).
     pub fn new(n: usize) -> Self {
-        assert!(n >= 4 && n % 2 == 0, "need an even n ≥ 4");
+        assert!(n >= 4 && n.is_multiple_of(2), "need an even n ≥ 4");
         RotatingBridge {
             n,
             time: 0,

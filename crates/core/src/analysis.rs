@@ -95,8 +95,9 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let g = generators::complete(60);
         let mut frozen = FrozenGraph::new(g.clone());
-        let seq = measure_expansion_sequence(&mut frozen, ExpansionMeasurement::default(), &mut rng)
-            .unwrap();
+        let seq =
+            measure_expansion_sequence(&mut frozen, ExpansionMeasurement::default(), &mut rng)
+                .unwrap();
         let bound = seq.flooding_bound();
         let measured = flood_static(&g, 0).flooding_time().unwrap() as f64;
         assert!(

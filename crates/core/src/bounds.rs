@@ -23,7 +23,11 @@ impl GeometricBounds {
         assert!(n > 0, "n must be positive");
         assert!(radius > 0.0, "transmission radius must be positive");
         assert!(move_radius >= 0.0, "move radius must be non-negative");
-        GeometricBounds { n, radius, move_radius }
+        GeometricBounds {
+            n,
+            radius,
+            move_radius,
+        }
     }
 
     /// Theorem 3.4 upper bound shape: `√n / R + log log R` (natural logs,

@@ -107,7 +107,10 @@ impl ScheduledGraph {
     /// Creates a scheduled evolving graph. Panics if the schedule is empty or
     /// the snapshots disagree on the number of nodes.
     pub fn new(snapshots: Vec<AdjacencyList>) -> Self {
-        assert!(!snapshots.is_empty(), "schedule must contain at least one snapshot");
+        assert!(
+            !snapshots.is_empty(),
+            "schedule must contain at least one snapshot"
+        );
         let n = snapshots[0].num_nodes();
         assert!(
             snapshots.iter().all(|g| g.num_nodes() == n),

@@ -40,8 +40,12 @@ impl std::fmt::Display for SequenceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SequenceError::Empty => write!(f, "expander sequence is empty"),
-            SequenceError::NotIncreasing => write!(f, "h values must be strictly increasing and ≥ 1"),
-            SequenceError::NotNonIncreasing => write!(f, "k values must be positive and non-increasing"),
+            SequenceError::NotIncreasing => {
+                write!(f, "h values must be strictly increasing and ≥ 1")
+            }
+            SequenceError::NotNonIncreasing => {
+                write!(f, "k values must be positive and non-increasing")
+            }
             SequenceError::LengthMismatch => write!(f, "h and k have different lengths"),
             SequenceError::WrongFinalSize { expected, got } => {
                 write!(f, "final h must be n/2 = {expected}, got {got}")
@@ -206,7 +210,10 @@ mod tests {
         );
         assert_eq!(
             ExpanderSequence::new(10, vec![2, 4], vec![2.0, 1.0]).unwrap_err(),
-            SequenceError::WrongFinalSize { expected: 5, got: 4 }
+            SequenceError::WrongFinalSize {
+                expected: 5,
+                got: 4
+            }
         );
         assert!(ExpanderSequence::new(10, vec![2, 5], vec![2.0, 1.0]).is_ok());
     }
@@ -280,8 +287,14 @@ mod tests {
         // A profile that stops well before n/2 gets extended conservatively.
         let profile = ExpansionProfile {
             points: vec![
-                ExpansionPoint { h: 1, min_ratio: 4.0 },
-                ExpansionPoint { h: 8, min_ratio: 2.0 },
+                ExpansionPoint {
+                    h: 1,
+                    min_ratio: 4.0,
+                },
+                ExpansionPoint {
+                    h: 8,
+                    min_ratio: 2.0,
+                },
             ],
         };
         let seq = ExpanderSequence::from_profile(100, &profile).unwrap();

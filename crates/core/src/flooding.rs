@@ -147,7 +147,10 @@ impl FloodingState {
 /// Runs flooding from `source` on `meg` for at most `max_rounds` rounds.
 pub fn flood<M: EvolvingGraph>(meg: &mut M, source: Node, max_rounds: u64) -> FloodingResult {
     let n = meg.num_nodes();
-    assert!((source as usize) < n, "source {source} out of range for n={n}");
+    assert!(
+        (source as usize) < n,
+        "source {source} out of range for n={n}"
+    );
     let mut state = FloodingState::new(n, source);
     let mut informed_per_round = vec![state.informed_count()];
     let mut rounds = 0u64;
@@ -227,7 +230,11 @@ mod tests {
 
     #[test]
     fn static_flooding_worst_case_is_diameter() {
-        for g in [generators::path(9), generators::cycle(9), generators::grid2d(4, 5)] {
+        for g in [
+            generators::path(9),
+            generators::cycle(9),
+            generators::grid2d(4, 5),
+        ] {
             let diam = meg_graph::diameter::exact(&g).finite().unwrap() as u64;
             assert_eq!(flooding_time_all_sources_static(&g), Some(diam));
         }

@@ -25,6 +25,27 @@
 //!   time (the Introduction's "diameter 3 yet flooding Θ(n)" phenomenon);
 //! * [`analysis`] — measurement of empirical expansion sequences of an
 //!   evolving graph, bridging simulation and the general theorem.
+//!
+//! ## Example
+//!
+//! Flooding a static graph (an evolving graph frozen in time) agrees with
+//! BFS eccentricity, and Lemma 2.4's expander-sequence bound dominates it:
+//!
+//! ```
+//! use meg_core::expansion::ExpanderSequence;
+//! use meg_core::flooding::flood_static;
+//! use meg_graph::AdjacencyList;
+//!
+//! // A 6-cycle: flooding from any source needs exactly ⌈6/2⌉ = 3 rounds.
+//! let g = AdjacencyList::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+//! let result = flood_static(&g, 0);
+//! assert_eq!(result.flooding_time(), Some(3));
+//!
+//! // Every size-h subset of a cycle has at least 2 outside neighbors … use
+//! // the trivial expansion k(h) = 1 as a valid (weaker) expander sequence.
+//! let seq = ExpanderSequence::new(6, vec![1, 3], vec![1.0, 1.0]).unwrap();
+//! assert!(seq.flooding_bound() >= 3.0);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -49,6 +49,9 @@ impl ProtocolResult {
 
     /// Final number of informed nodes.
     pub fn informed_count(&self) -> usize {
-        *self.informed_per_round.last().expect("at least the initial count")
+        *self
+            .informed_per_round
+            .last()
+            .expect("at least the initial count")
     }
 }

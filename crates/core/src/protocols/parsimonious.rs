@@ -26,7 +26,10 @@ pub fn parsimonious_flood<M>(
 where
     M: EvolvingGraph,
 {
-    assert!(active_rounds > 0, "a node must be active for at least one round");
+    assert!(
+        active_rounds > 0,
+        "a node must be active for at least one round"
+    );
     let n = meg.num_nodes();
     assert!((source as usize) < n, "source out of range");
     let mut informed = NodeSet::singleton(n, source);
@@ -85,7 +88,11 @@ mod tests {
 
     #[test]
     fn on_static_graphs_it_matches_plain_flooding() {
-        for g in [generators::path(8), generators::grid2d(4, 4), generators::complete(9)] {
+        for g in [
+            generators::path(8),
+            generators::grid2d(4, 4),
+            generators::complete(9),
+        ] {
             let plain = flood_static(&g, 0);
             let mut meg = FrozenGraph::new(g);
             let pars = parsimonious_flood(&mut meg, 0, 1, 200);

@@ -80,8 +80,7 @@ mod tests {
         assert!(prob.completed);
         assert_eq!(Some(prob.rounds), plain.flooding_time());
         assert_eq!(
-            prob.informed_per_round,
-            plain.informed_per_round,
+            prob.informed_per_round, plain.informed_per_round,
             "β = 1 must reproduce the flooding trajectory exactly"
         );
     }

@@ -119,11 +119,23 @@ mod tests {
         let n = 100_000usize;
         let c = DEFAULT_THRESHOLD_CONSTANT;
         let thr = geometric_connectivity_threshold(n, c);
-        assert_eq!(geometric_regime(n, thr * 0.5, 1.0, c), GeometricRegime::BelowConnectivity);
-        assert_eq!(geometric_regime(n, thr * 2.0, 1.0, c), GeometricRegime::Tight);
+        assert_eq!(
+            geometric_regime(n, thr * 0.5, 1.0, c),
+            GeometricRegime::BelowConnectivity
+        );
+        assert_eq!(
+            geometric_regime(n, thr * 2.0, 1.0, c),
+            GeometricRegime::Tight
+        );
         let sqrt_n = (n as f64).sqrt();
-        assert_eq!(geometric_regime(n, sqrt_n * 0.9, 1.0, c), GeometricRegime::UpperBoundOnly);
-        assert_eq!(geometric_regime(n, sqrt_n * 1.5, 1.0, c), GeometricRegime::Saturated);
+        assert_eq!(
+            geometric_regime(n, sqrt_n * 0.9, 1.0, c),
+            GeometricRegime::UpperBoundOnly
+        );
+        assert_eq!(
+            geometric_regime(n, sqrt_n * 1.5, 1.0, c),
+            GeometricRegime::Saturated
+        );
         // High speed breaks tightness even at moderate radius.
         assert_eq!(
             geometric_regime(n, thr * 2.0, thr * 20.0, c),

@@ -127,7 +127,10 @@ mod tests {
         for _ in 0..5 {
             let before = meg.alive_edges();
             let snap_edges = meg.advance().num_edges();
-            assert_eq!(snap_edges, before, "snapshot must reflect the pre-step states");
+            assert_eq!(
+                snap_edges, before,
+                "snapshot must reflect the pre-step states"
+            );
         }
         assert_eq!(meg.time(), 5);
     }
@@ -165,7 +168,10 @@ mod tests {
         let params = EdgeMegParams::new(80, 0.01, 0.0);
         let mut meg = DenseEdgeMeg::new(params, InitialDistribution::Empty, 5);
         let first = meg.advance().num_edges();
-        assert_eq!(first, 0, "the first snapshot of an empty start has no edges");
+        assert_eq!(
+            first, 0,
+            "the first snapshot of an empty start has no edges"
+        );
         for _ in 0..60 {
             meg.advance();
         }

@@ -89,7 +89,10 @@ mod tests {
         let snap = sample_stationary_snapshot(params, &mut rng);
         let expected = params.expected_stationary_edges();
         let got = snap.num_edges() as f64;
-        assert!((got - expected).abs() < 0.2 * expected, "edges {got} vs {expected}");
+        assert!(
+            (got - expected).abs() < 0.2 * expected,
+            "edges {got} vs {expected}"
+        );
     }
 
     #[test]

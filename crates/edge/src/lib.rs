@@ -16,6 +16,29 @@
 //!
 //! [`init`] provides the stationary / empty / full initialisations used by the
 //! stationary-vs-worst-case gap experiments.
+//!
+//! ## Example
+//!
+//! The dense and sparse engines implement the same model; under the same
+//! parameters and budget both flood completely in the connected regime:
+//!
+//! ```
+//! use meg_core::flooding::flood;
+//! use meg_edge::{DenseEdgeMeg, EdgeMegParams, SparseEdgeMeg};
+//!
+//! let n = 400;
+//! let p_hat = 3.0 * (n as f64).ln() / n as f64;
+//! let params = EdgeMegParams::with_stationary(n, p_hat, 0.5);
+//!
+//! let dense_time = flood(&mut DenseEdgeMeg::stationary(params, 7), 0, 10_000)
+//!     .flooding_time()
+//!     .expect("dense engine floods");
+//! let sparse_time = flood(&mut SparseEdgeMeg::stationary(params, 7), 0, 10_000)
+//!     .flooding_time()
+//!     .expect("sparse engine floods");
+//! // Same model ⇒ same order of magnitude (a few rounds above threshold).
+//! assert!(dense_time <= 20 && sparse_time <= 20);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -29,7 +29,10 @@ impl EdgeMegParams {
     ///
     /// Panics if `p̂ ∈ (0, 1)` does not hold or the implied `p` exceeds 1.
     pub fn with_stationary(n: usize, p_hat: f64, q: f64) -> Self {
-        assert!((0.0..1.0).contains(&p_hat) && p_hat > 0.0, "p̂ must lie in (0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p_hat) && p_hat > 0.0,
+            "p̂ must lie in (0, 1)"
+        );
         assert!(q > 0.0 && q <= 1.0, "death rate must lie in (0, 1]");
         let p = q * p_hat / (1.0 - p_hat);
         assert!(p <= 1.0, "implied birth rate {p} exceeds 1; lower q or p̂");

@@ -116,7 +116,12 @@ impl SparseEdgeMeg {
 /// Calls `visit` on each index in `0..total` selected independently with
 /// probability `prob`, using geometric skip-sampling (expected cost
 /// `O(total · prob)`).
-fn sample_bernoulli_indices<R: Rng>(total: u64, prob: f64, rng: &mut R, mut visit: impl FnMut(u64)) {
+fn sample_bernoulli_indices<R: Rng>(
+    total: u64,
+    prob: f64,
+    rng: &mut R,
+    mut visit: impl FnMut(u64),
+) {
     if prob <= 0.0 || total == 0 {
         return;
     }
@@ -267,8 +272,14 @@ mod tests {
         sparse_mean /= window as f64;
         dense_mean /= window as f64;
         let expected = 249.0 * 0.04;
-        assert!((sparse_mean - expected).abs() < 1.5, "sparse mean {sparse_mean}");
-        assert!((dense_mean - expected).abs() < 1.5, "dense mean {dense_mean}");
+        assert!(
+            (sparse_mean - expected).abs() < 1.5,
+            "sparse mean {sparse_mean}"
+        );
+        assert!(
+            (dense_mean - expected).abs() < 1.5,
+            "dense mean {dense_mean}"
+        );
         assert!((sparse_mean - dense_mean).abs() < 2.0);
     }
 
@@ -282,7 +293,7 @@ mod tests {
         let result = flood(&mut meg, 0, 10_000);
         assert_eq!(result.outcome, FloodingOutcome::Completed);
         let t = result.flooding_time().unwrap();
-        assert!(t >= 2 && t <= 30, "flooding time {t}");
+        assert!((2..=30).contains(&t), "flooding time {t}");
     }
 
     #[test]

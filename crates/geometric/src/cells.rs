@@ -143,12 +143,8 @@ impl CellPartition {
         let m = self.cells_per_axis;
         assert_eq!(colors.len(), m * m);
         let is_black = |x: usize, y: usize| colors[y * m + x] == CellColor::Black;
-        let black_rows = (0..m)
-            .filter(|&y| (0..m).all(|x| is_black(x, y)))
-            .count();
-        let black_cols = (0..m)
-            .filter(|&x| (0..m).all(|y| is_black(x, y)))
-            .count();
+        let black_rows = (0..m).filter(|&y| (0..m).all(|x| is_black(x, y))).count();
+        let black_cols = (0..m).filter(|&x| (0..m).all(|y| is_black(x, y))).count();
         (black_rows, black_cols)
     }
 }
@@ -178,7 +174,11 @@ mod tests {
         assert_eq!(p.num_cells(), 16);
         assert_eq!(p.cell_of((0.0, 0.0)), (0, 0));
         assert_eq!(p.cell_of((9.99, 9.99)), (3, 3));
-        assert_eq!(p.cell_of((10.0, 10.0)), (3, 3), "boundary clamps into the last cell");
+        assert_eq!(
+            p.cell_of((10.0, 10.0)),
+            (3, 3),
+            "boundary clamps into the last cell"
+        );
         assert_eq!(p.cell_of((2.6, 7.4)), (1, 2));
         assert_eq!(p.linear_index((1, 2)), 9);
     }

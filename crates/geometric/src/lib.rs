@@ -17,6 +17,23 @@
 //! * [`density`] — the density scaling of Observation 3.3;
 //! * [`snapshot`] — one-shot stationary snapshots for expansion and
 //!   connectivity experiments that do not need the full dynamics.
+//!
+//! ## Example
+//!
+//! ```
+//! use meg_core::flooding::flood;
+//! use meg_geometric::{GeometricMeg, GeometricMegParams};
+//!
+//! // 300 stations, move radius r = R/2, transmission radius R above the
+//! // connectivity threshold — the regime of Corollary 3.6.
+//! let n = 300;
+//! let radius = 2.0 * (n as f64).ln().sqrt();
+//! let params = GeometricMegParams::new(n, radius / 2.0, radius);
+//! let mut meg = GeometricMeg::from_params(params, 2009);
+//! let result = flood(&mut meg, 0, 10_000);
+//! let time = result.flooding_time().expect("connected regime floods");
+//! assert!(time >= 1);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -62,7 +62,10 @@ impl<M: Mobility> GeometricMeg<M> {
     /// Wraps a mobility model (whose positions should already be stationary —
     /// every model in `meg-mobility` initialises itself that way).
     pub fn new(mobility: M, transmission_radius: f64, seed: u64) -> Self {
-        assert!(transmission_radius > 0.0, "transmission radius must be positive");
+        assert!(
+            transmission_radius > 0.0,
+            "transmission radius must be positive"
+        );
         let n = mobility.num_nodes();
         GeometricMeg {
             mobility,
@@ -98,7 +101,11 @@ impl<M: Mobility> GeometricMeg<M> {
     /// Builds (and returns a reference to) the snapshot of the *current*
     /// positions without advancing the mobility process.
     pub fn current_snapshot(&mut self) -> &AdjacencyList {
-        self.snapshot = radius_graph(self.mobility.positions(), self.radius, self.mobility.region());
+        self.snapshot = radius_graph(
+            self.mobility.positions(),
+            self.radius,
+            self.mobility.region(),
+        );
         &self.snapshot
     }
 }
@@ -132,7 +139,11 @@ impl<M: Mobility> EvolvingGraph for GeometricMeg<M> {
     }
 
     fn advance(&mut self) -> &AdjacencyList {
-        self.snapshot = radius_graph(self.mobility.positions(), self.radius, self.mobility.region());
+        self.snapshot = radius_graph(
+            self.mobility.positions(),
+            self.radius,
+            self.mobility.region(),
+        );
         self.mobility.advance(&mut self.rng);
         self.time += 1;
         &self.snapshot
@@ -184,7 +195,10 @@ mod tests {
         let params = GeometricMegParams::new(400, 1.0, 6.0);
         let mut meg = GeometricMeg::from_params(params, 11);
         let snap = meg.current_snapshot().clone();
-        assert!(connectivity::is_connected(&snap), "stationary snapshot should be connected");
+        assert!(
+            connectivity::is_connected(&snap),
+            "stationary snapshot should be connected"
+        );
         let result = flood(&mut meg, 0, 10_000);
         assert_eq!(result.outcome, FloodingOutcome::Completed);
         // Flooding should take at least ~√n/(R+r) rounds and at most a few dozen.

@@ -55,8 +55,10 @@ pub fn radius_graph(positions: &[Point], radius: f64, region: Region) -> Adjacen
             // against processing a pair twice via a canonical-index check.
             for (dx, dy) in [(1isize, 0isize), (-1, 1), (0, 1), (1, 1)] {
                 let (nx, ny) = if wrap {
-                    (((bx as isize + dx).rem_euclid(m)) as usize,
-                     ((by as isize + dy).rem_euclid(m)) as usize)
+                    (
+                        ((bx as isize + dx).rem_euclid(m)) as usize,
+                        ((by as isize + dy).rem_euclid(m)) as usize,
+                    )
                 } else {
                     let nx = bx as isize + dx;
                     let ny = by as isize + dy;
@@ -162,7 +164,10 @@ mod tests {
         let region = Region::Torus { side: 10.0 };
         let pos = [(0.2, 5.0), (9.8, 5.0), (5.0, 5.0)];
         let g = radius_graph(&pos, 1.0, region);
-        assert!(g.has_edge(0, 1), "nodes near opposite edges are close on the torus");
+        assert!(
+            g.has_edge(0, 1),
+            "nodes near opposite edges are close on the torus"
+        );
         assert_eq!(g.num_edges(), 1);
         // Same positions under the square metric are far apart.
         let sq = radius_graph(&pos, 1.0, Region::Square { side: 10.0 });
@@ -184,6 +189,9 @@ mod tests {
         let region = Region::Square { side: 5.0 };
         assert_eq!(radius_graph(&[], 1.0, region).num_nodes(), 0);
         assert_eq!(radius_graph(&[(1.0, 1.0)], 1.0, region).num_edges(), 0);
-        assert_eq!(radius_graph(&[(1.0, 1.0), (1.5, 1.0)], 0.0, region).num_edges(), 0);
+        assert_eq!(
+            radius_graph(&[(1.0, 1.0), (1.5, 1.0)], 0.0, region).num_edges(),
+            0
+        );
     }
 }

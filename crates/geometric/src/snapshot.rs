@@ -25,7 +25,10 @@ pub struct StationarySnapshot {
 
 /// Samples one stationary snapshot of the paper's canonical model
 /// `G(n, r, R, ε)`.
-pub fn sample_paper_snapshot<R: Rng>(params: GeometricMegParams, rng: &mut R) -> StationarySnapshot {
+pub fn sample_paper_snapshot<R: Rng>(
+    params: GeometricMegParams,
+    rng: &mut R,
+) -> StationarySnapshot {
     let walk = GridWalk::new(
         GridWalkParams {
             n: params.n,

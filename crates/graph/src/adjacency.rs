@@ -44,7 +44,10 @@ impl AdjacencyList {
     /// `u == v`. Panics if either endpoint is out of range.
     pub fn add_edge(&mut self, u: Node, v: Node) -> bool {
         let n = self.adj.len();
-        assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of range for n={n}");
+        assert!(
+            (u as usize) < n && (v as usize) < n,
+            "edge ({u},{v}) out of range for n={n}"
+        );
         if u == v {
             return false;
         }
@@ -66,7 +69,10 @@ impl AdjacencyList {
     /// the crate's simple-graph invariant, so callers must uphold uniqueness.
     pub fn add_edge_unchecked(&mut self, u: Node, v: Node) {
         debug_assert_ne!(u, v, "self-loop");
-        debug_assert!(!self.adj[u as usize].contains(&v), "duplicate edge ({u},{v})");
+        debug_assert!(
+            !self.adj[u as usize].contains(&v),
+            "duplicate edge ({u},{v})"
+        );
         self.adj[u as usize].push(v);
         self.adj[v as usize].push(u);
         self.num_edges += 1;

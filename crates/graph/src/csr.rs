@@ -28,7 +28,10 @@ impl Csr {
             if u == v {
                 continue;
             }
-            assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of range");
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge ({u},{v}) out of range"
+            );
             deg[u as usize] += 1;
             deg[v as usize] += 1;
             kept += 1;

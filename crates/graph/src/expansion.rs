@@ -31,7 +31,7 @@ pub fn expansion_ratio<G: Graph + ?Sized>(g: &G, set: &NodeSet) -> f64 {
 /// Cost is `Σ_{i≤h} C(n, i)`; intended for `n ≤ ~20` in tests and for
 /// cross-validating the sampling estimators.
 pub fn is_hk_expander_exact<G: Graph + ?Sized>(g: &G, h: usize, k: f64) -> bool {
-    worst_expansion_exact(g, h).map_or(true, |(_, ratio)| ratio >= k)
+    worst_expansion_exact(g, h).is_none_or(|(_, ratio)| ratio >= k)
 }
 
 /// Exhaustively finds the set of size ≤ `h` with the worst expansion ratio.
@@ -57,7 +57,7 @@ pub fn worst_expansion_exact<G: Graph + ?Sized>(g: &G, h: usize) -> Option<(Node
         if !members.is_empty() {
             let set = NodeSet::from_iter(n, members.iter().copied());
             let ratio = expansion_ratio(g, &set);
-            if worst.as_ref().map_or(true, |(_, w)| ratio < *w) {
+            if worst.as_ref().is_none_or(|(_, w)| ratio < *w) {
                 *worst = Some((set, ratio));
             }
         }

@@ -166,8 +166,14 @@ pub fn geometric_from_positions(positions: &[(f64, f64)], radius: f64) -> Adjace
     let r2 = radius * radius;
     let min_x = positions.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
     let min_y = positions.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
-    let max_x = positions.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
-    let max_y = positions.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+    let max_x = positions
+        .iter()
+        .map(|p| p.0)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let max_y = positions
+        .iter()
+        .map(|p| p.1)
+        .fold(f64::NEG_INFINITY, f64::max);
     let cols = (((max_x - min_x) / radius).floor() as usize + 1).max(1);
     let rows = (((max_y - min_y) / radius).floor() as usize + 1).max(1);
     let cell_of = |p: (f64, f64)| -> (usize, usize) {

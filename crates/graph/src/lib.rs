@@ -20,6 +20,24 @@
 //!
 //! The crate is deliberately free of any "evolving" notion: dynamics live in
 //! `meg-core` and the model crates.
+//!
+//! ## Example
+//!
+//! ```
+//! use meg_graph::{bfs, connectivity, AdjacencyList, Graph, NodeSet};
+//!
+//! // A 5-node path 0–1–2–3–4.
+//! let g = AdjacencyList::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+//! assert_eq!(g.num_edges(), 4);
+//! assert!(connectivity::is_connected(&g));
+//! assert_eq!(bfs::distances(&g, 0)[4], 4);
+//!
+//! // Node sets with constant-time membership over a fixed universe.
+//! let mut informed = NodeSet::new(5);
+//! informed.insert(0);
+//! let frontier = meg_graph::out_neighborhood(&g, &informed);
+//! assert_eq!(frontier.iter().collect::<Vec<_>>(), vec![1]);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

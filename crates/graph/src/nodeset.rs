@@ -83,7 +83,11 @@ impl NodeSet {
     #[inline]
     pub fn contains(&self, node: Node) -> bool {
         let i = node as usize;
-        debug_assert!(i < self.universe, "node {i} outside universe {}", self.universe);
+        debug_assert!(
+            i < self.universe,
+            "node {i} outside universe {}",
+            self.universe
+        );
         (self.words[i / 64] >> (i % 64)) & 1 == 1
     }
 
@@ -91,7 +95,11 @@ impl NodeSet {
     #[inline]
     pub fn insert(&mut self, node: Node) -> bool {
         let i = node as usize;
-        assert!(i < self.universe, "node {i} outside universe {}", self.universe);
+        assert!(
+            i < self.universe,
+            "node {i} outside universe {}",
+            self.universe
+        );
         let w = &mut self.words[i / 64];
         let mask = 1u64 << (i % 64);
         if *w & mask == 0 {
@@ -107,7 +115,11 @@ impl NodeSet {
     #[inline]
     pub fn remove(&mut self, node: Node) -> bool {
         let i = node as usize;
-        assert!(i < self.universe, "node {i} outside universe {}", self.universe);
+        assert!(
+            i < self.universe,
+            "node {i} outside universe {}",
+            self.universe
+        );
         let w = &mut self.words[i / 64];
         let mask = 1u64 << (i % 64);
         if *w & mask != 0 {

@@ -128,7 +128,10 @@ mod tests {
 
     #[test]
     fn construction_validates() {
-        assert_eq!(DenseChain::from_rows(vec![]).unwrap_err(), ChainError::BadShape);
+        assert_eq!(
+            DenseChain::from_rows(vec![]).unwrap_err(),
+            ChainError::BadShape
+        );
         assert_eq!(
             DenseChain::from_rows(vec![vec![1.0, 0.0]]).unwrap_err(),
             ChainError::BadShape

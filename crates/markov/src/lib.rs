@@ -13,6 +13,23 @@
 //! The crate also provides a dense general-purpose chain ([`DenseChain`]) with
 //! stationary-distribution computation and mixing diagnostics, used for
 //! verifying the special-purpose implementations against brute force.
+//!
+//! ## Example
+//!
+//! ```
+//! use meg_markov::TwoStateChain;
+//!
+//! // Birth rate p = 0.2, death rate q = 0.3 → stationary edge probability
+//! // p̂ = p/(p+q) = 0.4.
+//! let chain = TwoStateChain::new(0.2, 0.3);
+//! let (pi_absent, pi_present) = chain.stationary();
+//! assert!((pi_present - 0.4).abs() < 1e-12);
+//! assert!((pi_absent + pi_present - 1.0).abs() < 1e-12);
+//!
+//! // Multi-step transition probabilities converge to the stationary law.
+//! let p100 = chain.prob_present_after(false, 100);
+//! assert!((p100 - pi_present).abs() < 1e-9);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

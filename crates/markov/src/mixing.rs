@@ -122,10 +122,16 @@ mod tests {
         let c = dense_two_state(0.01, 0.01);
         let m = mixing_time(&c, 0.01, 10_000);
         let t = m.mixing_time.expect("should mix within horizon");
-        assert!(t > 100, "two-state chain with p=q=0.01 needs many steps, got {t}");
+        assert!(
+            t > 100,
+            "two-state chain with p=q=0.01 needs many steps, got {t}"
+        );
         // closed form agrees within one step of rounding
         let closed = two_state_mixing_time(0.01, 0.01, 0.01).unwrap();
-        assert!((t as i64 - closed as i64).abs() <= 1, "numeric {t} vs closed {closed}");
+        assert!(
+            (t as i64 - closed as i64).abs() <= 1,
+            "numeric {t} vs closed {closed}"
+        );
     }
 
     #[test]

@@ -35,7 +35,11 @@ pub fn power_iteration(
 /// `½ Σ_i |p_i − q_i|`.
 pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
     assert_eq!(p.len(), q.len(), "distributions live on different spaces");
-    0.5 * p.iter().zip(q.iter()).map(|(a, b)| (a - b).abs()).sum::<f64>()
+    0.5 * p
+        .iter()
+        .zip(q.iter())
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>()
 }
 
 /// Checks that `pi` is (approximately) invariant for `chain`:

@@ -79,8 +79,7 @@ impl<'a, G: Graph> SupportWalk<'a, G> {
         let weights: Vec<f64> = (0..n as Node)
             .map(|x| self.candidate_count(x) as f64)
             .collect();
-        crate::stationary::normalize(&weights)
-            .unwrap_or_else(|| vec![1.0 / n.max(1) as f64; n])
+        crate::stationary::normalize(&weights).unwrap_or_else(|| vec![1.0 / n.max(1) as f64; n])
     }
 
     /// Samples a position from the stationary distribution.
@@ -148,8 +147,8 @@ mod tests {
         let pi = w.stationary_distribution();
         // weights: center 4, each leaf 2 → total 10
         assert!((pi[0] - 0.4).abs() < 1e-12);
-        for leaf in 1..4 {
-            assert!((pi[leaf] - 0.2).abs() < 1e-12);
+        for &pi_leaf in &pi[1..4] {
+            assert!((pi_leaf - 0.2).abs() < 1e-12);
         }
     }
 
@@ -178,7 +177,7 @@ mod tests {
         let g = generators::cycle(5);
         let w = SupportWalk::lazy(&g);
         let mut rng = ChaCha8Rng::seed_from_u64(21);
-        let mut counts = vec![0usize; 5];
+        let mut counts = [0usize; 5];
         let mut pos: Node = 0;
         let steps = 60_000;
         for _ in 0..steps {

@@ -12,11 +12,7 @@ use proptest::prelude::*;
 /// strictly positive entries (so the chain is irreducible and aperiodic).
 fn stochastic_matrix() -> impl Strategy<Value = Vec<Vec<f64>>> {
     (2usize..6).prop_flat_map(|n| {
-        proptest::collection::vec(
-            proptest::collection::vec(0.05f64..1.0, n),
-            n,
-        )
-        .prop_map(|rows| {
+        proptest::collection::vec(proptest::collection::vec(0.05f64..1.0, n), n).prop_map(|rows| {
             rows.into_iter()
                 .map(|row| {
                     let sum: f64 = row.iter().sum();

@@ -116,8 +116,7 @@ impl Mobility for Billiard {
 
     fn sample_stationary<R: Rng>(&mut self, rng: &mut R) {
         for node in 0..self.n {
-            self.positions[node] =
-                (rng.gen_range(0.0..self.side), rng.gen_range(0.0..self.side));
+            self.positions[node] = (rng.gen_range(0.0..self.side), rng.gen_range(0.0..self.side));
             self.velocities[node] = self.random_velocity(rng);
         }
     }

@@ -343,8 +343,14 @@ mod tests {
         }
         let f_corner = at_corner as f64 / trials as f64;
         let f_center = at_center as f64 / trials as f64;
-        assert!((f_corner - p_corner).abs() < 0.01, "corner {f_corner} vs {p_corner}");
-        assert!((f_center - p_center).abs() < 0.01, "center {f_center} vs {p_center}");
+        assert!(
+            (f_corner - p_corner).abs() < 0.01,
+            "corner {f_corner} vs {p_corner}"
+        );
+        assert!(
+            (f_center - p_center).abs() < 0.01,
+            "center {f_center} vs {p_center}"
+        );
     }
 
     #[test]
@@ -375,8 +381,7 @@ mod tests {
         let expected = border_weight / total_weight;
         w.advance(&mut rng);
         w.advance(&mut rng);
-        let observed =
-            w.coords().iter().filter(|c| is_border(c)).count() as f64 / params.n as f64;
+        let observed = w.coords().iter().filter(|c| is_border(c)).count() as f64 / params.n as f64;
         assert!(
             (observed - expected).abs() < 0.04,
             "border occupancy {observed} vs stationary {expected}"

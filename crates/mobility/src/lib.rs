@@ -20,6 +20,25 @@
 //!
 //! [`stationary`] provides the occupancy-uniformity diagnostics the
 //! `exp_mobility_models` experiment reports.
+//!
+//! ## Example
+//!
+//! ```
+//! use meg_mobility::{grid_walk::GridWalkParams, GridWalk, Mobility};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(2009);
+//! // 100 stations on a 10×10 square, move radius 2, unit grid resolution
+//! // (the paper's model, started from its stationary distribution).
+//! let params = GridWalkParams { n: 100, side: 10.0, move_radius: 2.0, resolution: 1.0 };
+//! let mut walk = GridWalk::new(params, &mut rng);
+//! assert_eq!(walk.num_nodes(), 100);
+//!
+//! let before = walk.positions().to_vec();
+//! walk.advance(&mut rng);
+//! let moved = meg_mobility::traits::max_displacement(&before, &walk);
+//! assert!(moved <= walk.max_step_distance() + 1e-9);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

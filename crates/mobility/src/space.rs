@@ -82,9 +82,7 @@ impl Region {
     /// torus after wrapping).
     pub fn contains(&self, p: Point) -> bool {
         match *self {
-            Region::Square { side } => {
-                (0.0..=side).contains(&p.0) && (0.0..=side).contains(&p.1)
-            }
+            Region::Square { side } => (0.0..=side).contains(&p.0) && (0.0..=side).contains(&p.1),
             Region::Torus { .. } => true,
         }
     }

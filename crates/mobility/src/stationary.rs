@@ -96,9 +96,10 @@ pub fn measure_uniformity<M: Mobility, R: Rng>(
     let mut counts = vec![0usize; cells_per_axis * cells_per_axis];
     for _ in 0..steps.max(1) {
         model.advance(rng);
-        for (acc, c) in counts
-            .iter_mut()
-            .zip(cell_occupancy(model.positions(), side, cells_per_axis))
+        for (acc, c) in
+            counts
+                .iter_mut()
+                .zip(cell_occupancy(model.positions(), side, cells_per_axis))
         {
             *acc += c;
         }
@@ -114,8 +115,8 @@ pub fn measure_uniformity<M: Mobility, R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Billiard, GridWalk, RandomWaypoint, TorusWalkers};
     use crate::grid_walk::GridWalkParams;
+    use crate::{Billiard, GridWalk, RandomWaypoint, TorusWalkers};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
@@ -164,7 +165,12 @@ mod tests {
         let side = 30.0;
 
         let mut grid = GridWalk::new(
-            GridWalkParams { n, side, move_radius: 2.0, resolution: 1.0 },
+            GridWalkParams {
+                n,
+                side,
+                move_radius: 2.0,
+                resolution: 1.0,
+            },
             &mut rng,
         );
         let mut walkers = TorusWalkers::new(n, side, 2.0, 1.0, &mut rng);
@@ -174,8 +180,14 @@ mod tests {
         let reports = [
             ("grid", measure_uniformity(&mut grid, 3, 5, &mut rng)),
             ("walkers", measure_uniformity(&mut walkers, 3, 5, &mut rng)),
-            ("waypoint", measure_uniformity(&mut waypoint, 3, 5, &mut rng)),
-            ("billiard", measure_uniformity(&mut billiard, 3, 5, &mut rng)),
+            (
+                "waypoint",
+                measure_uniformity(&mut waypoint, 3, 5, &mut rng),
+            ),
+            (
+                "billiard",
+                measure_uniformity(&mut billiard, 3, 5, &mut rng),
+            ),
         ];
         for (name, report) in reports {
             assert!(

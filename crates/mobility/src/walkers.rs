@@ -31,13 +31,19 @@ impl TorusWalkers {
         rng: &mut R,
     ) -> Self {
         assert!(n > 0, "need at least one node");
-        assert!(side > 0.0 && move_radius > 0.0, "side and move radius must be positive");
+        assert!(
+            side > 0.0 && move_radius > 0.0,
+            "side and move radius must be positive"
+        );
         assert!(
             resolution > 0.0 && resolution <= side,
             "resolution must lie in (0, side]"
         );
         let pts_per_axis = (side / resolution).floor() as i64;
-        assert!(pts_per_axis >= 1, "grid must contain at least one point per axis");
+        assert!(
+            pts_per_axis >= 1,
+            "grid must contain at least one point per axis"
+        );
         // The toroidal grid wraps after `pts_per_axis` points, so its effective
         // circumference is `pts_per_axis · ε`; use that as the region side so
         // that distances (and hence speed guarantees) are measured on the grid

@@ -117,8 +117,7 @@ impl Mobility for RandomWaypoint {
         // destination uniformly (speed uniform) is the standard perfect-
         // simulation initialisation for this variant.
         for node in 0..self.n {
-            self.positions[node] =
-                (rng.gen_range(0.0..self.side), rng.gen_range(0.0..self.side));
+            self.positions[node] = (rng.gen_range(0.0..self.side), rng.gen_range(0.0..self.side));
             self.pick_leg(node, rng);
         }
     }

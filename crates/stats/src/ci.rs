@@ -124,7 +124,9 @@ mod tests {
         let mut state = 12345u64;
         let mut xs = Vec::new();
         for _ in 0..200 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u = (state >> 11) as f64 / (1u64 << 53) as f64;
             xs.push(10.0 + (u - 0.5));
         }
@@ -134,9 +136,24 @@ mod tests {
 
     #[test]
     fn overlap_detection() {
-        let a = ConfidenceInterval { mean: 1.0, lower: 0.5, upper: 1.5, level: 0.95 };
-        let b = ConfidenceInterval { mean: 2.0, lower: 1.4, upper: 2.6, level: 0.95 };
-        let c = ConfidenceInterval { mean: 5.0, lower: 4.0, upper: 6.0, level: 0.95 };
+        let a = ConfidenceInterval {
+            mean: 1.0,
+            lower: 0.5,
+            upper: 1.5,
+            level: 0.95,
+        };
+        let b = ConfidenceInterval {
+            mean: 2.0,
+            lower: 1.4,
+            upper: 2.6,
+            level: 0.95,
+        };
+        let c = ConfidenceInterval {
+            mean: 5.0,
+            lower: 4.0,
+            upper: 6.0,
+            level: 0.95,
+        };
         assert!(a.overlaps(&b));
         assert!(b.overlaps(&a));
         assert!(!a.overlaps(&c));

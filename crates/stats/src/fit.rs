@@ -59,7 +59,11 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
             e * e
         })
         .sum();
-    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     Some(LinearFit {
         slope,
         intercept,
@@ -167,7 +171,10 @@ mod tests {
     #[test]
     fn noisy_line_has_reasonable_r_squared() {
         let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
-        let ys: Vec<f64> = xs.iter().map(|&x| 3.0 * x + 1.0 + ((x * 7.3).sin())).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| 3.0 * x + 1.0 + ((x * 7.3).sin()))
+            .collect();
         let f = linear_fit(&xs, &ys).unwrap();
         assert!((f.slope - 3.0).abs() < 0.05);
         assert!(f.r_squared > 0.99);

@@ -12,6 +12,21 @@
 //! * [`table`] — ASCII and CSV rendering of experiment tables;
 //! * [`runner`] — seeded, rayon-parallel Monte-Carlo trial execution;
 //! * [`seeds`] — deterministic per-trial RNG stream derivation.
+//!
+//! ## Example
+//!
+//! ```
+//! use meg_stats::{run_trials_sequential, Summary};
+//! use rand::Rng;
+//!
+//! // Each trial gets its own deterministic RNG stream derived from
+//! // (master seed, trial index); results are reproducible and identical
+//! // under sequential or parallel scheduling.
+//! let obs: Vec<f64> = run_trials_sequential(2009, 32, |_i, rng| rng.gen_range(0.0..10.0));
+//! let summary = Summary::of(&obs).unwrap();
+//! assert_eq!(summary.count, 32);
+//! assert!(summary.min >= 0.0 && summary.max < 10.0);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

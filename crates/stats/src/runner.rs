@@ -111,7 +111,11 @@ mod tests {
     #[test]
     fn adaptive_runner_stops_early_for_deterministic_outcomes() {
         let out = run_until_precise(9, 10, 1000, 0.5, |_, _| 7.0);
-        assert!(out.len() <= 20, "deterministic outcome should stop after two batches, got {}", out.len());
+        assert!(
+            out.len() <= 20,
+            "deterministic outcome should stop after two batches, got {}",
+            out.len()
+        );
         assert!(out.iter().all(|&x| x == 7.0));
     }
 

@@ -29,7 +29,11 @@ impl Summary {
         let n = samples.len();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let variance = if n > 1 {
-            samples.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0)
+            samples
+                .iter()
+                .map(|&x| (x - mean) * (x - mean))
+                .sum::<f64>()
+                / (n as f64 - 1.0)
         } else {
             0.0
         };

@@ -50,12 +50,16 @@ impl Table {
             cells.len(),
             self.header.len()
         );
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
     }
 
     /// Returns the cell at `(row, col)` if present.
     pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
-        self.rows.get(row).and_then(|r| r.get(col)).map(|s| s.as_str())
+        self.rows
+            .get(row)
+            .and_then(|r| r.get(col))
+            .map(|s| s.as_str())
     }
 
     /// Renders the table as aligned ASCII text.

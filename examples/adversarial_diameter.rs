@@ -19,13 +19,23 @@
 
 use meg::prelude::*;
 
+// The rotating bridge needs an even node count, hence `scaled_even`.
+#[path = "support/scale.rs"]
+mod support;
+use support::scaled_even as scaled;
+
 fn main() {
     let mut table = Table::new(
         "Snapshot diameter vs measured flooding time",
-        &["n", "evolving graph", "snapshot diameter", "worst-source flooding time"],
+        &[
+            "n",
+            "evolving graph",
+            "snapshot diameter",
+            "worst-source flooding time",
+        ],
     );
 
-    for n in [64usize, 256, 1024] {
+    for n in [scaled(64, 8), scaled(256, 16), scaled(1024, 32)] {
         let mut star = RotatingStar::new(n, 0);
         let source = star.worst_source();
         let diameter = star.snapshot_diameter();
@@ -61,7 +71,7 @@ fn main() {
     );
 
     // Verify the closed-form prediction for the star on one more size.
-    let n = 500usize;
+    let n = scaled(500, 24);
     let mut star = RotatingStar::new(n, 3);
     let predicted = star.predicted_worst_flooding_time();
     let source = star.worst_source();

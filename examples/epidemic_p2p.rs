@@ -20,8 +20,12 @@
 use meg::prelude::*;
 use meg::stats::table::fmt_f64;
 
+#[path = "support/scale.rs"]
+mod support;
+use support::scaled;
+
 fn main() {
-    let n = 1_000usize;
+    let n = scaled(1_000, 150);
     let p_hat = 4.0 * (n as f64).ln() / n as f64; // comfortably connected overlay
     let seed = 77;
 
@@ -30,7 +34,13 @@ fn main() {
     // --------------------------------------------------- stationary vs cold start
     let mut table = Table::new(
         "Dissemination time: warm (stationary) overlay vs cold start, by link churn",
-        &["death rate q", "birth rate p", "warm (rounds)", "cold start (rounds)", "gap"],
+        &[
+            "death rate q",
+            "birth rate p",
+            "warm (rounds)",
+            "cold start (rounds)",
+            "gap",
+        ],
     );
     for q in [0.5, 0.05, 0.005] {
         let params = EdgeMegParams::with_stationary(n, p_hat, q);

@@ -34,11 +34,18 @@ fn average_flooding_time(n: usize, move_radius: f64, radius: f64, trials: usize,
     }
 }
 
+#[path = "support/scale.rs"]
+mod support;
+use support::scaled;
+
 fn main() {
-    let n = 1_200usize;
+    let n = scaled(1_200, 150);
     let trials = 3usize;
     let threshold = spec::geometric_connectivity_threshold(n, spec::DEFAULT_THRESHOLD_CONSTANT);
-    println!("fleet size n = {n}, square side = {:.1}, connectivity threshold R ≥ {threshold:.2}\n", (n as f64).sqrt());
+    println!(
+        "fleet size n = {n}, square side = {:.1}, connectivity threshold R ≥ {threshold:.2}\n",
+        (n as f64).sqrt()
+    );
 
     // ------------------------------------------------ sweep transmission range
     let mut by_radius = Table::new(

@@ -8,6 +8,7 @@
 //! * how uniform its stationary occupancy actually is (TV distance and max/min
 //!   cell-occupancy ratio, the quantity Claim 1 controls), and
 //! * the flooding time of the induced geometric-MEG,
+//!
 //! and shows they all behave alike.
 //!
 //! Run with:
@@ -24,8 +25,12 @@ fn flooding_time_with<M: Mobility>(model: M, radius: f64, seed: u64) -> Option<u
     flood(&mut meg, 0, 100_000).flooding_time()
 }
 
+#[path = "support/scale.rs"]
+mod support;
+use support::scaled;
+
 fn main() {
-    let n = 1_000usize;
+    let n = scaled(1_000, 150);
     let side = (n as f64).sqrt();
     let radius = 2.0 * (n as f64).ln().sqrt();
     let move_radius = radius / 2.0;
@@ -36,7 +41,12 @@ fn main() {
 
     let mut table = Table::new(
         "Stationary uniformity and flooding time by mobility model",
-        &["model", "TV distance from uniform", "max/min cell occupancy", "flooding time"],
+        &[
+            "model",
+            "TV distance from uniform",
+            "max/min cell occupancy",
+            "flooding time",
+        ],
     );
 
     // The paper's grid random walk (reflecting square).

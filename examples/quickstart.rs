@@ -9,6 +9,10 @@
 
 use meg::prelude::*;
 
+#[path = "support/scale.rs"]
+mod support;
+use support::scaled;
+
 fn main() {
     let seed = 2009;
 
@@ -16,15 +20,23 @@ fn main() {
     // Edge-MEG M(n, p, q): every potential edge is a two-state birth/death
     // chain. We fix the stationary edge probability p̂ just above the
     // connectivity threshold c·log n / n.
-    let n = 2_000usize;
+    let n = scaled(2_000, 200);
     let p_hat = 3.0 * (n as f64).ln() / n as f64;
     let params = EdgeMegParams::with_stationary(n, p_hat, 0.5);
-    println!("edge-MEG: n = {n}, p̂ = {p_hat:.5}, p = {:.6}, q = {:.3}", params.p, params.q);
-    println!("  regime: {:?}", spec::edge_regime(n, p_hat, spec::DEFAULT_THRESHOLD_CONSTANT));
+    println!(
+        "edge-MEG: n = {n}, p̂ = {p_hat:.5}, p = {:.6}, q = {:.3}",
+        params.p, params.q
+    );
+    println!(
+        "  regime: {:?}",
+        spec::edge_regime(n, p_hat, spec::DEFAULT_THRESHOLD_CONSTANT)
+    );
 
     let mut edge_meg = SparseEdgeMeg::stationary(params, seed);
     let result = flood(&mut edge_meg, 0, 100_000);
-    let time = result.flooding_time().expect("connected regime: flooding completes");
+    let time = result
+        .flooding_time()
+        .expect("connected regime: flooding completes");
     let bounds = params.bounds();
     println!("  measured flooding time : {time} rounds");
     println!("  Theorem 4.3 upper shape: {:.2}", bounds.upper_shape());
@@ -35,7 +47,7 @@ fn main() {
     // Geometric-MEG G(n, r, R, ε): n mobile stations on a √n × √n square,
     // transmission radius R above the connectivity threshold c√(log n),
     // move radius r = R/2 (so Corollary 3.6 applies and flooding is Θ(√n/R)).
-    let n_geo = 1_500usize;
+    let n_geo = scaled(1_500, 200);
     let radius = 2.0 * (n_geo as f64).ln().sqrt();
     let move_radius = radius / 2.0;
     let geo_params = GeometricMegParams::new(n_geo, move_radius, radius);
@@ -51,7 +63,9 @@ fn main() {
 
     let mut geo_meg = GeometricMeg::from_params(geo_params, seed);
     let result = flood(&mut geo_meg, 0, 100_000);
-    let time = result.flooding_time().expect("connected regime: flooding completes");
+    let time = result
+        .flooding_time()
+        .expect("connected regime: flooding completes");
     let bounds = GeometricBounds::new(n_geo, radius, move_radius);
     println!("  measured flooding time : {time} rounds");
     println!("  Theorem 3.4 upper shape: {:.2}", bounds.upper_shape());

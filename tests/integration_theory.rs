@@ -37,7 +37,10 @@ fn general_theorem_pipeline_bounds_measured_flooding_for_edge_meg() {
     // expander-like family.
     let mut meg = SparseEdgeMeg::stationary(params, 1_000);
     let t = flood(&mut meg, 0, 100_000).flooding_time().unwrap() as f64;
-    assert!(bound <= 30.0 * t.max(1.0), "bound {bound} uselessly loose vs {t}");
+    assert!(
+        bound <= 30.0 * t.max(1.0),
+        "bound {bound} uselessly loose vs {t}"
+    );
 }
 
 #[test]
@@ -86,8 +89,14 @@ fn edge_meg_snapshots_stay_stationary_over_time() {
             late += mean / 10.0;
         }
     }
-    assert!((early - expected).abs() < 0.25 * expected, "early mean degree {early}");
-    assert!((late - expected).abs() < 0.25 * expected, "late mean degree {late}");
+    assert!(
+        (early - expected).abs() < 0.25 * expected,
+        "early mean degree {early}"
+    );
+    assert!(
+        (late - expected).abs() < 0.25 * expected,
+        "late mean degree {late}"
+    );
 }
 
 #[test]

@@ -98,7 +98,7 @@ proptest! {
         let budget = 200u64;
         let result = flood(&mut meg, 0, budget);
         prop_assert!(result.rounds <= budget);
-        prop_assert!(result.informed.len() >= 1);
+        prop_assert!(!result.informed.is_empty());
         prop_assert!(result.informed.contains(0));
         for w in result.informed_per_round.windows(2) {
             prop_assert!(w[0] <= w[1]);
