@@ -46,6 +46,17 @@ if [ "$MODE" != "quick" ]; then
         MEG_EXAMPLE_SCALE=0.1 cargo run -q --release --offline --example "$name" >/dev/null
     done
 
+    step "meg-lab smoke (built-in scenario, JSON-lines schema)"
+    SMOKE_OUT=$(MEG_SCALE=0.1 cargo run -q --release --offline -p meg-engine --bin meg-lab -- \
+        run quick_smoke --trials 2 --format json)
+    ROWS=$(printf '%s\n' "$SMOKE_OUT" | grep -c '^{"scenario":.*"completion_rate":.*}$' || true)
+    if [ "$ROWS" -lt 1 ]; then
+        echo "meg-lab smoke produced no well-formed JSON-lines rows:" >&2
+        printf '%s\n' "$SMOKE_OUT" >&2
+        exit 1
+    fi
+    echo "meg-lab emitted $ROWS well-formed JSON rows"
+
     step "bench compile check"
     cargo check -q --workspace --benches --offline
 fi

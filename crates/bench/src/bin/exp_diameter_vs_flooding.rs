@@ -85,10 +85,10 @@ fn main() {
     }
     emit(&table);
 
-    println!(
+    meg_bench::commentary(
         "Expected shape: the rotating star's flooding time grows linearly in n despite its\n\
          constant diameter (and its measured Theorem 2.5 bound grows with it, because its\n\
          expansion is ~1/h), while the rotating bridge floods in a constant number of\n\
-         rounds with a constant measured bound — diameter is irrelevant, expansion decides."
+         rounds with a constant measured bound — diameter is irrelevant, expansion decides.",
     );
 }

@@ -40,11 +40,11 @@ fn main() {
         }
         snapshot = Some(g);
     }
-    println!(
+    meg_bench::commentary(format!(
         "stationary snapshot G(n = {n}, p̂ = {p_hat:.5}): {connected}/{} sampled snapshots connected, average degree ≈ {:.1}\n",
         trials(),
         bounds.expected_degree()
-    );
+    ));
 
     let g = snapshot.expect("at least one snapshot");
     let mut table = Table::new(
@@ -83,9 +83,9 @@ fn main() {
     }
     emit(&table);
 
-    println!(
+    meg_bench::commentary(
         "Expected shape: small sets expand by about the expected degree np̂ (flat in h),\n\
          larger sets by about n/(ch) (falling like 1/h) — the two inputs Theorem 2.5 turns\n\
-         into the O(log n / log(np̂) + log log(np̂)) flooding bound."
+         into the O(log n / log(np̂) + log log(np̂)) flooding bound.",
     );
 }

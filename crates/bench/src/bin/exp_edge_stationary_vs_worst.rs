@@ -64,9 +64,9 @@ fn main() {
     }
     emit(&table);
 
-    println!(
+    meg_bench::commentary(
         "Expected shape: the stationary column is flat (a handful of rounds, independent of\n\
          q), while the empty-start column grows like 1/p as q shrinks — the gap widens\n\
-         without bound exactly in the regimes where the paper's gap conditions hold."
+         without bound exactly in the regimes where the paper's gap conditions hold.",
     );
 }

@@ -67,9 +67,9 @@ fn main() {
     }
     emit(&table);
 
-    println!(
+    meg_bench::commentary(
         "Expected shape: flooding time decreases as p̂ (equivalently the expected degree np̂)\n\
          grows, and every row sits between the Theorem 4.4 lower bound and a small constant\n\
-         times the Theorem 4.3 upper shape — who wins never changes, only the gap narrows."
+         times the Theorem 4.3 upper shape — who wins never changes, only the gap narrows.",
     );
 }

@@ -1,93 +1,16 @@
 //! Experiment `exp_edge_vs_n` — Theorem 4.3 / Corollary 4.5.
 //!
-//! Sweeps the number of nodes `n` of a stationary edge-MEG with stationary
-//! edge probability pinned to the sparse connected regime `p̂ = 3 log n / n`,
-//! for two very different death rates `q` (fast and slow link churn). The
-//! measured flooding time should track the `Θ(log n / log(np̂))` shape of
-//! Corollary 4.5 — in this regime `np̂ = 3 log n`, so the predictor grows like
-//! `log n / log log n` — and should be essentially independent of `q`
-//! (stationarity is what matters, not the churn speed).
-
-use meg_bench::{edge_flooding_summary, emit, master_seed, mean_cell, range_cell, scaled, trials};
-use meg_core::evolving::InitialDistribution;
-use meg_core::spec;
-use meg_edge::EdgeMegParams;
-use meg_stats::fit::power_law_fit;
-use meg_stats::table::fmt_f64;
-use meg_stats::Table;
-
-fn run_sweep(q: f64, sizes: &[usize], seed: u64) {
-    let mut table = Table::new(
-        format!("exp_edge_vs_n: flooding time vs n (p̂ = 3·log n / n, q = {q})"),
-        &[
-            "n",
-            "p̂",
-            "np̂",
-            "regime",
-            "completion",
-            "mean T",
-            "range",
-            "log n / log(np̂)",
-            "T / shape",
-            "lower bound",
-        ],
-    );
-    let mut shapes = Vec::new();
-    let mut means = Vec::new();
-    for &n in sizes {
-        let p_hat = 3.0 * (n as f64).ln() / n as f64;
-        let params = EdgeMegParams::with_stationary(n, p_hat, q);
-        let (summary, rate) = edge_flooding_summary(
-            params,
-            InitialDistribution::Stationary,
-            trials(),
-            seed ^ n as u64,
-        );
-        let bounds = params.bounds();
-        let shape = bounds.theta_shape();
-        let regime = spec::edge_regime(n, p_hat, spec::DEFAULT_THRESHOLD_CONSTANT);
-        if let Some(s) = &summary {
-            shapes.push(shape);
-            means.push(s.mean);
-        }
-        table.push_row(&[
-            n.to_string(),
-            format!("{p_hat:.5}"),
-            fmt_f64(n as f64 * p_hat),
-            format!("{regime:?}"),
-            format!("{:.0}%", rate * 100.0),
-            mean_cell(&summary),
-            range_cell(&summary),
-            fmt_f64(shape),
-            summary
-                .as_ref()
-                .map(|s| fmt_f64(s.mean / shape))
-                .unwrap_or_else(|| "-".into()),
-            fmt_f64(bounds.lower()),
-        ]);
-    }
-    emit(&table);
-    if let Some(fit) = power_law_fit(&shapes, &means) {
-        println!(
-            "log–log fit of mean flooding time against log n / log(np̂): exponent {:.3} (theory: 1), R² {:.3}\n",
-            fit.exponent, fit.r_squared
-        );
-    }
-}
+//! Thin wrapper over the engine's built-in `edge_vs_n` scenario: sweeps `n`
+//! with the stationary edge probability pinned to the sparse connected regime
+//! `p̂ = 3·ln n / n`, for fast (`q = 0.5`) and slow (`q = 0.02`) link churn.
+//! Honours `MEG_SEED`, `MEG_TRIALS`, `MEG_SCALE`, `MEG_OUTPUT`; run
+//! `meg-lab show edge_vs_n` to see the scenario as JSON.
 
 fn main() {
-    let seed = master_seed();
-    let sizes: Vec<usize> = [1_000usize, 2_000, 4_000, 8_000, 16_000]
-        .iter()
-        .map(|&n| scaled(n))
-        .collect();
-
-    run_sweep(0.5, &sizes, seed);
-    run_sweep(0.02, &sizes, seed ^ 0xBEEF);
-
-    println!(
-        "Expected shape (Corollary 4.5): the ratio T / (log n / log(np̂)) stays roughly\n\
-         constant as n grows, and the fast-churn and slow-churn tables agree — in the\n\
-         stationary regime the churn rate q does not matter, only p̂ does."
+    meg_engine::harness::run_builtin_experiment(
+        "edge_vs_n",
+        "Expected shape (Corollary 4.5): mean flooding time tracks log n / log(np̂) as n\n\
+         grows, and the fast-churn (q=0.5) and slow-churn (q=0.02) rows agree — in the\n\
+         stationary regime the churn rate q does not matter, only p̂ does.",
     );
 }

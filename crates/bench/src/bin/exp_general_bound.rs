@@ -139,15 +139,15 @@ fn main() {
     // Corollary 2.6 illustration on a synthetic constant-expansion sequence.
     let n = 1_000_000usize;
     let ks = vec![2.0f64; n / 2];
-    println!(
+    meg_bench::commentary(format!(
         "Corollary 2.6 sanity value: constant expansion k = 2 on n = 10^6 gives Σ 1/(i·log 3) ≈ {:.1} (≈ log n / log 3 = {:.1})\n",
         corollary_2_6(&ks),
         (n as f64).ln() / 3f64.ln()
-    );
+    ));
 
-    println!(
+    meg_bench::commentary(
         "Expected shape: the evaluated bound dominates the measured flooding time on every\n\
          row; it is within a small factor for the expander-like rows (both MEG families,\n\
-         G(n,p̂)) and much looser for the 2-D grid, whose expansion genuinely is poor."
+         G(n,p̂)) and much looser for the 2-D grid, whose expansion genuinely is poor.",
     );
 }

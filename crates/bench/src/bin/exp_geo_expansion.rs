@@ -64,7 +64,7 @@ fn main() {
             .unwrap_or_else(|| "∞ (empty cell)".into()),
     ]);
     emit(&claim1);
-    println!("Expected: λ is a small constant (every cell holds Θ(R²) nodes).\n");
+    meg_bench::commentary("Expected: λ is a small constant (every cell holds Θ(R²) nodes).\n");
 
     // ------------------------------------------------ the two expansion regimes
     let snap = kept_snapshot.expect("at least one snapshot");
@@ -106,9 +106,9 @@ fn main() {
         h = (h * 4).min(n / 2);
     }
     emit(&profile);
-    println!(
+    meg_bench::commentary(
         "Expected shape: the measured worst-case expansion tracks αR²/h for small sets and\n\
          βR/√h for large ones (ratios of order 1), which is exactly the input Theorem 2.5\n\
-         needs to yield the O(√n/R + log log R) flooding bound."
+         needs to yield the O(√n/R + log log R) flooding bound.",
     );
 }

@@ -54,9 +54,9 @@ fn main() {
     }
     emit(&table);
 
-    println!(
+    meg_bench::commentary(
         "Expected shape: the mean flooding time is essentially flat for r/R ≤ 1 (mobility\n\
          has negligible impact — Corollary 3.6's regime) and starts to drop only once the\n\
-         node speed clearly exceeds the transmission radius."
+         node speed clearly exceeds the transmission radius.",
     );
 }

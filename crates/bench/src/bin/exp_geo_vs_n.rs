@@ -69,10 +69,10 @@ fn run_sweep(label: &str, radius_of: impl Fn(usize) -> f64, sizes: &[usize], see
     }
     emit(&table);
     if let Some(fit) = power_law_fit(&predictors, &means) {
-        println!(
+        meg_bench::commentary(format!(
             "log–log fit of mean flooding time against √n/R: exponent {:.3} (theory: 1), R² {:.3}\n",
             fit.exponent, fit.r_squared
-        );
+        ));
     }
 }
 
@@ -96,8 +96,8 @@ fn main() {
         seed ^ 0xABCD,
     );
 
-    println!(
+    meg_bench::commentary(
         "Expected shape (Corollary 3.6): with r = O(R) and R in the tight window, the\n\
-         ratio T / (√n/R) stays roughly constant as n grows and the fitted exponent is ≈ 1."
+         ratio T / (√n/R) stays roughly constant as n grows and the fitted exponent is ≈ 1.",
     );
 }

@@ -1,71 +1,16 @@
 //! Experiment `exp_geo_vs_radius` — Theorems 3.4 and 3.5.
 //!
-//! Fixes `n` and sweeps the transmission radius `R` from the connectivity
-//! threshold up to nearly the side of the square. The measured flooding time
-//! must always lie between the Theorem 3.5 lower bound `√n / (2(R + 2r))` and
-//! a constant multiple of the Theorem 3.4 upper-bound shape `√n/R + log log R`,
-//! and the crossover from "many rounds" to "a handful of rounds" happens as
-//! `R` approaches `√n`.
-
-use meg_bench::{emit, geo_flooding_summary, master_seed, mean_cell, range_cell, scaled, trials};
-use meg_core::bounds::GeometricBounds;
-use meg_core::spec;
-use meg_geometric::GeometricMegParams;
-use meg_stats::table::fmt_f64;
-use meg_stats::Table;
+//! Thin wrapper over the engine's built-in `geo_vs_radius` scenario: fixes
+//! `n` and sweeps the transmission radius `R` from the connectivity threshold
+//! up towards `√n` (with `r = R/2`). Honours `MEG_SEED`, `MEG_TRIALS`,
+//! `MEG_SCALE`, `MEG_OUTPUT`; run `meg-lab show geo_vs_radius` to see the
+//! scenario as JSON.
 
 fn main() {
-    let seed = master_seed();
-    let n = scaled(3_000);
-    let threshold = spec::geometric_connectivity_threshold(n, spec::DEFAULT_THRESHOLD_CONSTANT);
-    let side = (n as f64).sqrt();
-
-    let mut table = Table::new(
-        format!("exp_geo_vs_radius: flooding time vs transmission radius (n = {n}, r = R/2)"),
-        &[
-            "R",
-            "R / threshold",
-            "regime",
-            "completion",
-            "mean T",
-            "range",
-            "upper shape",
-            "lower bound",
-            "T within [lower, 4·upper]?",
-        ],
-    );
-
-    for factor in [1.0f64, 1.5, 2.0, 3.0, 5.0, 8.0] {
-        let radius = (threshold * factor).min(side * 0.95);
-        let move_radius = radius / 2.0;
-        let params = GeometricMegParams::new(n, move_radius, radius);
-        let (summary, rate) =
-            geo_flooding_summary(params, trials(), seed ^ (factor * 100.0) as u64);
-        let bounds = GeometricBounds::new(n, radius, move_radius);
-        let regime =
-            spec::geometric_regime(n, radius, move_radius, spec::DEFAULT_THRESHOLD_CONSTANT);
-        let sandwiched = summary
-            .as_ref()
-            .map(|s| s.mean >= bounds.lower() * 0.99 && s.mean <= 4.0 * bounds.upper(1.0) + 4.0)
-            .map(|ok| if ok { "yes" } else { "NO" }.to_string())
-            .unwrap_or_else(|| "-".into());
-        table.push_row(&[
-            fmt_f64(radius),
-            fmt_f64(factor),
-            format!("{regime:?}"),
-            format!("{:.0}%", rate * 100.0),
-            mean_cell(&summary),
-            range_cell(&summary),
-            fmt_f64(bounds.upper_shape()),
-            fmt_f64(bounds.lower()),
-            sandwiched,
-        ]);
-    }
-    emit(&table);
-
-    println!(
-        "Expected shape: mean flooding time decreases roughly like 1/R while R stays well\n\
-         below √n (= {side:.0} here), and every row is sandwiched between the Theorem 3.5\n\
-         lower bound and a small constant times the Theorem 3.4 upper-bound shape."
+    meg_engine::harness::run_builtin_experiment(
+        "geo_vs_radius",
+        "Expected shape (Thm 3.4/3.5): mean flooding time decreases roughly like 1/R while\n\
+         R stays well below √n, every row stays in the Tight/UpperBoundOnly regimes, and\n\
+         completion is 100% above the connectivity threshold.",
     );
 }

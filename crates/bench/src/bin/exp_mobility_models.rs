@@ -1,19 +1,19 @@
 //! Experiment `exp_mobility_models` — the "further mobility models" claim.
 //!
-//! The paper proves its geometric-MEG bounds for the grid random walk and
-//! argues (Sections 1 and 3) that the same expansion technique applies to any
-//! mobility model whose stationary position distribution is (almost) uniform:
-//! the random waypoint model on a torus, the random direction model with
-//! reflection (billiard), and the walkers model on a toroidal grid.
+//! The flooding-time comparison across the four mobility models now runs
+//! through the engine's built-in `mobility_models` scenario (one geometric
+//! substrate per model, identical radius and speed). This wrapper adds the
+//! stationary-occupancy uniformity diagnostics the scenario rows do not
+//! carry: the paper's expansion argument only needs the stationary position
+//! law to be (almost) uniform, so each model's TV distance from uniform and
+//! max/min cell-occupancy ratio are reported first.
 //!
-//! For each model this experiment measures (a) the uniformity of the
-//! stationary occupancy over the Theorem 3.2 cell partition and (b) the
-//! flooding time of the induced geometric-MEG, and checks that all models
-//! behave like the analysed one.
+//! Honours `MEG_SEED`, `MEG_TRIALS`, `MEG_SCALE`, `MEG_OUTPUT`; run
+//! `meg-lab show mobility_models` to see the scenario as JSON.
 
-use meg_bench::{emit, flooding_summary_with, master_seed, mean_cell, range_cell, scaled, trials};
-use meg_core::bounds::GeometricBounds;
-use meg_geometric::GeometricMeg;
+use meg_bench::{emit, master_seed, scaled};
+use meg_engine::harness;
+use meg_engine::sink::{format_from_env, OutputFormat};
 use meg_mobility::grid_walk::GridWalkParams;
 use meg_mobility::stationary::measure_uniformity;
 use meg_mobility::{Billiard, GridWalk, RandomWaypoint, TorusWalkers};
@@ -21,36 +21,27 @@ use meg_stats::seeds::labeled_rng;
 use meg_stats::table::fmt_f64;
 use meg_stats::Table;
 
-fn main() {
-    let seed = master_seed();
+fn uniformity_table(seed: u64) -> Table {
     let n = scaled(2_000);
     let side = (n as f64).sqrt();
     let radius = 2.0 * (n as f64).ln().sqrt();
     let move_radius = radius / 2.0;
     let cells = ((side / radius).floor() as usize).max(2);
-    let shape = GeometricBounds::new(n, radius, move_radius).theta_shape();
-
-    println!(
-        "n = {n}, side = {side:.1}, R = {radius:.2}, r = {move_radius:.2}, uniformity measured over {cells}×{cells} cells, Θ(√n/R) = {shape:.1}\n"
-    );
 
     let mut table = Table::new(
-        "exp_mobility_models: stationary uniformity and flooding time by mobility model",
+        format!(
+            "exp_mobility_models: stationary occupancy uniformity over {cells}×{cells} cells \
+             (n = {n}, r = {move_radius:.2})"
+        ),
         &[
             "model",
             "TV distance from uniform",
             "max/min cell occupancy",
-            "completion",
-            "mean T",
-            "range",
-            "T / (√n/R)",
         ],
     );
 
     // The `Mobility` trait is not object-safe (its methods are generic over
     // the RNG), so the models are enumerated explicitly instead of boxed.
-
-    // --- grid random walk (the analysed model)
     {
         let mut rng = labeled_rng(seed, "mob-grid");
         let mut probe = GridWalk::new(
@@ -63,121 +54,56 @@ fn main() {
             &mut rng,
         );
         let report = measure_uniformity(&mut probe, cells, 3, &mut rng);
-        let (summary, rate) = flooding_summary_with(trials(), |i| {
-            let mut rng = labeled_rng(seed ^ i as u64, "mob-grid-run");
-            let walk = GridWalk::new(
-                GridWalkParams {
-                    n,
-                    side,
-                    move_radius,
-                    resolution: 1.0,
-                },
-                &mut rng,
-            );
-            GeometricMeg::new(walk, radius, seed ^ i as u64)
-        });
-        push_model_row(
-            &mut table,
-            "grid random walk (paper)",
-            report.tv_distance,
-            report.max_min_ratio,
-            &summary,
-            rate,
-            shape,
-        );
+        table.push_row(&[
+            "grid random walk (paper)".to_string(),
+            fmt_f64(report.tv_distance),
+            fmt_f64(report.max_min_ratio),
+        ]);
     }
-
-    // --- walkers on a toroidal grid
     {
         let mut rng = labeled_rng(seed, "mob-walkers");
         let mut probe = TorusWalkers::new(n, side, move_radius, 1.0, &mut rng);
         let report = measure_uniformity(&mut probe, cells, 3, &mut rng);
-        let (summary, rate) = flooding_summary_with(trials(), |i| {
-            let mut rng = labeled_rng(seed ^ i as u64, "mob-walkers-run");
-            let model = TorusWalkers::new(n, side, move_radius, 1.0, &mut rng);
-            GeometricMeg::new(model, radius, seed ^ i as u64)
-        });
-        push_model_row(
-            &mut table,
-            "walkers on toroidal grid",
-            report.tv_distance,
-            report.max_min_ratio,
-            &summary,
-            rate,
-            shape,
-        );
+        table.push_row(&[
+            "walkers on toroidal grid".to_string(),
+            fmt_f64(report.tv_distance),
+            fmt_f64(report.max_min_ratio),
+        ]);
     }
-
-    // --- random waypoint on a torus
     {
         let mut rng = labeled_rng(seed, "mob-waypoint");
         let mut probe = RandomWaypoint::new(n, side, move_radius / 2.0, move_radius, &mut rng);
         let report = measure_uniformity(&mut probe, cells, 3, &mut rng);
-        let (summary, rate) = flooding_summary_with(trials(), |i| {
-            let mut rng = labeled_rng(seed ^ i as u64, "mob-waypoint-run");
-            let model = RandomWaypoint::new(n, side, move_radius / 2.0, move_radius, &mut rng);
-            GeometricMeg::new(model, radius, seed ^ i as u64)
-        });
-        push_model_row(
-            &mut table,
-            "random waypoint on torus",
-            report.tv_distance,
-            report.max_min_ratio,
-            &summary,
-            rate,
-            shape,
-        );
+        table.push_row(&[
+            "random waypoint on torus".to_string(),
+            fmt_f64(report.tv_distance),
+            fmt_f64(report.max_min_ratio),
+        ]);
     }
-
-    // --- random direction with reflection (billiard)
     {
         let mut rng = labeled_rng(seed, "mob-billiard");
         let mut probe = Billiard::new(n, side, move_radius / 2.0, move_radius, 0.1, &mut rng);
         let report = measure_uniformity(&mut probe, cells, 3, &mut rng);
-        let (summary, rate) = flooding_summary_with(trials(), |i| {
-            let mut rng = labeled_rng(seed ^ i as u64, "mob-billiard-run");
-            let model = Billiard::new(n, side, move_radius / 2.0, move_radius, 0.1, &mut rng);
-            GeometricMeg::new(model, radius, seed ^ i as u64)
-        });
-        push_model_row(
-            &mut table,
-            "random direction / billiard",
-            report.tv_distance,
-            report.max_min_ratio,
-            &summary,
-            rate,
-            shape,
-        );
+        table.push_row(&[
+            "random direction / billiard".to_string(),
+            fmt_f64(report.tv_distance),
+            fmt_f64(report.max_min_ratio),
+        ]);
     }
+    table
+}
 
-    emit(&table);
-    println!(
+fn main() {
+    // Machine-readable formats get only the engine rows; the uniformity
+    // diagnostics are a human-facing preamble.
+    if format_from_env() == OutputFormat::Table {
+        emit(&uniformity_table(master_seed()));
+    }
+    harness::run_builtin_experiment(
+        "mobility_models",
         "Expected shape: every model keeps the TV distance small and the max/min occupancy\n\
          ratio near 1, and their flooding times all sit within a small constant factor of\n\
          the same Θ(√n/R) value — supporting the paper's claim that only the (almost)\n\
-         uniform stationary distribution matters."
+         uniform stationary distribution matters.",
     );
-}
-
-fn push_model_row(
-    table: &mut Table,
-    name: &str,
-    tv: f64,
-    ratio: f64,
-    summary: &Option<meg_stats::Summary>,
-    rate: f64,
-    shape: f64,
-) {
-    table.push_row(&[
-        name.to_string(),
-        fmt_f64(tv),
-        fmt_f64(ratio),
-        format!("{:.0}%", rate * 100.0),
-        mean_cell(summary),
-        range_cell(summary),
-        summary
-            .as_ref()
-            .map(|s| fmt_f64(s.mean / shape))
-            .unwrap_or_else(|| "-".into()),
-    ]);
 }

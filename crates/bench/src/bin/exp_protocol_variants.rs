@@ -1,161 +1,18 @@
 //! Experiment `exp_protocol_variants` — flooding as the baseline.
 //!
-//! The paper motivates flooding as the latency baseline against which
-//! dissemination protocols for unknown dynamic topologies are judged. This
-//! experiment runs the protocol variants implemented in
-//! `meg-core::protocols` on the same stationary MEGs and reports completion
-//! time and message overhead, so the trade-off the literature describes is
-//! visible on both model families:
-//!
-//! * plain flooding — fastest, most messages;
-//! * probabilistic flooding (β < 1) — fewer messages, somewhat slower;
-//! * parsimonious flooding (k active rounds) — far fewer messages, can stall
-//!   on dynamic graphs if k is too small;
-//! * push–pull gossip — n messages per round, completion in O(log n) rounds on
-//!   dense snapshots.
-
-use meg_bench::{emit, master_seed, scaled};
-use meg_core::protocols::{
-    parsimonious_flood, probabilistic_flood, push_pull_gossip, ProtocolResult,
-};
-use meg_edge::{EdgeMegParams, SparseEdgeMeg};
-use meg_geometric::{GeometricMeg, GeometricMegParams};
-use meg_stats::seeds::labeled_rng;
-use meg_stats::Table;
-
-fn push_rows(table: &mut Table, family: &str, runs: &[(&str, ProtocolResult)]) {
-    for (protocol, result) in runs {
-        table.push_row(&[
-            family.to_string(),
-            protocol.to_string(),
-            result.completed.to_string(),
-            result.rounds.to_string(),
-            result.messages_sent.to_string(),
-            result.informed_count().to_string(),
-        ]);
-    }
-}
+//! Thin wrapper over the engine's built-in `protocol_variants` scenario:
+//! runs flooding, probabilistic flooding (β = 0.3), parsimonious flooding
+//! (k = 1 and k = 4), and push–pull gossip on one stationary edge-MEG and one
+//! stationary geometric-MEG. Honours `MEG_SEED`, `MEG_TRIALS`, `MEG_SCALE`,
+//! `MEG_OUTPUT`; run `meg-lab show protocol_variants` to see the scenario as
+//! JSON.
 
 fn main() {
-    let seed = master_seed();
-    let budget = 100_000u64;
-    let mut table = Table::new(
-        "exp_protocol_variants: dissemination protocols on stationary MEGs",
-        &[
-            "model",
-            "protocol",
-            "completed",
-            "rounds",
-            "messages",
-            "informed",
-        ],
-    );
-
-    // ------------------------------------------------------------- edge-MEG
-    let n = scaled(2_000);
-    let p_hat = 4.0 * (n as f64).ln() / n as f64;
-    let params = EdgeMegParams::with_stationary(n, p_hat, 0.2);
-    let mut rng = labeled_rng(seed, "protocols-edge");
-    let runs = vec![
-        (
-            "flooding",
-            probabilistic_flood(
-                &mut SparseEdgeMeg::stationary(params, seed),
-                0,
-                1.0,
-                budget,
-                &mut rng,
-            ),
-        ),
-        (
-            "probabilistic flooding β=0.3",
-            probabilistic_flood(
-                &mut SparseEdgeMeg::stationary(params, seed),
-                0,
-                0.3,
-                budget,
-                &mut rng,
-            ),
-        ),
-        (
-            "parsimonious flooding k=1",
-            parsimonious_flood(&mut SparseEdgeMeg::stationary(params, seed), 0, 1, budget),
-        ),
-        (
-            "parsimonious flooding k=4",
-            parsimonious_flood(&mut SparseEdgeMeg::stationary(params, seed), 0, 4, budget),
-        ),
-        (
-            "push–pull gossip",
-            push_pull_gossip(
-                &mut SparseEdgeMeg::stationary(params, seed),
-                0,
-                budget,
-                &mut rng,
-            ),
-        ),
-    ];
-    push_rows(
-        &mut table,
-        &format!("edge-MEG (n={n}, p̂={p_hat:.4})"),
-        &runs,
-    );
-
-    // -------------------------------------------------------- geometric-MEG
-    let n_geo = scaled(1_500);
-    let radius = 2.0 * (n_geo as f64).ln().sqrt();
-    let geo = GeometricMegParams::new(n_geo, radius / 2.0, radius);
-    let mut rng = labeled_rng(seed, "protocols-geo");
-    let runs = vec![
-        (
-            "flooding",
-            probabilistic_flood(
-                &mut GeometricMeg::from_params(geo, seed),
-                0,
-                1.0,
-                budget,
-                &mut rng,
-            ),
-        ),
-        (
-            "probabilistic flooding β=0.3",
-            probabilistic_flood(
-                &mut GeometricMeg::from_params(geo, seed),
-                0,
-                0.3,
-                budget,
-                &mut rng,
-            ),
-        ),
-        (
-            "parsimonious flooding k=1",
-            parsimonious_flood(&mut GeometricMeg::from_params(geo, seed), 0, 1, budget),
-        ),
-        (
-            "parsimonious flooding k=4",
-            parsimonious_flood(&mut GeometricMeg::from_params(geo, seed), 0, 4, budget),
-        ),
-        (
-            "push–pull gossip",
-            push_pull_gossip(
-                &mut GeometricMeg::from_params(geo, seed),
-                0,
-                budget,
-                &mut rng,
-            ),
-        ),
-    ];
-    push_rows(
-        &mut table,
-        &format!("geometric-MEG (n={n_geo}, R={radius:.1})"),
-        &runs,
-    );
-
-    emit(&table);
-    println!(
+    meg_engine::harness::run_builtin_experiment(
+        "protocol_variants",
         "Expected shape: plain flooding has the fewest rounds on both families (it is the\n\
          latency baseline the paper argues for); probabilistic and parsimonious variants\n\
          trade rounds — or even completion, for small k on dynamic graphs — for messages;\n\
-         push–pull needs more rounds but only n messages per round."
+         push–pull needs more rounds but only ~n messages per round.",
     );
 }

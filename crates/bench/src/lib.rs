@@ -69,11 +69,26 @@ pub fn scaled(n: usize) -> usize {
     ((n as f64) * scale()).round().max(4.0) as usize
 }
 
-/// Prints a table as ASCII, plus CSV when `MEG_CSV` is set.
+/// Emits a table through the engine's output sink: `MEG_OUTPUT=table|json|csv`
+/// selects the rendering (default: ASCII table). The legacy `MEG_CSV` knob
+/// still appends a CSV rendering after the ASCII one.
 pub fn emit(table: &Table) {
-    println!("{}", table.render_ascii());
-    if std::env::var("MEG_CSV").is_ok() {
-        println!("{}", table.render_csv());
+    let format = meg_engine::sink::format_from_env();
+    print!("{}", meg_engine::sink::render_table(table, format));
+    if format == meg_engine::OutputFormat::Table {
+        println!();
+        if std::env::var("MEG_CSV").is_ok() {
+            println!("{}", table.render_csv());
+        }
+    }
+}
+
+/// Prints human-facing commentary (expected-shape notes, fit lines) — only
+/// when the sink is the ASCII table. Machine-readable `MEG_OUTPUT=json|csv`
+/// streams must stay free of prose.
+pub fn commentary(text: impl std::fmt::Display) {
+    if meg_engine::sink::format_from_env() == meg_engine::OutputFormat::Table {
+        println!("{text}");
     }
 }
 

@@ -1,41 +1,143 @@
 //! Offline stand-in for the crates.io `rayon` crate.
 //!
 //! Provides the `into_par_iter()` / `par_iter()` entry points the workspace
-//! uses, executing **sequentially** on the calling thread. Because the
-//! workspace's trial runner derives an independent RNG per trial index, its
-//! results are identical under sequential and parallel execution — swapping
-//! the real rayon back in (when a registry is available) changes wall-clock
-//! time only, not output.
+//! uses. The owning path (`into_par_iter().map().collect()`) executes with
+//! **real parallelism** on `std::thread::scope` threads, chunked by the number
+//! of available cores, while preserving input order in the collected output.
+//! Because the workspace's trial runner derives an independent RNG per trial
+//! index, results are identical under sequential and parallel execution —
+//! swapping the real rayon back in (when a registry is available) changes
+//! scheduling details only, not output.
+//!
+//! The borrowing path (`par_iter()`) remains a sequential iterator: the
+//! workspace only uses it for cheap reductions where thread fan-out would
+//! cost more than it saves.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-/// Conversion into a "parallel" iterator (sequential in the shim). Mirrors
-/// `rayon::iter::IntoParallelIterator`; the returned iterator is the type's
-/// ordinary sequential iterator, so the full `Iterator` API (`map`,
-/// `filter`, `collect`, …) stands in for rayon's `ParallelIterator`.
+/// Number of worker threads used by [`ParMap::collect`]: the
+/// `RAYON_NUM_THREADS` environment variable when set (mirroring real rayon),
+/// otherwise [`std::thread::available_parallelism`].
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// An owned "parallel" iterator: the buffered items of the source iterator,
+/// awaiting a [`map`](ParIter::map) stage. Mirrors the entry point of
+/// `rayon::iter::IntoParallelIterator`.
+#[derive(Clone, Debug)]
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T> ParIter<T> {
+    /// Attaches the map stage; the closure runs on worker threads when the
+    /// pipeline is [`collect`](ParMap::collect)ed.
+    pub fn map<R, F: Fn(T) -> R>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Number of buffered items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the source yielded no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// A mapped parallel pipeline produced by [`ParIter::map`]; executing it via
+/// [`collect`](ParMap::collect) fans the items out across threads.
+#[derive(Clone, Debug)]
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, F> ParMap<T, F> {
+    /// Runs the pipeline and collects the mapped values **in input order**.
+    ///
+    /// Items are split into contiguous chunks (one per worker, workers capped
+    /// at [`current_num_threads`]); each `std::thread::scope` worker maps its
+    /// chunk, and the chunk outputs are concatenated in chunk order, so the
+    /// result is exactly `items.map(f)` regardless of scheduling. A panic in
+    /// the closure is propagated to the caller.
+    pub fn collect<R, C>(self) -> C
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        let ParMap { items, f } = self;
+        let threads = current_num_threads().min(items.len());
+        if threads <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let chunk_size = items.len().div_ceil(threads);
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+        let mut items = items.into_iter();
+        loop {
+            let chunk: Vec<T> = items.by_ref().take(chunk_size).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            chunks.push(chunk);
+        }
+        let f = &f;
+        let per_chunk: Vec<Vec<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect()
+        });
+        per_chunk.into_iter().flatten().collect()
+    }
+}
+
+/// Conversion into a parallel iterator. Mirrors
+/// `rayon::iter::IntoParallelIterator` for the `into_par_iter().map().collect()`
+/// pipeline shape the workspace uses.
 pub trait IntoParallelIterator {
     /// The element type.
     type Item;
-    /// The (sequential) iterator type.
-    type Iter: Iterator<Item = Self::Item>;
 
-    /// Converts `self` into an iterator; rayon would distribute it across a
-    /// thread pool, the shim yields items in order on the calling thread.
-    fn into_par_iter(self) -> Self::Iter;
+    /// Converts `self` into a [`ParIter`] whose `map`/`collect` pipeline runs
+    /// on scoped threads.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
 }
 
 impl<I: IntoIterator> IntoParallelIterator for I {
     type Item = I::Item;
-    type Iter = I::IntoIter;
 
-    fn into_par_iter(self) -> Self::Iter {
-        self.into_iter()
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
     }
 }
 
 /// Borrowing variant: `par_iter()` on collections. Mirrors
-/// `rayon::iter::IntoParallelRefIterator`.
+/// `rayon::iter::IntoParallelRefIterator`; sequential in the shim (the
+/// workspace only uses it for cheap reductions).
 pub trait IntoParallelRefIterator<'data> {
     /// The borrowed element type.
     type Item: 'data;
@@ -66,11 +168,62 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
 
     #[test]
     fn into_par_iter_preserves_order() {
         let v: Vec<usize> = (0..100).into_par_iter().map(|i| i * 2).collect();
         assert_eq!(v, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn large_inputs_match_sequential_mapping() {
+        let par: Vec<u64> = (0..10_000u64)
+            .into_par_iter()
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 7)
+            .collect();
+        let seq: Vec<u64> = (0..10_000u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 7)
+            .collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn uses_multiple_threads_when_available() {
+        let seen = Mutex::new(HashSet::new());
+        let out: Vec<usize> = (0..4096)
+            .into_par_iter()
+            .map(|i| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                i
+            })
+            .collect();
+        assert_eq!(out, (0..4096).collect::<Vec<_>>());
+        let distinct = seen.lock().unwrap().len();
+        if super::current_num_threads() > 1 {
+            assert!(
+                distinct > 1,
+                "expected work on several threads, saw {distinct}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x + 1).collect();
+        assert!(empty.is_empty());
+        let one: Vec<u32> = vec![41u32].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![42]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let _: Vec<u32> = (0..64u32)
+            .into_par_iter()
+            .map(|i| if i == 63 { panic!("boom") } else { i })
+            .collect();
     }
 
     #[test]

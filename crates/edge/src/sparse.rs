@@ -19,14 +19,17 @@ use meg_graph::generators::pair_from_index;
 use meg_graph::{AdjacencyList, Graph, Node};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Edge-MEG storing only the alive edges.
 #[derive(Clone, Debug)]
 pub struct SparseEdgeMeg {
     params: EdgeMegParams,
-    /// Linear pair indices of the alive edges.
-    alive: HashSet<u64>,
+    /// Linear pair indices of the alive edges, ordered so that the death
+    /// phase consumes RNG draws in a deterministic edge order (a `HashSet`
+    /// here would make trajectories depend on hash-iteration order, which is
+    /// randomized per instance).
+    alive: BTreeSet<u64>,
     rng: StdRng,
     snapshot: AdjacencyList,
     time: u64,
@@ -37,12 +40,12 @@ impl SparseEdgeMeg {
     pub fn new(params: EdgeMegParams, init: InitialDistribution, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let total_pairs = params.num_pairs();
-        let alive: HashSet<u64> = match init {
-            InitialDistribution::Empty => HashSet::new(),
+        let alive: BTreeSet<u64> = match init {
+            InitialDistribution::Empty => BTreeSet::new(),
             InitialDistribution::Full => (0..total_pairs).collect(),
             InitialDistribution::Stationary => {
                 let phat = params.stationary_edge_probability();
-                let mut set = HashSet::new();
+                let mut set = BTreeSet::new();
                 sample_bernoulli_indices(total_pairs, phat, &mut rng, |idx| {
                     set.insert(idx);
                 });

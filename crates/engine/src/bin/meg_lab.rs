@@ -1,0 +1,170 @@
+//! `meg-lab` — the single entry point for every experiment.
+//!
+//! ```text
+//! meg-lab list                      # built-in scenarios
+//! meg-lab show <name>               # print a scenario as JSON
+//! meg-lab run <name> [flags]        # run a built-in scenario
+//! meg-lab run --file scenario.json  # run a scenario from disk
+//!
+//! flags:
+//!   --seed N              master seed        (default: MEG_SEED or 2009)
+//!   --trials N            trials per cell    (default: MEG_TRIALS or scenario)
+//!   --scale F             node-count scale   (default: MEG_SCALE or 1)
+//!   --format table|json|csv                  (default: MEG_OUTPUT or table)
+//! ```
+
+use meg_engine::harness;
+use meg_engine::scenario::Scenario;
+use meg_engine::sink::OutputFormat;
+use meg_engine::{builtin, builtin_names};
+
+const USAGE: &str = "usage:
+  meg-lab list
+  meg-lab show <name>
+  meg-lab run <name | --file scenario.json> \\
+          [--seed N] [--trials N] [--scale F] [--format table|json|csv]
+
+Environment defaults: MEG_SEED, MEG_TRIALS, MEG_SCALE, MEG_OUTPUT.
+Flags win over the environment.";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("meg-lab: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("show") => cmd_show(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("--help") | Some("-h") | Some("help") | None => println!("{USAGE}"),
+        Some(other) => fail(&format!("unknown command `{other}`")),
+    }
+}
+
+fn cmd_list() {
+    println!("built-in scenarios:");
+    for name in builtin_names() {
+        let s = builtin(name).expect("registry is consistent");
+        println!(
+            "  {name:<20} {} [{} cells × {} trials]",
+            s.description,
+            s.num_cells(),
+            s.trials
+        );
+    }
+}
+
+fn cmd_show(args: &[String]) {
+    let Some(name) = args.first() else {
+        fail("`show` needs a scenario name");
+    };
+    match builtin(name) {
+        Some(s) => println!("{}", s.to_json().render_pretty()),
+        None => fail(&format!(
+            "unknown scenario `{name}` (try: {})",
+            builtin_names().join(", ")
+        )),
+    }
+}
+
+fn cmd_run(args: &[String]) {
+    let mut name: Option<String> = None;
+    let mut file: Option<String> = None;
+    let mut seed: Option<u64> = None;
+    let mut trials: Option<usize> = None;
+    let mut scale: Option<f64> = None;
+    let mut format: Option<OutputFormat> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut flag_value = |what: &str| -> String {
+            match it.next() {
+                Some(v) => v.clone(),
+                None => fail(&format!("`{what}` needs a value")),
+            }
+        };
+        match arg.as_str() {
+            "--file" => file = Some(flag_value("--file")),
+            "--seed" => {
+                seed = Some(
+                    flag_value("--seed")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--seed must be a u64")),
+                )
+            }
+            "--trials" => {
+                trials = Some(
+                    flag_value("--trials")
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&t| t >= 1)
+                        .unwrap_or_else(|| fail("--trials must be a positive integer")),
+                )
+            }
+            "--scale" => {
+                scale = Some(
+                    flag_value("--scale")
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|&f| f > 0.0)
+                        .unwrap_or_else(|| fail("--scale must be a positive number")),
+                )
+            }
+            "--format" => {
+                format = Some(
+                    flag_value("--format")
+                        .parse()
+                        .unwrap_or_else(|e: String| fail(&e)),
+                )
+            }
+            other if other.starts_with('-') => fail(&format!("unknown flag `{other}`")),
+            other if name.is_none() => name = Some(other.to_string()),
+            other => fail(&format!("unexpected argument `{other}`")),
+        }
+    }
+
+    let pristine = match (&name, &file) {
+        (Some(_), Some(_)) => fail("pass either a scenario name or --file, not both"),
+        (None, None) => fail("`run` needs a scenario name or --file"),
+        (Some(n), None) => builtin(n).unwrap_or_else(|| {
+            fail(&format!(
+                "unknown scenario `{n}` (try: {})",
+                builtin_names().join(", ")
+            ))
+        }),
+        (None, Some(path)) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(&format!("cannot read `{path}`: {e}")));
+            Scenario::parse(&text).unwrap_or_else(|e| fail(&format!("cannot parse `{path}`: {e}")))
+        }
+    };
+
+    // Environment first, explicit flags last: --scale replaces the env
+    // factor (scaling is not composable — it always starts from the pristine
+    // definition), --trials wins over MEG_TRIALS.
+    let mut scenario = match scale {
+        Some(f) => pristine.scaled(f),
+        None => pristine.scaled(harness::scale_from_env()),
+    };
+    if let Some(t) = trials.or_else(harness::trials_from_env) {
+        scenario.trials = t;
+    }
+    let seed = seed.unwrap_or_else(harness::master_seed_from_env);
+    let format = format.unwrap_or_else(meg_engine::sink::format_from_env);
+
+    match harness::run_and_emit(&scenario, seed, format) {
+        Ok(rows) => {
+            if format == OutputFormat::Table {
+                println!(
+                    "\n{} cells, seed {seed}; rerun any cell in isolation with the `seed` \
+                     column of its row.",
+                    rows.len()
+                );
+            }
+        }
+        Err(e) => fail(&format!("scenario failed: {e}")),
+    }
+}

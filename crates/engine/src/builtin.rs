@@ -1,0 +1,218 @@
+//! Built-in named scenarios.
+//!
+//! These reproduce the pre-engine experiment binaries as data: the four
+//! `exp_*` binaries the engine replaces (`exp_geo_vs_radius`, `exp_edge_vs_n`,
+//! `exp_mobility_models`, `exp_protocol_variants`) plus a `quick_smoke`
+//! scenario sized for CI. `meg-lab list` prints this registry;
+//! `meg-lab run <name>` executes one.
+
+use crate::scenario::{
+    EdgeEngine, InitKind, MobilityKind, MoveRadiusSpec, PHatSpec, Param, Protocol, RadiusSpec,
+    Scenario, Substrate, Sweep,
+};
+
+/// Round budget used by flooding scenarios: generous enough that only
+/// genuinely disconnected regimes fail to complete (mirrors
+/// `meg_bench::ROUND_BUDGET`).
+pub const FLOOD_BUDGET: u64 = 2_000_000;
+
+/// Names of all built-in scenarios, in registry order.
+pub fn builtin_names() -> Vec<&'static str> {
+    vec![
+        "geo_vs_radius",
+        "edge_vs_n",
+        "mobility_models",
+        "protocol_variants",
+        "quick_smoke",
+    ]
+}
+
+/// Looks up a built-in scenario by name.
+pub fn builtin(name: &str) -> Option<Scenario> {
+    match name {
+        "geo_vs_radius" => Some(geo_vs_radius()),
+        "edge_vs_n" => Some(edge_vs_n()),
+        "mobility_models" => Some(mobility_models()),
+        "protocol_variants" => Some(protocol_variants()),
+        "quick_smoke" => Some(quick_smoke()),
+        _ => None,
+    }
+}
+
+/// Theorems 3.4/3.5: fix `n`, sweep the transmission radius from the
+/// connectivity threshold towards `√n` (with `r = R/2`), and watch the
+/// flooding time fall like `√n/R`.
+pub fn geo_vs_radius() -> Scenario {
+    Scenario {
+        name: "geo_vs_radius".into(),
+        description: "geometric-MEG flooding time vs transmission radius (Thm 3.4/3.5 shape)"
+            .into(),
+        substrates: vec![Substrate::Geometric {
+            n: 3_000,
+            mobility: MobilityKind::GridWalk,
+            radius: RadiusSpec::ThresholdFactor(1.0),
+            move_radius: MoveRadiusSpec::RadiusFraction(0.5),
+        }],
+        protocols: vec![Protocol::Flooding],
+        sweep: Sweep::over(Param::RadiusFactor, [1.0, 1.5, 2.0, 3.0, 5.0, 8.0]),
+        trials: 5,
+        round_budget: FLOOD_BUDGET,
+    }
+}
+
+/// Theorem 4.3 / Corollary 4.5: sweep `n` with `p̂ = 3·ln n/n` pinned to the
+/// sparse connected regime, for fast and slow churn `q` — flooding time should
+/// track `log n / log(np̂)` and ignore `q`.
+pub fn edge_vs_n() -> Scenario {
+    Scenario {
+        name: "edge_vs_n".into(),
+        description: "edge-MEG flooding time vs n at p̂ = 3·ln n/n, fast vs slow churn (Cor 4.5)"
+            .into(),
+        substrates: vec![Substrate::Edge {
+            n: 1_000,
+            engine: EdgeEngine::Sparse,
+            p_hat: PHatSpec::LogFactor(3.0),
+            q: 0.5,
+            init: InitKind::Stationary,
+        }],
+        protocols: vec![Protocol::Flooding],
+        sweep: Sweep::over(Param::N, [1_000.0, 2_000.0, 4_000.0, 8_000.0, 16_000.0])
+            .and(Param::Q, [0.5, 0.02]),
+        trials: 5,
+        round_budget: FLOOD_BUDGET,
+    }
+}
+
+/// The "further mobility models" claim: the same geometric-MEG bounds hold
+/// for every mobility model with an (almost) uniform stationary law.
+pub fn mobility_models() -> Scenario {
+    Scenario {
+        name: "mobility_models".into(),
+        description:
+            "geometric-MEG flooding time across all four mobility models (uniformity claim)".into(),
+        substrates: MobilityKind::ALL
+            .into_iter()
+            .map(|mobility| Substrate::Geometric {
+                n: 2_000,
+                mobility,
+                // radius = 2√(ln n) = the connectivity threshold at c = 2
+                radius: RadiusSpec::ThresholdFactor(1.0),
+                move_radius: MoveRadiusSpec::RadiusFraction(0.5),
+            })
+            .collect(),
+        protocols: vec![Protocol::Flooding],
+        sweep: Sweep::none(),
+        trials: 5,
+        round_budget: FLOOD_BUDGET,
+    }
+}
+
+/// Flooding as the baseline: run the protocol variants on one edge-MEG and
+/// one geometric-MEG and compare rounds vs message overhead.
+pub fn protocol_variants() -> Scenario {
+    Scenario {
+        name: "protocol_variants".into(),
+        description: "dissemination protocols (flooding, probabilistic, parsimonious, push-pull) \
+                      on stationary MEGs of both families"
+            .into(),
+        substrates: vec![
+            Substrate::Edge {
+                n: 2_000,
+                engine: EdgeEngine::Sparse,
+                p_hat: PHatSpec::LogFactor(4.0),
+                q: 0.2,
+                init: InitKind::Stationary,
+            },
+            Substrate::Geometric {
+                n: 1_500,
+                mobility: MobilityKind::GridWalk,
+                radius: RadiusSpec::ThresholdFactor(1.0),
+                move_radius: MoveRadiusSpec::RadiusFraction(0.5),
+            },
+        ],
+        protocols: vec![
+            Protocol::Flooding,
+            Protocol::Probabilistic { beta: 0.3 },
+            Protocol::Parsimonious { active_rounds: 1 },
+            Protocol::Parsimonious { active_rounds: 4 },
+            Protocol::PushPull,
+        ],
+        sweep: Sweep::none(),
+        trials: 3,
+        round_budget: 100_000,
+    }
+}
+
+/// A deliberately tiny scenario covering both families and two protocols;
+/// used by CI smoke stages and the integration tests.
+pub fn quick_smoke() -> Scenario {
+    Scenario {
+        name: "quick_smoke".into(),
+        description: "tiny two-family, two-protocol scenario for CI smoke runs".into(),
+        substrates: vec![
+            Substrate::Edge {
+                n: 120,
+                engine: EdgeEngine::Sparse,
+                p_hat: PHatSpec::LogFactor(3.0),
+                q: 0.5,
+                init: InitKind::Stationary,
+            },
+            Substrate::Geometric {
+                n: 150,
+                mobility: MobilityKind::GridWalk,
+                radius: RadiusSpec::ThresholdFactor(1.2),
+                move_radius: MoveRadiusSpec::RadiusFraction(0.5),
+            },
+        ],
+        protocols: vec![Protocol::Flooding, Protocol::PushPull],
+        sweep: Sweep::none(),
+        trials: 2,
+        round_budget: 50_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    #[test]
+    fn registry_is_consistent() {
+        for name in builtin_names() {
+            let s = builtin(name).unwrap_or_else(|| panic!("missing builtin `{name}`"));
+            assert_eq!(s.name, name, "registry key must match scenario name");
+            assert!(s.validate().is_ok(), "builtin `{name}` fails validation");
+            assert!(!s.description.is_empty());
+            // Every builtin survives a JSON round-trip.
+            let back = Scenario::parse(&s.to_json().render()).unwrap();
+            assert_eq!(back, s);
+        }
+        assert!(builtin("nope").is_none());
+    }
+
+    #[test]
+    fn builtins_cover_both_families_and_multiple_protocols() {
+        let all: Vec<Scenario> = builtin_names()
+            .into_iter()
+            .map(|n| builtin(n).unwrap())
+            .collect();
+        let families: std::collections::HashSet<String> = all
+            .iter()
+            .flat_map(|s| s.substrates.iter().map(|sub| sub.label()))
+            .collect();
+        assert!(families.iter().any(|f| f.starts_with("edge")));
+        assert!(families.iter().any(|f| f.starts_with("geo")));
+        let protocols: std::collections::HashSet<String> = all
+            .iter()
+            .flat_map(|s| s.protocols.iter().map(|p| p.label()))
+            .collect();
+        assert!(protocols.len() >= 2, "need ≥2 distinct protocols");
+    }
+
+    #[test]
+    fn quick_smoke_is_actually_quick() {
+        let s = quick_smoke();
+        assert!(s.num_cells() <= 8);
+        assert!(s.substrates.iter().all(|sub| sub.n() <= 200));
+    }
+}

@@ -1,0 +1,136 @@
+//! Environment-driven experiment harness.
+//!
+//! Shared by the `meg-lab` CLI and the thin `exp_*` wrapper binaries in
+//! `meg-bench`: reads the workspace's standard environment knobs, applies
+//! them to a scenario, runs it, and emits rows through the configured
+//! [`OutputFormat`] sink.
+//!
+//! Environment knobs (all optional):
+//!
+//! * `MEG_SEED` — master seed (default 2009);
+//! * `MEG_TRIALS` — overrides every cell's trial count;
+//! * `MEG_SCALE` — node-count multiplier (the examples' separate
+//!   `MEG_EXAMPLE_SCALE` knob deliberately does **not** apply here, so
+//!   tuning one surface never silently changes the other);
+//! * `MEG_OUTPUT` — `table` (default) | `json` | `csv`.
+
+use crate::run::{run_scenario_streaming, Row};
+use crate::scenario::{Scenario, ScenarioError};
+use crate::sink::{format_from_env, render_rows, rows_to_table, OutputFormat, CSV_HEADER};
+
+fn env_parse<T: std::str::FromStr>(name: &str) -> Option<T> {
+    std::env::var(name).ok().and_then(|s| s.parse().ok())
+}
+
+/// Master seed from `MEG_SEED` (default 2009, the paper's publication year).
+pub fn master_seed_from_env() -> u64 {
+    env_parse("MEG_SEED").unwrap_or(2009)
+}
+
+/// Scale factor from `MEG_SCALE` (default 1.0, floor 0.01).
+pub fn scale_from_env() -> f64 {
+    env_parse::<f64>("MEG_SCALE").unwrap_or(1.0).max(0.01)
+}
+
+/// Trial-count override from `MEG_TRIALS` (minimum 1 when set).
+pub fn trials_from_env() -> Option<usize> {
+    env_parse::<usize>("MEG_TRIALS").map(|t| t.max(1))
+}
+
+/// Applies the environment knobs (scale, trials) to a scenario.
+pub fn apply_env(scenario: &Scenario) -> Scenario {
+    let mut s = scenario.scaled(scale_from_env());
+    if let Some(trials) = trials_from_env() {
+        s.trials = trials;
+    }
+    s
+}
+
+/// Runs a scenario with streaming output to stdout in `format`, returning the
+/// rows. JSON and CSV rows are printed as they are produced; the table is
+/// rendered once at the end (column widths need the full batch).
+pub fn run_and_emit(
+    scenario: &Scenario,
+    master_seed: u64,
+    format: OutputFormat,
+) -> Result<Vec<Row>, ScenarioError> {
+    if format == OutputFormat::Csv {
+        println!("{CSV_HEADER}");
+    }
+    let caption = format!(
+        "{}: {} (seed {})",
+        scenario.name, scenario.description, master_seed
+    );
+    let rows = run_scenario_streaming(scenario, master_seed, |row| match format {
+        OutputFormat::Json => println!("{}", row.to_json().render()),
+        OutputFormat::Csv => println!("{}", crate::sink::row_to_csv(row)),
+        OutputFormat::Table => {}
+    })?;
+    if format == OutputFormat::Table {
+        print!("{}", rows_to_table(&caption, &rows).render_ascii());
+    }
+    Ok(rows)
+}
+
+/// Entry point for the thin `exp_*` wrapper binaries: run the named built-in
+/// scenario under the environment knobs and print `epilogue` (the
+/// expected-shape commentary) afterwards — unless machine-readable output was
+/// requested, which must stay clean.
+///
+/// Exits the process with status 2 on an unknown scenario name or an invalid
+/// configuration.
+pub fn run_builtin_experiment(name: &str, epilogue: &str) {
+    let Some(scenario) = crate::builtin::builtin(name) else {
+        eprintln!(
+            "unknown built-in scenario `{name}` (available: {})",
+            crate::builtin::builtin_names().join(", ")
+        );
+        std::process::exit(2);
+    };
+    let scenario = apply_env(&scenario);
+    let format = format_from_env();
+    match run_and_emit(&scenario, master_seed_from_env(), format) {
+        Ok(_) => {
+            if format == OutputFormat::Table && !epilogue.is_empty() {
+                println!("\n{epilogue}");
+            }
+        }
+        Err(e) => {
+            eprintln!("scenario `{name}` failed: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Non-printing variant used by tests: runs under the environment knobs and
+/// returns the rendered output instead of writing to stdout.
+pub fn render_scenario(
+    scenario: &Scenario,
+    master_seed: u64,
+    format: OutputFormat,
+) -> Result<String, ScenarioError> {
+    let caption = format!("{}: {}", scenario.name, scenario.description);
+    let rows = crate::run::run_scenario(scenario, master_seed)?;
+    Ok(render_rows(&caption, &rows, format))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin::quick_smoke;
+
+    #[test]
+    fn env_defaults_are_sane() {
+        assert!(master_seed_from_env() > 0 || std::env::var("MEG_SEED").is_ok());
+        assert!(scale_from_env() > 0.0);
+    }
+
+    #[test]
+    fn render_scenario_is_deterministic() {
+        let s = quick_smoke().scaled(0.5);
+        let a = render_scenario(&s, 42, OutputFormat::Json).unwrap();
+        let b = render_scenario(&s, 42, OutputFormat::Json).unwrap();
+        assert_eq!(a, b);
+        assert!(a.lines().count() >= 1);
+    }
+}

@@ -1,0 +1,632 @@
+//! The engine: resolves a [`Scenario`] into cells and executes them.
+//!
+//! Execution contract:
+//!
+//! * cells are enumerated deterministically (substrates × protocols × sweep
+//!   grid, in declaration order);
+//! * every cell's seed is `derive_seed(labeled_seed(master, scenario.name),
+//!   cell_index)`, so **any single cell is reproducible in isolation** — rerun
+//!   the scenario with the same master seed and cell `k` sees exactly the
+//!   same randomness, regardless of which other cells exist or how threads
+//!   schedule them;
+//! * trials inside a cell run through [`meg_stats::run_trials`], which gives
+//!   each trial its own derived RNG stream (parallel-safe);
+//! * every row records the `meg_core::spec` regime classification of its
+//!   resolved parameters, so results stay honest about which theorem
+//!   hypotheses they satisfy.
+
+use crate::scenario::{
+    EdgeEngine, MobilityKind, Param, Protocol, Scenario, ScenarioError, Substrate,
+};
+use meg_core::evolving::EvolvingGraph;
+use meg_core::protocols::{
+    parsimonious_flood, probabilistic_flood, push_pull_gossip, ProtocolResult,
+};
+use meg_core::spec;
+use meg_edge::{DenseEdgeMeg, EdgeMegParams, SparseEdgeMeg};
+use meg_geometric::{GeometricMeg, GeometricMegParams};
+use meg_mobility::{Billiard, RandomWaypoint, TorusWalkers};
+use meg_stats::seeds::{derive_seed, labeled_seed};
+use meg_stats::{run_trials, Summary};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Fully resolved numeric parameters of one cell's substrate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ResolvedSubstrate {
+    /// Concrete edge-MEG configuration.
+    Edge {
+        /// Evolution engine.
+        engine: EdgeEngine,
+        /// Concrete parameters `M(n, p, q)`.
+        params: EdgeMegParams,
+        /// Stationary edge probability `p̂`.
+        p_hat: f64,
+        /// Initial distribution.
+        init: meg_core::evolving::InitialDistribution,
+    },
+    /// Concrete geometric-MEG configuration.
+    Geometric {
+        /// Number of nodes.
+        n: usize,
+        /// Mobility model.
+        mobility: MobilityKind,
+        /// Transmission radius `R`.
+        radius: f64,
+        /// Move radius `r`.
+        move_radius: f64,
+    },
+}
+
+impl ResolvedSubstrate {
+    /// `"edge"` or `"geometric"`.
+    pub fn family(&self) -> &'static str {
+        match self {
+            ResolvedSubstrate::Edge { .. } => "edge",
+            ResolvedSubstrate::Geometric { .. } => "geometric",
+        }
+    }
+
+    /// The `meg_core::spec` regime classification of this configuration.
+    pub fn regime(&self) -> String {
+        let c = spec::DEFAULT_THRESHOLD_CONSTANT;
+        match self {
+            ResolvedSubstrate::Edge { params, p_hat, .. } => {
+                format!("{:?}", spec::edge_regime(params.n, *p_hat, c))
+            }
+            ResolvedSubstrate::Geometric {
+                n,
+                radius,
+                move_radius,
+                ..
+            } => format!("{:?}", spec::geometric_regime(*n, *radius, *move_radius, c)),
+        }
+    }
+
+    /// The resolved numeric parameters, as `(name, value)` pairs.
+    pub fn params(&self) -> Vec<(String, f64)> {
+        match self {
+            ResolvedSubstrate::Edge { params, p_hat, .. } => vec![
+                ("n".into(), params.n as f64),
+                ("p_hat".into(), *p_hat),
+                ("p".into(), params.p),
+                ("q".into(), params.q),
+            ],
+            ResolvedSubstrate::Geometric {
+                n,
+                radius,
+                move_radius,
+                ..
+            } => vec![
+                ("n".into(), *n as f64),
+                ("radius".into(), *radius),
+                ("move_radius".into(), *move_radius),
+            ],
+        }
+    }
+}
+
+/// One fully resolved unit of work: a substrate, a protocol, and budgets.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// Global cell index (also the seed-derivation index).
+    pub index: usize,
+    /// Substrate label from the scenario (e.g. `edge-sparse`).
+    pub substrate_label: String,
+    /// Resolved substrate parameters.
+    pub substrate: ResolvedSubstrate,
+    /// Protocol with sweep overrides applied.
+    pub protocol: Protocol,
+    /// Trials to run.
+    pub trials: usize,
+    /// Round budget per trial.
+    pub round_budget: u64,
+}
+
+/// Aggregated result of one cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Row {
+    /// Scenario name.
+    pub scenario: String,
+    /// Cell index within the scenario.
+    pub cell: usize,
+    /// `"edge"` or `"geometric"`.
+    pub family: String,
+    /// Substrate label (`edge-sparse`, `geo-waypoint`, …).
+    pub substrate: String,
+    /// Protocol label (`flooding`, `probabilistic(beta=0.3)`, …).
+    pub protocol: String,
+    /// Resolved numeric parameters of the cell.
+    pub params: Vec<(String, f64)>,
+    /// `meg_core::spec` regime classification.
+    pub regime: String,
+    /// The derived cell seed (reproduces this row in isolation).
+    pub seed: u64,
+    /// Trials executed.
+    pub trials: usize,
+    /// Fraction of trials that completed within the round budget.
+    pub completion_rate: f64,
+    /// Summary of completion times over completed trials (`None` if none).
+    pub rounds: Option<Summary>,
+    /// Mean messages sent per trial (over all trials).
+    pub mean_messages: f64,
+}
+
+impl Row {
+    /// Renders the row as one JSON-lines object.
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        let rounds = |f: fn(&Summary) -> f64| match &self.rounds {
+            Some(s) => Json::Num(f(s)),
+            None => Json::Null,
+        };
+        Json::obj([
+            ("scenario", Json::Str(self.scenario.clone())),
+            ("cell", Json::Num(self.cell as f64)),
+            ("family", Json::Str(self.family.clone())),
+            ("substrate", Json::Str(self.substrate.clone())),
+            ("protocol", Json::Str(self.protocol.clone())),
+            (
+                "params",
+                Json::Obj(
+                    self.params
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
+            ("regime", Json::Str(self.regime.clone())),
+            // u64 seeds can exceed 2^53; transported as a string.
+            ("seed", Json::Str(self.seed.to_string())),
+            ("trials", Json::Num(self.trials as f64)),
+            ("completion_rate", Json::Num(self.completion_rate)),
+            ("mean_rounds", rounds(|s| s.mean)),
+            ("min_rounds", rounds(|s| s.min)),
+            ("max_rounds", rounds(|s| s.max)),
+            ("std_rounds", rounds(|s| s.std_dev)),
+            ("mean_messages", Json::Num(self.mean_messages)),
+        ])
+    }
+
+    /// The resolved parameters as a compact `k=v` string.
+    pub fn params_compact(&self) -> String {
+        self.params
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// Expands a scenario into its resolved cells (deterministic order).
+///
+/// Fails if the scenario does not [`validate`](Scenario::validate).
+pub fn resolve_cells(scenario: &Scenario) -> Result<Vec<Cell>, ScenarioError> {
+    scenario.validate()?;
+    let mut cells = Vec::with_capacity(scenario.num_cells());
+    let mut index = 0;
+    for substrate in &scenario.substrates {
+        for protocol in &scenario.protocols {
+            for grid_index in 0..scenario.sweep.num_cells() {
+                let overrides = scenario.sweep.cell(grid_index);
+                cells.push(resolve_cell(
+                    scenario, substrate, protocol, &overrides, index,
+                )?);
+                index += 1;
+            }
+        }
+    }
+    Ok(cells)
+}
+
+fn resolve_cell(
+    scenario: &Scenario,
+    substrate: &Substrate,
+    protocol: &Protocol,
+    overrides: &[(Param, f64)],
+    index: usize,
+) -> Result<Cell, ScenarioError> {
+    use crate::scenario::{MoveRadiusSpec, PHatSpec, RadiusSpec};
+
+    let mut substrate = *substrate;
+    let mut protocol = *protocol;
+    let mut trials = scenario.trials;
+
+    for &(param, value) in overrides {
+        match (param, &mut substrate) {
+            (Param::N, Substrate::Edge { n, .. }) | (Param::N, Substrate::Geometric { n, .. }) => {
+                *n = value.round().max(2.0) as usize;
+            }
+            (Param::Q, Substrate::Edge { q, .. }) => *q = value,
+            (Param::PHat, Substrate::Edge { p_hat, .. }) => *p_hat = PHatSpec::Fixed(value),
+            (Param::PHatFactor, Substrate::Edge { p_hat, .. }) => {
+                *p_hat = PHatSpec::LogFactor(value)
+            }
+            (Param::Radius, Substrate::Geometric { radius, .. }) => {
+                *radius = RadiusSpec::Fixed(value)
+            }
+            (Param::RadiusFactor, Substrate::Geometric { radius, .. }) => {
+                *radius = RadiusSpec::ThresholdFactor(value)
+            }
+            (Param::MoveRadius, Substrate::Geometric { move_radius, .. }) => {
+                *move_radius = MoveRadiusSpec::Fixed(value)
+            }
+            (Param::MoveRadiusFraction, Substrate::Geometric { move_radius, .. }) => {
+                *move_radius = MoveRadiusSpec::RadiusFraction(value)
+            }
+            (Param::Beta, _) => {
+                if let Protocol::Probabilistic { beta } = &mut protocol {
+                    *beta = value.clamp(0.0, 1.0);
+                }
+            }
+            (Param::ActiveRounds, _) => {
+                if let Protocol::Parsimonious { active_rounds } = &mut protocol {
+                    *active_rounds = (value.round().max(1.0)) as u64;
+                }
+            }
+            (Param::Trials, _) => trials = (value.round().max(1.0)) as usize,
+            // Overrides for the other family are inert by design: a shared
+            // sweep can drive heterogeneous substrates.
+            _ => {}
+        }
+    }
+
+    let resolved = match substrate {
+        Substrate::Edge {
+            n,
+            engine,
+            p_hat,
+            q,
+            init,
+        } => {
+            let p_hat = p_hat.resolve(n, q);
+            let params = EdgeMegParams::with_stationary(n, p_hat, q);
+            ResolvedSubstrate::Edge {
+                engine,
+                params,
+                p_hat,
+                init: init.to_initial_distribution(),
+            }
+        }
+        Substrate::Geometric {
+            n,
+            mobility,
+            radius,
+            move_radius,
+        } => {
+            let r = radius.resolve(n);
+            ResolvedSubstrate::Geometric {
+                n,
+                mobility,
+                radius: r,
+                move_radius: move_radius.resolve(r),
+            }
+        }
+    };
+
+    Ok(Cell {
+        index,
+        substrate_label: substrate.label(),
+        substrate: resolved,
+        protocol,
+        trials,
+        round_budget: scenario.round_budget,
+    })
+}
+
+/// Outcome of a single trial.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct TrialOutcome {
+    completed: bool,
+    rounds: u64,
+    messages: u64,
+}
+
+fn protocol_trial<M: EvolvingGraph>(
+    meg: &mut M,
+    protocol: &Protocol,
+    budget: u64,
+    rng: &mut ChaCha8Rng,
+) -> TrialOutcome {
+    let r: ProtocolResult = match protocol {
+        Protocol::Flooding => probabilistic_flood(meg, 0, 1.0, budget, rng),
+        Protocol::Probabilistic { beta } => probabilistic_flood(meg, 0, *beta, budget, rng),
+        Protocol::Parsimonious { active_rounds } => {
+            parsimonious_flood(meg, 0, *active_rounds, budget)
+        }
+        Protocol::PushPull => push_pull_gossip(meg, 0, budget, rng),
+    };
+    TrialOutcome {
+        completed: r.completed,
+        rounds: r.rounds,
+        messages: r.messages_sent,
+    }
+}
+
+fn execute_trial(cell: &Cell, rng: &mut ChaCha8Rng) -> TrialOutcome {
+    match &cell.substrate {
+        ResolvedSubstrate::Edge {
+            engine,
+            params,
+            init,
+            ..
+        } => {
+            let sub_seed: u64 = rng.gen();
+            match engine {
+                EdgeEngine::Sparse => {
+                    let mut meg = SparseEdgeMeg::new(*params, *init, sub_seed);
+                    protocol_trial(&mut meg, &cell.protocol, cell.round_budget, rng)
+                }
+                EdgeEngine::Dense => {
+                    let mut meg = DenseEdgeMeg::new(*params, *init, sub_seed);
+                    protocol_trial(&mut meg, &cell.protocol, cell.round_budget, rng)
+                }
+            }
+        }
+        ResolvedSubstrate::Geometric {
+            n,
+            mobility,
+            radius,
+            move_radius,
+        } => {
+            let (n, radius, move_radius) = (*n, *radius, *move_radius);
+            let side = (n as f64).sqrt();
+            let sub_seed: u64 = rng.gen();
+            match mobility {
+                MobilityKind::GridWalk => {
+                    let mut meg = GeometricMeg::from_params(
+                        GeometricMegParams::new(n, move_radius, radius),
+                        sub_seed,
+                    );
+                    protocol_trial(&mut meg, &cell.protocol, cell.round_budget, rng)
+                }
+                MobilityKind::Waypoint => {
+                    let model = RandomWaypoint::new(n, side, move_radius * 0.5, move_radius, rng);
+                    let mut meg = GeometricMeg::new(model, radius, sub_seed);
+                    protocol_trial(&mut meg, &cell.protocol, cell.round_budget, rng)
+                }
+                MobilityKind::Billiard => {
+                    let model = Billiard::new(n, side, move_radius * 0.5, move_radius, 0.1, rng);
+                    let mut meg = GeometricMeg::new(model, radius, sub_seed);
+                    protocol_trial(&mut meg, &cell.protocol, cell.round_budget, rng)
+                }
+                MobilityKind::Walkers => {
+                    let model = TorusWalkers::new(n, side, move_radius, 1.0, rng);
+                    let mut meg = GeometricMeg::new(model, radius, sub_seed);
+                    protocol_trial(&mut meg, &cell.protocol, cell.round_budget, rng)
+                }
+            }
+        }
+    }
+}
+
+/// Runs one resolved cell under `cell_seed` and aggregates its row.
+pub fn run_cell(scenario: &Scenario, cell: &Cell, cell_seed: u64) -> Row {
+    let outcomes: Vec<TrialOutcome> =
+        run_trials(cell_seed, cell.trials, |_i, rng| execute_trial(cell, rng));
+    let completed: Vec<u64> = outcomes
+        .iter()
+        .filter(|o| o.completed)
+        .map(|o| o.rounds)
+        .collect();
+    let completion_rate = completed.len() as f64 / outcomes.len() as f64;
+    let mean_messages =
+        outcomes.iter().map(|o| o.messages as f64).sum::<f64>() / outcomes.len() as f64;
+
+    let mut params = cell.substrate.params();
+    match cell.protocol {
+        Protocol::Probabilistic { beta } => params.push(("beta".into(), beta)),
+        Protocol::Parsimonious { active_rounds } => {
+            params.push(("active_rounds".into(), active_rounds as f64))
+        }
+        _ => {}
+    }
+
+    Row {
+        scenario: scenario.name.clone(),
+        cell: cell.index,
+        family: cell.substrate.family().into(),
+        substrate: cell.substrate_label.clone(),
+        protocol: cell.protocol.label(),
+        params,
+        regime: cell.substrate.regime(),
+        seed: cell_seed,
+        trials: outcomes.len(),
+        completion_rate,
+        rounds: Summary::of_counts(&completed),
+        mean_messages,
+    }
+}
+
+/// The seed of cell `index` of `scenario` under `master_seed`.
+pub fn cell_seed(scenario_name: &str, master_seed: u64, index: usize) -> u64 {
+    derive_seed(labeled_seed(master_seed, scenario_name), index as u64)
+}
+
+/// Runs every cell of the scenario, invoking `on_row` as each row is
+/// produced (streaming sinks), and returns all rows.
+pub fn run_scenario_streaming<F: FnMut(&Row)>(
+    scenario: &Scenario,
+    master_seed: u64,
+    mut on_row: F,
+) -> Result<Vec<Row>, ScenarioError> {
+    let cells = resolve_cells(scenario)?;
+    let mut rows = Vec::with_capacity(cells.len());
+    for cell in &cells {
+        let row = run_cell(
+            scenario,
+            cell,
+            cell_seed(&scenario.name, master_seed, cell.index),
+        );
+        on_row(&row);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+/// Runs every cell of the scenario and returns the rows.
+pub fn run_scenario(scenario: &Scenario, master_seed: u64) -> Result<Vec<Row>, ScenarioError> {
+    run_scenario_streaming(scenario, master_seed, |_| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{InitKind, MoveRadiusSpec, PHatSpec, RadiusSpec, Sweep};
+
+    fn tiny_scenario() -> Scenario {
+        Scenario {
+            name: "tiny".into(),
+            description: "test scenario".into(),
+            substrates: vec![
+                Substrate::Edge {
+                    n: 60,
+                    engine: EdgeEngine::Sparse,
+                    p_hat: PHatSpec::LogFactor(3.0),
+                    q: 0.5,
+                    init: InitKind::Stationary,
+                },
+                Substrate::Geometric {
+                    n: 80,
+                    mobility: MobilityKind::GridWalk,
+                    radius: RadiusSpec::ThresholdFactor(1.2),
+                    move_radius: MoveRadiusSpec::RadiusFraction(0.5),
+                },
+            ],
+            protocols: vec![Protocol::Flooding, Protocol::PushPull],
+            sweep: Sweep::over(Param::N, [40.0, 60.0]),
+            trials: 2,
+            round_budget: 5_000,
+        }
+    }
+
+    #[test]
+    fn resolve_produces_the_full_grid_in_order() {
+        let cells = resolve_cells(&tiny_scenario()).unwrap();
+        assert_eq!(cells.len(), 2 * 2 * 2);
+        assert_eq!(
+            cells.iter().map(|c| c.index).collect::<Vec<_>>(),
+            (0..8).collect::<Vec<_>>()
+        );
+        // n override applies to both families
+        for c in &cells {
+            let n = c
+                .substrate
+                .params()
+                .iter()
+                .find(|(k, _)| k == "n")
+                .unwrap()
+                .1;
+            assert!(n == 40.0 || n == 60.0);
+        }
+        // substrate-major, then protocol, then grid
+        assert_eq!(cells[0].substrate_label, "edge-sparse");
+        assert_eq!(cells[0].protocol.label(), "flooding");
+        assert_eq!(cells[3].substrate_label, "edge-sparse");
+        assert_eq!(cells[3].protocol.label(), "push_pull");
+        assert_eq!(cells[4].substrate_label, "geo-grid_walk");
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let s = tiny_scenario();
+        let a = run_scenario(&s, 99).unwrap();
+        let b = run_scenario(&s, 99).unwrap();
+        assert_eq!(a, b);
+        let c = run_scenario(&s, 100).unwrap();
+        assert_ne!(
+            a.iter().map(|r| r.seed).collect::<Vec<_>>(),
+            c.iter().map(|r| r.seed).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn cells_are_reproducible_in_isolation() {
+        let s = tiny_scenario();
+        let all = run_scenario(&s, 7).unwrap();
+        let cells = resolve_cells(&s).unwrap();
+        // Re-run only cell 5, alone: identical row.
+        let lone = run_cell(&s, &cells[5], cell_seed(&s.name, 7, 5));
+        assert_eq!(lone, all[5]);
+    }
+
+    #[test]
+    fn rows_record_regimes_and_complete_above_threshold() {
+        let s = tiny_scenario();
+        let rows = run_scenario(&s, 1).unwrap();
+        for row in &rows {
+            assert!(!row.regime.is_empty());
+            assert!(row.trials == 2);
+            if row.protocol == "flooding" {
+                assert!(
+                    row.completion_rate > 0.0,
+                    "flooding should complete above threshold: {row:?}"
+                );
+                assert!(row.rounds.as_ref().unwrap().mean >= 1.0);
+                assert!(row.mean_messages > 0.0);
+            }
+        }
+        // Both families and both protocols appear.
+        assert!(rows.iter().any(|r| r.family == "edge"));
+        assert!(rows.iter().any(|r| r.family == "geometric"));
+        assert!(rows.iter().any(|r| r.protocol == "push_pull"));
+    }
+
+    #[test]
+    fn streaming_sees_every_row_in_order() {
+        let s = tiny_scenario();
+        let mut seen = Vec::new();
+        let rows = run_scenario_streaming(&s, 3, |r| seen.push(r.cell)).unwrap();
+        assert_eq!(seen, (0..rows.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn all_mobility_kinds_execute() {
+        let s = Scenario {
+            name: "mobility".into(),
+            description: String::new(),
+            substrates: MobilityKind::ALL
+                .into_iter()
+                .map(|mobility| Substrate::Geometric {
+                    n: 60,
+                    mobility,
+                    radius: RadiusSpec::ThresholdFactor(1.2),
+                    move_radius: MoveRadiusSpec::RadiusFraction(0.5),
+                })
+                .collect(),
+            protocols: vec![Protocol::Flooding],
+            sweep: Sweep::none(),
+            trials: 1,
+            round_budget: 5_000,
+        };
+        let rows = run_scenario(&s, 11).unwrap();
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert!(row.completion_rate > 0.0, "no completion: {row:?}");
+        }
+    }
+
+    #[test]
+    fn protocol_knob_overrides_apply() {
+        let s = Scenario {
+            name: "knobs".into(),
+            description: String::new(),
+            substrates: vec![Substrate::Edge {
+                n: 50,
+                engine: EdgeEngine::Dense,
+                p_hat: PHatSpec::Fixed(0.2),
+                q: 0.3,
+                init: InitKind::Stationary,
+            }],
+            protocols: vec![Protocol::Probabilistic { beta: 0.9 }],
+            sweep: Sweep::over(Param::Beta, [0.25, 0.75]),
+            trials: 1,
+            round_budget: 2_000,
+        };
+        let cells = resolve_cells(&s).unwrap();
+        assert_eq!(
+            cells.iter().map(|c| c.protocol.label()).collect::<Vec<_>>(),
+            vec!["probabilistic(beta=0.25)", "probabilistic(beta=0.75)"]
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! Property tests: every randomly generated `Scenario`/`Sweep` serializes to
+//! JSON and deserializes back to an equal value, and the sweep grid's cell
+//! enumeration is a faithful cartesian product.
+
+use meg_engine::json::Json;
+use meg_engine::scenario::{
+    Axis, EdgeEngine, InitKind, MobilityKind, MoveRadiusSpec, PHatSpec, Param, Protocol,
+    RadiusSpec, Scenario, Substrate, Sweep,
+};
+use proptest::prelude::*;
+use proptest::Strategy;
+
+// --- strategies ------------------------------------------------------------
+
+fn arb_f64() -> impl Strategy<Value = f64> {
+    // A mix of scales, including awkward values (tiny, huge, negative,
+    // high-precision) — everything a float axis might carry.
+    (0u64..6).prop_flat_map(|kind| {
+        (0.0f64..1.0).prop_map(move |u| match kind {
+            0 => u,
+            1 => u * 1e6,
+            2 => -u * 37.5,
+            3 => u * 1e-9,
+            4 => (u * 100.0).round() / 8.0, // exactly representable
+            _ => u * 3.0 + 0.25,
+        })
+    })
+}
+
+fn arb_phat() -> impl Strategy<Value = PHatSpec> {
+    (proptest::bool::ANY, 0.0001f64..0.9, 0.5f64..8.0).prop_map(|(fixed, v, f)| {
+        if fixed {
+            PHatSpec::Fixed(v)
+        } else {
+            PHatSpec::LogFactor(f)
+        }
+    })
+}
+
+fn arb_radius() -> impl Strategy<Value = RadiusSpec> {
+    (proptest::bool::ANY, 1.1f64..50.0, 0.5f64..8.0).prop_map(|(fixed, v, f)| {
+        if fixed {
+            RadiusSpec::Fixed(v)
+        } else {
+            RadiusSpec::ThresholdFactor(f)
+        }
+    })
+}
+
+fn arb_move_radius() -> impl Strategy<Value = MoveRadiusSpec> {
+    (proptest::bool::ANY, 0.1f64..10.0, 0.05f64..2.0).prop_map(|(fixed, v, f)| {
+        if fixed {
+            MoveRadiusSpec::Fixed(v)
+        } else {
+            MoveRadiusSpec::RadiusFraction(f)
+        }
+    })
+}
+
+fn arb_edge_substrate() -> impl Strategy<Value = Substrate> {
+    (2usize..5000, 0u64..2, arb_phat(), 0.01f64..=1.0, 0u64..3).prop_map(
+        |(n, engine, p_hat, q, init)| Substrate::Edge {
+            n,
+            engine: if engine == 0 {
+                EdgeEngine::Dense
+            } else {
+                EdgeEngine::Sparse
+            },
+            p_hat,
+            q,
+            init: match init {
+                0 => InitKind::Stationary,
+                1 => InitKind::Empty,
+                _ => InitKind::Full,
+            },
+        },
+    )
+}
+
+fn arb_geo_substrate() -> impl Strategy<Value = Substrate> {
+    (2usize..5000, 0usize..4, arb_radius(), arb_move_radius()).prop_map(
+        |(n, mobility, radius, move_radius)| Substrate::Geometric {
+            n,
+            mobility: MobilityKind::ALL[mobility],
+            radius,
+            move_radius,
+        },
+    )
+}
+
+fn arb_substrate() -> impl Strategy<Value = Substrate> {
+    // Generate both families, keep one — the shim has no `prop_oneof`.
+    (
+        proptest::bool::ANY,
+        arb_edge_substrate(),
+        arb_geo_substrate(),
+    )
+        .prop_map(|(edge, e, g)| if edge { e } else { g })
+}
+
+fn arb_protocol() -> impl Strategy<Value = Protocol> {
+    (0u64..4, 0.0f64..=1.0, 1u64..20).prop_map(|(kind, beta, k)| match kind {
+        0 => Protocol::Flooding,
+        1 => Protocol::Probabilistic { beta },
+        2 => Protocol::Parsimonious { active_rounds: k },
+        _ => Protocol::PushPull,
+    })
+}
+
+fn arb_param() -> impl Strategy<Value = Param> {
+    (0usize..Param::ALL.len()).prop_map(|i| Param::ALL[i])
+}
+
+fn arb_sweep() -> impl Strategy<Value = Sweep> {
+    proptest::collection::vec(
+        (arb_param(), proptest::collection::vec(arb_f64(), 1usize..5)),
+        0usize..4,
+    )
+    .prop_map(|axes| Sweep {
+        axes: axes
+            .into_iter()
+            .map(|(param, values)| Axis { param, values })
+            .collect(),
+    })
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        proptest::collection::vec(arb_substrate(), 1usize..4),
+        proptest::collection::vec(arb_protocol(), 1usize..4),
+        arb_sweep(),
+        1usize..20,
+        1u64..1_000_000,
+        0u64..1000,
+    )
+        .prop_map(
+            |(substrates, protocols, sweep, trials, round_budget, tag)| Scenario {
+                name: format!("prop_scenario_{tag}"),
+                description: format!("generated scenario #{tag} — quotes \" and \\ too"),
+                substrates,
+                protocols,
+                sweep,
+                trials,
+                round_budget,
+            },
+        )
+}
+
+// --- properties ------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn scenario_json_round_trip(scenario in arb_scenario()) {
+        let compact = scenario.to_json().render();
+        let back = Scenario::parse(&compact)
+            .map_err(|e| TestCaseError::fail(format!("reparse failed: {e} on {compact}")))?;
+        prop_assert_eq!(&back, &scenario);
+
+        let pretty = scenario.to_json().render_pretty();
+        let back_pretty = Scenario::parse(&pretty)
+            .map_err(|e| TestCaseError::fail(format!("pretty reparse failed: {e}")))?;
+        prop_assert_eq!(&back_pretty, &scenario);
+    }
+
+    #[test]
+    fn sweep_json_round_trip(sweep in arb_sweep()) {
+        let text = sweep.to_json().render();
+        let json = Json::parse(&text)
+            .map_err(|e| TestCaseError::fail(format!("invalid JSON: {e}")))?;
+        let back = Sweep::from_json(&json)
+            .map_err(|e| TestCaseError::fail(format!("decode failed: {e}")))?;
+        prop_assert_eq!(back, sweep);
+    }
+
+    #[test]
+    fn sweep_cells_enumerate_the_full_grid(sweep in arb_sweep()) {
+        let expected: usize = sweep.axes.iter().map(|a| a.values.len()).product();
+        prop_assert_eq!(sweep.num_cells(), expected.max(1));
+        // Each cell assignment picks one value per axis, and distinct cell
+        // indices give distinct assignments.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..sweep.num_cells() {
+            let cell = sweep.cell(i);
+            prop_assert_eq!(cell.len(), sweep.axes.len());
+            for ((param, value), axis) in cell.iter().zip(sweep.axes.iter()) {
+                prop_assert_eq!(*param, axis.param);
+                prop_assert!(axis.values.iter().any(|v| v.to_bits() == value.to_bits()),
+                    "cell value {} not on its axis", value);
+            }
+            let key: Vec<u64> = cell.iter().map(|(_, v)| v.to_bits()).collect();
+            seen.insert(key);
+        }
+        // Distinct assignments unless an axis repeats a value.
+        let has_dup_values = sweep.axes.iter().any(|a| {
+            let set: std::collections::HashSet<u64> =
+                a.values.iter().map(|v| v.to_bits()).collect();
+            set.len() != a.values.len()
+        });
+        if !has_dup_values {
+            prop_assert_eq!(seen.len(), sweep.num_cells());
+        }
+    }
+
+    #[test]
+    fn json_values_round_trip_through_text(xs in proptest::collection::vec(arb_f64(), 0usize..8)) {
+        let v = Json::Arr(xs.iter().map(|&x| Json::Num(x)).collect());
+        let back = Json::parse(&v.render())
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        prop_assert_eq!(back, v);
+    }
+}

@@ -96,6 +96,20 @@ mod tests {
     }
 
     #[test]
+    fn parallel_matches_sequential_across_many_chunks() {
+        // Enough trials that the rayon shim splits the work across every
+        // available core; each trial draws a variable amount of randomness so
+        // any cross-trial stream sharing would be visible in the output.
+        let f = |i: usize, rng: &mut rand_chacha::ChaCha8Rng| -> (usize, Vec<u64>) {
+            let draws = 1 + i % 7;
+            (i, (0..draws).map(|_| rng.gen::<u64>()).collect())
+        };
+        let par = run_trials(2009, 500, f);
+        let seq = run_trials_sequential(2009, 500, f);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
     fn results_are_in_trial_order() {
         let out = run_trials(0, 100, |i, _| i);
         assert_eq!(out, (0..100).collect::<Vec<_>>());

@@ -27,15 +27,24 @@ pub fn trial_rng(master: u64, index: u64) -> ChaCha8Rng {
     ChaCha8Rng::seed_from_u64(derive_seed(master, index))
 }
 
-/// Builds an RNG from a master seed and a textual label (e.g. an experiment
-/// id), so different experiments sharing a master seed still get independent
-/// streams.
-pub fn labeled_rng(master: u64, label: &str) -> ChaCha8Rng {
+/// Derives a sub-seed from a master seed and a textual label (e.g. an
+/// experiment or scenario id), so different experiments sharing a master seed
+/// still get independent streams. This is the seed behind [`labeled_rng`];
+/// the scenario engine combines it with [`derive_seed`] to give every sweep
+/// cell its own reproducible stream.
+pub fn labeled_seed(master: u64, label: &str) -> u64 {
     let mut h = master;
     for b in label.bytes() {
         h = splitmix64(h ^ b as u64);
     }
-    ChaCha8Rng::seed_from_u64(h)
+    h
+}
+
+/// Builds an RNG from a master seed and a textual label (e.g. an experiment
+/// id), so different experiments sharing a master seed still get independent
+/// streams.
+pub fn labeled_rng(master: u64, label: &str) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(labeled_seed(master, label))
 }
 
 #[cfg(test)]
@@ -69,6 +78,17 @@ mod tests {
         let xa: u64 = a.gen();
         let xb: u64 = b.gen();
         assert_ne!(xa, xb);
+    }
+
+    #[test]
+    fn labeled_seed_backs_labeled_rng() {
+        let mut direct = ChaCha8Rng::seed_from_u64(labeled_seed(7, "scenario"));
+        let mut labeled = labeled_rng(7, "scenario");
+        let a: u64 = direct.gen();
+        let b: u64 = labeled.gen();
+        assert_eq!(a, b);
+        assert_ne!(labeled_seed(7, "scenario"), labeled_seed(7, "scenari0"));
+        assert_ne!(labeled_seed(7, "scenario"), labeled_seed(8, "scenario"));
     }
 
     #[test]

@@ -39,6 +39,11 @@ impl Table {
         &self.caption
     }
 
+    /// The column headers.
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
     /// Appends a row of already-formatted cells.
     ///
     /// Panics if the number of cells does not match the header.

@@ -16,6 +16,7 @@
 //! | [`core`] | the paper's contribution: evolving-graph traits, the flooding process, expander sequences and bound evaluators, closed-form bounds, protocol variants, adversarial constructions |
 //! | [`geometric`] | geometric-MEG: mobility + transmission radius, cell-partition machinery of Theorem 3.2 |
 //! | [`edge`] | edge-MEG: dense and sparse per-edge two-state chain engines |
+//! | [`engine`] | declarative scenario engine: experiments as data (substrates × protocols × sweep grid), JSON round-tripping, output sinks, built-in scenarios, the `meg-lab` CLI |
 //!
 //! ## Quick start
 //!
@@ -41,6 +42,7 @@
 
 pub use meg_core as core;
 pub use meg_edge as edge;
+pub use meg_engine as engine;
 pub use meg_geometric as geometric;
 pub use meg_graph as graph;
 pub use meg_markov as markov;
@@ -60,6 +62,9 @@ pub mod prelude {
     pub use meg_core::spec;
     pub use meg_edge::init::AutoEdgeMeg;
     pub use meg_edge::{DenseEdgeMeg, EdgeMegParams, SparseEdgeMeg};
+    pub use meg_engine::{
+        builtin, run_scenario, OutputFormat, Param, Protocol, Scenario, Substrate, Sweep,
+    };
     pub use meg_geometric::{GeometricMeg, GeometricMegParams};
     pub use meg_graph::{AdjacencyList, Csr, Graph, Node, NodeSet};
     pub use meg_markov::TwoStateChain;

@@ -1,0 +1,148 @@
+//! Workspace-level integration tests for the scenario engine: a tiny built-in
+//! scenario runs end-to-end through the facade, the JSON-lines schema is
+//! stable, and the acceptance contract (both families, ≥2 protocols, seed
+//! determinism, all three formats) holds.
+
+use meg::engine::harness::render_scenario;
+use meg::engine::json::Json;
+use meg::engine::sink::CSV_HEADER;
+use meg::engine::{builtin, builtin_names, run_scenario, OutputFormat, Scenario};
+
+/// The tiny scenario used throughout: `quick_smoke` shrunk further.
+fn smoke() -> Scenario {
+    builtin("quick_smoke").expect("builtin exists").scaled(0.5)
+}
+
+#[test]
+fn builtins_cover_the_acceptance_matrix() {
+    let names = builtin_names();
+    for required in [
+        "geo_vs_radius",
+        "edge_vs_n",
+        "mobility_models",
+        "protocol_variants",
+    ] {
+        assert!(names.contains(&required), "missing builtin `{required}`");
+    }
+    // Across the registry: both MEG families and at least two protocols.
+    let scenarios: Vec<Scenario> = names.iter().map(|n| builtin(n).unwrap()).collect();
+    assert!(scenarios.iter().any(|s| s
+        .substrates
+        .iter()
+        .any(|sub| sub.label().starts_with("edge"))));
+    assert!(scenarios.iter().any(|s| s
+        .substrates
+        .iter()
+        .any(|sub| sub.label().starts_with("geo"))));
+    let protocols: std::collections::HashSet<String> = scenarios
+        .iter()
+        .flat_map(|s| s.protocols.iter().map(|p| p.label()))
+        .collect();
+    assert!(protocols.len() >= 2);
+}
+
+#[test]
+fn tiny_scenario_end_to_end_json_lines_schema() {
+    let rendered = render_scenario(&smoke(), 2009, OutputFormat::Json).expect("runs");
+    let lines: Vec<&str> = rendered.lines().collect();
+    assert_eq!(lines.len(), smoke().num_cells(), "one JSON line per cell");
+
+    for line in lines {
+        let row = Json::parse(line).expect("each line is a complete JSON document");
+        // Schema: required keys with the right shapes.
+        for key in [
+            "scenario",
+            "family",
+            "substrate",
+            "protocol",
+            "regime",
+            "seed",
+        ] {
+            assert!(
+                row.get(key).and_then(Json::as_str).is_some(),
+                "`{key}` must be a string in {line}"
+            );
+        }
+        for key in ["cell", "trials", "completion_rate", "mean_messages"] {
+            assert!(
+                row.get(key).and_then(Json::as_f64).is_some(),
+                "`{key}` must be a number in {line}"
+            );
+        }
+        // Rounds summary: numbers when any trial completed, nulls otherwise.
+        let completed = row.get("completion_rate").unwrap().as_f64().unwrap() > 0.0;
+        for key in ["mean_rounds", "min_rounds", "max_rounds", "std_rounds"] {
+            let v = row.get(key).unwrap_or(&Json::Null);
+            if completed {
+                assert!(v.as_f64().is_some(), "`{key}` must be numeric in {line}");
+            } else {
+                assert_eq!(v, &Json::Null);
+            }
+        }
+        // params is an object of numbers including n.
+        let params = row.get("params").expect("params present");
+        assert!(params.get("n").and_then(Json::as_f64).is_some());
+        // the seed string is a valid u64
+        row.get("seed")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .parse::<u64>()
+            .expect("seed round-trips as u64");
+    }
+}
+
+#[test]
+fn same_seed_means_identical_output_across_formats() {
+    let s = smoke();
+    for format in [OutputFormat::Table, OutputFormat::Json, OutputFormat::Csv] {
+        let a = render_scenario(&s, 42, format).unwrap();
+        let b = render_scenario(&s, 42, format).unwrap();
+        assert_eq!(a, b, "format {format:?} must be deterministic in the seed");
+        assert!(!a.is_empty());
+    }
+    // Different seeds give different cell seeds (and thus different rows).
+    let rows_a = run_scenario(&s, 42).unwrap();
+    let rows_b = run_scenario(&s, 43).unwrap();
+    assert_ne!(
+        rows_a.iter().map(|r| r.seed).collect::<Vec<_>>(),
+        rows_b.iter().map(|r| r.seed).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn csv_format_has_stable_header_and_row_count() {
+    let rendered = render_scenario(&smoke(), 7, OutputFormat::Csv).unwrap();
+    let lines: Vec<&str> = rendered.lines().collect();
+    assert_eq!(lines[0], CSV_HEADER);
+    assert_eq!(lines.len(), 1 + smoke().num_cells());
+    let cols = CSV_HEADER.split(',').count();
+    for line in &lines[1..] {
+        assert_eq!(line.split(',').count(), cols, "ragged CSV row: {line}");
+    }
+}
+
+#[test]
+fn every_builtin_scenario_round_trips_through_json() {
+    for name in builtin_names() {
+        let s = builtin(name).unwrap();
+        let back = Scenario::parse(&s.to_json().render()).unwrap();
+        assert_eq!(back, s, "builtin `{name}` must round-trip");
+    }
+}
+
+#[test]
+fn scenarios_cover_both_families_with_completed_runs() {
+    let rows = run_scenario(&smoke(), 1).unwrap();
+    let edge_ok = rows
+        .iter()
+        .any(|r| r.family == "edge" && r.completion_rate > 0.0);
+    let geo_ok = rows
+        .iter()
+        .any(|r| r.family == "geometric" && r.completion_rate > 0.0);
+    assert!(edge_ok, "edge family should complete above threshold");
+    assert!(geo_ok, "geometric family should complete above threshold");
+    let protocols: std::collections::HashSet<&str> =
+        rows.iter().map(|r| r.protocol.as_str()).collect();
+    assert!(protocols.len() >= 2);
+}
