@@ -57,6 +57,25 @@ if [ "$MODE" != "quick" ]; then
     fi
     echo "meg-lab emitted $ROWS well-formed JSON rows"
 
+    step "meg-lab sharded smoke (0/2 + 1/2 + merge, byte-identical to unsharded)"
+    MEG_LAB="cargo run -q --release --offline -p meg-engine --bin meg-lab --"
+    DIST_DIR=$(mktemp -d)
+    COMMON="--scale 0.1 --trials 2 --seed 2009 --format json"
+    # shellcheck disable=SC2086
+    $MEG_LAB run quick_smoke $COMMON > "$DIST_DIR/unsharded.jsonl"
+    # shellcheck disable=SC2086
+    $MEG_LAB run quick_smoke $COMMON --shard 0/2 --out "$DIST_DIR/parts" > /dev/null
+    # shellcheck disable=SC2086
+    $MEG_LAB run quick_smoke $COMMON --shard 1/2 --out "$DIST_DIR/parts" > /dev/null
+    $MEG_LAB merge "$DIST_DIR/parts" > "$DIST_DIR/merged.jsonl" 2> /dev/null
+    if ! diff -u "$DIST_DIR/unsharded.jsonl" "$DIST_DIR/merged.jsonl"; then
+        echo "sharded+merged output differs from the unsharded run" >&2
+        rm -rf "$DIST_DIR"
+        exit 1
+    fi
+    echo "sharded run merged byte-identically ($(wc -l < "$DIST_DIR/merged.jsonl") rows)"
+    rm -rf "$DIST_DIR"
+
     step "bench compile check"
     cargo check -q --workspace --benches --offline
 fi

@@ -1,75 +1,16 @@
 //! Experiment `exp_edge_vs_density` — Theorems 4.3 and 4.4.
 //!
-//! Fixes `n` and sweeps the stationary edge probability `p̂` from just above
-//! the connectivity threshold `c log n / n` up to a dense regime. The
-//! measured flooding time must stay between the Theorem 4.4 lower bound
-//! `log(n/2)/log(2np̂)` and a small constant times the Theorem 4.3 upper
-//! shape `log n / log(np̂) + log log(np̂)`, and it should fall as the network
-//! gets denser (larger `np̂` means fatter expansion, hence fewer rounds).
-
-use meg_bench::{edge_flooding_summary, emit, master_seed, mean_cell, range_cell, scaled, trials};
-use meg_core::evolving::InitialDistribution;
-use meg_core::spec;
-use meg_edge::EdgeMegParams;
-use meg_stats::table::fmt_f64;
-use meg_stats::Table;
+//! Thin wrapper over the engine's built-in `edge_vs_density` scenario: fixes
+//! `n` and sweeps the stationary edge probability `p̂` from just above the
+//! connectivity threshold up to a dense regime via the `p_hat_factor` axis.
+//! Honours `MEG_SEED`, `MEG_TRIALS`, `MEG_SCALE`, `MEG_OUTPUT`; run
+//! `meg-lab show edge_vs_density` to see the scenario as JSON.
 
 fn main() {
-    let seed = master_seed();
-    let n = scaled(4_000);
-    let threshold = spec::edge_connectivity_threshold(n, spec::DEFAULT_THRESHOLD_CONSTANT);
-
-    let mut table = Table::new(
-        format!("exp_edge_vs_density: flooding time vs p̂ (n = {n}, q = 0.5)"),
-        &[
-            "p̂ / threshold",
-            "p̂",
-            "expected degree np̂",
-            "regime",
-            "completion",
-            "mean T",
-            "range",
-            "upper shape",
-            "lower bound",
-            "T within [lower·0.99, 4·upper]?",
-        ],
-    );
-
-    for factor in [1.5f64, 3.0, 6.0, 15.0, 40.0, 120.0] {
-        // Cap p̂ so the implied birth rate p = q·p̂/(1−p̂) stays ≤ 1 at q = 0.5.
-        let p_hat = (threshold * factor).min(0.6);
-        let params = EdgeMegParams::with_stationary(n, p_hat, 0.5);
-        let (summary, rate) = edge_flooding_summary(
-            params,
-            InitialDistribution::Stationary,
-            trials(),
-            seed ^ (factor * 10.0) as u64,
-        );
-        let bounds = params.bounds();
-        let regime = spec::edge_regime(n, p_hat, spec::DEFAULT_THRESHOLD_CONSTANT);
-        let sandwiched = summary
-            .as_ref()
-            .map(|s| s.mean >= bounds.lower() * 0.99 && s.mean <= 4.0 * bounds.upper_shape() + 4.0)
-            .map(|ok| if ok { "yes" } else { "NO" }.to_string())
-            .unwrap_or_else(|| "-".into());
-        table.push_row(&[
-            fmt_f64(factor),
-            format!("{p_hat:.5}"),
-            fmt_f64(n as f64 * p_hat),
-            format!("{regime:?}"),
-            format!("{:.0}%", rate * 100.0),
-            mean_cell(&summary),
-            range_cell(&summary),
-            fmt_f64(bounds.upper_shape()),
-            fmt_f64(bounds.lower()),
-            sandwiched,
-        ]);
-    }
-    emit(&table);
-
-    meg_bench::commentary(
-        "Expected shape: flooding time decreases as p̂ (equivalently the expected degree np̂)\n\
-         grows, and every row sits between the Theorem 4.4 lower bound and a small constant\n\
-         times the Theorem 4.3 upper shape — who wins never changes, only the gap narrows.",
+    meg_engine::harness::run_builtin_experiment(
+        "edge_vs_density",
+        "Expected shape (Thm 4.3/4.4): flooding time decreases as p̂ (equivalently the\n\
+         expected degree np̂) grows, every row completes, and each mean sits between the\n\
+         Theorem 4.4 lower bound and a small constant times the Theorem 4.3 upper shape.",
     );
 }

@@ -1,103 +1,17 @@
 //! Experiment `exp_geo_vs_n` — Theorem 3.4 / Corollary 3.6.
 //!
-//! Sweeps the number of nodes `n` of a stationary geometric-MEG at the
-//! connectivity-threshold radius `R = 2√(log n)` (and at a denser radius
-//! `R = n^{1/4}`), with move radius `r = R/2`, and checks that the measured
-//! flooding time scales like the predicted `Θ(√n / R)`:
-//!
-//! * at `R = 2√(log n)` the predictor grows like `√(n / log n)`;
-//! * at `R = n^{1/4}` it grows like `n^{1/4}`.
-//!
-//! The table reports the measured mean, the predictor, and their ratio (which
-//! should be roughly constant down each column), plus a log–log fit of the
-//! measured time against the predictor (exponent ≈ 1).
-
-use meg_bench::{emit, geo_flooding_summary, master_seed, mean_cell, range_cell, scaled, trials};
-use meg_core::bounds::GeometricBounds;
-use meg_core::spec;
-use meg_geometric::GeometricMegParams;
-use meg_stats::fit::power_law_fit;
-use meg_stats::table::fmt_f64;
-use meg_stats::Table;
-
-fn run_sweep(label: &str, radius_of: impl Fn(usize) -> f64, sizes: &[usize], seed: u64) {
-    let mut table = Table::new(
-        format!("exp_geo_vs_n [{label}]: flooding time vs n (r = R/2)"),
-        &[
-            "n",
-            "R",
-            "regime",
-            "completion",
-            "mean T",
-            "range",
-            "√n/R",
-            "T / (√n/R)",
-            "lower bound",
-        ],
-    );
-    let mut predictors = Vec::new();
-    let mut means = Vec::new();
-    for &n in sizes {
-        let radius = radius_of(n);
-        let move_radius = radius / 2.0;
-        let params = GeometricMegParams::new(n, move_radius, radius);
-        let (summary, rate) = geo_flooding_summary(params, trials(), seed ^ n as u64);
-        let bounds = GeometricBounds::new(n, radius, move_radius);
-        let predictor = bounds.theta_shape();
-        let regime =
-            spec::geometric_regime(n, radius, move_radius, spec::DEFAULT_THRESHOLD_CONSTANT);
-        let ratio = summary
-            .as_ref()
-            .map(|s| s.mean / predictor)
-            .map(fmt_f64)
-            .unwrap_or_else(|| "-".into());
-        if let Some(s) = &summary {
-            predictors.push(predictor);
-            means.push(s.mean);
-        }
-        table.push_row(&[
-            n.to_string(),
-            fmt_f64(radius),
-            format!("{regime:?}"),
-            format!("{:.0}%", rate * 100.0),
-            mean_cell(&summary),
-            range_cell(&summary),
-            fmt_f64(predictor),
-            ratio,
-            fmt_f64(bounds.lower()),
-        ]);
-    }
-    emit(&table);
-    if let Some(fit) = power_law_fit(&predictors, &means) {
-        meg_bench::commentary(format!(
-            "log–log fit of mean flooding time against √n/R: exponent {:.3} (theory: 1), R² {:.3}\n",
-            fit.exponent, fit.r_squared
-        ));
-    }
-}
+//! Thin wrapper over the engine's built-in `geo_vs_n` scenario: sweeps the
+//! node count `n` of a stationary geometric-MEG at the connectivity-threshold
+//! radius and at a 2.5× denser one (both re-resolved per swept `n`, with
+//! `r = R/2`), and checks that the measured flooding time scales like the
+//! predicted `Θ(√n / R)`. Honours `MEG_SEED`, `MEG_TRIALS`, `MEG_SCALE`,
+//! `MEG_OUTPUT`; run `meg-lab show geo_vs_n` to see the scenario as JSON.
 
 fn main() {
-    let seed = master_seed();
-    let sizes: Vec<usize> = [500usize, 1_000, 2_000, 4_000, 8_000]
-        .iter()
-        .map(|&n| scaled(n))
-        .collect();
-
-    run_sweep(
-        "R = 2√(log n), the connectivity threshold",
-        |n| 2.0 * (n as f64).ln().sqrt(),
-        &sizes,
-        seed,
-    );
-    run_sweep(
-        "R = n^(1/4), a denser network",
-        |n| (n as f64).powf(0.25),
-        &sizes,
-        seed ^ 0xABCD,
-    );
-
-    meg_bench::commentary(
-        "Expected shape (Corollary 3.6): with r = O(R) and R in the tight window, the\n\
-         ratio T / (√n/R) stays roughly constant as n grows and the fitted exponent is ≈ 1.",
+    meg_engine::harness::run_builtin_experiment(
+        "geo_vs_n",
+        "Expected shape (Cor 3.6): with r = O(R), mean flooding time grows like √n/R down\n\
+         each substrate column — ~√(n/log n) at the threshold radius, slower at the denser\n\
+         one — and the ratio between the two columns tracks their radius ratio.",
     );
 }

@@ -5,24 +5,42 @@
 //! meg-lab show <name>               # print a scenario as JSON
 //! meg-lab run <name> [flags]        # run a built-in scenario
 //! meg-lab run --file scenario.json  # run a scenario from disk
+//! meg-lab worker [--fail-after N]   # cell-execution server (stdin/stdout)
+//! meg-lab merge <dir> [--format F]  # merge *.part.jsonl checkpoints
 //!
-//! flags:
+//! run flags:
 //!   --seed N              master seed        (default: MEG_SEED or 2009)
 //!   --trials N            trials per cell    (default: MEG_TRIALS or scenario)
 //!   --scale F             node-count scale   (default: MEG_SCALE or 1)
 //!   --format table|json|csv                  (default: MEG_OUTPUT or table)
+//!
+//! distributed run flags (see the `meg_engine::dist` docs):
+//!   --shard i/m           run only shard i of an m-way split
+//!   --strategy contiguous|round_robin        (default: contiguous)
+//!   --workers K           dispatch cells to K worker subprocesses
+//!   --out DIR             checkpoint completed rows to DIR/*.part.jsonl
+//!   --resume DIR          skip cells already checkpointed in DIR
+//!   --limit N             stop after N new cells (checkpoint stays valid)
+//!   --worker-fail-after N fault injection: workers abort after N cells
 //! ```
 
+use meg_engine::dist::{merge_dir, run_sharded, worker, DistOptions, ShardSpec, ShardStrategy};
 use meg_engine::harness;
+use meg_engine::run::Row;
 use meg_engine::scenario::Scenario;
-use meg_engine::sink::OutputFormat;
-use meg_engine::{builtin, builtin_names};
+use meg_engine::sink::{row_to_csv, rows_to_table, OutputFormat, CSV_HEADER};
+use meg_engine::{builtin, builtin_names, Json};
+use std::path::PathBuf;
 
 const USAGE: &str = "usage:
   meg-lab list
   meg-lab show <name>
   meg-lab run <name | --file scenario.json> \\
-          [--seed N] [--trials N] [--scale F] [--format table|json|csv]
+          [--seed N] [--trials N] [--scale F] [--format table|json|csv] \\
+          [--shard i/m] [--strategy contiguous|round_robin] [--workers K] \\
+          [--out DIR] [--resume DIR] [--limit N] [--worker-fail-after N]
+  meg-lab worker [--fail-after N]
+  meg-lab merge <dir> [--format table|json|csv]
 
 Environment defaults: MEG_SEED, MEG_TRIALS, MEG_SCALE, MEG_OUTPUT.
 Flags win over the environment.";
@@ -39,6 +57,8 @@ fn main() {
         Some("list") => cmd_list(),
         Some("show") => cmd_show(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("worker") => cmd_worker(&args[1..]),
+        Some("merge") => cmd_merge(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => println!("{USAGE}"),
         Some(other) => fail(&format!("unknown command `{other}`")),
     }
@@ -70,6 +90,33 @@ fn cmd_show(args: &[String]) {
     }
 }
 
+fn parse_row(line: &str) -> Row {
+    let json = Json::parse(line).unwrap_or_else(|e| fail(&format!("bad row line: {e}")));
+    Row::from_json(&json).unwrap_or_else(|e| fail(&format!("bad row line: {e}")))
+}
+
+/// Absolute form of `path` with `.` and `..` components resolved lexically
+/// (no filesystem access, so it works for directories that don't exist yet).
+fn normalized(path: &PathBuf) -> PathBuf {
+    use std::path::Component;
+    let absolute = if path.is_absolute() {
+        path.clone()
+    } else {
+        std::env::current_dir().unwrap_or_default().join(path)
+    };
+    let mut out = PathBuf::new();
+    for component in absolute.components() {
+        match component {
+            Component::CurDir => {}
+            Component::ParentDir => {
+                out.pop();
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
 fn cmd_run(args: &[String]) {
     let mut name: Option<String> = None;
     let mut file: Option<String> = None;
@@ -77,6 +124,13 @@ fn cmd_run(args: &[String]) {
     let mut trials: Option<usize> = None;
     let mut scale: Option<f64> = None;
     let mut format: Option<OutputFormat> = None;
+    let mut shard: Option<ShardSpec> = None;
+    let mut strategy: Option<ShardStrategy> = None;
+    let mut workers: Option<usize> = None;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut resume_dir: Option<PathBuf> = None;
+    let mut limit: Option<usize> = None;
+    let mut worker_fail_after: Option<usize> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -120,6 +174,41 @@ fn cmd_run(args: &[String]) {
                         .unwrap_or_else(|e: String| fail(&e)),
                 )
             }
+            "--shard" => {
+                shard = Some(ShardSpec::parse(&flag_value("--shard")).unwrap_or_else(|e| fail(&e)))
+            }
+            "--strategy" => {
+                strategy = Some(
+                    flag_value("--strategy")
+                        .parse()
+                        .unwrap_or_else(|e: String| fail(&e)),
+                )
+            }
+            "--workers" => {
+                workers = Some(
+                    flag_value("--workers")
+                        .parse::<usize>()
+                        .unwrap_or_else(|_| fail("--workers must be a non-negative integer")),
+                )
+            }
+            "--out" => out_dir = Some(PathBuf::from(flag_value("--out"))),
+            "--resume" => resume_dir = Some(PathBuf::from(flag_value("--resume"))),
+            "--limit" => {
+                limit = Some(
+                    flag_value("--limit")
+                        .parse::<usize>()
+                        .unwrap_or_else(|_| fail("--limit must be a non-negative integer")),
+                )
+            }
+            "--worker-fail-after" => {
+                worker_fail_after = Some(
+                    flag_value("--worker-fail-after")
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| fail("--worker-fail-after must be ≥ 1")),
+                )
+            }
             other if other.starts_with('-') => fail(&format!("unknown flag `{other}`")),
             other if name.is_none() => name = Some(other.to_string()),
             other => fail(&format!("unexpected argument `{other}`")),
@@ -155,16 +244,172 @@ fn cmd_run(args: &[String]) {
     let seed = seed.unwrap_or_else(harness::master_seed_from_env);
     let format = format.unwrap_or_else(meg_engine::sink::format_from_env);
 
-    match harness::run_and_emit(&scenario, seed, format) {
-        Ok(rows) => {
-            if format == OutputFormat::Table {
-                println!(
-                    "\n{} cells, seed {seed}; rerun any cell in isolation with the `seed` \
-                     column of its row.",
-                    rows.len()
-                );
+    let distributed = shard.is_some()
+        || strategy.is_some()
+        || workers.is_some()
+        || out_dir.is_some()
+        || resume_dir.is_some()
+        || limit.is_some()
+        || worker_fail_after.is_some();
+    if !distributed {
+        // Single-process, no checkpointing: the original streaming path.
+        match harness::run_and_emit(&scenario, seed, format) {
+            Ok(rows) => {
+                if format == OutputFormat::Table {
+                    println!(
+                        "\n{} cells, seed {seed}; rerun any cell in isolation with the `seed` \
+                         column of its row.",
+                        rows.len()
+                    );
+                }
+            }
+            Err(e) => fail(&format!("scenario failed: {e}")),
+        }
+        return;
+    }
+
+    // Distributed path: shard, checkpoint, and/or worker subprocesses.
+    if let (Some(out), Some(res)) = (&out_dir, &resume_dir) {
+        // Compare lexically-normalized absolute paths so equivalent
+        // spellings (`--out ./x --resume x`) are accepted even before the
+        // directory exists; symlink aliasing is out of scope.
+        if normalized(out) != normalized(res) {
+            fail("--out and --resume point at different directories");
+        }
+    }
+    if worker_fail_after.is_some() && workers.unwrap_or(0) == 0 {
+        fail("--worker-fail-after only injects faults into a worker pool; pass --workers K ≥ 1");
+    }
+    if limit.is_some() && out_dir.is_none() && resume_dir.is_none() {
+        // Without a checkpoint the partial work would simply be lost.
+        fail("--limit stops a run early; pass --out DIR so the completed cells are checkpointed");
+    }
+    let resume = resume_dir.is_some();
+    let mut shard = shard.unwrap_or_else(ShardSpec::full);
+    if let Some(s) = strategy {
+        shard.strategy = s;
+    }
+    let opts = DistOptions {
+        shard,
+        workers: workers.unwrap_or(0),
+        out_dir: resume_dir.or(out_dir),
+        resume,
+        limit,
+        worker_cmd: None,
+        worker_fail_after,
+        max_retries: 3,
+    };
+
+    if format == OutputFormat::Csv {
+        println!("{CSV_HEADER}");
+    }
+    let mut table_rows: Vec<Row> = Vec::new();
+    let report = run_sharded(&scenario, seed, &opts, |_cell, line| match format {
+        OutputFormat::Json => println!("{line}"),
+        OutputFormat::Csv => println!("{}", row_to_csv(&parse_row(line))),
+        OutputFormat::Table => table_rows.push(parse_row(line)),
+    })
+    .unwrap_or_else(|e| fail(&format!("sharded run failed: {e}")));
+
+    if format == OutputFormat::Table {
+        let caption = format!(
+            "{}: {} (seed {seed}, shard {})",
+            scenario.name, scenario.description, opts.shard
+        );
+        print!("{}", rows_to_table(&caption, &table_rows).render_ascii());
+        println!(
+            "\nshard {}: {} of {} cell(s) emitted ({} executed, {} resumed).",
+            opts.shard,
+            report.rows.len(),
+            report.assigned,
+            report.executed,
+            report.resumed
+        );
+    }
+    if !report.complete {
+        let remaining = report.assigned - report.rows.len();
+        eprintln!(
+            "meg-lab: --limit reached with {remaining} cell(s) outstanding; \
+             finish with `meg-lab run … --resume <dir>`"
+        );
+        std::process::exit(3);
+    }
+}
+
+fn cmd_worker(args: &[String]) {
+    let mut fail_after: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fail-after" => {
+                fail_after = Some(
+                    it.next()
+                        .and_then(|v| v.parse::<usize>().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| fail("--fail-after must be a positive integer")),
+                )
+            }
+            other => fail(&format!("unknown worker flag `{other}`")),
+        }
+    }
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    if let Err(e) = worker::serve(stdin.lock(), stdout.lock(), fail_after) {
+        eprintln!("meg-lab worker: {e}");
+        std::process::exit(2);
+    }
+}
+
+fn cmd_merge(args: &[String]) {
+    let mut dir: Option<PathBuf> = None;
+    let mut format = OutputFormat::Json;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => {
+                format = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| fail("--format must be table|json|csv"))
+            }
+            other if other.starts_with('-') => fail(&format!("unknown merge flag `{other}`")),
+            other if dir.is_none() => dir = Some(PathBuf::from(other)),
+            other => fail(&format!("unexpected argument `{other}`")),
+        }
+    }
+    let Some(dir) = dir else {
+        fail("`merge` needs a directory of *.part.jsonl files");
+    };
+    let merged = merge_dir(&dir).unwrap_or_else(|e| fail(&format!("merge failed: {e}")));
+    match format {
+        OutputFormat::Json => {
+            for line in &merged.lines {
+                println!("{line}");
             }
         }
-        Err(e) => fail(&format!("scenario failed: {e}")),
+        OutputFormat::Csv => {
+            println!("{CSV_HEADER}");
+            for line in &merged.lines {
+                println!("{}", row_to_csv(&parse_row(line)));
+            }
+        }
+        OutputFormat::Table => {
+            let rows: Vec<Row> = merged.lines.iter().map(|l| parse_row(l)).collect();
+            let caption = format!(
+                "{} (merged, seed {})",
+                merged.header.scenario, merged.header.master_seed
+            );
+            print!("{}", rows_to_table(&caption, &rows).render_ascii());
+        }
     }
+    eprintln!(
+        "meg-lab: merged {} row(s) from {} part file(s){}",
+        merged.lines.len(),
+        merged.parts,
+        if merged.duplicates > 0 {
+            format!(" ({} duplicate(s) dropped)", merged.duplicates)
+        } else {
+            String::new()
+        }
+    );
 }

@@ -1,10 +1,11 @@
 //! Built-in named scenarios.
 //!
-//! These reproduce the pre-engine experiment binaries as data: the four
-//! `exp_*` binaries the engine replaces (`exp_geo_vs_radius`, `exp_edge_vs_n`,
-//! `exp_mobility_models`, `exp_protocol_variants`) plus a `quick_smoke`
-//! scenario sized for CI. `meg-lab list` prints this registry;
-//! `meg-lab run <name>` executes one.
+//! These reproduce the pre-engine experiment binaries as data: the six
+//! `exp_*` binaries the engine replaces (`exp_geo_vs_radius`,
+//! `exp_edge_vs_n`, `exp_mobility_models`, `exp_protocol_variants`,
+//! `exp_geo_vs_n`, `exp_edge_vs_density`) plus a `quick_smoke` scenario
+//! sized for CI. `meg-lab list` prints this registry; `meg-lab run <name>`
+//! executes one.
 
 use crate::scenario::{
     EdgeEngine, InitKind, MobilityKind, MoveRadiusSpec, PHatSpec, Param, Protocol, RadiusSpec,
@@ -23,6 +24,8 @@ pub fn builtin_names() -> Vec<&'static str> {
         "edge_vs_n",
         "mobility_models",
         "protocol_variants",
+        "geo_vs_n",
+        "edge_vs_density",
         "quick_smoke",
     ]
 }
@@ -34,6 +37,8 @@ pub fn builtin(name: &str) -> Option<Scenario> {
         "edge_vs_n" => Some(edge_vs_n()),
         "mobility_models" => Some(mobility_models()),
         "protocol_variants" => Some(protocol_variants()),
+        "geo_vs_n" => Some(geo_vs_n()),
+        "edge_vs_density" => Some(edge_vs_density()),
         "quick_smoke" => Some(quick_smoke()),
         _ => None,
     }
@@ -140,6 +145,61 @@ pub fn protocol_variants() -> Scenario {
         sweep: Sweep::none(),
         trials: 3,
         round_budget: 100_000,
+    }
+}
+
+/// Theorem 3.4 / Corollary 3.6: sweep `n` at the connectivity-threshold
+/// radius (and at a 2.5× denser one), with `r = R/2`, and check the measured
+/// flooding time scales like `Θ(√n / R)`. Because both radii are
+/// [`RadiusSpec::ThresholdFactor`] specs, they re-resolve against each swept
+/// `n` — the coupling the legacy `exp_geo_vs_n` binary computed by hand.
+pub fn geo_vs_n() -> Scenario {
+    Scenario {
+        name: "geo_vs_n".into(),
+        description: "geometric-MEG flooding time vs n at threshold and denser radii (Cor 3.6)"
+            .into(),
+        substrates: vec![
+            Substrate::Geometric {
+                n: 1_000,
+                mobility: MobilityKind::GridWalk,
+                radius: RadiusSpec::ThresholdFactor(1.0),
+                move_radius: MoveRadiusSpec::RadiusFraction(0.5),
+            },
+            Substrate::Geometric {
+                n: 1_000,
+                mobility: MobilityKind::GridWalk,
+                radius: RadiusSpec::ThresholdFactor(2.5),
+                move_radius: MoveRadiusSpec::RadiusFraction(0.5),
+            },
+        ],
+        protocols: vec![Protocol::Flooding],
+        sweep: Sweep::over(Param::N, [500.0, 1_000.0, 2_000.0, 4_000.0, 8_000.0]),
+        trials: 5,
+        round_budget: FLOOD_BUDGET,
+    }
+}
+
+/// Theorems 4.3 / 4.4: fix `n`, sweep the stationary edge probability `p̂`
+/// from just above the connectivity threshold (`2·ln n/n` at the default
+/// constant) into the dense regime. Flooding time must fall as `np̂` grows
+/// and stay sandwiched between the paper's lower bound and upper shape. The
+/// [`Param::PHatFactor`] axis values are the legacy `exp_edge_vs_density`
+/// threshold multiples `[1.5, 3, 6, 15, 40, 120]` times that constant.
+pub fn edge_vs_density() -> Scenario {
+    Scenario {
+        name: "edge_vs_density".into(),
+        description: "edge-MEG flooding time vs density p̂ above the threshold (Thm 4.3/4.4)".into(),
+        substrates: vec![Substrate::Edge {
+            n: 4_000,
+            engine: EdgeEngine::Sparse,
+            p_hat: PHatSpec::LogFactor(3.0),
+            q: 0.5,
+            init: InitKind::Stationary,
+        }],
+        protocols: vec![Protocol::Flooding],
+        sweep: Sweep::over(Param::PHatFactor, [3.0, 6.0, 12.0, 30.0, 80.0, 240.0]),
+        trials: 5,
+        round_budget: FLOOD_BUDGET,
     }
 }
 

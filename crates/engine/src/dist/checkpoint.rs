@@ -1,0 +1,630 @@
+//! Durable shard checkpoints: the `*.part.jsonl` file format.
+//!
+//! A part file is a JSON-lines file:
+//!
+//! ```text
+//! {"kind":"meg-part","version":1,"scenario":"quick_smoke","fingerprint":"…",
+//!  "master_seed":"2009","num_cells":4,"shard":"0/2","strategy":"contiguous"}
+//! {"scenario":"quick_smoke","cell":0,…}     ← canonical Row JSON lines,
+//! {"scenario":"quick_smoke","cell":1,…}       appended as cells complete
+//! ```
+//!
+//! The header pins the run identity: scenario **fingerprint** (an FNV-1a
+//! hash of the effective scenario's canonical JSON — scale and trial
+//! overrides included), master seed, and total cell count. Resume and merge
+//! refuse to mix part files whose identities disagree, so a stale directory
+//! can never silently contaminate a run.
+//!
+//! Rows are appended with one `write` + flush per line. A process killed
+//! mid-write therefore loses at most the final line; [`read_part`] tolerates
+//! (and drops) a torn trailing line, and everything before it is trusted.
+
+use super::shard::ShardSpec;
+use super::{io_err, DistError};
+use crate::json::Json;
+use crate::scenario::Scenario;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Part-file format version (bumped on incompatible header/row changes).
+pub const PART_VERSION: u64 = 1;
+
+/// Deterministic fingerprint of the *effective* scenario: a 64-bit FNV-1a
+/// hash of its canonical compact JSON, rendered as fixed-width hex. Two
+/// scenarios fingerprint equally iff their JSON forms are identical, so any
+/// edit — including `--scale` and `--trials` overrides, which rewrite the
+/// scenario before execution — changes the fingerprint.
+pub fn scenario_fingerprint(scenario: &Scenario) -> String {
+    let text = scenario.to_json().render();
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+/// The identity header written as the first line of every part file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartHeader {
+    /// Scenario name.
+    pub scenario: String,
+    /// [`scenario_fingerprint`] of the effective scenario.
+    pub fingerprint: String,
+    /// Master seed of the run.
+    pub master_seed: u64,
+    /// Total number of cells in the (unsharded) scenario.
+    pub num_cells: usize,
+    /// Shard label, `i/m`.
+    pub shard: String,
+    /// Shard strategy id.
+    pub strategy: String,
+}
+
+impl PartHeader {
+    /// Builds the header for one shard of a run.
+    pub fn new(scenario: &Scenario, master_seed: u64, shard: &ShardSpec) -> PartHeader {
+        PartHeader {
+            scenario: scenario.name.clone(),
+            fingerprint: scenario_fingerprint(scenario),
+            master_seed,
+            num_cells: scenario.num_cells(),
+            shard: shard.label(),
+            strategy: shard.strategy.id().to_string(),
+        }
+    }
+
+    /// Serializes the header line.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("kind", Json::Str("meg-part".into())),
+            ("version", Json::Num(PART_VERSION as f64)),
+            ("scenario", Json::Str(self.scenario.clone())),
+            ("fingerprint", Json::Str(self.fingerprint.clone())),
+            // u64 seeds can exceed 2^53; transported as a string (like rows).
+            ("master_seed", Json::Str(self.master_seed.to_string())),
+            ("num_cells", Json::Num(self.num_cells as f64)),
+            ("shard", Json::Str(self.shard.clone())),
+            ("strategy", Json::Str(self.strategy.clone())),
+        ])
+    }
+
+    /// Decodes a header line.
+    pub fn from_json(v: &Json) -> Result<PartHeader, DistError> {
+        let err = |m: String| DistError::Format(m);
+        let get_str = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| err(format!("part header: missing string field `{key}`")))
+        };
+        if v.get("kind").and_then(Json::as_str) != Some("meg-part") {
+            return Err(err("not a part-file header (kind != \"meg-part\")".into()));
+        }
+        let version = v.get("version").and_then(Json::as_f64).unwrap_or(0.0);
+        if version != PART_VERSION as f64 {
+            return Err(err(format!(
+                "unsupported part-file version {version} (expected {PART_VERSION})"
+            )));
+        }
+        Ok(PartHeader {
+            scenario: get_str("scenario")?,
+            fingerprint: get_str("fingerprint")?,
+            master_seed: get_str("master_seed")?
+                .parse()
+                .map_err(|_| err("part header: `master_seed` is not a u64".into()))?,
+            num_cells: v
+                .get("num_cells")
+                .and_then(Json::as_usize)
+                .ok_or_else(|| err("part header: missing integer field `num_cells`".into()))?,
+            shard: get_str("shard")?,
+            strategy: get_str("strategy")?,
+        })
+    }
+
+    /// Whether two part files belong to the same run (shard fields may
+    /// differ — merging mixed shard layouts is legal as long as the run
+    /// identity agrees).
+    pub fn same_run(&self, other: &PartHeader) -> bool {
+        self.scenario == other.scenario
+            && self.fingerprint == other.fingerprint
+            && self.master_seed == other.master_seed
+            && self.num_cells == other.num_cells
+    }
+
+    /// Explains the first identity difference to `other`, for error text.
+    pub fn diff(&self, other: &PartHeader) -> String {
+        if self.scenario != other.scenario {
+            format!("scenario `{}` vs `{}`", self.scenario, other.scenario)
+        } else if self.fingerprint != other.fingerprint {
+            format!(
+                "scenario fingerprint {} vs {} (definition, scale, or trials differ)",
+                self.fingerprint, other.fingerprint
+            )
+        } else if self.master_seed != other.master_seed {
+            format!("master seed {} vs {}", self.master_seed, other.master_seed)
+        } else {
+            format!("num_cells {} vs {}", self.num_cells, other.num_cells)
+        }
+    }
+}
+
+/// A parsed part file: header plus `(global cell index, row JSON line)`
+/// entries in file order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartFile {
+    /// The identity header.
+    pub header: PartHeader,
+    /// Completed rows, as canonical JSON lines keyed by cell index.
+    pub rows: Vec<(usize, String)>,
+    /// Whether a torn trailing fragment (unparsable, or missing its final
+    /// newline) was dropped.
+    pub torn_tail: bool,
+    /// Byte length of the valid prefix: everything up to and including the
+    /// last durably recorded line's newline. [`PartWriter::resume`] truncates
+    /// the file here before appending, so a torn fragment can never fuse with
+    /// the next row.
+    pub valid_len: u64,
+}
+
+/// The canonical file name of a shard's part file: `shard-<i>-of-<m>.part.jsonl`.
+pub fn part_path(dir: &Path, shard: &ShardSpec) -> PathBuf {
+    dir.join(format!(
+        "shard-{}-of-{}.part.jsonl",
+        shard.index, shard.count
+    ))
+}
+
+fn row_cell(line: &str) -> Option<usize> {
+    Json::parse(line).ok()?.get("cell")?.as_usize()
+}
+
+/// Reads and validates one part file. A trailing fragment that does not
+/// parse *or* lacks its final newline (a torn write from a killed process)
+/// is dropped and reported via [`PartFile::torn_tail`]; a malformed line
+/// anywhere else is an error. A record only counts as durably written once
+/// its newline is on disk — a parsable final line without one is still torn
+/// (its cell simply re-executes, deterministically, on resume).
+pub fn read_part(path: &Path) -> Result<PartFile, DistError> {
+    let text = std::fs::read_to_string(path).map_err(|e| io_err(path, e))?;
+    let mut segments = text.split_inclusive('\n').enumerate();
+    let (_, first) = segments.next().ok_or_else(|| {
+        DistError::Format(format!("{}: empty part file (no header)", path.display()))
+    })?;
+    if !first.ends_with('\n') {
+        return Err(DistError::Format(format!(
+            "{}: truncated header line",
+            path.display()
+        )));
+    }
+    let header_json = Json::parse(first.trim_end())
+        .map_err(|e| DistError::Format(format!("{}: bad header: {e}", path.display())))?;
+    let header = PartHeader::from_json(&header_json)
+        .map_err(|e| DistError::Format(format!("{}: {e}", path.display())))?;
+
+    let mut rows = Vec::new();
+    let mut torn_tail = false;
+    let mut valid_len = first.len();
+    let mut pending: Option<usize> = None;
+    for (lineno, segment) in segments {
+        let line = segment.trim_end_matches(['\n', '\r']);
+        if line.trim().is_empty() {
+            if pending.is_none() {
+                valid_len += segment.len();
+            }
+            continue;
+        }
+        // A bad line is only tolerable if nothing follows it.
+        if let Some(bad_no) = pending {
+            return Err(DistError::Format(format!(
+                "{}: line {}: malformed row mid-file",
+                path.display(),
+                bad_no + 1
+            )));
+        }
+        match row_cell(line) {
+            Some(cell) if segment.ends_with('\n') => {
+                rows.push((cell, line.to_string()));
+                valid_len += segment.len();
+            }
+            _ => pending = Some(lineno),
+        }
+    }
+    if pending.is_some() {
+        torn_tail = true;
+    }
+    Ok(PartFile {
+        header,
+        rows,
+        torn_tail,
+        valid_len: valid_len as u64,
+    })
+}
+
+/// All `*.part.jsonl` files in `dir`, parsed, in file-name order
+/// (deterministic regardless of directory enumeration order).
+pub fn scan_dir(dir: &Path) -> Result<Vec<(PathBuf, PartFile)>, DistError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| io_err(dir, e))?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(".part.jsonl"))
+        })
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| read_part(&p).map(|f| (p, f)))
+        .collect()
+}
+
+/// The union of completed cells across already-parsed part files that belong
+/// to the run identified by `header`. Fails on a part file from a
+/// *different* run (stale directory) or on conflicting duplicate rows.
+pub fn completed_from_parts(
+    parts: &[(PathBuf, PartFile)],
+    header: &PartHeader,
+) -> Result<BTreeMap<usize, String>, DistError> {
+    let mut completed = BTreeMap::new();
+    for (path, part) in parts {
+        if !header.same_run(&part.header) {
+            return Err(DistError::Mismatch(format!(
+                "{} belongs to a different run: {}",
+                path.display(),
+                header.diff(&part.header)
+            )));
+        }
+        for (cell, line) in &part.rows {
+            if let Some(existing) = completed.insert(*cell, line.clone()) {
+                if existing != *line {
+                    return Err(DistError::Format(format!(
+                        "{}: cell {cell} has conflicting rows across part files",
+                        path.display()
+                    )));
+                }
+            }
+        }
+    }
+    Ok(completed)
+}
+
+/// [`completed_from_parts`] over a fresh [`scan_dir`] of `dir`.
+pub fn completed_in_dir(
+    dir: &Path,
+    header: &PartHeader,
+) -> Result<BTreeMap<usize, String>, DistError> {
+    completed_from_parts(&scan_dir(dir)?, header)
+}
+
+/// Append-only writer for one shard's part file.
+pub struct PartWriter {
+    out: BufWriter<File>,
+    path: PathBuf,
+}
+
+impl PartWriter {
+    /// Creates a fresh part file, writing the header line. Fails if the file
+    /// already exists — pass `resume` to continue one instead.
+    pub fn create(dir: &Path, header: &PartHeader, shard: &ShardSpec) -> Result<Self, DistError> {
+        std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+        let path = part_path(dir, shard);
+        let file = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+            .map_err(|e| {
+                if e.kind() == std::io::ErrorKind::AlreadyExists {
+                    DistError::Mismatch(format!(
+                        "{} already exists — pass --resume to continue it, or clean the directory",
+                        path.display()
+                    ))
+                } else {
+                    io_err(&path, e)
+                }
+            })?;
+        let mut writer = PartWriter {
+            out: BufWriter::new(file),
+            path,
+        };
+        writer.write_line(&header.to_json().render())?;
+        Ok(writer)
+    }
+
+    /// Opens an existing part file for appending, first validating that its
+    /// header matches `header` exactly (same run *and* same shard) and
+    /// truncating any torn trailing fragment so appended rows start on a
+    /// fresh line. Creates the file if it does not exist yet.
+    ///
+    /// `parsed` lets a caller that already [`scan_dir`]-ed the directory
+    /// (the coordinator's resume path) hand over this shard's parsed file
+    /// instead of paying a second full read; `None` reads it here.
+    pub fn resume(
+        dir: &Path,
+        header: &PartHeader,
+        shard: &ShardSpec,
+        parsed: Option<&PartFile>,
+    ) -> Result<Self, DistError> {
+        let path = part_path(dir, shard);
+        if !path.exists() {
+            return Self::create(dir, header, shard);
+        }
+        let read_here;
+        let existing = match parsed {
+            Some(part) => part,
+            None => {
+                read_here = read_part(&path)?;
+                &read_here
+            }
+        };
+        if existing.header != *header {
+            return Err(DistError::Mismatch(format!(
+                "{} cannot be resumed: {}",
+                path.display(),
+                if existing.header.same_run(header) {
+                    format!(
+                        "it checkpoints shard {} ({}) but this run is shard {} ({})",
+                        existing.header.shard,
+                        existing.header.strategy,
+                        header.shard,
+                        header.strategy
+                    )
+                } else {
+                    header.diff(&existing.header)
+                }
+            )));
+        }
+        if existing.torn_tail {
+            // Drop the torn fragment: without this, the first appended row
+            // would fuse onto the partial line and corrupt the checkpoint.
+            let file = OpenOptions::new()
+                .write(true)
+                .open(&path)
+                .map_err(|e| io_err(&path, e))?;
+            file.set_len(existing.valid_len)
+                .map_err(|e| io_err(&path, e))?;
+        }
+        let file = OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(|e| io_err(&path, e))?;
+        Ok(PartWriter {
+            out: BufWriter::new(file),
+            path,
+        })
+    }
+
+    /// Appends one completed row line and flushes, so the checkpoint
+    /// survives an immediate kill.
+    pub fn append(&mut self, line: &str) -> Result<(), DistError> {
+        self.write_line(line)
+    }
+
+    fn write_line(&mut self, line: &str) -> Result<(), DistError> {
+        self.out
+            .write_all(line.as_bytes())
+            .and_then(|_| self.out.write_all(b"\n"))
+            .and_then(|_| self.out.flush())
+            .map_err(|e| io_err(&self.path, e))
+    }
+
+    /// The file this writer appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin::quick_smoke;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("meg-checkpoint-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn header() -> PartHeader {
+        PartHeader::new(&quick_smoke(), 2009, &ShardSpec::full())
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let s = quick_smoke();
+        assert_eq!(scenario_fingerprint(&s), scenario_fingerprint(&s));
+        assert_ne!(
+            scenario_fingerprint(&s),
+            scenario_fingerprint(&s.scaled(0.5)),
+            "scaling must change the fingerprint"
+        );
+        let mut t = s.clone();
+        t.trials += 1;
+        assert_ne!(scenario_fingerprint(&s), scenario_fingerprint(&t));
+    }
+
+    #[test]
+    fn header_round_trips_and_compares() {
+        let h = header();
+        let back = PartHeader::from_json(&h.to_json()).unwrap();
+        assert_eq!(back, h);
+        let mut other = h.clone();
+        other.shard = "1/2".into();
+        assert!(h.same_run(&other), "shard fields do not affect identity");
+        other.master_seed = 7;
+        assert!(!h.same_run(&other));
+        assert!(h.diff(&other).contains("master seed"));
+    }
+
+    #[test]
+    fn header_decode_rejects_foreign_lines() {
+        for bad in [
+            r#"{"scenario":"x"}"#,
+            r#"{"kind":"meg-part","version":99,"scenario":"x"}"#,
+            r#"{"kind":"other"}"#,
+        ] {
+            let v = Json::parse(bad).unwrap();
+            assert!(PartHeader::from_json(&v).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn writer_reader_round_trip_with_torn_tail() {
+        let dir = tmp("torn");
+        let h = header();
+        let shard = ShardSpec::full();
+        let mut w = PartWriter::create(&dir, &h, &shard).unwrap();
+        w.append(r#"{"cell":0,"x":1}"#).unwrap();
+        w.append(r#"{"cell":3,"x":2}"#).unwrap();
+        drop(w);
+        // Simulate a kill mid-write: a torn, unparsable trailing line.
+        let path = part_path(&dir, &shard);
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(b"{\"cell\":5,\"x\"").unwrap();
+        drop(file);
+
+        let part = read_part(&path).unwrap();
+        assert_eq!(part.header, h);
+        assert!(part.torn_tail);
+        assert_eq!(
+            part.rows,
+            vec![
+                (0, r#"{"cell":0,"x":1}"#.to_string()),
+                (3, r#"{"cell":3,"x":2}"#.to_string()),
+            ]
+        );
+
+        // Resume truncates the torn fragment, so appended rows land on a
+        // fresh line instead of fusing with the garbage.
+        let mut w = PartWriter::resume(&dir, &h, &shard, None).unwrap();
+        w.append(r#"{"cell":5,"x":3}"#).unwrap();
+        drop(w);
+        let healed = read_part(&path).unwrap();
+        assert!(!healed.torn_tail);
+        assert_eq!(
+            healed.rows.iter().map(|(c, _)| *c).collect::<Vec<_>>(),
+            vec![0, 3, 5]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn parsable_final_line_without_newline_is_still_torn() {
+        // The newline is the durability marker: a kill can land exactly
+        // between a row's bytes and its terminator, and the row must then
+        // re-execute rather than fuse with the next append.
+        let dir = tmp("no-newline");
+        let h = header();
+        let shard = ShardSpec::full();
+        let mut w = PartWriter::create(&dir, &h, &shard).unwrap();
+        w.append(r#"{"cell":0}"#).unwrap();
+        drop(w);
+        let path = part_path(&dir, &shard);
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(br#"{"cell":1}"#).unwrap(); // complete JSON, no \n
+        drop(file);
+
+        let part = read_part(&path).unwrap();
+        assert!(part.torn_tail);
+        assert_eq!(part.rows.len(), 1, "unterminated row must not count");
+
+        let mut w = PartWriter::resume(&dir, &h, &shard, None).unwrap();
+        w.append(r#"{"cell":1,"rerun":true}"#).unwrap();
+        drop(w);
+        let healed = read_part(&path).unwrap();
+        assert!(!healed.torn_tail);
+        assert_eq!(
+            healed.rows,
+            vec![
+                (0, r#"{"cell":0}"#.to_string()),
+                (1, r#"{"cell":1,"rerun":true}"#.to_string()),
+            ]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn malformed_mid_file_line_is_an_error() {
+        let dir = tmp("midfile");
+        let path = dir.join("bad.part.jsonl");
+        std::fs::write(
+            &path,
+            format!(
+                "{}\nnot json\n{}\n",
+                header().to_json().render(),
+                r#"{"cell":1}"#
+            ),
+        )
+        .unwrap();
+        assert!(matches!(read_part(&path), Err(DistError::Format(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_refuses_to_overwrite_and_resume_validates() {
+        let dir = tmp("overwrite");
+        let h = header();
+        let shard = ShardSpec::full();
+        let mut w = PartWriter::create(&dir, &h, &shard).unwrap();
+        w.append(r#"{"cell":0}"#).unwrap();
+        drop(w);
+        assert!(matches!(
+            PartWriter::create(&dir, &h, &shard),
+            Err(DistError::Mismatch(_))
+        ));
+        // Resuming with the same header appends after the existing rows.
+        let mut w = PartWriter::resume(&dir, &h, &shard, None).unwrap();
+        w.append(r#"{"cell":1}"#).unwrap();
+        drop(w);
+        let part = read_part(&part_path(&dir, &shard)).unwrap();
+        assert_eq!(part.rows.len(), 2);
+        // Resuming under a different seed is refused.
+        let mut wrong = h.clone();
+        wrong.master_seed = 1;
+        assert!(matches!(
+            PartWriter::resume(&dir, &wrong, &shard, None),
+            Err(DistError::Mismatch(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn completed_in_dir_unions_and_rejects_strangers() {
+        let dir = tmp("union");
+        let h = header();
+        let a = ShardSpec::parse("0/2").unwrap();
+        let b = ShardSpec::parse("1/2").unwrap();
+        let ha = PartHeader {
+            shard: a.label(),
+            ..h.clone()
+        };
+        let hb = PartHeader {
+            shard: b.label(),
+            ..h.clone()
+        };
+        PartWriter::create(&dir, &ha, &a)
+            .unwrap()
+            .append(r#"{"cell":0}"#)
+            .unwrap();
+        PartWriter::create(&dir, &hb, &b)
+            .unwrap()
+            .append(r#"{"cell":2}"#)
+            .unwrap();
+        let completed = completed_in_dir(&dir, &h).unwrap();
+        assert_eq!(completed.keys().copied().collect::<Vec<_>>(), vec![0, 2]);
+        // A part file from a different run poisons the directory.
+        let mut stranger = h.clone();
+        stranger.master_seed = 77;
+        let c = ShardSpec::parse("0/3").unwrap();
+        PartWriter::create(&dir, &stranger, &c).unwrap();
+        assert!(matches!(
+            completed_in_dir(&dir, &h),
+            Err(DistError::Mismatch(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,642 @@
+//! The coordinator: executes one shard of a scenario, in-process or across
+//! worker subprocesses, with durable checkpointing and resume.
+//!
+//! [`run_sharded`] is the single entry point. It
+//!
+//! 1. resolves the scenario and takes this shard's slice of the global cell
+//!    list ([`ShardSpec::assign`]);
+//! 2. under `--resume`, loads every compatible part file in the output
+//!    directory and **skips each already-checkpointed cell** — resumed rows
+//!    are re-emitted from the checkpoint, not re-executed;
+//! 3. executes the remaining cells — sequentially in-process
+//!    (`workers == 0`), or by dispatching them to `workers` subprocesses
+//!    speaking the [`worker`](super::worker) protocol. A worker that dies
+//!    mid-run is respawned and its in-flight cell retried, up to
+//!    [`DistOptions::max_retries`] retries (i.e. `max_retries + 1` total
+//!    attempts) per cell;
+//! 4. appends each completed row to the shard's part file the moment it
+//!    finishes, then streams rows to the caller in ascending global
+//!    cell-index order — so the emitted byte stream of shard `i/m` is
+//!    exactly the corresponding subsequence of an unsharded run's output.
+
+use super::checkpoint::{self, PartHeader, PartWriter};
+use super::shard::ShardSpec;
+use super::worker::{cell_line, hello_line, shutdown_line};
+use super::DistError;
+use crate::json::Json;
+use crate::run::{cell_seed, resolve_cells, run_cell};
+use crate::scenario::Scenario;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+
+/// Options controlling one sharded run.
+#[derive(Clone, Debug)]
+pub struct DistOptions {
+    /// Which slice of the cell list to execute.
+    pub shard: ShardSpec,
+    /// Worker subprocesses to dispatch cells to; `0` executes in-process.
+    pub workers: usize,
+    /// Directory for the shard's `*.part.jsonl` checkpoint (no checkpointing
+    /// when `None`; required for `resume`).
+    pub out_dir: Option<PathBuf>,
+    /// Skip cells already checkpointed in `out_dir` and append to the
+    /// existing part file instead of refusing to overwrite it.
+    pub resume: bool,
+    /// Execute at most this many *new* cells, then stop (the checkpoint
+    /// stays valid — a later `resume` finishes the rest). Models an
+    /// interrupted run deterministically.
+    pub limit: Option<usize>,
+    /// Binary to spawn as `<cmd> worker` (default: the current executable,
+    /// which is correct for `meg-lab` itself).
+    pub worker_cmd: Option<PathBuf>,
+    /// Fault injection: spawned workers abort after serving this many cells
+    /// (forwarded as `worker --fail-after N`). Exercises the restart path.
+    pub worker_fail_after: Option<usize>,
+    /// Per-cell retry budget when a worker dies (respawn + resend).
+    pub max_retries: usize,
+}
+
+impl Default for DistOptions {
+    fn default() -> Self {
+        DistOptions {
+            shard: ShardSpec::full(),
+            workers: 0,
+            out_dir: None,
+            resume: false,
+            limit: None,
+            worker_cmd: None,
+            worker_fail_after: None,
+            max_retries: 3,
+        }
+    }
+}
+
+/// What a sharded run did.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunReport {
+    /// Every row this run emitted — resumed and freshly executed — as
+    /// `(global cell index, canonical JSON line)` in ascending index order.
+    pub rows: Vec<(usize, String)>,
+    /// Cells assigned to this shard.
+    pub assigned: usize,
+    /// Cells actually executed by this run.
+    pub executed: usize,
+    /// Cells skipped because a checkpoint already had their rows.
+    pub resumed: usize,
+    /// Whether every assigned cell now has a row (false only under `limit`).
+    pub complete: bool,
+}
+
+/// Buffers out-of-order results and releases them in ascending assigned
+/// order, so callers see the canonical row stream regardless of which worker
+/// finished first.
+struct OrderedEmitter<'a, F: FnMut(usize, &str)> {
+    assigned: &'a [usize],
+    next: usize,
+    buffer: BTreeMap<usize, String>,
+    emitted: Vec<(usize, String)>,
+    on_row: F,
+}
+
+impl<'a, F: FnMut(usize, &str)> OrderedEmitter<'a, F> {
+    fn new(assigned: &'a [usize], on_row: F) -> Self {
+        OrderedEmitter {
+            assigned,
+            next: 0,
+            buffer: BTreeMap::new(),
+            emitted: Vec::new(),
+            on_row,
+        }
+    }
+
+    fn offer(&mut self, cell: usize, line: String) {
+        self.buffer.insert(cell, line);
+        while let Some(&expect) = self.assigned.get(self.next) {
+            match self.buffer.remove(&expect) {
+                Some(line) => {
+                    (self.on_row)(expect, &line);
+                    self.emitted.push((expect, line));
+                    self.next += 1;
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Flushes rows stranded behind a gap (possible only under `limit`).
+    fn finish(mut self) -> Vec<(usize, String)> {
+        let rest = std::mem::take(&mut self.buffer);
+        for (cell, line) in rest {
+            (self.on_row)(cell, &line);
+            self.emitted.push((cell, line));
+        }
+        self.emitted
+    }
+}
+
+/// Executes this shard's cells and returns the report. `on_row` is invoked
+/// once per emitted row, in ascending global cell-index order.
+pub fn run_sharded<F: FnMut(usize, &str)>(
+    scenario: &Scenario,
+    master_seed: u64,
+    opts: &DistOptions,
+    on_row: F,
+) -> Result<RunReport, DistError> {
+    let cells = resolve_cells(scenario)?;
+    let assigned = opts.shard.assign(cells.len());
+    let header = PartHeader::new(scenario, master_seed, &opts.shard);
+
+    if opts.resume && opts.out_dir.is_none() {
+        return Err(DistError::Format(
+            "--resume needs an output directory".into(),
+        ));
+    }
+    // One directory scan serves both the skip-set and this shard's own
+    // part file (so resume never parses a large checkpoint twice).
+    let (completed, own_part) = match &opts.out_dir {
+        Some(dir) if opts.resume && dir.exists() => {
+            let parts = checkpoint::scan_dir(dir)?;
+            let completed = checkpoint::completed_from_parts(&parts, &header)?;
+            let own = checkpoint::part_path(dir, &opts.shard);
+            let own_part = parts.into_iter().find(|(p, _)| *p == own).map(|(_, f)| f);
+            (completed, own_part)
+        }
+        _ => (BTreeMap::new(), None),
+    };
+    let mut writer = match &opts.out_dir {
+        Some(dir) if opts.resume => Some(PartWriter::resume(
+            dir,
+            &header,
+            &opts.shard,
+            own_part.as_ref(),
+        )?),
+        Some(dir) => Some(PartWriter::create(dir, &header, &opts.shard)?),
+        None => None,
+    };
+
+    let resumed: Vec<(usize, String)> = assigned
+        .iter()
+        .filter_map(|c| completed.get(c).map(|l| (*c, l.clone())))
+        .collect();
+    let mut todo: Vec<usize> = assigned
+        .iter()
+        .copied()
+        .filter(|c| !completed.contains_key(c))
+        .collect();
+    let outstanding = todo.len();
+    if let Some(limit) = opts.limit {
+        todo.truncate(limit);
+    }
+
+    let mut emitter = OrderedEmitter::new(&assigned, on_row);
+    let resumed_count = resumed.len();
+    for (cell, line) in resumed {
+        emitter.offer(cell, line);
+    }
+
+    let executed = todo.len();
+    if opts.workers == 0 {
+        for &index in &todo {
+            let row = run_cell(
+                scenario,
+                &cells[index],
+                cell_seed(&scenario.name, master_seed, index),
+            );
+            let line = row.to_json().render();
+            if let Some(w) = &mut writer {
+                w.append(&line)?;
+            }
+            emitter.offer(index, line);
+        }
+    } else {
+        dispatch_to_workers(scenario, master_seed, opts, &todo, |index, line| {
+            if let Some(w) = &mut writer {
+                w.append(&line)?;
+            }
+            emitter.offer(index, line);
+            Ok(())
+        })?;
+    }
+
+    let rows = emitter.finish();
+    Ok(RunReport {
+        assigned: assigned.len(),
+        executed,
+        resumed: resumed_count,
+        complete: executed == outstanding,
+        rows,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Worker-pool dispatch
+
+/// A live worker subprocess with buffered pipes.
+struct WorkerProc {
+    child: Child,
+    stdin: std::process::ChildStdin,
+    stdout: BufReader<std::process::ChildStdout>,
+}
+
+/// The hello line plus what a healthy worker must echo back: agreeing on
+/// the cell count and scenario fingerprint is what lets a foreign binary
+/// serve cells without breaking byte-identity.
+struct Handshake {
+    hello: String,
+    num_cells: usize,
+    fingerprint: String,
+}
+
+impl WorkerProc {
+    fn spawn(
+        cmd: &std::path::Path,
+        handshake: &Handshake,
+        fail_after: Option<usize>,
+    ) -> Result<WorkerProc, String> {
+        let mut command = Command::new(cmd);
+        command
+            .arg("worker")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped());
+        if let Some(n) = fail_after {
+            command.arg("--fail-after").arg(n.to_string());
+        }
+        let mut child = command
+            .spawn()
+            .map_err(|e| format!("cannot spawn worker `{}`: {e}", cmd.display()))?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        let mut worker = WorkerProc {
+            child,
+            stdin,
+            stdout,
+        };
+        // A worker that fails the handshake must be reaped here — returning
+        // Err after a plain drop would leak a zombie per retry attempt.
+        match worker.validate_ready(handshake) {
+            Ok(()) => Ok(worker),
+            Err(e) => {
+                worker.kill();
+                Err(e)
+            }
+        }
+    }
+
+    fn validate_ready(&mut self, handshake: &Handshake) -> Result<(), String> {
+        let ready = self
+            .round_trip(&handshake.hello)
+            .map_err(|e| format!("worker handshake failed: {e}"))?;
+        let parsed = Json::parse(&ready).ok();
+        let ready_obj = parsed.as_ref().and_then(|v| v.get("ready"));
+        let num_cells = ready_obj.and_then(|r| r.get("num_cells")?.as_usize());
+        if num_cells != Some(handshake.num_cells) {
+            return Err(format!(
+                "worker resolved {num_cells:?} cells, coordinator expects {} \
+                 (mismatched binary?)",
+                handshake.num_cells
+            ));
+        }
+        // The fingerprint guards byte-identity itself: a worker binary that
+        // resolves the scenario differently must not be allowed to serve.
+        let fingerprint = ready_obj.and_then(|r| r.get("fingerprint")?.as_str());
+        if fingerprint != Some(handshake.fingerprint.as_str()) {
+            return Err(format!(
+                "worker scenario fingerprint {fingerprint:?} does not match the \
+                 coordinator's {} (mismatched binary?)",
+                handshake.fingerprint
+            ));
+        }
+        Ok(())
+    }
+
+    /// Writes one request line and reads one response line.
+    fn round_trip(&mut self, request: &str) -> Result<String, String> {
+        writeln!(self.stdin, "{request}")
+            .and_then(|_| self.stdin.flush())
+            .map_err(|e| format!("write: {e}"))?;
+        let mut line = String::new();
+        match self.stdout.read_line(&mut line) {
+            Ok(0) => Err("worker closed its stdout (died?)".into()),
+            Ok(_) => Ok(line.trim_end_matches('\n').to_string()),
+            Err(e) => Err(format!("read: {e}")),
+        }
+    }
+
+    fn request_cell(&mut self, index: usize) -> Result<String, String> {
+        let line = self.round_trip(&cell_line(index))?;
+        let cell = Json::parse(&line)
+            .ok()
+            .and_then(|v| v.get("cell")?.as_usize());
+        if cell != Some(index) {
+            return Err(format!("worker answered cell {cell:?}, wanted {index}"));
+        }
+        Ok(line)
+    }
+
+    fn shutdown(mut self) {
+        let _ = writeln!(self.stdin, "{}", shutdown_line());
+        let _ = self.stdin.flush();
+        drop(self.stdin);
+        let _ = self.child.wait();
+    }
+
+    fn kill(mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// One worker thread: owns (and respawns) a subprocess, pulls cells off the
+/// shared queue, and ships each completed row line over the channel.
+fn worker_thread(
+    cmd: &std::path::Path,
+    handshake: &Handshake,
+    opts: &DistOptions,
+    queue: &Mutex<VecDeque<usize>>,
+    results: &mpsc::Sender<Result<(usize, String), DistError>>,
+    abort: &AtomicBool,
+) {
+    let mut proc: Option<WorkerProc> = None;
+    'cells: while !abort.load(Ordering::SeqCst) {
+        let Some(index) = queue.lock().expect("queue lock").pop_front() else {
+            break;
+        };
+        let mut attempts = 0usize;
+        let line = loop {
+            if abort.load(Ordering::SeqCst) {
+                break 'cells;
+            }
+            let attempt = match proc.as_mut() {
+                Some(p) => p.request_cell(index),
+                None => match WorkerProc::spawn(cmd, handshake, opts.worker_fail_after) {
+                    Ok(p) => {
+                        proc = Some(p);
+                        continue;
+                    }
+                    Err(e) => Err(e),
+                },
+            };
+            match attempt {
+                Ok(line) => break line,
+                Err(reason) => {
+                    if let Some(p) = proc.take() {
+                        p.kill();
+                    }
+                    attempts += 1;
+                    if attempts > opts.max_retries {
+                        abort.store(true, Ordering::SeqCst);
+                        let _ = results.send(Err(DistError::Worker(format!(
+                            "cell {index} failed after {attempts} attempt(s): {reason}"
+                        ))));
+                        break 'cells;
+                    }
+                }
+            }
+        };
+        if results.send(Ok((index, line))).is_err() {
+            break;
+        }
+    }
+    if let Some(p) = proc.take() {
+        p.shutdown();
+    }
+}
+
+/// Runs `todo` through a pool of `opts.workers` subprocesses, invoking
+/// `on_result` (on the calling thread) as each row line arrives.
+fn dispatch_to_workers<F: FnMut(usize, String) -> Result<(), DistError>>(
+    scenario: &Scenario,
+    master_seed: u64,
+    opts: &DistOptions,
+    todo: &[usize],
+    mut on_result: F,
+) -> Result<(), DistError> {
+    if todo.is_empty() {
+        return Ok(());
+    }
+    let cmd = match &opts.worker_cmd {
+        Some(p) => p.clone(),
+        None => std::env::current_exe()
+            .map_err(|e| DistError::Worker(format!("cannot locate own executable: {e}")))?,
+    };
+    let handshake = Handshake {
+        hello: hello_line(scenario, master_seed),
+        num_cells: scenario.num_cells(),
+        fingerprint: super::checkpoint::scenario_fingerprint(scenario),
+    };
+    let queue = Mutex::new(todo.iter().copied().collect::<VecDeque<_>>());
+    let abort = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::channel();
+    let pool_size = opts.workers.min(todo.len());
+
+    std::thread::scope(|scope| {
+        for _ in 0..pool_size {
+            let tx = tx.clone();
+            let (cmd, handshake, queue, abort) = (&cmd, &handshake, &queue, &abort);
+            scope.spawn(move || {
+                worker_thread(cmd, handshake, opts, queue, &tx, abort);
+            });
+        }
+        drop(tx);
+
+        let mut first_error = None;
+        let mut received = 0usize;
+        while received < todo.len() {
+            match rx.recv() {
+                Ok(Ok((index, line))) => {
+                    received += 1;
+                    if let Err(e) = on_result(index, line) {
+                        // Checkpoint write failed: stop the pool and surface it.
+                        abort.store(true, Ordering::SeqCst);
+                        first_error = Some(e);
+                        break;
+                    }
+                }
+                Ok(Err(e)) => {
+                    first_error = Some(e);
+                    break;
+                }
+                Err(_) => {
+                    first_error = Some(DistError::Worker(
+                        "worker pool exited without completing the queue".into(),
+                    ));
+                    break;
+                }
+            }
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin::quick_smoke;
+    use crate::run::run_scenario;
+    use std::path::Path;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("meg-coord-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn reference_lines(scenario: &Scenario, seed: u64) -> Vec<String> {
+        run_scenario(scenario, seed)
+            .unwrap()
+            .iter()
+            .map(|r| r.to_json().render())
+            .collect()
+    }
+
+    fn shard_opts(label: &str, dir: &Path) -> DistOptions {
+        DistOptions {
+            shard: ShardSpec::parse(label).unwrap(),
+            out_dir: Some(dir.to_path_buf()),
+            ..DistOptions::default()
+        }
+    }
+
+    #[test]
+    fn single_shard_in_process_matches_unsharded_run() {
+        let scenario = quick_smoke().scaled(0.25);
+        let reference = reference_lines(&scenario, 2009);
+        let mut streamed = Vec::new();
+        let report = run_sharded(&scenario, 2009, &DistOptions::default(), |cell, line| {
+            streamed.push((cell, line.to_string()))
+        })
+        .unwrap();
+        assert!(report.complete);
+        assert_eq!(report.executed, reference.len());
+        assert_eq!(report.resumed, 0);
+        assert_eq!(report.rows, streamed);
+        assert_eq!(
+            report
+                .rows
+                .iter()
+                .map(|(_, l)| l.clone())
+                .collect::<Vec<_>>(),
+            reference
+        );
+    }
+
+    #[test]
+    fn shards_partition_the_reference_rows() {
+        let scenario = quick_smoke().scaled(0.25);
+        let reference = reference_lines(&scenario, 7);
+        for strategy in ["contiguous", "round_robin"] {
+            let mut seen: Vec<Option<String>> = vec![None; reference.len()];
+            for i in 0..3 {
+                let mut shard = ShardSpec::parse(&format!("{i}/3")).unwrap();
+                shard.strategy = strategy.parse().unwrap();
+                let opts = DistOptions {
+                    shard,
+                    ..DistOptions::default()
+                };
+                let report = run_sharded(&scenario, 7, &opts, |_, _| {}).unwrap();
+                for (cell, line) in report.rows {
+                    assert!(seen[cell].is_none(), "cell {cell} ran twice");
+                    seen[cell] = Some(line);
+                }
+            }
+            let merged: Vec<String> = seen.into_iter().map(Option::unwrap).collect();
+            assert_eq!(merged, reference, "strategy {strategy}");
+        }
+    }
+
+    #[test]
+    fn limit_interrupts_and_resume_skips_completed_cells() {
+        let scenario = quick_smoke().scaled(0.25);
+        let reference = reference_lines(&scenario, 11);
+        let dir = tmp("resume");
+
+        // "Kill" the run after 2 cells.
+        let mut opts = shard_opts("0/1", &dir);
+        opts.limit = Some(2);
+        let partial = run_sharded(&scenario, 11, &opts, |_, _| {}).unwrap();
+        assert!(!partial.complete);
+        assert_eq!(partial.executed, 2);
+
+        // Resume: exactly the remaining cells execute, none twice.
+        let mut opts = shard_opts("0/1", &dir);
+        opts.resume = true;
+        let finished = run_sharded(&scenario, 11, &opts, |_, _| {}).unwrap();
+        assert!(finished.complete);
+        assert_eq!(finished.resumed, 2, "checkpointed cells must be skipped");
+        assert_eq!(finished.executed, reference.len() - 2);
+        assert_eq!(
+            finished
+                .rows
+                .iter()
+                .map(|(_, l)| l.clone())
+                .collect::<Vec<_>>(),
+            reference,
+            "final output must match a clean run"
+        );
+
+        // A second resume has nothing left to do.
+        let mut opts = shard_opts("0/1", &dir);
+        opts.resume = true;
+        let idle = run_sharded(&scenario, 11, &opts, |_, _| {}).unwrap();
+        assert_eq!(idle.executed, 0);
+        assert_eq!(idle.resumed, reference.len());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rerunning_without_resume_refuses_to_clobber_the_checkpoint() {
+        let scenario = quick_smoke().scaled(0.25);
+        let dir = tmp("clobber");
+        run_sharded(&scenario, 3, &shard_opts("0/1", &dir), |_, _| {}).unwrap();
+        assert!(matches!(
+            run_sharded(&scenario, 3, &shard_opts("0/1", &dir), |_, _| {}),
+            Err(DistError::Mismatch(_))
+        ));
+        // And resuming under a different seed is caught by the header check.
+        let mut opts = shard_opts("0/1", &dir);
+        opts.resume = true;
+        assert!(matches!(
+            run_sharded(&scenario, 4, &opts, |_, _| {}),
+            Err(DistError::Mismatch(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_without_out_dir_is_rejected() {
+        let scenario = quick_smoke().scaled(0.25);
+        let opts = DistOptions {
+            resume: true,
+            ..DistOptions::default()
+        };
+        assert!(matches!(
+            run_sharded(&scenario, 1, &opts, |_, _| {}),
+            Err(DistError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn ordered_emitter_releases_in_assigned_order() {
+        let assigned = [1usize, 4, 7];
+        let order = std::cell::RefCell::new(Vec::new());
+        let mut e = OrderedEmitter::new(&assigned, |c, _| order.borrow_mut().push(c));
+        e.offer(7, "c".into());
+        assert!(order.borrow().is_empty(), "7 must wait for 1 and 4");
+        e.offer(1, "a".into());
+        assert_eq!(*order.borrow(), vec![1]);
+        e.offer(4, "b".into());
+        assert_eq!(*order.borrow(), vec![1, 4, 7]);
+        let rows = e.finish();
+        assert_eq!(
+            rows.iter().map(|(c, _)| *c).collect::<Vec<_>>(),
+            vec![1, 4, 7]
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! Deterministic cell-to-shard assignment.
+//!
+//! A [`ShardSpec`] names one shard of an `m`-way split of a scenario's
+//! resolved cell list. Assignment is a pure function of the **global cell
+//! index**, so sharding never changes which seed a cell derives
+//! ([`crate::run::cell_seed`] keys on the global index) — an `m`-way sharded
+//! run computes exactly the rows an unsharded run would, just partitioned.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// How cells are partitioned across shards.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ShardStrategy {
+    /// Shard `i` owns the `i`-th of `m` (nearly) equal contiguous blocks.
+    /// Good cache behaviour for sweeps ordered by cost.
+    #[default]
+    Contiguous,
+    /// Shard `i` owns every cell with `index ≡ i (mod m)`. Balances load
+    /// when cost grows monotonically along the grid (e.g. an `n` sweep).
+    RoundRobin,
+}
+
+impl ShardStrategy {
+    /// Stable identifier used in part-file headers and `--strategy`.
+    pub fn id(self) -> &'static str {
+        match self {
+            ShardStrategy::Contiguous => "contiguous",
+            ShardStrategy::RoundRobin => "round_robin",
+        }
+    }
+}
+
+impl FromStr for ShardStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "contiguous" | "block" => Ok(ShardStrategy::Contiguous),
+            "round_robin" | "round-robin" | "rr" => Ok(ShardStrategy::RoundRobin),
+            other => Err(format!(
+                "unknown shard strategy `{other}` (expected contiguous|round_robin)"
+            )),
+        }
+    }
+}
+
+/// One shard of an `m`-way split: `index ∈ [0, count)` plus the partitioning
+/// strategy. Parsed from the CLI as `--shard i/m`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This shard's position, `0 ≤ index < count`.
+    pub index: usize,
+    /// Total number of shards, `≥ 1`.
+    pub count: usize,
+    /// Partitioning strategy.
+    pub strategy: ShardStrategy,
+}
+
+impl Default for ShardSpec {
+    fn default() -> Self {
+        ShardSpec::full()
+    }
+}
+
+impl ShardSpec {
+    /// The trivial single-shard spec (`0/1`): owns every cell.
+    pub fn full() -> ShardSpec {
+        ShardSpec {
+            index: 0,
+            count: 1,
+            strategy: ShardStrategy::Contiguous,
+        }
+    }
+
+    /// Builds a spec, validating `index < count` and `count ≥ 1`.
+    pub fn new(index: usize, count: usize, strategy: ShardStrategy) -> Result<ShardSpec, String> {
+        if count == 0 {
+            return Err("shard count must be ≥ 1".into());
+        }
+        if index >= count {
+            return Err(format!("shard index {index} out of range for /{count}"));
+        }
+        Ok(ShardSpec {
+            index,
+            count,
+            strategy,
+        })
+    }
+
+    /// Parses the `i/m` CLI form (strategy defaults to contiguous).
+    pub fn parse(s: &str) -> Result<ShardSpec, String> {
+        let (i, m) = s
+            .split_once('/')
+            .ok_or_else(|| format!("shard spec `{s}` must have the form i/m, e.g. 0/4"))?;
+        let index: usize = i
+            .trim()
+            .parse()
+            .map_err(|_| format!("shard index `{i}` is not an unsigned integer"))?;
+        let count: usize = m
+            .trim()
+            .parse()
+            .map_err(|_| format!("shard count `{m}` is not an unsigned integer"))?;
+        ShardSpec::new(index, count, ShardStrategy::default())
+    }
+
+    /// The `i/m` label used in part-file headers and file names.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.index, self.count)
+    }
+
+    /// Whether this shard owns global cell `cell` of `num_cells`.
+    pub fn owns(&self, cell: usize, num_cells: usize) -> bool {
+        match self.strategy {
+            ShardStrategy::RoundRobin => cell % self.count == self.index,
+            ShardStrategy::Contiguous => {
+                cell >= block_start(self.index, self.count, num_cells)
+                    && cell < block_start(self.index + 1, self.count, num_cells)
+            }
+        }
+    }
+
+    /// The global cell indices this shard owns, in ascending order.
+    pub fn assign(&self, num_cells: usize) -> Vec<usize> {
+        match self.strategy {
+            ShardStrategy::RoundRobin => (self.index..num_cells).step_by(self.count).collect(),
+            ShardStrategy::Contiguous => (block_start(self.index, self.count, num_cells)
+                ..block_start(self.index + 1, self.count, num_cells))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.label(), self.strategy.id())
+    }
+}
+
+/// Start of contiguous block `i` in an `m`-way split of `n` cells: the first
+/// `n mod m` blocks get one extra cell, so blocks differ in size by ≤ 1.
+fn block_start(i: usize, m: usize, n: usize) -> usize {
+    let i = i.min(m);
+    (n / m) * i + (n % m).min(i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shards(m: usize, strategy: ShardStrategy) -> Vec<ShardSpec> {
+        (0..m)
+            .map(|i| ShardSpec::new(i, m, strategy).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn parse_accepts_i_over_m_and_rejects_garbage() {
+        let s = ShardSpec::parse("2/5").unwrap();
+        assert_eq!((s.index, s.count), (2, 5));
+        assert_eq!(s.strategy, ShardStrategy::Contiguous);
+        assert_eq!(s.label(), "2/5");
+        for bad in ["", "3", "a/b", "5/5", "1/0", "-1/2"] {
+            assert!(ShardSpec::parse(bad).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn every_cell_belongs_to_exactly_one_shard() {
+        for strategy in [ShardStrategy::Contiguous, ShardStrategy::RoundRobin] {
+            for m in 1..=7 {
+                for n in [0usize, 1, 5, 12, 100] {
+                    let mut seen = vec![0usize; n];
+                    for shard in shards(m, strategy) {
+                        for cell in shard.assign(n) {
+                            assert!(shard.owns(cell, n));
+                            seen[cell] += 1;
+                        }
+                    }
+                    assert!(
+                        seen.iter().all(|&c| c == 1),
+                        "partition violated: {strategy:?} {m} ways over {n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn contiguous_blocks_are_balanced_and_ordered() {
+        let parts: Vec<Vec<usize>> = shards(3, ShardStrategy::Contiguous)
+            .iter()
+            .map(|s| s.assign(8))
+            .collect();
+        assert_eq!(parts[0], vec![0, 1, 2]);
+        assert_eq!(parts[1], vec![3, 4, 5]);
+        assert_eq!(parts[2], vec![6, 7]);
+    }
+
+    #[test]
+    fn round_robin_interleaves() {
+        let s = ShardSpec::new(1, 3, ShardStrategy::RoundRobin).unwrap();
+        assert_eq!(s.assign(8), vec![1, 4, 7]);
+    }
+
+    #[test]
+    fn strategy_parsing() {
+        assert_eq!(
+            "round_robin".parse::<ShardStrategy>().unwrap(),
+            ShardStrategy::RoundRobin
+        );
+        assert_eq!(
+            "contiguous".parse::<ShardStrategy>().unwrap(),
+            ShardStrategy::Contiguous
+        );
+        assert!("zigzag".parse::<ShardStrategy>().is_err());
+    }
+}

@@ -1,0 +1,214 @@
+//! The worker side of the subprocess protocol.
+//!
+//! A worker (`meg-lab worker`) is a cell-execution server speaking JSON
+//! lines on stdin/stdout:
+//!
+//! ```text
+//! coordinator → worker   {"hello":{"scenario":{…},"master_seed":"2009"}}
+//! worker → coordinator   {"ready":{"num_cells":8,"fingerprint":"…"}}
+//! coordinator → worker   {"cell":3}
+//! worker → coordinator   {"scenario":…,"cell":3,…}      ← canonical Row line
+//! coordinator → worker   {"shutdown":true}              (or just EOF)
+//! ```
+//!
+//! The response to a cell request is **exactly** the row line an unsharded
+//! run would print: the worker derives the cell's seed from the global index
+//! it was handed, so which process executes a cell never changes its bytes.
+//!
+//! Workers are stateless between cells, so the coordinator may kill and
+//! respawn one at any time and simply resend the in-flight cell. The
+//! `fail_after` knob makes a worker abort after serving that many cells —
+//! deliberate fault injection used by the restart tests and available from
+//! the CLI as `meg-lab worker --fail-after N`.
+
+use super::checkpoint::scenario_fingerprint;
+use super::DistError;
+use crate::json::Json;
+use crate::run::{cell_seed, resolve_cells, run_cell, Cell};
+use crate::scenario::Scenario;
+use std::io::{BufRead, Write};
+
+/// Exit code of a fault-injected worker abort (distinct from real errors).
+pub const FAIL_AFTER_EXIT_CODE: i32 = 17;
+
+/// Builds the handshake request line the coordinator opens with.
+pub fn hello_line(scenario: &Scenario, master_seed: u64) -> String {
+    Json::obj([(
+        "hello",
+        Json::obj([
+            ("scenario", scenario.to_json()),
+            ("master_seed", Json::Str(master_seed.to_string())),
+        ]),
+    )])
+    .render()
+}
+
+/// Builds a cell-assignment request line.
+pub fn cell_line(cell: usize) -> String {
+    Json::obj([("cell", Json::Num(cell as f64))]).render()
+}
+
+/// Builds the shutdown request line.
+pub fn shutdown_line() -> String {
+    Json::obj([("shutdown", Json::Bool(true))]).render()
+}
+
+/// Serves the worker protocol over arbitrary reader/writer pairs (the
+/// binary passes stdin/stdout; tests pass in-memory buffers).
+///
+/// Returns `Ok(served)` — the number of cells answered — on a clean
+/// shutdown or EOF. Protocol violations and invalid scenarios are errors;
+/// the binary reports them on stderr and exits non-zero.
+///
+/// `fail_after: Some(n)` makes the worker abort the whole process (exit code
+/// [`FAIL_AFTER_EXIT_CODE`]) after answering `n` cells — fault injection for
+/// coordinator-restart tests.
+pub fn serve<R: BufRead, W: Write>(
+    input: R,
+    mut output: W,
+    fail_after: Option<usize>,
+) -> Result<usize, DistError> {
+    let mut state: Option<(Scenario, u64, Vec<Cell>)> = None;
+    let mut served = 0usize;
+
+    for line in input.lines() {
+        let line = line.map_err(|e| DistError::Io(format!("worker stdin: {e}")))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let msg = Json::parse(&line)
+            .map_err(|e| DistError::Format(format!("worker: bad request line: {e}")))?;
+
+        if msg.get("shutdown").is_some() {
+            break;
+        }
+        if let Some(hello) = msg.get("hello") {
+            let scenario = Scenario::from_json(
+                hello
+                    .get("scenario")
+                    .ok_or_else(|| DistError::Format("hello: missing `scenario`".into()))?,
+            )?;
+            let master_seed: u64 = hello
+                .get("master_seed")
+                .and_then(Json::as_str)
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| {
+                    DistError::Format("hello: `master_seed` must be a u64 string".into())
+                })?;
+            let cells = resolve_cells(&scenario)?;
+            let ready = Json::obj([(
+                "ready",
+                Json::obj([
+                    ("num_cells", Json::Num(cells.len() as f64)),
+                    ("fingerprint", Json::Str(scenario_fingerprint(&scenario))),
+                ]),
+            )]);
+            writeln!(output, "{}", ready.render())
+                .and_then(|_| output.flush())
+                .map_err(|e| DistError::Io(format!("worker stdout: {e}")))?;
+            state = Some((scenario, master_seed, cells));
+            continue;
+        }
+        if let Some(index) = msg.get("cell").and_then(Json::as_usize) {
+            let (scenario, master_seed, cells) = state
+                .as_ref()
+                .ok_or_else(|| DistError::Format("cell request before hello".into()))?;
+            let cell = cells.get(index).ok_or_else(|| {
+                DistError::Format(format!(
+                    "cell {index} out of range (scenario has {} cells)",
+                    cells.len()
+                ))
+            })?;
+            let row = run_cell(
+                scenario,
+                cell,
+                cell_seed(&scenario.name, *master_seed, index),
+            );
+            writeln!(output, "{}", row.to_json().render())
+                .and_then(|_| output.flush())
+                .map_err(|e| DistError::Io(format!("worker stdout: {e}")))?;
+            served += 1;
+            if fail_after.is_some_and(|n| served >= n) {
+                // Simulated crash: die without a goodbye, like a real one.
+                std::process::exit(FAIL_AFTER_EXIT_CODE);
+            }
+            continue;
+        }
+        return Err(DistError::Format(format!(
+            "worker: unrecognised request: {line}"
+        )));
+    }
+    Ok(served)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin::quick_smoke;
+    use crate::run::{run_scenario, Row};
+
+    fn drive(requests: &str) -> Result<(usize, Vec<String>), DistError> {
+        let mut out = Vec::new();
+        let served = serve(requests.as_bytes(), &mut out, None)?;
+        let text = String::from_utf8(out).expect("utf8 output");
+        Ok((served, text.lines().map(str::to_string).collect()))
+    }
+
+    #[test]
+    fn serves_cells_byte_identically_to_an_unsharded_run() {
+        let scenario = quick_smoke().scaled(0.25);
+        let reference: Vec<String> = run_scenario(&scenario, 2009)
+            .unwrap()
+            .iter()
+            .map(|r| r.to_json().render())
+            .collect();
+
+        // Ask for cells out of order; responses are still the canonical lines.
+        let requests = format!(
+            "{}\n{}\n{}\n{}\n",
+            hello_line(&scenario, 2009),
+            cell_line(2),
+            cell_line(0),
+            shutdown_line()
+        );
+        let (served, lines) = drive(&requests).unwrap();
+        assert_eq!(served, 2);
+        assert_eq!(lines.len(), 3, "ready + two rows");
+        let ready = Json::parse(&lines[0]).unwrap();
+        assert_eq!(
+            ready.get("ready").unwrap().get("num_cells").unwrap(),
+            &Json::Num(reference.len() as f64)
+        );
+        assert_eq!(lines[1], reference[2]);
+        assert_eq!(lines[2], reference[0]);
+        // Row lines parse back losslessly.
+        let row = Row::from_json(&Json::parse(&lines[1]).unwrap()).unwrap();
+        assert_eq!(row.cell, 2);
+    }
+
+    #[test]
+    fn eof_is_a_clean_shutdown() {
+        let scenario = quick_smoke().scaled(0.25);
+        let requests = format!("{}\n{}\n", hello_line(&scenario, 1), cell_line(0));
+        let (served, lines) = drive(&requests).unwrap();
+        assert_eq!(served, 1);
+        assert_eq!(lines.len(), 2);
+    }
+
+    #[test]
+    fn protocol_violations_are_errors() {
+        // Cell before hello.
+        assert!(matches!(
+            drive(&format!("{}\n", cell_line(0))),
+            Err(DistError::Format(_))
+        ));
+        // Out-of-range cell.
+        let scenario = quick_smoke().scaled(0.25);
+        let requests = format!("{}\n{}\n", hello_line(&scenario, 1), cell_line(999));
+        assert!(matches!(drive(&requests), Err(DistError::Format(_))));
+        // Garbage line.
+        assert!(matches!(drive("not json\n"), Err(DistError::Format(_))));
+        // Unknown request object.
+        assert!(matches!(drive("{\"warp\":1}\n"), Err(DistError::Format(_))));
+    }
+}

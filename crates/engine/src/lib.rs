@@ -16,6 +16,13 @@
 //! The `meg-lab` binary is the CLI front-end: `meg-lab list`, `meg-lab run
 //! <name|--file scenario.json>`, `meg-lab show <name>`.
 //!
+//! Large grids distribute across processes through the [`dist`] subsystem:
+//! `meg-lab run --shard i/m --out dir/` executes one deterministic slice of
+//! the cell list with durable checkpointing (`--resume` skips completed
+//! cells, `--workers k` fans cells out to subprocesses), and `meg-lab merge
+//! dir/` reassembles the canonical row stream byte-identically to an
+//! unsharded run.
+//!
 //! ## Example
 //!
 //! ```
@@ -53,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod builtin;
+pub mod dist;
 pub mod harness;
 pub mod json;
 pub mod run;
@@ -60,6 +68,7 @@ pub mod scenario;
 pub mod sink;
 
 pub use builtin::{builtin, builtin_names};
+pub use dist::{merge_dir, run_sharded, DistError, DistOptions, ShardSpec, ShardStrategy};
 pub use json::Json;
 pub use run::{run_scenario, run_scenario_streaming, Row};
 pub use scenario::{
@@ -71,6 +80,7 @@ pub use sink::OutputFormat;
 /// The most commonly used engine items.
 pub mod prelude {
     pub use crate::builtin::{builtin, builtin_names};
+    pub use crate::dist::{merge_dir, run_sharded, DistOptions, ShardSpec, ShardStrategy};
     pub use crate::run::{run_scenario, run_scenario_streaming, Row};
     pub use crate::scenario::{
         Axis, EdgeEngine, InitKind, MobilityKind, MoveRadiusSpec, PHatSpec, Param, Protocol,

@@ -154,6 +154,12 @@ pub struct Row {
 
 impl Row {
     /// Renders the row as one JSON-lines object.
+    ///
+    /// The rendering is **lossless**: [`Row::from_json`] reconstructs an
+    /// equal `Row` (the distributed worker protocol and `meg-lab merge`
+    /// re-rendering depend on this), which is why the summary is emitted in
+    /// full (`median_rounds`, `var_rounds`, `completed_trials`) rather than
+    /// only the headline moments.
     pub fn to_json(&self) -> crate::json::Json {
         use crate::json::Json;
         let rounds = |f: fn(&Summary) -> f64| match &self.rounds {
@@ -184,8 +190,81 @@ impl Row {
             ("min_rounds", rounds(|s| s.min)),
             ("max_rounds", rounds(|s| s.max)),
             ("std_rounds", rounds(|s| s.std_dev)),
+            ("median_rounds", rounds(|s| s.median)),
+            ("var_rounds", rounds(|s| s.variance)),
+            (
+                "completed_trials",
+                Json::Num(self.rounds.as_ref().map_or(0, |s| s.count) as f64),
+            ),
             ("mean_messages", Json::Num(self.mean_messages)),
         ])
+    }
+
+    /// Decodes a row from its [`to_json`](Row::to_json) representation.
+    ///
+    /// Exact inverse: every `f64` survives because the JSON writer uses
+    /// shortest-round-trip formatting, and the summary fields are all
+    /// transported explicitly.
+    pub fn from_json(v: &crate::json::Json) -> Result<Row, ScenarioError> {
+        use crate::json::Json;
+        let err = |m: String| ScenarioError(format!("row: {m}"));
+        let get = |key: &str| v.get(key).ok_or_else(|| err(format!("missing `{key}`")));
+        let get_str = |key: &str| {
+            get(key)?
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| err(format!("`{key}` must be a string")))
+        };
+        let get_num = |key: &str| {
+            get(key)?
+                .as_f64()
+                .ok_or_else(|| err(format!("`{key}` must be a number")))
+        };
+        let params = match get("params")? {
+            Json::Obj(pairs) => pairs
+                .iter()
+                .map(|(k, val)| {
+                    val.as_f64()
+                        .map(|x| (k.clone(), x))
+                        .ok_or_else(|| err(format!("param `{k}` must be a number")))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err(err("`params` must be an object".into())),
+        };
+        let rounds = match get("mean_rounds")? {
+            Json::Null => None,
+            _ => Some(Summary {
+                count: get("completed_trials")?
+                    .as_usize()
+                    .ok_or_else(|| err("`completed_trials` must be an integer".into()))?,
+                mean: get_num("mean_rounds")?,
+                variance: get_num("var_rounds")?,
+                std_dev: get_num("std_rounds")?,
+                min: get_num("min_rounds")?,
+                max: get_num("max_rounds")?,
+                median: get_num("median_rounds")?,
+            }),
+        };
+        Ok(Row {
+            scenario: get_str("scenario")?,
+            cell: get("cell")?
+                .as_usize()
+                .ok_or_else(|| err("`cell` must be an integer".into()))?,
+            family: get_str("family")?,
+            substrate: get_str("substrate")?,
+            protocol: get_str("protocol")?,
+            params,
+            regime: get_str("regime")?,
+            seed: get_str("seed")?
+                .parse()
+                .map_err(|_| err("`seed` must be a u64 string".into()))?,
+            trials: get("trials")?
+                .as_usize()
+                .ok_or_else(|| err("`trials` must be an integer".into()))?,
+            completion_rate: get_num("completion_rate")?,
+            rounds,
+            mean_messages: get_num("mean_messages")?,
+        })
     }
 
     /// The resolved parameters as a compact `k=v` string.
@@ -570,6 +649,27 @@ mod tests {
         assert!(rows.iter().any(|r| r.family == "edge"));
         assert!(rows.iter().any(|r| r.family == "geometric"));
         assert!(rows.iter().any(|r| r.protocol == "push_pull"));
+    }
+
+    #[test]
+    fn rows_round_trip_through_json_exactly() {
+        let s = tiny_scenario();
+        for row in run_scenario(&s, 5).unwrap() {
+            let back = Row::from_json(&row.to_json()).unwrap();
+            assert_eq!(back, row, "lossy JSON round-trip");
+            // And the re-rendered line is byte-identical (merge relies on it).
+            assert_eq!(back.to_json().render(), row.to_json().render());
+        }
+        // Rows with no completed trial round-trip too.
+        let mut row = run_scenario(&s, 5).unwrap().remove(0);
+        row.rounds = None;
+        row.completion_rate = 0.0;
+        assert_eq!(Row::from_json(&row.to_json()).unwrap(), row);
+        // Malformed rows are rejected, not garbled.
+        for bad in ["{}", r#"{"scenario":"x","cell":-1}"#] {
+            let v = crate::json::Json::parse(bad).unwrap();
+            assert!(Row::from_json(&v).is_err(), "accepted {bad}");
+        }
     }
 
     #[test]

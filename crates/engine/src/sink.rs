@@ -59,14 +59,17 @@ pub const CSV_HEADER: &str = "scenario,cell,family,substrate,protocol,params,reg
 completion_rate,mean_rounds,min_rounds,max_rounds,std_rounds,mean_messages";
 
 fn csv_escape(s: &str) -> String {
-    if s.contains(',') || s.contains('"') || s.contains('\n') {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {
         s.to_string()
     }
 }
 
-/// Renders one engine row as a CSV record (no trailing newline).
+/// Renders one engine row as a CSV record (no trailing newline). Every
+/// string field is escaped (RFC-4180 style: quoted when it contains a comma,
+/// quote, or newline, with quotes doubled), so scenario names, protocol
+/// labels, param keys, and regime strings can carry arbitrary text.
 pub fn row_to_csv(row: &Row) -> String {
     let opt = |f: fn(&meg_stats::Summary) -> f64| match &row.rounds {
         Some(s) => format!("{}", f(s)),
@@ -75,11 +78,11 @@ pub fn row_to_csv(row: &Row) -> String {
     [
         csv_escape(&row.scenario),
         row.cell.to_string(),
-        row.family.clone(),
-        row.substrate.clone(),
+        csv_escape(&row.family),
+        csv_escape(&row.substrate),
         csv_escape(&row.protocol),
         csv_escape(&row.params_compact()),
-        row.regime.clone(),
+        csv_escape(&row.regime),
         row.seed.to_string(),
         row.trials.to_string(),
         format!("{}", row.completion_rate),

@@ -1,0 +1,240 @@
+//! Integration tests for the distributed-execution subsystem.
+//!
+//! * **Golden shard equivalence** — for *every* built-in scenario (scaled
+//!   down for CI), a 3-way sharded run followed by a merge is byte-identical
+//!   to the unsharded row stream, under both partitioning strategies.
+//! * **Interrupted resume** — a run cut off after N cells and resumed
+//!   re-executes zero completed cells and ends byte-identical to a clean run.
+//! * **CLI end-to-end** — the actual `meg-lab` binary: shard + merge
+//!   equivalence, worker subprocess pools, worker crash/restart, and
+//!   limit/resume exit codes.
+
+use meg_engine::dist::{merge_dir, run_sharded, DistOptions, ShardSpec, ShardStrategy};
+use meg_engine::prelude::*;
+use meg_engine::scenario::Scenario;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("meg-dist-it-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Built-ins shrunk to CI size: tiny node counts, 2 trials.
+fn ci_sized(name: &str) -> Scenario {
+    let mut s = builtin(name).expect("builtin exists").scaled(0.05);
+    s.trials = 2;
+    s
+}
+
+fn reference_lines(s: &Scenario, seed: u64) -> Vec<String> {
+    run_scenario(s, seed)
+        .unwrap()
+        .iter()
+        .map(|r| r.to_json().render())
+        .collect()
+}
+
+#[test]
+fn golden_every_builtin_shards_and_merges_byte_identically() {
+    for name in builtin_names() {
+        let scenario = ci_sized(name);
+        let reference = reference_lines(&scenario, 2009);
+        assert_eq!(reference.len(), scenario.num_cells());
+        for strategy in [ShardStrategy::Contiguous, ShardStrategy::RoundRobin] {
+            let dir = tmp(&format!("golden-{name}-{}", strategy.id()));
+            for i in 0..3 {
+                let opts = DistOptions {
+                    shard: ShardSpec {
+                        index: i,
+                        count: 3,
+                        strategy,
+                    },
+                    out_dir: Some(dir.clone()),
+                    ..DistOptions::default()
+                };
+                run_sharded(&scenario, 2009, &opts, |_, _| {}).unwrap();
+            }
+            let merged = merge_dir(&dir).unwrap();
+            assert_eq!(
+                merged.lines,
+                reference,
+                "sharded+merged `{name}` ({}) must be byte-identical to unsharded",
+                strategy.id()
+            );
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+}
+
+#[test]
+fn interrupted_run_resumes_without_reexecuting_cells() {
+    let scenario = ci_sized("quick_smoke");
+    let reference = reference_lines(&scenario, 41);
+    let total = reference.len();
+    let dir = tmp("interrupt");
+
+    // Interrupt after 1 cell (limit models a kill: the checkpoint survives).
+    let interrupted = run_sharded(
+        &scenario,
+        41,
+        &DistOptions {
+            out_dir: Some(dir.clone()),
+            limit: Some(1),
+            ..DistOptions::default()
+        },
+        |_, _| {},
+    )
+    .unwrap();
+    assert!(!interrupted.complete);
+    assert_eq!(interrupted.executed, 1);
+
+    // Resume: the checkpointed cell is honored, the rest execute once.
+    let resumed = run_sharded(
+        &scenario,
+        41,
+        &DistOptions {
+            out_dir: Some(dir.clone()),
+            resume: true,
+            ..DistOptions::default()
+        },
+        |_, _| {},
+    )
+    .unwrap();
+    assert!(resumed.complete);
+    assert_eq!(resumed.resumed, 1, "completed cell must not re-execute");
+    assert_eq!(resumed.executed, total - 1);
+    let lines: Vec<String> = resumed.rows.into_iter().map(|(_, l)| l).collect();
+    assert_eq!(lines, reference, "resumed output must match a clean run");
+
+    // The merged checkpoint agrees too, with no duplicate rows.
+    let merged = merge_dir(&dir).unwrap();
+    assert_eq!(merged.lines, reference);
+    assert_eq!(merged.duplicates, 0, "no cell may have run twice");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// CLI end-to-end (drives the real meg-lab binary)
+
+fn meg_lab() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_meg-lab"))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = meg_lab().args(args).output().expect("meg-lab runs");
+    assert!(
+        out.status.success(),
+        "meg-lab {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 stdout")
+}
+
+const CLI_SCALE: &[&str] = &["--scale", "0.25", "--trials", "2", "--seed", "2009"];
+
+fn cli_unsharded_json() -> String {
+    run_ok(&[&["run", "quick_smoke"], CLI_SCALE, &["--format", "json"]].concat())
+}
+
+fn dir_arg(dir: &Path) -> &str {
+    dir.to_str().expect("utf8 temp path")
+}
+
+#[test]
+fn cli_shard_merge_round_trip_is_byte_identical() {
+    let reference = cli_unsharded_json();
+    let dir = tmp("cli-shards");
+    for shard in ["0/2", "1/2"] {
+        run_ok(
+            &[
+                &["run", "quick_smoke"],
+                CLI_SCALE,
+                &["--format", "json", "--shard", shard, "--out", dir_arg(&dir)],
+            ]
+            .concat(),
+        );
+    }
+    let merged = run_ok(&["merge", dir_arg(&dir)]);
+    assert_eq!(merged, reference);
+    // The merged stream re-renders as CSV with the canonical header.
+    let csv = run_ok(&["merge", dir_arg(&dir), "--format", "csv"]);
+    assert!(csv.starts_with(meg_engine::sink::CSV_HEADER));
+    assert_eq!(csv.lines().count(), 1 + reference.lines().count());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn cli_worker_pool_matches_single_process_output() {
+    let reference = cli_unsharded_json();
+    let pooled = run_ok(
+        &[
+            &["run", "quick_smoke"],
+            CLI_SCALE,
+            &["--format", "json", "--workers", "2"],
+        ]
+        .concat(),
+    );
+    assert_eq!(pooled, reference);
+}
+
+#[test]
+fn cli_coordinator_restarts_crashing_workers() {
+    let reference = cli_unsharded_json();
+    // Every worker aborts after serving one cell, so each cell costs one
+    // subprocess — the run only completes if the restart path works.
+    let survived = run_ok(
+        &[
+            &["run", "quick_smoke"],
+            CLI_SCALE,
+            &[
+                "--format",
+                "json",
+                "--workers",
+                "2",
+                "--worker-fail-after",
+                "1",
+            ],
+        ]
+        .concat(),
+    );
+    assert_eq!(survived, reference);
+}
+
+#[test]
+fn cli_limit_exits_3_and_resume_completes() {
+    let reference = cli_unsharded_json();
+    let dir = tmp("cli-resume");
+    let partial = meg_lab()
+        .args(
+            [
+                &["run", "quick_smoke"][..],
+                CLI_SCALE,
+                &["--format", "json", "--out", dir_arg(&dir), "--limit", "1"],
+            ]
+            .concat(),
+        )
+        .output()
+        .expect("meg-lab runs");
+    assert_eq!(
+        partial.status.code(),
+        Some(3),
+        "incomplete runs must exit 3: {}",
+        String::from_utf8_lossy(&partial.stderr)
+    );
+
+    let resumed = run_ok(
+        &[
+            &["run", "quick_smoke"],
+            CLI_SCALE,
+            &["--format", "json", "--resume", dir_arg(&dir)],
+        ]
+        .concat(),
+    );
+    assert_eq!(
+        resumed, reference,
+        "resumed CLI output must match clean run"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}

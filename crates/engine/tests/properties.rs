@@ -1,12 +1,16 @@
 //! Property tests: every randomly generated `Scenario`/`Sweep` serializes to
-//! JSON and deserializes back to an equal value, and the sweep grid's cell
-//! enumeration is a faithful cartesian product.
+//! JSON and deserializes back to an equal value, the sweep grid's cell
+//! enumeration is a faithful cartesian product, and `row_to_csv` escaping is
+//! reversible for arbitrary (comma/quote/newline-laden) strings.
 
 use meg_engine::json::Json;
+use meg_engine::run::Row;
 use meg_engine::scenario::{
     Axis, EdgeEngine, InitKind, MobilityKind, MoveRadiusSpec, PHatSpec, Param, Protocol,
     RadiusSpec, Scenario, Substrate, Sweep,
 };
+use meg_engine::sink::{row_to_csv, CSV_HEADER};
+use meg_stats::Summary;
 use proptest::prelude::*;
 use proptest::Strategy;
 
@@ -146,6 +150,89 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
         )
 }
 
+/// Strings drawn from an alphabet rich in CSV-hostile characters: commas,
+/// quotes, CR/LF, equals signs, and some multi-byte text.
+fn arb_nasty_string() -> impl Strategy<Value = String> {
+    const ALPHABET: [char; 12] = ['a', 'B', '7', 'θ', ',', '"', '\n', '\r', '=', ' ', '-', '_'];
+    proptest::collection::vec(0usize..ALPHABET.len(), 0usize..12)
+        .prop_map(|indices| indices.into_iter().map(|i| ALPHABET[i]).collect())
+}
+
+fn arb_row() -> impl Strategy<Value = Row> {
+    (
+        arb_nasty_string(),
+        arb_nasty_string(),
+        arb_nasty_string(),
+        proptest::collection::vec((arb_nasty_string(), arb_f64()), 0usize..4),
+        0usize..50,
+        proptest::bool::ANY,
+    )
+        .prop_map(
+            |(scenario, protocol, regime, params, cell, completed)| Row {
+                scenario,
+                cell,
+                family: "edge".into(),
+                substrate: "edge-sparse".into(),
+                protocol,
+                params,
+                regime,
+                seed: 0x1234_5678_9abc_def0,
+                trials: 4,
+                completion_rate: if completed { 0.75 } else { 0.0 },
+                rounds: if completed {
+                    Summary::of_counts(&[3, 5, 9])
+                } else {
+                    None
+                },
+                mean_messages: 123.5,
+            },
+        )
+}
+
+/// A strict RFC-4180-style record parser: quoted fields may contain commas,
+/// doubled quotes, and newlines; anything after a closing quote other than a
+/// comma or end-of-record is a parse error.
+fn parse_csv_record(input: &str) -> Option<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut chars = input.chars().peekable();
+    loop {
+        let mut field = String::new();
+        if chars.peek() == Some(&'"') {
+            chars.next();
+            loop {
+                match chars.next()? {
+                    '"' => {
+                        if chars.peek() == Some(&'"') {
+                            chars.next();
+                            field.push('"');
+                        } else {
+                            break;
+                        }
+                    }
+                    c => field.push(c),
+                }
+            }
+        } else {
+            while let Some(&c) = chars.peek() {
+                if c == ',' {
+                    break;
+                }
+                if c == '"' {
+                    return None; // bare quote inside an unquoted field
+                }
+                field.push(c);
+                chars.next();
+            }
+        }
+        fields.push(field);
+        match chars.next() {
+            Some(',') => continue,
+            None => return Some(fields),
+            Some(_) => return None,
+        }
+    }
+}
+
 // --- properties ------------------------------------------------------------
 
 proptest! {
@@ -201,6 +288,37 @@ proptest! {
         if !has_dup_values {
             prop_assert_eq!(seen.len(), sweep.num_cells());
         }
+    }
+
+    #[test]
+    fn row_to_csv_escapes_arbitrary_strings_reversibly(row in arb_row()) {
+        let record = row_to_csv(&row);
+        let fields = parse_csv_record(&record)
+            .ok_or_else(|| TestCaseError::fail(format!("unparsable record: {record:?}")))?;
+        prop_assert_eq!(fields.len(), CSV_HEADER.split(',').count(),
+            "field count must match the header for {:?}", record);
+        // The string fields survive the escape/parse round trip verbatim.
+        prop_assert_eq!(&fields[0], &row.scenario);
+        prop_assert_eq!(&fields[1], &row.cell.to_string());
+        prop_assert_eq!(&fields[4], &row.protocol);
+        prop_assert_eq!(&fields[5], &row.params_compact());
+        prop_assert_eq!(&fields[6], &row.regime);
+        prop_assert_eq!(&fields[7], &row.seed.to_string());
+        // And rows that carry no specials contain no quoting at all.
+        if !row.scenario.contains(['"', ',', '\n', '\r'])
+            && !row.protocol.contains(['"', ',', '\n', '\r'])
+            && !row.regime.contains(['"', ',', '\n', '\r'])
+            && !row.params_compact().contains(['"', ',', '\n', '\r'])
+        {
+            prop_assert!(!record.contains('"'), "gratuitous quoting in {:?}", record);
+        }
+    }
+
+    #[test]
+    fn rows_round_trip_through_json_for_arbitrary_strings(row in arb_row()) {
+        let back = Row::from_json(&row.to_json())
+            .map_err(|e| TestCaseError::fail(format!("row reparse failed: {e}")))?;
+        prop_assert_eq!(&back, &row);
     }
 
     #[test]

@@ -71,7 +71,14 @@ fn tiny_scenario_end_to_end_json_lines_schema() {
         }
         // Rounds summary: numbers when any trial completed, nulls otherwise.
         let completed = row.get("completion_rate").unwrap().as_f64().unwrap() > 0.0;
-        for key in ["mean_rounds", "min_rounds", "max_rounds", "std_rounds"] {
+        for key in [
+            "mean_rounds",
+            "min_rounds",
+            "max_rounds",
+            "std_rounds",
+            "median_rounds",
+            "var_rounds",
+        ] {
             let v = row.get(key).unwrap_or(&Json::Null);
             if completed {
                 assert!(v.as_f64().is_some(), "`{key}` must be numeric in {line}");
@@ -79,6 +86,11 @@ fn tiny_scenario_end_to_end_json_lines_schema() {
                 assert_eq!(v, &Json::Null);
             }
         }
+        // completed_trials makes the row JSON a lossless Row transport.
+        assert!(
+            row.get("completed_trials").and_then(Json::as_f64).is_some(),
+            "`completed_trials` must be a number in {line}"
+        );
         // params is an object of numbers including n.
         let params = row.get("params").expect("params present");
         assert!(params.get("n").and_then(Json::as_f64).is_some());
@@ -129,6 +141,37 @@ fn every_builtin_scenario_round_trips_through_json() {
         let back = Scenario::parse(&s.to_json().render()).unwrap();
         assert_eq!(back, s, "builtin `{name}` must round-trip");
     }
+}
+
+#[test]
+fn sharded_execution_is_reachable_through_the_facade() {
+    use meg::engine::dist::{run_sharded, DistOptions, ShardSpec};
+    let s = smoke();
+    let reference: Vec<String> = run_scenario(&s, 2009)
+        .unwrap()
+        .iter()
+        .map(|r| r.to_json().render())
+        .collect();
+    let mut lines = Vec::new();
+    for label in ["0/2", "1/2"] {
+        let opts = DistOptions {
+            shard: ShardSpec::parse(label).unwrap(),
+            ..DistOptions::default()
+        };
+        let report = run_sharded(&s, 2009, &opts, |_, line| lines.push(line.to_string())).unwrap();
+        assert!(report.complete);
+    }
+    lines.sort_by_key(|l| {
+        Json::parse(l)
+            .unwrap()
+            .get("cell")
+            .and_then(Json::as_f64)
+            .unwrap() as usize
+    });
+    assert_eq!(
+        lines, reference,
+        "2-way shard must partition the row stream"
+    );
 }
 
 #[test]
