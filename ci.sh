@@ -13,6 +13,33 @@ MODE="${1:-full}"
 
 step() { printf '\n\033[1m== %s\033[0m\n' "$*"; }
 
+step "markdown link check (intra-repo links in README + docs)"
+LINK_ERR_FILE=$(mktemp)
+for md in README.md PAPER.md PAPERS.md ROADMAP.md CHANGES.md docs/*.md crates/*/README.md; do
+    [ -f "$md" ] || continue
+    # Extract [text](target) links, keep repo-relative targets only (skip
+    # http(s), mailto, and pure #anchors), strip any #fragment.
+    { grep -oE '\]\([^)]+\)' "$md" || true; } |
+    sed -e 's/^](//' -e 's/)$//' -e 's/#.*$//' |
+    while read -r target; do
+        case "$target" in
+            http://*|https://*|mailto:*|"") continue ;;
+        esac
+        # Resolve relative to the linking file only — a root-relative
+        # fallback would pass links that 404 when the file is rendered.
+        if [ ! -e "$(dirname "$md")/$target" ]; then
+            echo "broken link in $md: $target" | tee -a "$LINK_ERR_FILE" >&2
+        fi
+    done
+done
+if [ -s "$LINK_ERR_FILE" ]; then
+    echo "$(wc -l < "$LINK_ERR_FILE") broken intra-repo markdown link(s)" >&2
+    rm -f "$LINK_ERR_FILE"
+    exit 1
+fi
+rm -f "$LINK_ERR_FILE"
+echo "all intra-repo markdown links resolve"
+
 step "cargo fmt --check"
 cargo fmt --all --check
 
@@ -75,6 +102,28 @@ if [ "$MODE" != "quick" ]; then
     fi
     echo "sharded run merged byte-identically ($(wc -l < "$DIST_DIR/merged.jsonl") rows)"
     rm -rf "$DIST_DIR"
+
+    step "meg-lab adaptive smoke (--target-stderr converges on every row)"
+    ADAPTIVE_OUT=$(MEG_SCALE=0.1 cargo run -q --release --offline -p meg-engine --bin meg-lab -- \
+        run quick_smoke --seed 2009 --target-stderr 0.75 --min-trials 2 --max-trials 4 \
+        --format json)
+    # A row is acceptable iff it met the target (achieved_stderr ≤ eps) or
+    # spent the whole budget (trials == max_trials) — the acceptance
+    # contract of adaptive mode.
+    if ! printf '%s\n' "$ADAPTIVE_OUT" | awk -F'"achieved_stderr":' '
+        /^\{/ {
+            rows++
+            split($2, a, ","); se = a[1]
+            if ($0 ~ /"trials":4,/ || (se != "null" && se + 0 <= 0.75)) converged++
+        }
+        END {
+            printf "adaptive smoke: %d of %d rows converged or exhausted the budget\n", \
+                converged, rows
+            exit (rows < 1 || converged < rows) ? 1 : 0
+        }'; then
+        printf '%s\n' "$ADAPTIVE_OUT" >&2
+        exit 1
+    fi
 
     step "bench compile check"
     cargo check -q --workspace --benches --offline

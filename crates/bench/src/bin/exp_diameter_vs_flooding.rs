@@ -1,91 +1,17 @@
 //! Experiment `exp_diameter_vs_flooding` — the Introduction's separation
 //! example.
 //!
-//! The paper opens by noting that a diameter bound for a dynamic network says
-//! nothing about its flooding time: there are n-node dynamic networks whose
-//! every snapshot has constant diameter while flooding needs Θ(n) rounds.
-//! This experiment measures both quantities for two deterministic evolving
-//! graphs:
-//!
-//! * the rotating star (diameter 2, flooding n−1 from the worst source) — the
-//!   separation witness;
-//! * the rotating bridge (two cliques joined by a moving edge, diameter 3,
-//!   flooding ≤ 4) — the contrast showing that expansion, not diameter, is
-//!   what buys fast flooding.
-//!
-//! It also evaluates the Theorem 2.5 machinery on both: the measured
-//! expansion of the rotating star collapses (k ≈ 1/h), which is exactly why
-//! the general bound degenerates to Θ(n) there.
-
-use meg_bench::emit;
-use meg_core::adversarial::{RotatingBridge, RotatingStar};
-use meg_core::analysis::{measure_expansion_sequence, ExpansionMeasurement};
-use meg_core::flooding::flood;
-use meg_stats::seeds::labeled_rng;
-use meg_stats::table::fmt_f64;
-use meg_stats::Table;
+//! Thin wrapper over the engine's built-in `diameter_vs_flooding` scenario:
+//! runs worst-source flooding, a snapshot-diameter probe, and a Theorem 2.5
+//! bound probe on the rotating star (the separation witness — constant
+//! diameter, `Θ(n)` flooding) and the rotating bridge (the contrast — the
+//! same constant diameter, but constant flooding thanks to good expansion).
+//! Honours `MEG_SEED`, `MEG_TRIALS`, `MEG_SCALE`, `MEG_OUTPUT`; run
+//! `meg-lab show diameter_vs_flooding` to see the scenario as JSON.
 
 fn main() {
-    let mut table = Table::new(
-        "exp_diameter_vs_flooding: snapshot diameter vs flooding time vs Theorem 2.5 bound",
-        &[
-            "n",
-            "evolving graph",
-            "snapshot diameter",
-            "worst-source flooding T",
-            "predicted T",
-            "measured Thm 2.5 bound",
-        ],
-    );
-
-    for n in [64usize, 256, 1024] {
-        // Rotating star: flooding from the worst source takes n − 1 rounds.
-        let mut star = RotatingStar::new(n, 0);
-        let source = star.worst_source();
-        let predicted = star.predicted_worst_flooding_time();
-        let diameter = star.snapshot_diameter();
-        let time = flood(&mut star, source, 10 * n as u64)
-            .flooding_time()
-            .expect("rotating star completes");
-        let mut probe = RotatingStar::new(n, 0);
-        let mut rng = labeled_rng(2009, "diam-star");
-        let bound =
-            measure_expansion_sequence(&mut probe, ExpansionMeasurement::default(), &mut rng)
-                .map(|seq| fmt_f64(seq.flooding_bound()))
-                .unwrap_or_else(|_| "-".into());
-        table.push_row(&[
-            n.to_string(),
-            "rotating star".to_string(),
-            diameter.to_string(),
-            time.to_string(),
-            predicted.to_string(),
-            bound,
-        ]);
-
-        // Rotating bridge: same constant diameter, but expansion is excellent.
-        let mut bridge = RotatingBridge::new(n);
-        let diameter = bridge.snapshot_diameter();
-        let time = flood(&mut bridge, 1, 10 * n as u64)
-            .flooding_time()
-            .expect("rotating bridge completes");
-        let mut probe = RotatingBridge::new(n);
-        let mut rng = labeled_rng(2009, "diam-bridge");
-        let bound =
-            measure_expansion_sequence(&mut probe, ExpansionMeasurement::default(), &mut rng)
-                .map(|seq| fmt_f64(seq.flooding_bound()))
-                .unwrap_or_else(|_| "-".into());
-        table.push_row(&[
-            n.to_string(),
-            "rotating bridge (two cliques)".to_string(),
-            diameter.to_string(),
-            time.to_string(),
-            "≤ 4".to_string(),
-            bound,
-        ]);
-    }
-    emit(&table);
-
-    meg_bench::commentary(
+    meg_engine::harness::run_builtin_experiment(
+        "diameter_vs_flooding",
         "Expected shape: the rotating star's flooding time grows linearly in n despite its\n\
          constant diameter (and its measured Theorem 2.5 bound grows with it, because its\n\
          expansion is ~1/h), while the rotating bridge floods in a constant number of\n\

@@ -1,91 +1,17 @@
 //! Experiment `exp_edge_expansion` — Theorem 4.1 / Lemma 4.2.
 //!
-//! Samples stationary snapshots of an edge-MEG (i.e. Erdős–Rényi graphs
-//! `G(n, p̂)`) and measures their node-expansion profile. Theorem 4.1 predicts
-//! two regimes:
-//!
-//! * `h ≤ 1/p̂` — an `(h, np̂/c)`-expander: small sets expand by about the
-//!   expected degree;
-//! * `1/p̂ ≤ h ≤ n/2` — an `(h, n/(ch))`-expander: larger sets already see a
-//!   constant fraction of the whole graph.
-//!
-//! The table reports the measured worst sampled expansion ratio at each set
-//! size against the corresponding theoretical shape.
-
-use meg_bench::{emit, master_seed, scaled, trials};
-use meg_edge::init::sample_stationary_snapshot;
-use meg_edge::EdgeMegParams;
-use meg_graph::expansion::{min_expansion_sampled, SamplingStrategy};
-use meg_graph::{connectivity, Graph};
-use meg_stats::seeds::labeled_rng;
-use meg_stats::table::fmt_f64;
-use meg_stats::Table;
+//! Thin wrapper over the engine's built-in `edge_expansion` scenario:
+//! samples stationary snapshots of an edge-MEG (i.e. Erdős–Rényi graphs
+//! `G(n, p̂)`) and measures the worst sampled node-expansion ratio across a
+//! sweep of set sizes `h`. Honours `MEG_SEED`, `MEG_TRIALS`, `MEG_SCALE`,
+//! `MEG_OUTPUT`; run `meg-lab show edge_expansion` to see the scenario as
+//! JSON.
 
 fn main() {
-    let n = scaled(4_000);
-    let p_hat = 4.0 * (n as f64).ln() / n as f64;
-    let params = EdgeMegParams::with_stationary(n, p_hat, 0.5);
-    let bounds = params.bounds();
-    let c = 4.0; // the "sufficiently large constant" of Theorem 4.1, made explicit
-    let crossover = bounds.expansion_crossover();
-    let mut rng = labeled_rng(master_seed(), "exp_edge_expansion");
-
-    // Connectivity sanity check across a few snapshots.
-    let mut connected = 0usize;
-    let mut snapshot = None;
-    for _ in 0..trials() {
-        let g = sample_stationary_snapshot(params, &mut rng);
-        if connectivity::is_connected(&g) {
-            connected += 1;
-        }
-        snapshot = Some(g);
-    }
-    meg_bench::commentary(format!(
-        "stationary snapshot G(n = {n}, p̂ = {p_hat:.5}): {connected}/{} sampled snapshots connected, average degree ≈ {:.1}\n",
-        trials(),
-        bounds.expected_degree()
-    ));
-
-    let g = snapshot.expect("at least one snapshot");
-    let mut table = Table::new(
-        format!(
-            "exp_edge_expansion: expansion profile of G(n, p̂) (1/p̂ ≈ {crossover:.0}, edges = {})",
-            g.num_edges()
-        ),
-        &[
-            "h",
-            "regime",
-            "measured min |N(I)|/|I|",
-            "theory shape",
-            "measured / theory",
-        ],
-    );
-    let samples = 30;
-    let mut h = 1usize;
-    while h <= n / 2 {
-        let measured = min_expansion_sampled(&g, h, samples, SamplingStrategy::Mixed, &mut rng);
-        let (regime, theory) = if (h as f64) <= crossover {
-            ("small (np̂/c)", bounds.expansion_small(c))
-        } else {
-            ("large (n/(ch))", bounds.expansion_large(h, c))
-        };
-        table.push_row(&[
-            h.to_string(),
-            regime.to_string(),
-            fmt_f64(measured),
-            fmt_f64(theory),
-            fmt_f64(measured / theory),
-        ]);
-        if h == n / 2 {
-            break;
-        }
-        h = (h * 4).min(n / 2);
-    }
-    emit(&table);
-
-    meg_bench::commentary(
-        "Expected shape: small sets expand by about the expected degree np̂ (flat in h),\n\
-         larger sets by about n/(ch) (falling like 1/h) — the two inputs Theorem 2.5 turns\n\
-         into the O(log n / log(np̂) + log log(np̂)) flooding bound.",
+    meg_engine::harness::run_builtin_experiment(
+        "edge_expansion",
+        "Expected shape (Thm 4.1): small sets (h ≤ 1/p̂) expand by about the expected degree\n\
+         np̂ (flat in h), larger sets by about n/(ch) (falling like 1/h) — the two inputs\n\
+         Theorem 2.5 turns into the O(log n / log(np̂) + log log(np̂)) flooding bound.",
     );
 }

@@ -1,72 +1,17 @@
 //! Experiment `exp_edge_stationary_vs_worst` — the Section 1 gap claim.
 //!
-//! Compares flooding on the *same* edge-MEG started (a) from the stationary
+//! Thin wrapper over the engine's built-in `edge_stationary_vs_worst`
+//! scenario: floods the *same* edge-MEG started (a) from the stationary
 //! distribution and (b) from the empty graph — the worst-case start analysed
-//! in reference \[9\]. In sparse-birth regimes (`p` tiny because `q` is tiny at
-//! fixed `p̂`) the stationary start floods in a handful of rounds while the
-//! empty start must wait on the order of `1/p` rounds for edges to be born at
-//! all: the "exponential gap" the paper highlights.
-
-use meg_bench::{edge_flooding_summary, emit, master_seed, mean_cell, scaled, trials};
-use meg_core::bounds::EdgeBounds;
-use meg_core::evolving::InitialDistribution;
-use meg_core::spec;
-use meg_edge::EdgeMegParams;
-use meg_stats::table::fmt_f64;
-use meg_stats::Table;
+//! in reference \[9\] — across a sweep of death rates `q`. Honours
+//! `MEG_SEED`, `MEG_TRIALS`, `MEG_SCALE`, `MEG_OUTPUT`; run
+//! `meg-lab show edge_stationary_vs_worst` to see the scenario as JSON.
 
 fn main() {
-    let seed = master_seed();
-    let n = scaled(1_500);
-    let p_hat = 4.0 * (n as f64).ln() / n as f64;
-
-    let mut table = Table::new(
-        format!("exp_edge_stationary_vs_worst: stationary vs empty-start flooding (n = {n}, p̂ = {p_hat:.4})"),
-        &[
-            "q",
-            "p",
-            "1/p (worst-case scale)",
-            "gap condition holds?",
-            "stationary mean T",
-            "empty-start mean T",
-            "measured gap",
-        ],
-    );
-
-    for q in [0.5f64, 0.1, 0.02, 0.004] {
-        let params = EdgeMegParams::with_stationary(n, p_hat, q);
-        let (stationary, _) = edge_flooding_summary(
-            params,
-            InitialDistribution::Stationary,
-            trials(),
-            seed ^ (q * 1e4) as u64,
-        );
-        let (empty, _) = edge_flooding_summary(
-            params,
-            InitialDistribution::Empty,
-            trials(),
-            seed ^ 0xE ^ (q * 1e4) as u64,
-        );
-        let gap = match (&stationary, &empty) {
-            (Some(s), Some(e)) if s.mean > 0.0 => fmt_f64(e.mean / s.mean),
-            _ => "-".into(),
-        };
-        let condition = spec::exponential_gap_condition_moderate(n, params.p, params.q);
-        table.push_row(&[
-            fmt_f64(q),
-            format!("{:.2e}", params.p),
-            fmt_f64(EdgeBounds::worst_case_scale(params.p)),
-            condition.to_string(),
-            mean_cell(&stationary),
-            mean_cell(&empty),
-            gap,
-        ]);
-    }
-    emit(&table);
-
-    meg_bench::commentary(
-        "Expected shape: the stationary column is flat (a handful of rounds, independent of\n\
-         q), while the empty-start column grows like 1/p as q shrinks — the gap widens\n\
-         without bound exactly in the regimes where the paper's gap conditions hold.",
+    meg_engine::harness::run_builtin_experiment(
+        "edge_stationary_vs_worst",
+        "Expected shape: the stationary (init=stationary) rows stay flat — a handful of\n\
+         rounds, independent of q — while the empty-start rows grow like 1/p as q shrinks\n\
+         at fixed p̂: the exponential gap the paper highlights in Section 1.",
     );
 }

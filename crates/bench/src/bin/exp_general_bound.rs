@@ -1,153 +1,19 @@
 //! Experiment `exp_general_bound` — Lemma 2.4 / Theorem 2.5 / Corollary 2.6.
 //!
-//! The general theorem says: if the stationary snapshots are
-//! `(h_i, k_i)`-expanders (w.h.p.) then flooding finishes in
-//! `O(Σ_i log(h_i/h_{i-1}) / log(1 + k_i))` rounds. This experiment closes the
-//! loop empirically for both model families and for two static baselines:
-//!
-//! 1. measure an empirical expansion sequence of the evolving graph
-//!    (worst sampled expansion over several snapshots, made monotone);
-//! 2. evaluate the Lemma 2.4 sum on it;
-//! 3. compare with the flooding time actually measured on an independent run.
-//!
-//! The evaluated bound must dominate the measured flooding time on every row,
-//! and for the well-expanding models it should be within a small constant
-//! factor (the bound is useful, not just valid).
-
-use meg_bench::{emit, master_seed, scaled, trials};
-use meg_core::analysis::{measure_expansion_sequence, ExpansionMeasurement};
-use meg_core::evolving::FrozenGraph;
-use meg_core::expansion::corollary_2_6;
-use meg_core::flooding::flood;
-use meg_edge::{EdgeMegParams, SparseEdgeMeg};
-use meg_geometric::{GeometricMeg, GeometricMegParams};
-use meg_graph::expansion::SamplingStrategy;
-use meg_graph::generators;
-use meg_stats::seeds::labeled_rng;
-use meg_stats::table::fmt_f64;
-use meg_stats::{Summary, Table};
-
-struct Row {
-    name: String,
-    bound: f64,
-    measured_mean: f64,
-    measured_max: f64,
-}
-
-fn measure<M, F>(name: &str, mut make: F, options: ExpansionMeasurement, runs: usize) -> Row
-where
-    M: meg_core::evolving::EvolvingGraph,
-    F: FnMut(u64) -> M,
-{
-    let mut rng = labeled_rng(master_seed(), name);
-    let mut probe = make(0xFFFF);
-    let seq = measure_expansion_sequence(&mut probe, options, &mut rng)
-        .expect("expansion sequence measurable");
-    let bound = seq.flooding_bound();
-    let times: Vec<f64> = (0..runs)
-        .filter_map(|i| {
-            let mut meg = make(i as u64);
-            flood(&mut meg, 0, meg_bench::ROUND_BUDGET)
-                .flooding_time()
-                .map(|t| t as f64)
-        })
-        .collect();
-    let summary = Summary::of(&times).expect("at least one completed run");
-    Row {
-        name: name.to_string(),
-        bound,
-        measured_mean: summary.mean,
-        measured_max: summary.max,
-    }
-}
+//! Thin wrapper over the engine's built-in `general_bound` scenario: for
+//! both MEG families and two static baselines (Erdős–Rényi and a 2-D grid),
+//! the bound probe measures an empirical expansion sequence and evaluates
+//! the Lemma 2.4 flooding bound on it, while the flooding rows measure the
+//! actual flooding time on independent runs. Honours `MEG_SEED`,
+//! `MEG_TRIALS`, `MEG_SCALE`, `MEG_OUTPUT`; run `meg-lab show general_bound`
+//! to see the scenario as JSON.
 
 fn main() {
-    let seed = master_seed();
-    let options = ExpansionMeasurement {
-        snapshots: 4,
-        samples_per_size: 25,
-        strategy: SamplingStrategy::Mixed,
-    };
-    let runs = trials();
-
-    let n_geo = scaled(1_500);
-    let radius = 2.0 * (n_geo as f64).ln().sqrt();
-    let geo_params = GeometricMegParams::new(n_geo, radius / 2.0, radius);
-
-    let n_edge = scaled(1_500);
-    let p_hat = 4.0 * (n_edge as f64).ln() / n_edge as f64;
-    let edge_params = EdgeMegParams::with_stationary(n_edge, p_hat, 0.5);
-
-    let rows = vec![
-        measure(
-            "geometric-MEG (stationary)",
-            |i| GeometricMeg::from_params(geo_params, seed ^ i),
-            options,
-            runs,
-        ),
-        measure(
-            "edge-MEG (stationary)",
-            |i| SparseEdgeMeg::stationary(edge_params, seed ^ i),
-            options,
-            runs,
-        ),
-        measure(
-            "static Erdős–Rényi G(n, p̂)",
-            |i| {
-                let mut rng = labeled_rng(seed ^ i, "static-gnp");
-                FrozenGraph::new(generators::erdos_renyi(n_edge, p_hat, &mut rng))
-            },
-            options,
-            runs,
-        ),
-        measure(
-            "static 2-D grid (weak expander)",
-            |_| FrozenGraph::new(generators::grid2d(40, 40)),
-            options,
-            runs,
-        ),
-    ];
-
-    let mut table = Table::new(
-        "exp_general_bound: measured expansion sequence → Lemma 2.4 bound vs measured flooding",
-        &[
-            "evolving graph",
-            "evaluated bound",
-            "measured mean T",
-            "measured max T",
-            "bound ≥ max?",
-            "bound / mean",
-        ],
-    );
-    for row in &rows {
-        table.push_row(&[
-            row.name.clone(),
-            fmt_f64(row.bound),
-            fmt_f64(row.measured_mean),
-            fmt_f64(row.measured_max),
-            if row.bound >= row.measured_max {
-                "yes"
-            } else {
-                "NO"
-            }
-            .to_string(),
-            fmt_f64(row.bound / row.measured_mean),
-        ]);
-    }
-    emit(&table);
-
-    // Corollary 2.6 illustration on a synthetic constant-expansion sequence.
-    let n = 1_000_000usize;
-    let ks = vec![2.0f64; n / 2];
-    meg_bench::commentary(format!(
-        "Corollary 2.6 sanity value: constant expansion k = 2 on n = 10^6 gives Σ 1/(i·log 3) ≈ {:.1} (≈ log n / log 3 = {:.1})\n",
-        corollary_2_6(&ks),
-        (n as f64).ln() / 3f64.ln()
-    ));
-
-    meg_bench::commentary(
-        "Expected shape: the evaluated bound dominates the measured flooding time on every\n\
-         row; it is within a small factor for the expander-like rows (both MEG families,\n\
-         G(n,p̂)) and much looser for the 2-D grid, whose expansion genuinely is poor.",
+    meg_engine::harness::run_builtin_experiment(
+        "general_bound",
+        "Expected shape: each substrate's `bound` row dominates its `flooding` row; the\n\
+         ratio is a small constant for the expander-like substrates (both MEG families,\n\
+         static G(n,p̂)) and much looser for the 2-D grid, whose expansion genuinely is\n\
+         poor.",
     );
 }

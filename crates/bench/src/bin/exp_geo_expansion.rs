@@ -1,114 +1,18 @@
 //! Experiment `exp_geo_expansion` — Theorem 3.2 and Claim 1.
 //!
-//! Samples stationary snapshots of the paper's geometric-MEG and measures
-//! exactly the quantities the proof of Theorem 3.2 manipulates:
-//!
-//! 1. **Claim 1** — the occupancy of the `⌈√(5n)/R⌉ × ⌈√(5n)/R⌉` cell
-//!    partition: every cell should hold `Θ(R²)` nodes, i.e. the concentration
-//!    constant `λ = max(N_max/R², R²/N_min)` should be a small constant.
-//! 2. **The two expansion regimes** — the worst sampled expansion ratio at set
-//!    size `h` should be at least a constant fraction of `αR²/h` for
-//!    `h ≤ αR²` and of `βR/√h` for larger `h`.
-
-use meg_bench::{emit, master_seed, scaled, trials};
-use meg_core::bounds::GeometricBounds;
-use meg_geometric::cells::CellPartition;
-use meg_geometric::snapshot::sample_paper_snapshot;
-use meg_geometric::GeometricMegParams;
-use meg_graph::expansion::{min_expansion_sampled, SamplingStrategy};
-use meg_stats::seeds::labeled_rng;
-use meg_stats::table::fmt_f64;
-use meg_stats::{Summary, Table};
+//! Thin wrapper over the engine's built-in `geo_expansion` scenario: the
+//! occupancy probe measures the Claim 1 cell-partition concentration `λ`
+//! of stationary geometric snapshots, and the expansion probe sweeps the
+//! set size `h` through the two expansion regimes of Theorem 3.2. Honours
+//! `MEG_SEED`, `MEG_TRIALS`, `MEG_SCALE`, `MEG_OUTPUT`; run
+//! `meg-lab show geo_expansion` to see the scenario as JSON.
 
 fn main() {
-    let n = scaled(4_000);
-    // Claim 1 needs R ≥ c√(log n) for a comfortably large c (every cell must
-    // hold Θ(R²) ≈ Θ(log n) nodes for the Chernoff argument to bite); use a
-    // radius a bit above the bare connectivity threshold so the finite-size
-    // concentration is visible.
-    let radius = 3.5 * (n as f64).ln().sqrt();
-    let params = GeometricMegParams::new(n, radius / 2.0, radius);
-    let mut rng = labeled_rng(master_seed(), "exp_geo_expansion");
-    let snapshots = trials();
-
-    // ------------------------------------------------------------- Claim 1
-    let partition = CellPartition::for_paper_instance(n, radius);
-    let mut lambdas = Vec::new();
-    let mut kept_snapshot = None;
-    for _ in 0..snapshots {
-        let snap = sample_paper_snapshot(params, &mut rng);
-        if let Some(lambda) = partition.occupancy_concentration(&snap.positions, radius) {
-            lambdas.push(lambda);
-        }
-        kept_snapshot = Some(snap);
-    }
-    let mut claim1 = Table::new(
-        format!(
-            "exp_geo_expansion / Claim 1: cell occupancy concentration (n = {n}, R = {radius:.2}, {}×{} cells)",
-            partition.cells_per_axis(),
-            partition.cells_per_axis()
-        ),
-        &["snapshots", "R²", "mean λ", "max λ"],
-    );
-    let summary = Summary::of(&lambdas);
-    claim1.push_row(&[
-        snapshots.to_string(),
-        fmt_f64(radius * radius),
-        summary
-            .as_ref()
-            .map(|s| fmt_f64(s.mean))
-            .unwrap_or_else(|| "∞ (empty cell)".into()),
-        summary
-            .as_ref()
-            .map(|s| fmt_f64(s.max))
-            .unwrap_or_else(|| "∞ (empty cell)".into()),
-    ]);
-    emit(&claim1);
-    meg_bench::commentary("Expected: λ is a small constant (every cell holds Θ(R²) nodes).\n");
-
-    // ------------------------------------------------ the two expansion regimes
-    let snap = kept_snapshot.expect("at least one snapshot");
-    let bounds = GeometricBounds::new(n, radius, radius / 2.0);
-    let alpha = 0.5;
-    let beta = 0.25;
-    let crossover = bounds.expansion_crossover(alpha);
-
-    let mut profile = Table::new(
-        format!("exp_geo_expansion / Theorem 3.2: expansion profile of one stationary snapshot (αR² ≈ {crossover:.0})"),
-        &[
-            "h",
-            "regime",
-            "measured min |N(I)|/|I|",
-            "theory shape",
-            "measured / theory",
-        ],
-    );
-    let mut h = 1usize;
-    let samples = 30;
-    while h <= n / 2 {
-        let measured =
-            min_expansion_sampled(&snap.graph, h, samples, SamplingStrategy::Mixed, &mut rng);
-        let (regime, theory) = if (h as f64) <= crossover {
-            ("small (αR²/h)", bounds.expansion_small(h, alpha))
-        } else {
-            ("large (βR/√h)", bounds.expansion_large(h, beta))
-        };
-        profile.push_row(&[
-            h.to_string(),
-            regime.to_string(),
-            fmt_f64(measured),
-            fmt_f64(theory),
-            fmt_f64(measured / theory),
-        ]);
-        if h == n / 2 {
-            break;
-        }
-        h = (h * 4).min(n / 2);
-    }
-    emit(&profile);
-    meg_bench::commentary(
-        "Expected shape: the measured worst-case expansion tracks αR²/h for small sets and\n\
-         βR/√h for large ones (ratios of order 1), which is exactly the input Theorem 2.5\n\
+    meg_engine::harness::run_builtin_experiment(
+        "geo_expansion",
+        "Expected shape: λ (the `occupancy` rows) is a small constant — every cell of the\n\
+         partition holds Θ(R²) nodes — and the measured worst-case expansion tracks αR²/h\n\
+         for small sets and βR/√h for large ones, which is exactly the input Theorem 2.5\n\
          needs to yield the O(√n/R + log log R) flooding bound.",
     );
 }

@@ -1,60 +1,15 @@
 //! Experiment `exp_geo_mobility` — Corollary 3.6 and the Conclusions.
 //!
-//! Fixes `n` and `R` and sweeps the move radius `r` (the maximum node speed)
-//! from essentially zero (a static random geometric graph) to several times
-//! the transmission radius. The paper's headline conclusion is that, as long
-//! as `r = O(R)`, mobility has an almost negligible impact: flooding time
-//! stays at the static value Θ(√n/R). Only the lower bound degrades (it
-//! scales with `1/(R + r)`), which is why very large speeds *can* start to
-//! help — the regime later analysed in the follow-up work cited in Section 5.
-
-use meg_bench::{emit, geo_flooding_summary, master_seed, mean_cell, range_cell, scaled, trials};
-use meg_core::bounds::GeometricBounds;
-use meg_core::spec;
-use meg_geometric::GeometricMegParams;
-use meg_stats::table::fmt_f64;
-use meg_stats::Table;
+//! Thin wrapper over the engine's built-in `geo_mobility` scenario: fixes
+//! `n` and `R` and sweeps the move radius `r` (the maximum node speed) from
+//! essentially zero (a static random geometric graph) to several times the
+//! transmission radius. Honours `MEG_SEED`, `MEG_TRIALS`, `MEG_SCALE`,
+//! `MEG_OUTPUT`; run `meg-lab show geo_mobility` to see the scenario as
+//! JSON.
 
 fn main() {
-    let seed = master_seed();
-    let n = scaled(3_000);
-    let radius = 1.8 * spec::geometric_connectivity_threshold(n, spec::DEFAULT_THRESHOLD_CONSTANT);
-
-    let mut table = Table::new(
-        format!("exp_geo_mobility: flooding time vs node speed (n = {n}, R = {radius:.2})"),
-        &[
-            "r / R",
-            "r",
-            "completion",
-            "mean T",
-            "range",
-            "static shape √n/R",
-            "lower bound √n/(2(R+2r))",
-        ],
-    );
-
-    let shape = GeometricBounds::new(n, radius, 0.0).theta_shape();
-    // The grid resolution is 1, so a move radius below 1 freezes the walk and
-    // serves as the static baseline.
-    for ratio in [0.0f64, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
-        let move_radius = if ratio == 0.0 { 0.4 } else { radius * ratio };
-        let params = GeometricMegParams::new(n, move_radius, radius);
-        let (summary, rate) =
-            geo_flooding_summary(params, trials(), seed ^ (ratio * 1000.0) as u64);
-        let bounds = GeometricBounds::new(n, radius, move_radius);
-        table.push_row(&[
-            fmt_f64(ratio),
-            fmt_f64(move_radius),
-            format!("{:.0}%", rate * 100.0),
-            mean_cell(&summary),
-            range_cell(&summary),
-            fmt_f64(shape),
-            fmt_f64(bounds.lower()),
-        ]);
-    }
-    emit(&table);
-
-    meg_bench::commentary(
+    meg_engine::harness::run_builtin_experiment(
+        "geo_mobility",
         "Expected shape: the mean flooding time is essentially flat for r/R ≤ 1 (mobility\n\
          has negligible impact — Corollary 3.6's regime) and starts to drop only once the\n\
          node speed clearly exceeds the transmission radius.",

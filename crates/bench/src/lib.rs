@@ -1,10 +1,11 @@
 //! Shared infrastructure for the experiment binaries and Criterion benches.
 //!
-//! Every experiment follows the same pattern: build a model configuration,
-//! run several seeded flooding trials, aggregate into a
-//! [`Summary`], and print a table whose rows are compared
-//! against the paper's closed-form shapes in `EXPERIMENTS.md`. The helpers
-//! here keep the binaries short and make sure all of them honour the same
+//! All twelve `exp_*` binaries are thin wrappers over the scenario engine's
+//! built-ins (`meg_engine::harness::run_builtin_experiment`; the
+//! scenario ↔ theorem map lives in `docs/EXPERIMENTS.md`). What remains
+//! here is the shared substrate the Criterion benches and the wrappers'
+//! human-facing extras use — seeded flooding summaries, table emission
+//! through the engine sink, commentary gating — honouring the same
 //! environment knobs:
 //!
 //! * `MEG_SEED`   — master seed (default 2009, the paper's publication year);

@@ -14,6 +14,12 @@
 //!   --scale F             node-count scale   (default: MEG_SCALE or 1)
 //!   --format table|json|csv                  (default: MEG_OUTPUT or table)
 //!
+//! adaptive-precision run flags:
+//!   --target-stderr EPS   grow each cell's trials until the standard error
+//!                         of its observable is ≤ EPS (0 = spend the budget)
+//!   --min-trials N        trials before the first check  (default: --trials)
+//!   --max-trials N        per-cell budget                (default: 32 × min)
+//!
 //! distributed run flags (see the `meg_engine::dist` docs):
 //!   --shard i/m           run only shard i of an m-way split
 //!   --strategy contiguous|round_robin        (default: contiguous)
@@ -37,6 +43,7 @@ const USAGE: &str = "usage:
   meg-lab show <name>
   meg-lab run <name | --file scenario.json> \\
           [--seed N] [--trials N] [--scale F] [--format table|json|csv] \\
+          [--target-stderr EPS] [--min-trials N] [--max-trials N] \\
           [--shard i/m] [--strategy contiguous|round_robin] [--workers K] \\
           [--out DIR] [--resume DIR] [--limit N] [--worker-fail-after N]
   meg-lab worker [--fail-after N]
@@ -124,6 +131,9 @@ fn cmd_run(args: &[String]) {
     let mut trials: Option<usize> = None;
     let mut scale: Option<f64> = None;
     let mut format: Option<OutputFormat> = None;
+    let mut target_stderr: Option<f64> = None;
+    let mut min_trials: Option<usize> = None;
+    let mut max_trials: Option<usize> = None;
     let mut shard: Option<ShardSpec> = None;
     let mut strategy: Option<ShardStrategy> = None;
     let mut workers: Option<usize> = None;
@@ -172,6 +182,33 @@ fn cmd_run(args: &[String]) {
                     flag_value("--format")
                         .parse()
                         .unwrap_or_else(|e: String| fail(&e)),
+                )
+            }
+            "--target-stderr" => {
+                target_stderr = Some(
+                    flag_value("--target-stderr")
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|e| *e >= 0.0 && e.is_finite())
+                        .unwrap_or_else(|| fail("--target-stderr must be a finite number ≥ 0")),
+                )
+            }
+            "--min-trials" => {
+                min_trials = Some(
+                    flag_value("--min-trials")
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&t| t >= 1)
+                        .unwrap_or_else(|| fail("--min-trials must be a positive integer")),
+                )
+            }
+            "--max-trials" => {
+                max_trials = Some(
+                    flag_value("--max-trials")
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&t| t >= 1)
+                        .unwrap_or_else(|| fail("--max-trials must be a positive integer")),
                 )
             }
             "--shard" => {
@@ -240,6 +277,21 @@ fn cmd_run(args: &[String]) {
     };
     if let Some(t) = trials.or_else(harness::trials_from_env) {
         scenario.trials = t;
+    }
+    match target_stderr.or_else(harness::target_stderr_from_env) {
+        Some(eps) => {
+            scenario.precision = harness::resolve_target_stderr(
+                eps,
+                min_trials.or_else(harness::min_trials_from_env),
+                max_trials.or_else(harness::max_trials_from_env),
+                scenario.trials,
+            )
+            .unwrap_or_else(|e| fail(&e));
+        }
+        None if min_trials.is_some() || max_trials.is_some() => {
+            fail("--min-trials/--max-trials shape the adaptive budget; pass --target-stderr EPS")
+        }
+        None => {}
     }
     let seed = seed.unwrap_or_else(harness::master_seed_from_env);
     let format = format.unwrap_or_else(meg_engine::sink::format_from_env);

@@ -1,15 +1,15 @@
 //! Built-in named scenarios.
 //!
-//! These reproduce the pre-engine experiment binaries as data: the six
-//! `exp_*` binaries the engine replaces (`exp_geo_vs_radius`,
-//! `exp_edge_vs_n`, `exp_mobility_models`, `exp_protocol_variants`,
-//! `exp_geo_vs_n`, `exp_edge_vs_density`) plus a `quick_smoke` scenario
-//! sized for CI. `meg-lab list` prints this registry; `meg-lab run <name>`
-//! executes one.
+//! These reproduce **all twelve** pre-engine experiment binaries as data —
+//! every `exp_*` binary in `meg-bench` is now a thin wrapper over a
+//! scenario in this registry — plus a `quick_smoke` scenario sized for CI.
+//! `meg-lab list` prints the registry; `meg-lab run <name>` executes one.
+//! `docs/EXPERIMENTS.md` maps each scenario to the paper section or theorem
+//! it reproduces, with a ready-to-run `meg-lab` invocation per row.
 
 use crate::scenario::{
-    EdgeEngine, InitKind, MobilityKind, MoveRadiusSpec, PHatSpec, Param, Protocol, RadiusSpec,
-    Scenario, Substrate, Sweep,
+    AdversarialKind, EdgeEngine, InitKind, MobilityKind, MoveRadiusSpec, PHatSpec, Param,
+    Precision, Protocol, RadiusSpec, Scenario, StaticKind, Substrate, Sweep,
 };
 
 /// Round budget used by flooding scenarios: generous enough that only
@@ -26,6 +26,12 @@ pub fn builtin_names() -> Vec<&'static str> {
         "protocol_variants",
         "geo_vs_n",
         "edge_vs_density",
+        "diameter_vs_flooding",
+        "edge_expansion",
+        "edge_stationary_vs_worst",
+        "general_bound",
+        "geo_expansion",
+        "geo_mobility",
         "quick_smoke",
     ]
 }
@@ -39,6 +45,12 @@ pub fn builtin(name: &str) -> Option<Scenario> {
         "protocol_variants" => Some(protocol_variants()),
         "geo_vs_n" => Some(geo_vs_n()),
         "edge_vs_density" => Some(edge_vs_density()),
+        "diameter_vs_flooding" => Some(diameter_vs_flooding()),
+        "edge_expansion" => Some(edge_expansion()),
+        "edge_stationary_vs_worst" => Some(edge_stationary_vs_worst()),
+        "general_bound" => Some(general_bound()),
+        "geo_expansion" => Some(geo_expansion()),
+        "geo_mobility" => Some(geo_mobility()),
         "quick_smoke" => Some(quick_smoke()),
         _ => None,
     }
@@ -62,6 +74,7 @@ pub fn geo_vs_radius() -> Scenario {
         sweep: Sweep::over(Param::RadiusFactor, [1.0, 1.5, 2.0, 3.0, 5.0, 8.0]),
         trials: 5,
         round_budget: FLOOD_BUDGET,
+        precision: Precision::FixedTrials,
     }
 }
 
@@ -85,6 +98,7 @@ pub fn edge_vs_n() -> Scenario {
             .and(Param::Q, [0.5, 0.02]),
         trials: 5,
         round_budget: FLOOD_BUDGET,
+        precision: Precision::FixedTrials,
     }
 }
 
@@ -109,6 +123,7 @@ pub fn mobility_models() -> Scenario {
         sweep: Sweep::none(),
         trials: 5,
         round_budget: FLOOD_BUDGET,
+        precision: Precision::FixedTrials,
     }
 }
 
@@ -145,6 +160,7 @@ pub fn protocol_variants() -> Scenario {
         sweep: Sweep::none(),
         trials: 3,
         round_budget: 100_000,
+        precision: Precision::FixedTrials,
     }
 }
 
@@ -176,6 +192,7 @@ pub fn geo_vs_n() -> Scenario {
         sweep: Sweep::over(Param::N, [500.0, 1_000.0, 2_000.0, 4_000.0, 8_000.0]),
         trials: 5,
         round_budget: FLOOD_BUDGET,
+        precision: Precision::FixedTrials,
     }
 }
 
@@ -200,6 +217,218 @@ pub fn edge_vs_density() -> Scenario {
         sweep: Sweep::over(Param::PHatFactor, [3.0, 6.0, 12.0, 30.0, 80.0, 240.0]),
         trials: 5,
         round_budget: FLOOD_BUDGET,
+        precision: Precision::FixedTrials,
+    }
+}
+
+/// The Introduction's separation example: the rotating star has constant
+/// snapshot diameter yet floods in `Θ(n)` rounds from the worst source,
+/// while the rotating bridge (same constant diameter, good expansion)
+/// floods in O(1) — diameter is irrelevant, expansion decides. The
+/// diameter and Theorem 2.5 bound probes measure the other two columns of
+/// the legacy table.
+pub fn diameter_vs_flooding() -> Scenario {
+    Scenario {
+        name: "diameter_vs_flooding".into(),
+        description: "snapshot diameter vs flooding time on adversarial dynamic graphs (Intro)"
+            .into(),
+        substrates: vec![
+            Substrate::Adversarial {
+                n: 64,
+                construction: AdversarialKind::RotatingStar,
+            },
+            Substrate::Adversarial {
+                n: 64,
+                construction: AdversarialKind::RotatingBridge,
+            },
+        ],
+        protocols: vec![
+            Protocol::Flooding,
+            Protocol::DiameterProbe,
+            Protocol::BoundProbe {
+                snapshots: 5,
+                samples: 20,
+            },
+        ],
+        sweep: Sweep::over(Param::N, [64.0, 256.0, 1024.0]),
+        trials: 2,
+        round_budget: 20_000,
+        precision: Precision::FixedTrials,
+    }
+}
+
+/// Theorem 4.1 / Lemma 4.2: the expansion profile of a stationary edge-MEG
+/// snapshot (an Erdős–Rényi `G(n, p̂)`). Small sets (`h ≤ 1/p̂`) expand by
+/// about the expected degree `np̂`; larger sets see `≈ n/(ch)` — the two
+/// regimes Theorem 2.5 turns into the edge-MEG flooding bound.
+pub fn edge_expansion() -> Scenario {
+    Scenario {
+        name: "edge_expansion".into(),
+        description: "expansion profile of stationary edge-MEG snapshots G(n, p̂) (Thm 4.1)".into(),
+        substrates: vec![Substrate::Edge {
+            n: 4_000,
+            engine: EdgeEngine::Sparse,
+            p_hat: PHatSpec::LogFactor(4.0),
+            q: 0.5,
+            init: InitKind::Stationary,
+        }],
+        protocols: vec![Protocol::ExpansionProbe {
+            set_size: 1,
+            samples: 30,
+        }],
+        sweep: Sweep::over(
+            Param::SetSize,
+            [1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 2000.0],
+        ),
+        trials: 5,
+        round_budget: 1_000,
+        precision: Precision::FixedTrials,
+    }
+}
+
+/// The Section 1 gap claim: flooding on the *same* edge-MEG started from
+/// the stationary distribution vs from the empty graph (the worst case of
+/// reference \[9\]). As `q` shrinks at fixed `p̂`, the stationary start stays
+/// flat while the empty start waits `Θ(1/p)` rounds for edges to be born —
+/// the "exponential gap".
+pub fn edge_stationary_vs_worst() -> Scenario {
+    Scenario {
+        name: "edge_stationary_vs_worst".into(),
+        description: "stationary vs empty-start edge-MEG flooding — the exponential gap (Sec 1)"
+            .into(),
+        substrates: vec![
+            Substrate::Edge {
+                n: 1_500,
+                engine: EdgeEngine::Sparse,
+                p_hat: PHatSpec::LogFactor(4.0),
+                q: 0.5,
+                init: InitKind::Stationary,
+            },
+            Substrate::Edge {
+                n: 1_500,
+                engine: EdgeEngine::Sparse,
+                p_hat: PHatSpec::LogFactor(4.0),
+                q: 0.5,
+                init: InitKind::Empty,
+            },
+        ],
+        protocols: vec![Protocol::Flooding],
+        sweep: Sweep::over(Param::Q, [0.5, 0.1, 0.02, 0.004]),
+        trials: 5,
+        round_budget: FLOOD_BUDGET,
+        precision: Precision::FixedTrials,
+    }
+}
+
+/// Lemma 2.4 / Theorem 2.5 / Corollary 2.6 closed empirically: measure an
+/// expansion sequence of each evolving graph, evaluate the flooding bound
+/// on it, and compare with the flooding time measured on independent runs.
+/// The bound must dominate on every substrate and is near-tight for the
+/// expander-like ones (both MEG families, static `G(n, p̂)`) while staying
+/// loose only for the genuinely weak-expanding 2-D grid.
+pub fn general_bound() -> Scenario {
+    Scenario {
+        name: "general_bound".into(),
+        description: "measured expansion sequence → Thm 2.5 bound vs measured flooding (Lem 2.4)"
+            .into(),
+        substrates: vec![
+            Substrate::Geometric {
+                n: 1_500,
+                mobility: MobilityKind::GridWalk,
+                radius: RadiusSpec::ThresholdFactor(1.0),
+                move_radius: MoveRadiusSpec::RadiusFraction(0.5),
+            },
+            Substrate::Edge {
+                n: 1_500,
+                engine: EdgeEngine::Sparse,
+                p_hat: PHatSpec::LogFactor(4.0),
+                q: 0.5,
+                init: InitKind::Stationary,
+            },
+            Substrate::Static {
+                n: 1_500,
+                graph: StaticKind::ErdosRenyi {
+                    p_hat: PHatSpec::LogFactor(4.0),
+                },
+            },
+            Substrate::Static {
+                n: 1_600,
+                graph: StaticKind::Grid2d,
+            },
+        ],
+        protocols: vec![
+            Protocol::Flooding,
+            Protocol::BoundProbe {
+                snapshots: 4,
+                samples: 25,
+            },
+        ],
+        sweep: Sweep::none(),
+        trials: 5,
+        round_budget: FLOOD_BUDGET,
+        precision: Precision::FixedTrials,
+    }
+}
+
+/// Theorem 3.2 and Claim 1: the occupancy concentration `λ` of the
+/// `⌈√(5n)/R⌉²` cell partition (every cell holds `Θ(R²)` nodes) and the two
+/// expansion regimes of a stationary geometric snapshot — `≈ αR²/h` for
+/// small sets, `≈ βR/√h` for large ones. The radius sits at 1.75× the
+/// connectivity threshold so the finite-size concentration is visible.
+///
+/// The set-size grid lives in the protocol list, not a [`Param::SetSize`]
+/// sweep axis: a sweep would cross the sizes with [`Protocol::OccupancyProbe`]
+/// too (for which they are inert), multiplying the occupancy measurement
+/// into redundant cells.
+pub fn geo_expansion() -> Scenario {
+    let profile = [1, 4, 16, 64, 256, 1024, 2000].map(|set_size| Protocol::ExpansionProbe {
+        set_size,
+        samples: 30,
+    });
+    Scenario {
+        name: "geo_expansion".into(),
+        description: "cell occupancy (Claim 1) + expansion profile of geometric snapshots \
+                      (Thm 3.2)"
+            .into(),
+        substrates: vec![Substrate::Geometric {
+            n: 4_000,
+            mobility: MobilityKind::GridWalk,
+            radius: RadiusSpec::ThresholdFactor(1.75),
+            move_radius: MoveRadiusSpec::RadiusFraction(0.5),
+        }],
+        protocols: std::iter::once(Protocol::OccupancyProbe)
+            .chain(profile)
+            .collect(),
+        sweep: Sweep::none(),
+        trials: 5,
+        round_budget: 1_000,
+        precision: Precision::FixedTrials,
+    }
+}
+
+/// Corollary 3.6 and the Conclusions: fix `n` and `R`, sweep the node speed
+/// `r` from essentially zero (a static random geometric graph — the grid
+/// resolution is 1, so a sub-1 move radius freezes the walk) to 8× the
+/// transmission radius. As long as `r = O(R)`, mobility has an almost
+/// negligible impact on the flooding time.
+pub fn geo_mobility() -> Scenario {
+    Scenario {
+        name: "geo_mobility".into(),
+        description: "geometric-MEG flooding time vs node speed r/R (Cor 3.6)".into(),
+        substrates: vec![Substrate::Geometric {
+            n: 3_000,
+            mobility: MobilityKind::GridWalk,
+            radius: RadiusSpec::ThresholdFactor(1.8),
+            move_radius: MoveRadiusSpec::RadiusFraction(0.5),
+        }],
+        protocols: vec![Protocol::Flooding],
+        sweep: Sweep::over(
+            Param::MoveRadiusFraction,
+            [0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0],
+        ),
+        trials: 5,
+        round_budget: FLOOD_BUDGET,
+        precision: Precision::FixedTrials,
     }
 }
 
@@ -228,6 +457,7 @@ pub fn quick_smoke() -> Scenario {
         sweep: Sweep::none(),
         trials: 2,
         round_budget: 50_000,
+        precision: Precision::FixedTrials,
     }
 }
 

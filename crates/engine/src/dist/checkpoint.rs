@@ -18,6 +18,37 @@
 //! Rows are appended with one `write` + flush per line. A process killed
 //! mid-write therefore loses at most the final line; [`read_part`] tolerates
 //! (and drops) a torn trailing line, and everything before it is trusted.
+//!
+//! ## Example
+//!
+//! ```
+//! use meg_engine::dist::checkpoint::{read_part, scenario_fingerprint, PartHeader, PartWriter};
+//! use meg_engine::dist::ShardSpec;
+//! use meg_engine::prelude::*;
+//!
+//! let scenario = builtin("quick_smoke").unwrap().scaled(0.25);
+//! let dir = std::env::temp_dir().join(format!("meg-ckpt-doc-{}", std::process::id()));
+//! let _ = std::fs::remove_dir_all(&dir);
+//!
+//! // Write a two-row part file for shard 0/1 …
+//! let shard = ShardSpec::full();
+//! let header = PartHeader::new(&scenario, 2009, &shard);
+//! let rows = run_scenario(&scenario, 2009).unwrap();
+//! let mut writer = PartWriter::create(&dir, &header, &shard).unwrap();
+//! for row in &rows[..2] {
+//!     writer.append(&row.to_json().render()).unwrap();
+//! }
+//! let path = writer.path().to_path_buf();
+//! drop(writer);
+//!
+//! // … and read it back: identity pinned, rows keyed by global cell index.
+//! let part = read_part(&path).unwrap();
+//! assert!(part.header.same_run(&header));
+//! assert_eq!(part.header.fingerprint, scenario_fingerprint(&scenario));
+//! assert_eq!(part.rows.len(), 2);
+//! assert_eq!(part.rows[1], (1, rows[1].to_json().render()));
+//! std::fs::remove_dir_all(&dir).unwrap();
+//! ```
 
 use super::shard::ShardSpec;
 use super::{io_err, DistError};

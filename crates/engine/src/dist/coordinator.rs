@@ -18,20 +18,72 @@
 //!    finishes, then streams rows to the caller in ascending global
 //!    cell-index order — so the emitted byte stream of shard `i/m` is
 //!    exactly the corresponding subsequence of an unsharded run's output.
+//!
+//! Under a [`Precision::TargetStderr`] scenario the worker pool runs the
+//! **adaptive control loop** instead of one-request-per-cell: each cell's
+//! first `min_trials` are dispatched as a batch, the returned outcomes'
+//! standard error is checked against `eps` at every checkpoint of the shared
+//! doubling schedule (`meg_stats::precision_checkpoints`), and incremental
+//! batches are re-dispatched until the target is met or `max_trials` is
+//! spent. Trial seeds depend only on `(cell seed, trial index)`, so the
+//! finished rows are byte-identical to an unsharded adaptive run — and, at
+//! `eps = 0`, to a fixed run of `max_trials` trials.
+//!
+//! ## Example
+//!
+//! An in-process (`workers == 0`) shard of an adaptive scenario:
+//!
+//! ```
+//! use meg_engine::dist::{run_sharded, DistOptions};
+//! use meg_engine::prelude::*;
+//!
+//! let mut scenario = builtin("quick_smoke").unwrap().scaled(0.25);
+//! scenario.precision = Precision::TargetStderr {
+//!     eps: 1.0,
+//!     min_trials: 2,
+//!     max_trials: 8,
+//! };
+//! let report = run_sharded(&scenario, 2009, &DistOptions::default(), |_, _| {}).unwrap();
+//! assert!(report.complete);
+//!
+//! // Every row either met the target or spent the whole budget …
+//! let rows: Vec<Row> = report
+//!     .rows
+//!     .iter()
+//!     .map(|(_, line)| Row::from_json(&meg_engine::Json::parse(line).unwrap()).unwrap())
+//!     .collect();
+//! assert!(rows
+//!     .iter()
+//!     .all(|r| r.achieved_stderr.is_some_and(|se| se <= 1.0) || r.trials == 8));
+//!
+//! // … and the row stream matches the unsharded adaptive run byte for byte.
+//! let reference: Vec<String> = run_scenario(&scenario, 2009)
+//!     .unwrap()
+//!     .iter()
+//!     .map(|r| r.to_json().render())
+//!     .collect();
+//! assert_eq!(
+//!     report.rows.into_iter().map(|(_, l)| l).collect::<Vec<_>>(),
+//!     reference
+//! );
+//! ```
 
 use super::checkpoint::{self, PartHeader, PartWriter};
 use super::shard::ShardSpec;
-use super::worker::{cell_line, hello_line, shutdown_line};
+use super::worker::{batch_line, cell_line, hello_line, shutdown_line};
 use super::DistError;
 use crate::json::Json;
-use crate::run::{cell_seed, resolve_cells, run_cell};
-use crate::scenario::Scenario;
+use crate::run::{
+    adaptive_stop, aggregate_row, cell_seed, resolve_cells, run_cell, Cell, TrialOutcome,
+};
+use crate::scenario::{Precision, Scenario};
+use meg_stats::precision_checkpoints;
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 
 /// Options controlling one sharded run.
 #[derive(Clone, Debug)]
@@ -213,7 +265,7 @@ pub fn run_sharded<F: FnMut(usize, &str)>(
             emitter.offer(index, line);
         }
     } else {
-        dispatch_to_workers(scenario, master_seed, opts, &todo, |index, line| {
+        dispatch_to_workers(scenario, &cells, master_seed, opts, &todo, |index, line| {
             if let Some(w) = &mut writer {
                 w.append(&line)?;
             }
@@ -234,6 +286,89 @@ pub fn run_sharded<F: FnMut(usize, &str)>(
 
 // ---------------------------------------------------------------------------
 // Worker-pool dispatch
+
+/// One unit of work a pool thread sends to its subprocess.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum WorkItem {
+    /// Execute a whole cell and answer with its canonical row line
+    /// (fixed-trials mode).
+    Row(usize),
+    /// Execute trials `start .. start + count` of a cell and answer with the
+    /// raw outcomes (adaptive mode; the control loop decides what follows).
+    Batch {
+        cell: usize,
+        start: usize,
+        count: usize,
+    },
+}
+
+/// The shared work queue. Unlike a plain deque, it knows how many adaptive
+/// cells are still *open* (not yet finalized by the control loop): a pool
+/// thread finding the queue empty must keep waiting while open cells exist,
+/// because the coordinator may still enqueue follow-up batches for them.
+struct WorkQueue {
+    state: Mutex<QueueState>,
+    available: Condvar,
+}
+
+struct QueueState {
+    items: VecDeque<WorkItem>,
+    open_cells: usize,
+    shutdown: bool,
+}
+
+impl WorkQueue {
+    fn new(items: VecDeque<WorkItem>, open_cells: usize) -> WorkQueue {
+        WorkQueue {
+            state: Mutex::new(QueueState {
+                items,
+                open_cells,
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Takes the next work item, blocking while the queue is empty but
+    /// adaptive cells remain open. Returns `None` when drained or shut down.
+    fn pop(&self) -> Option<WorkItem> {
+        let mut st = self.state.lock().expect("queue lock");
+        loop {
+            if st.shutdown {
+                return None;
+            }
+            if let Some(item) = st.items.pop_front() {
+                return Some(item);
+            }
+            if st.open_cells == 0 {
+                return None;
+            }
+            st = self.available.wait(st).expect("queue lock");
+        }
+    }
+
+    fn push(&self, item: WorkItem) {
+        self.state.lock().expect("queue lock").items.push_back(item);
+        self.available.notify_one();
+    }
+
+    /// Marks one adaptive cell finalized; wakes every waiting thread once
+    /// none remain so they can exit.
+    fn finish_cell(&self) {
+        let mut st = self.state.lock().expect("queue lock");
+        st.open_cells = st.open_cells.saturating_sub(1);
+        if st.open_cells == 0 {
+            drop(st);
+            self.available.notify_all();
+        }
+    }
+
+    /// Aborts the run: waiting threads wake up and exit.
+    fn shut_down(&self) {
+        self.state.lock().expect("queue lock").shutdown = true;
+        self.available.notify_all();
+    }
+}
 
 /// A live worker subprocess with buffered pipes.
 struct WorkerProc {
@@ -337,6 +472,41 @@ impl WorkerProc {
         Ok(line)
     }
 
+    /// Sends one work item, validates the reply's addressing, and parses it
+    /// exactly once: the adaptive batch reply must echo the cell and start
+    /// offset and carry exactly `count` well-formed outcomes (a malformed
+    /// reply counts as a worker failure, so it goes through the normal
+    /// respawn-and-retry path).
+    fn request(&mut self, item: WorkItem) -> Result<WorkReply, String> {
+        match item {
+            WorkItem::Row(index) => self.request_cell(index).map(WorkReply::Row),
+            WorkItem::Batch { cell, start, count } => {
+                let line = self.round_trip(&batch_line(cell, start, count))?;
+                let parsed = Json::parse(&line).ok();
+                let got_cell = parsed.as_ref().and_then(|v| v.get("cell")?.as_usize());
+                let got_start = parsed.as_ref().and_then(|v| v.get("start")?.as_usize());
+                let outcomes = parsed
+                    .as_ref()
+                    .and_then(|v| v.get("outcomes")?.as_arr())
+                    .map(|arr| {
+                        arr.iter()
+                            .map(TrialOutcome::from_json)
+                            .collect::<Result<Vec<_>, _>>()
+                    })
+                    .and_then(Result::ok);
+                let got_count = outcomes.as_ref().map(Vec::len);
+                if got_cell != Some(cell) || got_start != Some(start) || got_count != Some(count) {
+                    return Err(format!(
+                        "worker answered batch (cell {got_cell:?}, start {got_start:?}, \
+                         {got_count:?} outcomes), wanted (cell {cell}, start {start}, \
+                         {count} outcomes)"
+                    ));
+                }
+                Ok(WorkReply::Batch(outcomes.expect("validated above")))
+            }
+        }
+    }
+
     fn shutdown(mut self) {
         let _ = writeln!(self.stdin, "{}", shutdown_line());
         let _ = self.stdin.flush();
@@ -350,28 +520,36 @@ impl WorkerProc {
     }
 }
 
-/// One worker thread: owns (and respawns) a subprocess, pulls cells off the
-/// shared queue, and ships each completed row line over the channel.
+/// A validated, parsed worker reply.
+enum WorkReply {
+    /// The canonical row line answering a [`WorkItem::Row`].
+    Row(String),
+    /// The trial outcomes answering a [`WorkItem::Batch`].
+    Batch(Vec<TrialOutcome>),
+}
+
+/// One worker thread: owns (and respawns) a subprocess, pulls work items off
+/// the shared queue, and ships each validated reply over the channel.
 fn worker_thread(
     cmd: &std::path::Path,
     handshake: &Handshake,
     opts: &DistOptions,
-    queue: &Mutex<VecDeque<usize>>,
-    results: &mpsc::Sender<Result<(usize, String), DistError>>,
+    queue: &WorkQueue,
+    results: &mpsc::Sender<Result<(WorkItem, WorkReply), DistError>>,
     abort: &AtomicBool,
 ) {
     let mut proc: Option<WorkerProc> = None;
-    'cells: while !abort.load(Ordering::SeqCst) {
-        let Some(index) = queue.lock().expect("queue lock").pop_front() else {
+    'items: while !abort.load(Ordering::SeqCst) {
+        let Some(item) = queue.pop() else {
             break;
         };
         let mut attempts = 0usize;
-        let line = loop {
+        let reply = loop {
             if abort.load(Ordering::SeqCst) {
-                break 'cells;
+                break 'items;
             }
             let attempt = match proc.as_mut() {
-                Some(p) => p.request_cell(index),
+                Some(p) => p.request(item),
                 None => match WorkerProc::spawn(cmd, handshake, opts.worker_fail_after) {
                     Ok(p) => {
                         proc = Some(p);
@@ -381,7 +559,7 @@ fn worker_thread(
                 },
             };
             match attempt {
-                Ok(line) => break line,
+                Ok(reply) => break reply,
                 Err(reason) => {
                     if let Some(p) = proc.take() {
                         p.kill();
@@ -389,15 +567,16 @@ fn worker_thread(
                     attempts += 1;
                     if attempts > opts.max_retries {
                         abort.store(true, Ordering::SeqCst);
+                        queue.shut_down();
                         let _ = results.send(Err(DistError::Worker(format!(
-                            "cell {index} failed after {attempts} attempt(s): {reason}"
+                            "{item:?} failed after {attempts} attempt(s): {reason}"
                         ))));
-                        break 'cells;
+                        break 'items;
                     }
                 }
             }
         };
-        if results.send(Ok((index, line))).is_err() {
+        if results.send(Ok((item, reply))).is_err() {
             break;
         }
     }
@@ -406,10 +585,27 @@ fn worker_thread(
     }
 }
 
+/// Control-loop state of one adaptive cell: the outcomes accumulated so far
+/// and which checkpoint of the schedule they reach.
+struct CellCtl {
+    outcomes: Vec<TrialOutcome>,
+    next_checkpoint: usize,
+}
+
 /// Runs `todo` through a pool of `opts.workers` subprocesses, invoking
-/// `on_result` (on the calling thread) as each row line arrives.
+/// `on_result` (on the calling thread) as each finished row line arrives.
+///
+/// Under `Precision::FixedTrials` each cell is one work item answered by its
+/// canonical row line. Under `Precision::TargetStderr` this thread runs the
+/// **adaptive control loop**: it dispatches each cell's first `min_trials`
+/// batch, inspects the returned outcomes' standard error at every checkpoint
+/// of the shared doubling schedule, re-dispatches incremental batches while
+/// the target is unmet, and aggregates the final row itself — reaching
+/// exactly the trial count an unsharded adaptive run would, so the row bytes
+/// match.
 fn dispatch_to_workers<F: FnMut(usize, String) -> Result<(), DistError>>(
     scenario: &Scenario,
+    cells: &[Cell],
     master_seed: u64,
     opts: &DistOptions,
     todo: &[usize],
@@ -428,10 +624,33 @@ fn dispatch_to_workers<F: FnMut(usize, String) -> Result<(), DistError>>(
         num_cells: scenario.num_cells(),
         fingerprint: super::checkpoint::scenario_fingerprint(scenario),
     };
-    let queue = Mutex::new(todo.iter().copied().collect::<VecDeque<_>>());
+    let adaptive = match scenario.precision {
+        Precision::FixedTrials => None,
+        Precision::TargetStderr {
+            eps,
+            min_trials,
+            max_trials,
+        } => Some((eps, precision_checkpoints(min_trials, max_trials))),
+    };
+
+    let (items, open_cells): (VecDeque<WorkItem>, usize) = match &adaptive {
+        None => (todo.iter().map(|&c| WorkItem::Row(c)).collect(), 0),
+        Some((_, checkpoints)) => (
+            todo.iter()
+                .map(|&cell| WorkItem::Batch {
+                    cell,
+                    start: 0,
+                    count: checkpoints[0],
+                })
+                .collect(),
+            todo.len(),
+        ),
+    };
+    let queue = WorkQueue::new(items, open_cells);
     let abort = Arc::new(AtomicBool::new(false));
     let (tx, rx) = mpsc::channel();
     let pool_size = opts.workers.min(todo.len());
+    let mut ctl: BTreeMap<usize, CellCtl> = BTreeMap::new();
 
     std::thread::scope(|scope| {
         for _ in 0..pool_size {
@@ -443,18 +662,54 @@ fn dispatch_to_workers<F: FnMut(usize, String) -> Result<(), DistError>>(
         }
         drop(tx);
 
+        let fail = |abort: &AtomicBool, queue: &WorkQueue| {
+            abort.store(true, Ordering::SeqCst);
+            queue.shut_down();
+        };
         let mut first_error = None;
-        let mut received = 0usize;
-        while received < todo.len() {
+        let mut finalized = 0usize;
+        while finalized < todo.len() {
+            let mut finished: Option<(usize, String)> = None;
             match rx.recv() {
-                Ok(Ok((index, line))) => {
-                    received += 1;
-                    if let Err(e) = on_result(index, line) {
-                        // Checkpoint write failed: stop the pool and surface it.
-                        abort.store(true, Ordering::SeqCst);
-                        first_error = Some(e);
-                        break;
+                Ok(Ok((WorkItem::Row(index), WorkReply::Row(line)))) => {
+                    finished = Some((index, line))
+                }
+                Ok(Ok((WorkItem::Batch { cell, .. }, WorkReply::Batch(outcomes)))) => {
+                    let (eps, checkpoints) = adaptive.as_ref().expect("batch implies adaptive");
+                    let state = ctl.entry(cell).or_insert(CellCtl {
+                        outcomes: Vec::new(),
+                        next_checkpoint: 0,
+                    });
+                    state.outcomes.extend(outcomes);
+                    let last = state.next_checkpoint + 1 == checkpoints.len();
+                    if !last && !adaptive_stop(*eps, &state.outcomes) {
+                        // Target unmet with budget left: grow to the next
+                        // checkpoint of the shared schedule.
+                        state.next_checkpoint += 1;
+                        let start = state.outcomes.len();
+                        queue.push(WorkItem::Batch {
+                            cell,
+                            start,
+                            count: checkpoints[state.next_checkpoint] - start,
+                        });
+                    } else {
+                        let state = ctl.remove(&cell).expect("cell is in flight");
+                        let row = aggregate_row(
+                            scenario,
+                            &cells[cell],
+                            cell_seed(&scenario.name, master_seed, cell),
+                            &state.outcomes,
+                        );
+                        queue.finish_cell();
+                        finished = Some((cell, row.to_json().render()));
                     }
+                }
+                Ok(Ok(_)) => {
+                    fail(&abort, &queue);
+                    first_error = Some(DistError::Worker(
+                        "worker reply kind does not match its work item".into(),
+                    ));
+                    break;
                 }
                 Ok(Err(e)) => {
                     first_error = Some(e);
@@ -464,6 +719,15 @@ fn dispatch_to_workers<F: FnMut(usize, String) -> Result<(), DistError>>(
                     first_error = Some(DistError::Worker(
                         "worker pool exited without completing the queue".into(),
                     ));
+                    break;
+                }
+            }
+            if let Some((index, line)) = finished {
+                finalized += 1;
+                if let Err(e) = on_result(index, line) {
+                    // Checkpoint write failed: stop the pool and surface it.
+                    fail(&abort, &queue);
+                    first_error = Some(e);
                     break;
                 }
             }
@@ -620,6 +884,44 @@ mod tests {
             run_sharded(&scenario, 1, &opts, |_, _| {}),
             Err(DistError::Format(_))
         ));
+    }
+
+    #[test]
+    fn sharded_adaptive_run_matches_unsharded_adaptive_run() {
+        use crate::scenario::Precision;
+        let mut scenario = quick_smoke().scaled(0.25);
+        scenario.precision = Precision::TargetStderr {
+            eps: 1.0,
+            min_trials: 2,
+            max_trials: 8,
+        };
+        let reference = reference_lines(&scenario, 13);
+        let dir = tmp("adaptive");
+        let mut seen: Vec<Option<String>> = vec![None; reference.len()];
+        for i in 0..2 {
+            let opts = shard_opts(&format!("{i}/2"), &dir);
+            let report = run_sharded(&scenario, 13, &opts, |_, _| {}).unwrap();
+            assert!(report.complete);
+            for (cell, line) in report.rows {
+                seen[cell] = Some(line);
+            }
+        }
+        let merged: Vec<String> = seen.into_iter().map(Option::unwrap).collect();
+        assert_eq!(
+            merged, reference,
+            "sharded adaptive rows must be byte-identical to the unsharded adaptive run"
+        );
+        // The checkpoint merges byte-identically too, and resuming an
+        // adaptive run re-executes nothing.
+        assert_eq!(
+            super::super::merge::merge_dir(&dir).unwrap().lines,
+            reference
+        );
+        let mut opts = shard_opts("0/2", &dir);
+        opts.resume = true;
+        let idle = run_sharded(&scenario, 13, &opts, |_, _| {}).unwrap();
+        assert_eq!(idle.executed, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -18,6 +18,32 @@
 //! Because workers answer each cell with the canonical row line (seeds are
 //! derived from the global index), the merged stream is **byte-identical**
 //! to what an unsharded `meg-lab run --format json` prints.
+//!
+//! ## Example
+//!
+//! ```
+//! use meg_engine::dist::{merge_dir, run_sharded, DistOptions, ShardSpec};
+//! use meg_engine::prelude::*;
+//!
+//! let scenario = builtin("quick_smoke").unwrap().scaled(0.25);
+//! let dir = std::env::temp_dir().join(format!("meg-merge-doc-{}", std::process::id()));
+//! let _ = std::fs::remove_dir_all(&dir);
+//!
+//! // Checkpoint both halves of a 2-way split, then reassemble.
+//! for i in 0..2 {
+//!     let opts = DistOptions {
+//!         shard: ShardSpec::parse(&format!("{i}/2")).unwrap(),
+//!         out_dir: Some(dir.clone()),
+//!         ..DistOptions::default()
+//!     };
+//!     run_sharded(&scenario, 2009, &opts, |_, _| {}).unwrap();
+//! }
+//! let merged = merge_dir(&dir).unwrap();
+//! assert_eq!(merged.parts, 2);
+//! assert_eq!(merged.lines.len(), scenario.num_cells());
+//! assert_eq!(merged.header.master_seed, 2009);
+//! std::fs::remove_dir_all(&dir).unwrap();
+//! ```
 
 use super::checkpoint::{scan_dir, PartHeader};
 use super::DistError;

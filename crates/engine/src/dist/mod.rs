@@ -21,8 +21,12 @@
 //!   answers each cell with the row's canonical JSON line on stdout;
 //! * [`coordinator`] — [`run_sharded`] executes one shard, either in-process
 //!   or by dispatching cells to `--workers k` subprocesses (dead workers are
-//!   respawned and their in-flight cell retried), streaming rows back in
-//!   canonical cell order;
+//!   respawned and their in-flight request retried), streaming rows back in
+//!   canonical cell order. Under an adaptive-precision scenario
+//!   (`Precision::TargetStderr`, `meg-lab run --target-stderr`) it runs the
+//!   per-cell control loop: dispatch `min_trials`, inspect the returned
+//!   standard error, re-dispatch incremental trial batches until the target
+//!   is met or `max_trials` is spent;
 //! * [`merge`] — [`merge_dir`] validates that every part file in a directory
 //!   belongs to the same run, rejects conflicting duplicates, checks
 //!   completeness, and re-sorts rows into canonical cell-index order — so a

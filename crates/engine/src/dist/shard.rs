@@ -5,6 +5,27 @@
 //! index**, so sharding never changes which seed a cell derives
 //! ([`crate::run::cell_seed`] keys on the global index) — an `m`-way sharded
 //! run computes exactly the rows an unsharded run would, just partitioned.
+//!
+//! ## Example
+//!
+//! ```
+//! use meg_engine::dist::{ShardSpec, ShardStrategy};
+//!
+//! let mut shard = ShardSpec::parse("1/3").unwrap();
+//! // Contiguous: the middle block of 8 cells.
+//! assert_eq!(shard.assign(8), vec![3, 4, 5]);
+//! // Round-robin: every 3rd cell starting at 1.
+//! shard.strategy = ShardStrategy::RoundRobin;
+//! assert_eq!(shard.assign(8), vec![1, 4, 7]);
+//!
+//! // Any split is a partition: each cell belongs to exactly one shard.
+//! for cell in 0..8 {
+//!     let owners = (0..3)
+//!         .filter(|&i| ShardSpec::parse(&format!("{i}/3")).unwrap().owns(cell, 8))
+//!         .count();
+//!     assert_eq!(owners, 1);
+//! }
+//! ```
 
 use std::fmt;
 use std::str::FromStr;

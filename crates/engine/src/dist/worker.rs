@@ -8,23 +8,59 @@
 //! worker → coordinator   {"ready":{"num_cells":8,"fingerprint":"…"}}
 //! coordinator → worker   {"cell":3}
 //! worker → coordinator   {"scenario":…,"cell":3,…}      ← canonical Row line
+//! coordinator → worker   {"cell":3,"batch":{"start":4,"count":4}}
+//! worker → coordinator   {"cell":3,"start":4,"outcomes":[{…},…]}
 //! coordinator → worker   {"shutdown":true}              (or just EOF)
 //! ```
 //!
-//! The response to a cell request is **exactly** the row line an unsharded
-//! run would print: the worker derives the cell's seed from the global index
-//! it was handed, so which process executes a cell never changes its bytes.
+//! The response to a plain cell request is **exactly** the row line an
+//! unsharded fixed-trials run would print: the worker derives the cell's
+//! seed from the global index it was handed, so which process executes a
+//! cell never changes its bytes.
 //!
-//! Workers are stateless between cells, so the coordinator may kill and
-//! respawn one at any time and simply resend the in-flight cell. The
-//! `fail_after` knob makes a worker abort after serving that many cells —
+//! A **batch** request executes only trials `start .. start + count` of the
+//! cell and returns the raw [`TrialOutcome`](crate::run::TrialOutcome)s
+//! instead of a finished row — the unit the adaptive-precision control loop
+//! grows cells with. Trial `i`'s randomness depends only on the cell seed
+//! and `i`, so batches concatenate byte-identically to one fixed run.
+//!
+//! Workers are stateless between requests, so the coordinator may kill and
+//! respawn one at any time and simply resend the in-flight request. The
+//! `fail_after` knob makes a worker abort after serving that many requests —
 //! deliberate fault injection used by the restart tests and available from
 //! the CLI as `meg-lab worker --fail-after N`.
+//!
+//! ## Example
+//!
+//! [`serve`] is transport-agnostic (the binary passes stdin/stdout); driving
+//! it over in-memory buffers shows the whole protocol:
+//!
+//! ```
+//! use meg_engine::dist::worker::{cell_line, hello_line, serve, shutdown_line};
+//! use meg_engine::prelude::*;
+//!
+//! let scenario = builtin("quick_smoke").unwrap().scaled(0.25);
+//! let requests = format!(
+//!     "{}\n{}\n{}\n",
+//!     hello_line(&scenario, 2009),
+//!     cell_line(0),
+//!     shutdown_line(),
+//! );
+//! let mut replies = Vec::new();
+//! let served = serve(requests.as_bytes(), &mut replies, None).unwrap();
+//! assert_eq!(served, 1);
+//!
+//! // The cell reply is byte-identical to the unsharded run's row line.
+//! let reply = String::from_utf8(replies).unwrap();
+//! let row_line = reply.lines().nth(1).unwrap(); // after the ready line
+//! let reference = run_scenario(&scenario, 2009).unwrap()[0].to_json().render();
+//! assert_eq!(row_line, reference);
+//! ```
 
 use super::checkpoint::scenario_fingerprint;
 use super::DistError;
 use crate::json::Json;
-use crate::run::{cell_seed, resolve_cells, run_cell, Cell};
+use crate::run::{cell_seed, resolve_cells, run_cell, run_cell_range, Cell};
 use crate::scenario::Scenario;
 use std::io::{BufRead, Write};
 
@@ -46,6 +82,22 @@ pub fn hello_line(scenario: &Scenario, master_seed: u64) -> String {
 /// Builds a cell-assignment request line.
 pub fn cell_line(cell: usize) -> String {
     Json::obj([("cell", Json::Num(cell as f64))]).render()
+}
+
+/// Builds a trial-batch request line: run trials `start .. start + count` of
+/// `cell` and return the raw outcomes.
+pub fn batch_line(cell: usize, start: usize, count: usize) -> String {
+    Json::obj([
+        ("cell", Json::Num(cell as f64)),
+        (
+            "batch",
+            Json::obj([
+                ("start", Json::Num(start as f64)),
+                ("count", Json::Num(count as f64)),
+            ]),
+        ),
+    ])
+    .render()
 }
 
 /// Builds the shutdown request line.
@@ -119,12 +171,29 @@ pub fn serve<R: BufRead, W: Write>(
                     cells.len()
                 ))
             })?;
-            let row = run_cell(
-                scenario,
-                cell,
-                cell_seed(&scenario.name, *master_seed, index),
-            );
-            writeln!(output, "{}", row.to_json().render())
+            let seed = cell_seed(&scenario.name, *master_seed, index);
+            let reply = match msg.get("batch") {
+                None => run_cell(scenario, cell, seed).to_json().render(),
+                Some(batch) => {
+                    let start = batch.get("start").and_then(Json::as_usize).ok_or_else(|| {
+                        DistError::Format("batch request: missing `start`".into())
+                    })?;
+                    let count = batch.get("count").and_then(Json::as_usize).ok_or_else(|| {
+                        DistError::Format("batch request: missing `count`".into())
+                    })?;
+                    let outcomes = run_cell_range(cell, seed, start, count);
+                    Json::obj([
+                        ("cell", Json::Num(index as f64)),
+                        ("start", Json::Num(start as f64)),
+                        (
+                            "outcomes",
+                            Json::Arr(outcomes.iter().map(|o| o.to_json()).collect()),
+                        ),
+                    ])
+                    .render()
+                }
+            };
+            writeln!(output, "{reply}")
                 .and_then(|_| output.flush())
                 .map_err(|e| DistError::Io(format!("worker stdout: {e}")))?;
             served += 1;
@@ -184,6 +253,42 @@ mod tests {
         // Row lines parse back losslessly.
         let row = Row::from_json(&Json::parse(&lines[1]).unwrap()).unwrap();
         assert_eq!(row.cell, 2);
+    }
+
+    #[test]
+    fn batch_requests_return_raw_outcomes_that_concatenate() {
+        use crate::run::{resolve_cells, TrialOutcome};
+        let scenario = quick_smoke().scaled(0.25);
+        let cells = resolve_cells(&scenario).unwrap();
+        let seed = crate::run::cell_seed(&scenario.name, 2009, 1);
+        let reference = crate::run::run_cell_range(&cells[1], seed, 0, 2);
+
+        let requests = format!(
+            "{}\n{}\n{}\n{}\n",
+            hello_line(&scenario, 2009),
+            batch_line(1, 0, 1),
+            batch_line(1, 1, 1),
+            shutdown_line()
+        );
+        let (served, lines) = drive(&requests).unwrap();
+        assert_eq!(served, 2);
+        let mut outcomes = Vec::new();
+        for (i, line) in lines[1..].iter().enumerate() {
+            let v = Json::parse(line).unwrap();
+            assert_eq!(v.get("cell").unwrap().as_usize(), Some(1));
+            assert_eq!(v.get("start").unwrap().as_usize(), Some(i));
+            for o in v.get("outcomes").unwrap().as_arr().unwrap() {
+                outcomes.push(TrialOutcome::from_json(o).unwrap());
+            }
+        }
+        // Two one-trial batches concatenate to the two-trial reference.
+        assert_eq!(outcomes, reference);
+        // Malformed batch objects are protocol errors.
+        let requests = format!(
+            "{}\n{{\"cell\":1,\"batch\":{{\"start\":0}}}}\n",
+            hello_line(&scenario, 2009)
+        );
+        assert!(matches!(drive(&requests), Err(DistError::Format(_))));
     }
 
     #[test]

@@ -12,10 +12,14 @@
 //! * `MEG_SCALE` — node-count multiplier (the examples' separate
 //!   `MEG_EXAMPLE_SCALE` knob deliberately does **not** apply here, so
 //!   tuning one surface never silently changes the other);
-//! * `MEG_OUTPUT` — `table` (default) | `json` | `csv`.
+//! * `MEG_OUTPUT` — `table` (default) | `json` | `csv`;
+//! * `MEG_TARGET_STDERR` — switch to adaptive precision with this target
+//!   standard error (`meg-lab run --target-stderr`), with
+//!   `MEG_MIN_TRIALS` / `MEG_MAX_TRIALS` shaping the per-cell budget
+//!   (defaults: the trial count, and 32 × min).
 
 use crate::run::{run_scenario_streaming, Row};
-use crate::scenario::{Scenario, ScenarioError};
+use crate::scenario::{Precision, Scenario, ScenarioError};
 use crate::sink::{format_from_env, render_rows, rows_to_table, OutputFormat, CSV_HEADER};
 
 fn env_parse<T: std::str::FromStr>(name: &str) -> Option<T> {
@@ -37,11 +41,72 @@ pub fn trials_from_env() -> Option<usize> {
     env_parse::<usize>("MEG_TRIALS").map(|t| t.max(1))
 }
 
-/// Applies the environment knobs (scale, trials) to a scenario.
+/// Adaptive-precision target from `MEG_TARGET_STDERR` (rejects negative and
+/// non-finite values).
+pub fn target_stderr_from_env() -> Option<f64> {
+    env_parse::<f64>("MEG_TARGET_STDERR").filter(|e| *e >= 0.0 && e.is_finite())
+}
+
+/// Adaptive minimum trial count from `MEG_MIN_TRIALS` (minimum 1 when set).
+pub fn min_trials_from_env() -> Option<usize> {
+    env_parse::<usize>("MEG_MIN_TRIALS").map(|t| t.max(1))
+}
+
+/// Adaptive per-cell trial budget from `MEG_MAX_TRIALS` (minimum 1 when set).
+pub fn max_trials_from_env() -> Option<usize> {
+    env_parse::<usize>("MEG_MAX_TRIALS").map(|t| t.max(1))
+}
+
+/// Resolves the adaptive-precision knobs into a [`Precision::TargetStderr`]
+/// policy — the single defaulting rule behind both the `meg-lab` flags and
+/// the `MEG_*` environment spellings. `explicit_min` / `explicit_max` carry
+/// the user's values when given; defaults are `min = fallback_trials.max(2)`
+/// (the scenario's trial count) and `max = 32 × min`. A *defaulted* minimum
+/// yields to an explicit tiny budget; an explicit inconsistent pair is an
+/// error.
+pub fn resolve_target_stderr(
+    eps: f64,
+    explicit_min: Option<usize>,
+    explicit_max: Option<usize>,
+    fallback_trials: usize,
+) -> Result<Precision, String> {
+    let mut min = explicit_min.unwrap_or_else(|| fallback_trials.max(2));
+    let max = explicit_max.unwrap_or_else(|| min.saturating_mul(32));
+    if max < min {
+        if explicit_min.is_some() {
+            return Err(format!(
+                "adaptive max_trials={max} must be ≥ min_trials={min}"
+            ));
+        }
+        min = max;
+    }
+    Ok(Precision::TargetStderr {
+        eps,
+        min_trials: min,
+        max_trials: max,
+    })
+}
+
+/// Applies the environment knobs (scale, trials, adaptive precision) to a
+/// scenario.
 pub fn apply_env(scenario: &Scenario) -> Scenario {
     let mut s = scenario.scaled(scale_from_env());
     if let Some(trials) = trials_from_env() {
         s.trials = trials;
+    }
+    if let Some(eps) = target_stderr_from_env() {
+        s.precision =
+            resolve_target_stderr(eps, min_trials_from_env(), max_trials_from_env(), s.trials)
+                .unwrap_or_else(|_| {
+                    // The environment has no error channel: an explicit
+                    // inconsistent pair clamps the budget up to the minimum.
+                    let min = min_trials_from_env().expect("inconsistency implies an explicit min");
+                    Precision::TargetStderr {
+                        eps,
+                        min_trials: min,
+                        max_trials: min,
+                    }
+                });
     }
     s
 }

@@ -5,13 +5,21 @@
 //!
 //! A [`Scenario`] composes any substrate (edge-MEG dense/sparse with
 //! `(p̂, q)` dynamics; geometric-MEG with grid-walk, waypoint, billiard, or
-//! walkers mobility), any protocol (flooding, push–pull, probabilistic,
-//! parsimonious), a [`Sweep`] grid over parameters, and trial/round budgets.
-//! The engine ([`run_scenario`]) crosses them into cells, derives a
+//! walkers mobility; the adversarial rotating star/bridge constructions;
+//! static baseline graphs), any protocol (flooding, push–pull,
+//! probabilistic, parsimonious) or measurement probe (expansion profile,
+//! snapshot diameter, Theorem 2.5 bound, cell occupancy), a [`Sweep`] grid
+//! over parameters, trial/round budgets, and a [`Precision`] policy — fixed
+//! trials per cell, or adaptive `target_stderr` mode that grows each cell's
+//! trial set until its observable reaches a target standard error. The
+//! engine ([`run_scenario`]) crosses them into cells, derives a
 //! deterministic seed per cell (so any cell reproduces in isolation), drives
 //! the trials through `meg_stats::run_trials`, records the `meg_core::spec`
 //! regime classification on every [`Row`], and emits results through an
-//! [`OutputFormat`] sink (ASCII table, JSON-lines, or CSV).
+//! [`OutputFormat`] sink (ASCII table, JSON-lines, or CSV). All twelve of
+//! the paper's experiments ship as [`builtin`](fn@builtin) scenarios (see
+//! `docs/EXPERIMENTS.md`); `docs/ARCHITECTURE.md` documents the pipeline end
+//! to end.
 //!
 //! The `meg-lab` binary is the CLI front-end: `meg-lab list`, `meg-lab run
 //! <name|--file scenario.json>`, `meg-lab show <name>`.
@@ -43,6 +51,7 @@
 //!     sweep: Sweep::over(Param::N, [60.0, 120.0]),
 //!     trials: 2,
 //!     round_budget: 10_000,
+//!     precision: Precision::FixedTrials,
 //! };
 //!
 //! // Scenarios are data: they round-trip through JSON …
@@ -70,10 +79,10 @@ pub mod sink;
 pub use builtin::{builtin, builtin_names};
 pub use dist::{merge_dir, run_sharded, DistError, DistOptions, ShardSpec, ShardStrategy};
 pub use json::Json;
-pub use run::{run_scenario, run_scenario_streaming, Row};
+pub use run::{run_scenario, run_scenario_streaming, Row, TrialOutcome};
 pub use scenario::{
-    Axis, EdgeEngine, InitKind, MobilityKind, MoveRadiusSpec, PHatSpec, Param, Protocol,
-    RadiusSpec, Scenario, ScenarioError, Substrate, Sweep,
+    AdversarialKind, Axis, EdgeEngine, InitKind, MobilityKind, MoveRadiusSpec, PHatSpec, Param,
+    Precision, Protocol, RadiusSpec, Scenario, ScenarioError, StaticKind, Substrate, Sweep,
 };
 pub use sink::OutputFormat;
 
@@ -81,10 +90,10 @@ pub use sink::OutputFormat;
 pub mod prelude {
     pub use crate::builtin::{builtin, builtin_names};
     pub use crate::dist::{merge_dir, run_sharded, DistOptions, ShardSpec, ShardStrategy};
-    pub use crate::run::{run_scenario, run_scenario_streaming, Row};
+    pub use crate::run::{run_scenario, run_scenario_streaming, Row, TrialOutcome};
     pub use crate::scenario::{
-        Axis, EdgeEngine, InitKind, MobilityKind, MoveRadiusSpec, PHatSpec, Param, Protocol,
-        RadiusSpec, Scenario, Substrate, Sweep,
+        AdversarialKind, Axis, EdgeEngine, InitKind, MobilityKind, MoveRadiusSpec, PHatSpec, Param,
+        Precision, Protocol, RadiusSpec, Scenario, StaticKind, Substrate, Sweep,
     };
     pub use crate::sink::OutputFormat;
 }

@@ -16,18 +16,25 @@
 //!   hypotheses they satisfy.
 
 use crate::scenario::{
-    EdgeEngine, MobilityKind, Param, Protocol, Scenario, ScenarioError, Substrate,
+    AdversarialKind, EdgeEngine, MobilityKind, Param, Precision, Protocol, Scenario, ScenarioError,
+    StaticKind, Substrate,
 };
-use meg_core::evolving::EvolvingGraph;
+use meg_core::adversarial::{RotatingBridge, RotatingStar};
+use meg_core::analysis::{measure_expansion_sequence, ExpansionMeasurement};
+use meg_core::evolving::{EvolvingGraph, FrozenGraph};
 use meg_core::protocols::{
     parsimonious_flood, probabilistic_flood, push_pull_gossip, ProtocolResult,
 };
 use meg_core::spec;
 use meg_edge::{DenseEdgeMeg, EdgeMegParams, SparseEdgeMeg};
 use meg_geometric::{GeometricMeg, GeometricMegParams};
+use meg_graph::expansion::{min_expansion_sampled, SamplingStrategy};
+use meg_graph::generators;
 use meg_mobility::{Billiard, RandomWaypoint, TorusWalkers};
 use meg_stats::seeds::{derive_seed, labeled_seed};
-use meg_stats::{run_trials, Summary};
+use meg_stats::{
+    precision_checkpoints, run_trials, run_trials_range, run_trials_scheduled, Summary,
+};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
@@ -56,18 +63,41 @@ pub enum ResolvedSubstrate {
         /// Move radius `r`.
         move_radius: f64,
     },
+    /// Concrete adversarial construction (`n` already rounded to the
+    /// construction's constraints).
+    Adversarial {
+        /// Number of nodes.
+        n: usize,
+        /// Which construction.
+        construction: AdversarialKind,
+    },
+    /// Concrete static baseline graph.
+    Static {
+        /// Number of nodes (for [`StaticKind::Grid2d`], `side²`).
+        n: usize,
+        /// Which family.
+        graph: StaticKind,
+        /// Resolved edge probability (Erdős–Rényi; 0 otherwise).
+        p_hat: f64,
+    },
 }
 
 impl ResolvedSubstrate {
-    /// `"edge"` or `"geometric"`.
+    /// `"edge"`, `"geometric"`, `"adversarial"`, or `"static"`.
     pub fn family(&self) -> &'static str {
         match self {
             ResolvedSubstrate::Edge { .. } => "edge",
             ResolvedSubstrate::Geometric { .. } => "geometric",
+            ResolvedSubstrate::Adversarial { .. } => "adversarial",
+            ResolvedSubstrate::Static { .. } => "static",
         }
     }
 
     /// The `meg_core::spec` regime classification of this configuration.
+    ///
+    /// Adversarial constructions are deterministic (a one-point stationary
+    /// law) and static graphs do not evolve, so neither family has a spec
+    /// regime — they are tagged by what they are instead.
     pub fn regime(&self) -> String {
         let c = spec::DEFAULT_THRESHOLD_CONSTANT;
         match self {
@@ -80,6 +110,8 @@ impl ResolvedSubstrate {
                 move_radius,
                 ..
             } => format!("{:?}", spec::geometric_regime(*n, *radius, *move_radius, c)),
+            ResolvedSubstrate::Adversarial { .. } => "Deterministic".into(),
+            ResolvedSubstrate::Static { .. } => "Static".into(),
         }
     }
 
@@ -102,6 +134,13 @@ impl ResolvedSubstrate {
                 ("radius".into(), *radius),
                 ("move_radius".into(), *move_radius),
             ],
+            ResolvedSubstrate::Adversarial { n, .. } => vec![("n".into(), *n as f64)],
+            ResolvedSubstrate::Static { n, graph, p_hat } => match graph {
+                StaticKind::ErdosRenyi { .. } => {
+                    vec![("n".into(), *n as f64), ("p_hat".into(), *p_hat)]
+                }
+                StaticKind::Grid2d => vec![("n".into(), *n as f64)],
+            },
         }
     }
 }
@@ -144,11 +183,22 @@ pub struct Row {
     pub seed: u64,
     /// Trials executed.
     pub trials: usize,
+    /// Trial budget this cell was configured with: the fixed trial count
+    /// under `Precision::FixedTrials`, `max_trials` under adaptive
+    /// precision. `trials < requested_trials` means the adaptive stop rule
+    /// fired early.
+    pub requested_trials: usize,
+    /// Standard error of the mean of the cell observable over completed
+    /// trials (`None` below 2 completed trials). This is the quantity the
+    /// adaptive stop rule compares against `eps`.
+    pub achieved_stderr: Option<f64>,
     /// Fraction of trials that completed within the round budget.
     pub completion_rate: f64,
-    /// Summary of completion times over completed trials (`None` if none).
+    /// Summary of the cell observable over completed trials (`None` if
+    /// none): completion rounds for spreading protocols, the measured
+    /// quantity for probe protocols.
     pub rounds: Option<Summary>,
-    /// Mean messages sent per trial (over all trials).
+    /// Mean messages sent per trial (over all trials; 0 for probes).
     pub mean_messages: f64,
 }
 
@@ -185,6 +235,14 @@ impl Row {
             // u64 seeds can exceed 2^53; transported as a string.
             ("seed", Json::Str(self.seed.to_string())),
             ("trials", Json::Num(self.trials as f64)),
+            ("requested_trials", Json::Num(self.requested_trials as f64)),
+            (
+                "achieved_stderr",
+                match self.achieved_stderr {
+                    Some(se) => Json::Num(se),
+                    None => Json::Null,
+                },
+            ),
             ("completion_rate", Json::Num(self.completion_rate)),
             ("mean_rounds", rounds(|s| s.mean)),
             ("min_rounds", rounds(|s| s.min)),
@@ -261,6 +319,16 @@ impl Row {
             trials: get("trials")?
                 .as_usize()
                 .ok_or_else(|| err("`trials` must be an integer".into()))?,
+            requested_trials: get("requested_trials")?
+                .as_usize()
+                .ok_or_else(|| err("`requested_trials` must be an integer".into()))?,
+            achieved_stderr: match get("achieved_stderr")? {
+                Json::Null => None,
+                v => Some(
+                    v.as_f64()
+                        .ok_or_else(|| err("`achieved_stderr` must be a number".into()))?,
+                ),
+            },
             completion_rate: get_num("completion_rate")?,
             rounds,
             mean_messages: get_num("mean_messages")?,
@@ -313,7 +381,10 @@ fn resolve_cell(
 
     for &(param, value) in overrides {
         match (param, &mut substrate) {
-            (Param::N, Substrate::Edge { n, .. }) | (Param::N, Substrate::Geometric { n, .. }) => {
+            (Param::N, Substrate::Edge { n, .. })
+            | (Param::N, Substrate::Geometric { n, .. })
+            | (Param::N, Substrate::Adversarial { n, .. })
+            | (Param::N, Substrate::Static { n, .. }) => {
                 *n = value.round().max(2.0) as usize;
             }
             (Param::Q, Substrate::Edge { q, .. }) => *q = value,
@@ -344,6 +415,11 @@ fn resolve_cell(
                 }
             }
             (Param::Trials, _) => trials = (value.round().max(1.0)) as usize,
+            (Param::SetSize, _) => {
+                if let Protocol::ExpansionProbe { set_size, .. } = &mut protocol {
+                    *set_size = value.round().max(1.0) as u64;
+                }
+            }
             // Overrides for the other family are inert by design: a shared
             // sweep can drive heterogeneous substrates.
             _ => {}
@@ -381,7 +457,49 @@ fn resolve_cell(
                 move_radius: move_radius.resolve(r),
             }
         }
+        Substrate::Adversarial { n, construction } => ResolvedSubstrate::Adversarial {
+            // Round up to each construction's minimum; the bridge also needs
+            // an even node count, so sweeps and --scale can never panic it.
+            n: match construction {
+                AdversarialKind::RotatingStar => n.max(2),
+                AdversarialKind::RotatingBridge => {
+                    let n = n.max(4);
+                    n + n % 2
+                }
+            },
+            construction,
+        },
+        Substrate::Static { n, graph } => match graph {
+            StaticKind::ErdosRenyi { p_hat } => ResolvedSubstrate::Static {
+                n,
+                graph,
+                // No death rate exists for a static snapshot; resolve with
+                // q = 0 (the clamp then only keeps p̂ < 1).
+                p_hat: p_hat.resolve(n, 0.0),
+            },
+            StaticKind::Grid2d => {
+                let side = ((n as f64).sqrt().round() as usize).max(2);
+                ResolvedSubstrate::Static {
+                    n: side * side,
+                    graph,
+                    p_hat: 0.0,
+                }
+            }
+        },
     };
+
+    // An expansion probe at a set size beyond n/2 is meaningless (the legacy
+    // profile experiments stopped there); clamp against the resolved n so
+    // labels and params reflect what actually runs.
+    if let Protocol::ExpansionProbe { set_size, .. } = &mut protocol {
+        let n = match &resolved {
+            ResolvedSubstrate::Edge { params, .. } => params.n,
+            ResolvedSubstrate::Geometric { n, .. }
+            | ResolvedSubstrate::Adversarial { n, .. }
+            | ResolvedSubstrate::Static { n, .. } => *n,
+        };
+        *set_size = (*set_size).clamp(1, ((n / 2) as u64).max(1));
+    }
 
     Ok(Cell {
         index,
@@ -393,35 +511,185 @@ fn resolve_cell(
     })
 }
 
-/// Outcome of a single trial.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct TrialOutcome {
-    completed: bool,
-    rounds: u64,
-    messages: u64,
+/// Outcome of a single trial: the cell observable (`value` is the completion
+/// round count for spreading protocols, the measured quantity for probes)
+/// plus completion and message-cost bookkeeping.
+///
+/// Public because the distributed worker protocol ships outcome batches over
+/// JSON ([`TrialOutcome::to_json`] / [`TrialOutcome::from_json`], an exact
+/// round trip) so the coordinator can aggregate a cell it grew adaptively.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrialOutcome {
+    /// Whether the trial produced its observable within the round budget.
+    pub completed: bool,
+    /// The cell observable (meaningful only when `completed`).
+    pub value: f64,
+    /// Messages sent (0 for probe protocols).
+    pub messages: f64,
+}
+
+impl TrialOutcome {
+    /// Serializes as a compact JSON object.
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj([
+            ("completed", Json::Bool(self.completed)),
+            ("value", Json::Num(self.value)),
+            ("messages", Json::Num(self.messages)),
+        ])
+    }
+
+    /// Decodes from the [`to_json`](TrialOutcome::to_json) representation
+    /// (exact inverse — the JSON writer round-trips every `f64`).
+    pub fn from_json(v: &crate::json::Json) -> Result<TrialOutcome, ScenarioError> {
+        let err = |m: &str| ScenarioError(format!("trial outcome: {m}"));
+        Ok(TrialOutcome {
+            completed: v
+                .get("completed")
+                .and_then(crate::json::Json::as_bool)
+                .ok_or_else(|| err("missing `completed`"))?,
+            value: v
+                .get("value")
+                .and_then(crate::json::Json::as_f64)
+                .ok_or_else(|| err("missing `value`"))?,
+            messages: v
+                .get("messages")
+                .and_then(crate::json::Json::as_f64)
+                .ok_or_else(|| err("missing `messages`"))?,
+        })
+    }
+
+    fn failed() -> TrialOutcome {
+        TrialOutcome {
+            completed: false,
+            value: 0.0,
+            messages: 0.0,
+        }
+    }
+
+    fn measured(value: f64) -> TrialOutcome {
+        if value.is_finite() {
+            TrialOutcome {
+                completed: true,
+                value,
+                messages: 0.0,
+            }
+        } else {
+            TrialOutcome::failed()
+        }
+    }
 }
 
 fn protocol_trial<M: EvolvingGraph>(
     meg: &mut M,
     protocol: &Protocol,
+    source: meg_graph::Node,
     budget: u64,
     rng: &mut ChaCha8Rng,
 ) -> TrialOutcome {
     let r: ProtocolResult = match protocol {
-        Protocol::Flooding => probabilistic_flood(meg, 0, 1.0, budget, rng),
-        Protocol::Probabilistic { beta } => probabilistic_flood(meg, 0, *beta, budget, rng),
+        Protocol::Flooding => probabilistic_flood(meg, source, 1.0, budget, rng),
+        Protocol::Probabilistic { beta } => probabilistic_flood(meg, source, *beta, budget, rng),
         Protocol::Parsimonious { active_rounds } => {
-            parsimonious_flood(meg, 0, *active_rounds, budget)
+            parsimonious_flood(meg, source, *active_rounds, budget)
         }
-        Protocol::PushPull => push_pull_gossip(meg, 0, budget, rng),
+        Protocol::PushPull => push_pull_gossip(meg, source, budget, rng),
+        probe => unreachable!("probe `{}` must not reach protocol_trial", probe.label()),
     };
     TrialOutcome {
         completed: r.completed,
-        rounds: r.rounds,
-        messages: r.messages_sent,
+        value: r.rounds as f64,
+        messages: r.messages_sent as f64,
     }
 }
 
+/// Runs a measurement probe against an evolving graph (any substrate).
+fn probe_trial<M: EvolvingGraph>(
+    meg: &mut M,
+    protocol: &Protocol,
+    rng: &mut ChaCha8Rng,
+) -> TrialOutcome {
+    match protocol {
+        Protocol::ExpansionProbe { set_size, samples } => {
+            let snapshot = meg.advance();
+            TrialOutcome::measured(min_expansion_sampled(
+                snapshot,
+                *set_size as usize,
+                *samples as usize,
+                SamplingStrategy::Mixed,
+                rng,
+            ))
+        }
+        Protocol::DiameterProbe => match meg_graph::diameter::exact(meg.advance()).finite() {
+            Some(d) => TrialOutcome::measured(d as f64),
+            None => TrialOutcome::failed(),
+        },
+        Protocol::BoundProbe { snapshots, samples } => {
+            let options = ExpansionMeasurement {
+                snapshots: *snapshots as usize,
+                samples_per_size: *samples as usize,
+                strategy: SamplingStrategy::Mixed,
+            };
+            match measure_expansion_sequence(meg, options, rng) {
+                Ok(seq) => TrialOutcome::measured(seq.flooding_bound()),
+                Err(_) => TrialOutcome::failed(),
+            }
+        }
+        // Occupancy needs node positions, which only the geometric substrate
+        // exposes; on every other substrate the probe is inert.
+        Protocol::OccupancyProbe => TrialOutcome::failed(),
+        spreading => unreachable!("`{}` must not reach probe_trial", spreading.label()),
+    }
+}
+
+/// Dispatches one trial to the spreading engine or the probe machinery.
+fn drive<M: EvolvingGraph>(
+    meg: &mut M,
+    cell: &Cell,
+    source: meg_graph::Node,
+    rng: &mut ChaCha8Rng,
+) -> TrialOutcome {
+    if cell.protocol.is_probe() {
+        probe_trial(meg, &cell.protocol, rng)
+    } else {
+        protocol_trial(meg, &cell.protocol, source, cell.round_budget, rng)
+    }
+}
+
+fn geometric_occupancy_trial(
+    n: usize,
+    mobility: MobilityKind,
+    radius: f64,
+    move_radius: f64,
+    rng: &mut ChaCha8Rng,
+) -> TrialOutcome {
+    use meg_geometric::cells::CellPartition;
+    use meg_geometric::snapshot::{sample_paper_snapshot, snapshot_of};
+    let side = (n as f64).sqrt();
+    let snap = match mobility {
+        MobilityKind::GridWalk => {
+            sample_paper_snapshot(GeometricMegParams::new(n, move_radius, radius), rng)
+        }
+        MobilityKind::Waypoint => snapshot_of(
+            &RandomWaypoint::new(n, side, move_radius * 0.5, move_radius, rng),
+            radius,
+        ),
+        MobilityKind::Billiard => snapshot_of(
+            &Billiard::new(n, side, move_radius * 0.5, move_radius, 0.1, rng),
+            radius,
+        ),
+        MobilityKind::Walkers => {
+            snapshot_of(&TorusWalkers::new(n, side, move_radius, 1.0, rng), radius)
+        }
+    };
+    let partition = CellPartition::for_paper_instance(n, radius);
+    match partition.occupancy_concentration(&snap.positions, radius) {
+        Some(lambda) => TrialOutcome::measured(lambda),
+        None => TrialOutcome::failed(), // an empty cell: λ is unbounded
+    }
+}
+
+/// Executes one trial of one resolved cell under the given RNG stream.
 fn execute_trial(cell: &Cell, rng: &mut ChaCha8Rng) -> TrialOutcome {
     match &cell.substrate {
         ResolvedSubstrate::Edge {
@@ -434,11 +702,11 @@ fn execute_trial(cell: &Cell, rng: &mut ChaCha8Rng) -> TrialOutcome {
             match engine {
                 EdgeEngine::Sparse => {
                     let mut meg = SparseEdgeMeg::new(*params, *init, sub_seed);
-                    protocol_trial(&mut meg, &cell.protocol, cell.round_budget, rng)
+                    drive(&mut meg, cell, 0, rng)
                 }
                 EdgeEngine::Dense => {
                     let mut meg = DenseEdgeMeg::new(*params, *init, sub_seed);
-                    protocol_trial(&mut meg, &cell.protocol, cell.round_budget, rng)
+                    drive(&mut meg, cell, 0, rng)
                 }
             }
         }
@@ -449,6 +717,9 @@ fn execute_trial(cell: &Cell, rng: &mut ChaCha8Rng) -> TrialOutcome {
             move_radius,
         } => {
             let (n, radius, move_radius) = (*n, *radius, *move_radius);
+            if cell.protocol == Protocol::OccupancyProbe {
+                return geometric_occupancy_trial(n, *mobility, radius, move_radius, rng);
+            }
             let side = (n as f64).sqrt();
             let sub_seed: u64 = rng.gen();
             match mobility {
@@ -457,40 +728,126 @@ fn execute_trial(cell: &Cell, rng: &mut ChaCha8Rng) -> TrialOutcome {
                         GeometricMegParams::new(n, move_radius, radius),
                         sub_seed,
                     );
-                    protocol_trial(&mut meg, &cell.protocol, cell.round_budget, rng)
+                    drive(&mut meg, cell, 0, rng)
                 }
                 MobilityKind::Waypoint => {
                     let model = RandomWaypoint::new(n, side, move_radius * 0.5, move_radius, rng);
                     let mut meg = GeometricMeg::new(model, radius, sub_seed);
-                    protocol_trial(&mut meg, &cell.protocol, cell.round_budget, rng)
+                    drive(&mut meg, cell, 0, rng)
                 }
                 MobilityKind::Billiard => {
                     let model = Billiard::new(n, side, move_radius * 0.5, move_radius, 0.1, rng);
                     let mut meg = GeometricMeg::new(model, radius, sub_seed);
-                    protocol_trial(&mut meg, &cell.protocol, cell.round_budget, rng)
+                    drive(&mut meg, cell, 0, rng)
                 }
                 MobilityKind::Walkers => {
                     let model = TorusWalkers::new(n, side, move_radius, 1.0, rng);
                     let mut meg = GeometricMeg::new(model, radius, sub_seed);
-                    protocol_trial(&mut meg, &cell.protocol, cell.round_budget, rng)
+                    drive(&mut meg, cell, 0, rng)
                 }
             }
+        }
+        ResolvedSubstrate::Adversarial { n, construction } => match construction {
+            AdversarialKind::RotatingStar => {
+                let mut meg = RotatingStar::new(*n, 0);
+                // The separation claim concerns the worst-case source.
+                let source = meg.worst_source();
+                drive(&mut meg, cell, source, rng)
+            }
+            AdversarialKind::RotatingBridge => {
+                let mut meg = RotatingBridge::new(*n);
+                drive(&mut meg, cell, 1, rng)
+            }
+        },
+        ResolvedSubstrate::Static { n, graph, p_hat } => {
+            let graph = match graph {
+                StaticKind::ErdosRenyi { .. } => generators::erdos_renyi(*n, *p_hat, rng),
+                StaticKind::Grid2d => {
+                    let side = (*n as f64).sqrt().round() as usize;
+                    generators::grid2d(side, side)
+                }
+            };
+            let mut meg = FrozenGraph::new(graph);
+            drive(&mut meg, cell, 0, rng)
         }
     }
 }
 
-/// Runs one resolved cell under `cell_seed` and aggregates its row.
-pub fn run_cell(scenario: &Scenario, cell: &Cell, cell_seed: u64) -> Row {
-    let outcomes: Vec<TrialOutcome> =
-        run_trials(cell_seed, cell.trials, |_i, rng| execute_trial(cell, rng));
-    let completed: Vec<u64> = outcomes
+/// The adaptive stop decision on an outcome prefix: `true` once at least two
+/// trials completed and the standard error of their observable is ≤ `eps`.
+/// `eps ≤ 0` never stops (the "spend the whole budget" mode). Shared by the
+/// in-process runner and the distributed coordinator so both make identical
+/// decisions.
+pub fn adaptive_stop(eps: f64, outcomes: &[TrialOutcome]) -> bool {
+    if eps <= 0.0 {
+        return false;
+    }
+    let completed: Vec<f64> = outcomes
         .iter()
         .filter(|o| o.completed)
-        .map(|o| o.rounds)
+        .map(|o| o.value)
+        .collect();
+    match Summary::of(&completed) {
+        Some(s) if s.count >= 2 => s.standard_error() <= eps,
+        _ => false,
+    }
+}
+
+/// Runs trials `start .. start + count` of one resolved cell — the batch
+/// unit of the distributed adaptive control loop. Trial `i`'s randomness
+/// depends only on `(cell_seed, i)`, so concatenated batches are
+/// byte-identical to one fixed run of the same length.
+pub fn run_cell_range(
+    cell: &Cell,
+    cell_seed: u64,
+    start: usize,
+    count: usize,
+) -> Vec<TrialOutcome> {
+    run_trials_range(cell_seed, start, count, |_i, rng| execute_trial(cell, rng))
+}
+
+/// Executes one resolved cell's trials under the scenario's [`Precision`]
+/// policy and returns the raw outcomes.
+pub fn run_cell_outcomes(scenario: &Scenario, cell: &Cell, cell_seed: u64) -> Vec<TrialOutcome> {
+    match scenario.precision {
+        Precision::FixedTrials => {
+            run_trials(cell_seed, cell.trials, |_i, rng| execute_trial(cell, rng))
+        }
+        Precision::TargetStderr {
+            eps,
+            min_trials,
+            max_trials,
+        } => {
+            let checkpoints = precision_checkpoints(min_trials, max_trials);
+            run_trials_scheduled(
+                cell_seed,
+                &checkpoints,
+                |_i, rng| execute_trial(cell, rng),
+                |outcomes| adaptive_stop(eps, outcomes),
+            )
+        }
+    }
+}
+
+/// Aggregates a cell's trial outcomes into its result [`Row`].
+///
+/// Pure aggregation: given the same outcome slice it produces the same row
+/// whether the trials ran in this process, in worker subprocesses, or were
+/// re-read from a checkpoint — the second half of the byte-identity
+/// guarantee.
+pub fn aggregate_row(
+    scenario: &Scenario,
+    cell: &Cell,
+    cell_seed: u64,
+    outcomes: &[TrialOutcome],
+) -> Row {
+    let completed: Vec<f64> = outcomes
+        .iter()
+        .filter(|o| o.completed)
+        .map(|o| o.value)
         .collect();
     let completion_rate = completed.len() as f64 / outcomes.len() as f64;
-    let mean_messages =
-        outcomes.iter().map(|o| o.messages as f64).sum::<f64>() / outcomes.len() as f64;
+    let mean_messages = outcomes.iter().map(|o| o.messages).sum::<f64>() / outcomes.len() as f64;
 
     let mut params = cell.substrate.params();
     match cell.protocol {
@@ -498,9 +855,15 @@ pub fn run_cell(scenario: &Scenario, cell: &Cell, cell_seed: u64) -> Row {
         Protocol::Parsimonious { active_rounds } => {
             params.push(("active_rounds".into(), active_rounds as f64))
         }
+        Protocol::ExpansionProbe { set_size, .. } => params.push(("h".into(), set_size as f64)),
         _ => {}
     }
 
+    let rounds = Summary::of(&completed);
+    let achieved_stderr = rounds
+        .as_ref()
+        .filter(|s| s.count >= 2)
+        .map(Summary::standard_error);
     Row {
         scenario: scenario.name.clone(),
         cell: cell.index,
@@ -511,10 +874,21 @@ pub fn run_cell(scenario: &Scenario, cell: &Cell, cell_seed: u64) -> Row {
         regime: cell.substrate.regime(),
         seed: cell_seed,
         trials: outcomes.len(),
+        requested_trials: match scenario.precision {
+            Precision::FixedTrials => cell.trials,
+            Precision::TargetStderr { max_trials, .. } => max_trials,
+        },
+        achieved_stderr,
         completion_rate,
-        rounds: Summary::of_counts(&completed),
+        rounds,
         mean_messages,
     }
+}
+
+/// Runs one resolved cell under `cell_seed` and aggregates its row.
+pub fn run_cell(scenario: &Scenario, cell: &Cell, cell_seed: u64) -> Row {
+    let outcomes = run_cell_outcomes(scenario, cell, cell_seed);
+    aggregate_row(scenario, cell, cell_seed, &outcomes)
 }
 
 /// The seed of cell `index` of `scenario` under `master_seed`.
@@ -576,6 +950,7 @@ mod tests {
             sweep: Sweep::over(Param::N, [40.0, 60.0]),
             trials: 2,
             round_budget: 5_000,
+            precision: Precision::FixedTrials,
         }
     }
 
@@ -698,12 +1073,229 @@ mod tests {
             sweep: Sweep::none(),
             trials: 1,
             round_budget: 5_000,
+            precision: Precision::FixedTrials,
         };
         let rows = run_scenario(&s, 11).unwrap();
         assert_eq!(rows.len(), 4);
         for row in &rows {
             assert!(row.completion_rate > 0.0, "no completion: {row:?}");
         }
+    }
+
+    #[test]
+    fn adaptive_eps_zero_is_byte_identical_to_fixed_trials() {
+        // eps = 0 can never be satisfied, so the adaptive run must execute
+        // exactly max_trials — and, because trial seeds depend only on the
+        // trial index, the rows must match a fixed run of the same count
+        // byte for byte.
+        let mut fixed = tiny_scenario();
+        fixed.trials = 3;
+        let mut adaptive = fixed.clone();
+        adaptive.precision = Precision::TargetStderr {
+            eps: 0.0,
+            min_trials: 2,
+            max_trials: 3,
+        };
+        let fixed_rows = run_scenario(&fixed, 7).unwrap();
+        let adaptive_rows = run_scenario(&adaptive, 7).unwrap();
+        assert_eq!(fixed_rows.len(), adaptive_rows.len());
+        for (f, a) in fixed_rows.iter().zip(&adaptive_rows) {
+            assert_eq!(a.trials, 3);
+            assert_eq!(a.requested_trials, 3);
+            assert_eq!(f.to_json().render(), a.to_json().render());
+        }
+    }
+
+    #[test]
+    fn adaptive_mode_converges_or_exhausts_the_budget() {
+        let mut s = tiny_scenario();
+        let (eps, max_trials) = (1.5, 16);
+        s.precision = Precision::TargetStderr {
+            eps,
+            min_trials: 2,
+            max_trials,
+        };
+        let rows = run_scenario(&s, 3).unwrap();
+        for row in &rows {
+            assert!(row.trials >= 2 && row.trials <= max_trials);
+            assert_eq!(row.requested_trials, max_trials);
+            let converged = row.achieved_stderr.is_some_and(|se| se <= eps);
+            assert!(
+                converged || row.trials == max_trials,
+                "row neither met the target nor exhausted the budget: {row:?}"
+            );
+        }
+        // Determinism holds in adaptive mode too.
+        assert_eq!(rows, run_scenario(&s, 3).unwrap());
+    }
+
+    #[test]
+    fn adaptive_stop_rule_semantics() {
+        let done = |value| TrialOutcome {
+            completed: true,
+            value,
+            messages: 0.0,
+        };
+        // eps = 0 never stops, even with zero variance.
+        assert!(!adaptive_stop(0.0, &[done(4.0), done(4.0)]));
+        // Zero variance stops as soon as two trials completed.
+        assert!(adaptive_stop(0.5, &[done(4.0), done(4.0)]));
+        // One completed trial is never enough to assess precision.
+        assert!(!adaptive_stop(0.5, &[done(4.0)]));
+        let failed = TrialOutcome::failed();
+        assert!(!adaptive_stop(0.5, &[done(4.0), failed]));
+        // High variance at a tight target keeps going.
+        assert!(!adaptive_stop(0.01, &[done(1.0), done(100.0)]));
+    }
+
+    #[test]
+    fn adversarial_substrates_separate_diameter_from_flooding() {
+        let s = Scenario {
+            name: "adv".into(),
+            description: String::new(),
+            substrates: vec![
+                Substrate::Adversarial {
+                    n: 64,
+                    construction: AdversarialKind::RotatingStar,
+                },
+                Substrate::Adversarial {
+                    n: 64,
+                    construction: AdversarialKind::RotatingBridge,
+                },
+            ],
+            protocols: vec![Protocol::Flooding, Protocol::DiameterProbe],
+            sweep: Sweep::none(),
+            trials: 1,
+            round_budget: 1_000,
+            precision: Precision::FixedTrials,
+        };
+        let rows = run_scenario(&s, 1).unwrap();
+        assert_eq!(rows.len(), 4);
+        let get = |substrate: &str, protocol: &str| {
+            rows.iter()
+                .find(|r| r.substrate == substrate && r.protocol == protocol)
+                .unwrap_or_else(|| panic!("missing row {substrate}/{protocol}"))
+                .rounds
+                .as_ref()
+                .unwrap()
+                .mean
+        };
+        // The separation: both diameters are tiny, but the star floods in
+        // n − 1 rounds from the worst source while the bridge is constant.
+        assert_eq!(get("adv-rotating_star", "diameter"), 2.0);
+        assert_eq!(get("adv-rotating_bridge", "diameter"), 3.0);
+        assert_eq!(get("adv-rotating_star", "flooding"), 63.0);
+        assert!(get("adv-rotating_bridge", "flooding") <= 4.0);
+        assert!(rows.iter().all(|r| r.regime == "Deterministic"));
+    }
+
+    #[test]
+    fn static_substrates_and_probes_execute() {
+        let s = Scenario {
+            name: "static".into(),
+            description: String::new(),
+            substrates: vec![
+                Substrate::Static {
+                    n: 120,
+                    graph: StaticKind::ErdosRenyi {
+                        p_hat: PHatSpec::LogFactor(4.0),
+                    },
+                },
+                Substrate::Static {
+                    n: 100,
+                    graph: StaticKind::Grid2d,
+                },
+            ],
+            protocols: vec![
+                Protocol::Flooding,
+                Protocol::ExpansionProbe {
+                    set_size: 500, // clamped to n/2 at resolution
+                    samples: 10,
+                },
+                Protocol::BoundProbe {
+                    snapshots: 2,
+                    samples: 10,
+                },
+            ],
+            sweep: Sweep::none(),
+            trials: 2,
+            round_budget: 10_000,
+            precision: Precision::FixedTrials,
+        };
+        let cells = resolve_cells(&s).unwrap();
+        assert!(cells
+            .iter()
+            .filter(|c| matches!(c.protocol, Protocol::ExpansionProbe { .. }))
+            .all(|c| c.protocol.label() == "expansion(h=60)"
+                || c.protocol.label() == "expansion(h=50)"));
+        let rows = run_scenario(&s, 5).unwrap();
+        for row in &rows {
+            assert_eq!(row.regime, "Static");
+            if row.completion_rate > 0.0 {
+                let mean = row.rounds.as_ref().unwrap().mean;
+                assert!(mean > 0.0, "degenerate observable: {row:?}");
+            }
+            if row.protocol.starts_with("expansion") {
+                let h = row.params.iter().find(|(k, _)| k == "h").unwrap().1;
+                assert!(h == 60.0 || h == 50.0);
+                assert_eq!(row.mean_messages, 0.0);
+            }
+        }
+        // The flooding and bound-probe rows on G(n, p̂) must both complete,
+        // and the measured bound must dominate the measured flooding time.
+        let flood = rows
+            .iter()
+            .find(|r| r.substrate == "static-erdos_renyi" && r.protocol == "flooding")
+            .unwrap();
+        let bound = rows
+            .iter()
+            .find(|r| r.substrate == "static-erdos_renyi" && r.protocol == "bound")
+            .unwrap();
+        assert!(flood.completion_rate > 0.0);
+        assert!(bound.completion_rate > 0.0);
+        assert!(
+            bound.rounds.as_ref().unwrap().mean >= flood.rounds.as_ref().unwrap().mean,
+            "Lemma 2.4 bound must dominate measured flooding"
+        );
+    }
+
+    #[test]
+    fn occupancy_probe_measures_geometric_and_is_inert_elsewhere() {
+        let s = Scenario {
+            name: "occ".into(),
+            description: String::new(),
+            substrates: vec![
+                Substrate::Geometric {
+                    n: 300,
+                    mobility: MobilityKind::GridWalk,
+                    radius: RadiusSpec::ThresholdFactor(1.75),
+                    move_radius: MoveRadiusSpec::RadiusFraction(0.5),
+                },
+                Substrate::Edge {
+                    n: 100,
+                    engine: EdgeEngine::Sparse,
+                    p_hat: PHatSpec::LogFactor(3.0),
+                    q: 0.5,
+                    init: InitKind::Stationary,
+                },
+            ],
+            protocols: vec![Protocol::OccupancyProbe],
+            sweep: Sweep::none(),
+            trials: 2,
+            round_budget: 1_000,
+            precision: Precision::FixedTrials,
+        };
+        let rows = run_scenario(&s, 9).unwrap();
+        let geo = &rows[0];
+        assert!(geo.completion_rate > 0.0, "λ should be measurable: {geo:?}");
+        assert!(
+            geo.rounds.as_ref().unwrap().min >= 1.0,
+            "λ ≥ 1 by definition"
+        );
+        // On a non-geometric substrate the probe is inert, not an error.
+        let edge = &rows[1];
+        assert_eq!(edge.completion_rate, 0.0);
+        assert!(edge.rounds.is_none());
     }
 
     #[test]
@@ -722,6 +1314,7 @@ mod tests {
             sweep: Sweep::over(Param::Beta, [0.25, 0.75]),
             trials: 1,
             round_budget: 2_000,
+            precision: Precision::FixedTrials,
         };
         let cells = resolve_cells(&s).unwrap();
         assert_eq!(

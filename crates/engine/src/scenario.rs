@@ -176,6 +176,65 @@ impl InitKind {
     }
 }
 
+/// The deterministic adversarial constructions of the Introduction
+/// (implemented in `meg_core::adversarial`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdversarialKind {
+    /// The rotating star: constant snapshot diameter, `Θ(n)` flooding.
+    RotatingStar,
+    /// Two cliques joined by a rotating bridge: constant diameter *and*
+    /// constant flooding (the expansion contrast).
+    RotatingBridge,
+}
+
+impl AdversarialKind {
+    /// All variants, in canonical order.
+    pub const ALL: [AdversarialKind; 2] = [
+        AdversarialKind::RotatingStar,
+        AdversarialKind::RotatingBridge,
+    ];
+
+    /// Stable identifier used in JSON and row labels.
+    pub fn id(self) -> &'static str {
+        match self {
+            AdversarialKind::RotatingStar => "rotating_star",
+            AdversarialKind::RotatingBridge => "rotating_bridge",
+        }
+    }
+
+    fn from_id(s: &str) -> Result<Self, ScenarioError> {
+        Self::ALL
+            .into_iter()
+            .find(|k| k.id() == s)
+            .ok_or_else(|| ScenarioError(format!("unknown adversarial construction `{s}`")))
+    }
+}
+
+/// Static baseline graphs (flooding on them is plain BFS); the contrast rows
+/// of the general-bound experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum StaticKind {
+    /// A static Erdős–Rényi graph `G(n, p̂)` — one frozen stationary
+    /// snapshot of the edge-MEG.
+    ErdosRenyi {
+        /// Edge probability spec (resolved against `n`).
+        p_hat: PHatSpec,
+    },
+    /// A 2-D grid — the canonical weak expander (`n` is rounded to a
+    /// square).
+    Grid2d,
+}
+
+impl StaticKind {
+    /// Stable identifier used in JSON and row labels.
+    pub fn id(self) -> &'static str {
+        match self {
+            StaticKind::ErdosRenyi { .. } => "erdos_renyi",
+            StaticKind::Grid2d => "grid2d",
+        }
+    }
+}
+
 /// Stationary edge probability: fixed, or coupled to `n`.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub enum PHatSpec {
@@ -329,6 +388,22 @@ pub enum Substrate {
         /// Move radius spec.
         move_radius: MoveRadiusSpec,
     },
+    /// A deterministic adversarial construction (diameter ≠ flooding
+    /// separation witnesses).
+    Adversarial {
+        /// Number of nodes (rounded up to the construction's minimum; the
+        /// rotating bridge also needs an even count).
+        n: usize,
+        /// Which construction.
+        construction: AdversarialKind,
+    },
+    /// A static baseline graph, frozen over time (flooding = BFS).
+    Static {
+        /// Number of nodes (rounded to a square for [`StaticKind::Grid2d`]).
+        n: usize,
+        /// Which graph family.
+        graph: StaticKind,
+    },
 }
 
 impl Substrate {
@@ -338,20 +413,28 @@ impl Substrate {
         match self {
             Substrate::Edge { engine, .. } => format!("edge-{}", engine.id()),
             Substrate::Geometric { mobility, .. } => format!("geo-{}", mobility.id()),
+            Substrate::Adversarial { construction, .. } => format!("adv-{}", construction.id()),
+            Substrate::Static { graph, .. } => format!("static-{}", graph.id()),
         }
     }
 
     /// Number of nodes before sweep overrides.
     pub fn n(&self) -> usize {
         match self {
-            Substrate::Edge { n, .. } | Substrate::Geometric { n, .. } => *n,
+            Substrate::Edge { n, .. }
+            | Substrate::Geometric { n, .. }
+            | Substrate::Adversarial { n, .. }
+            | Substrate::Static { n, .. } => *n,
         }
     }
 
     fn scale_n(&mut self, factor: f64) {
         let scale = |n: usize| ((n as f64) * factor).round().max(4.0) as usize;
         match self {
-            Substrate::Edge { n, .. } | Substrate::Geometric { n, .. } => *n = scale(*n),
+            Substrate::Edge { n, .. }
+            | Substrate::Geometric { n, .. }
+            | Substrate::Adversarial { n, .. }
+            | Substrate::Static { n, .. } => *n = scale(*n),
         }
     }
 
@@ -384,6 +467,22 @@ impl Substrate {
                 ("radius", radius.to_json()),
                 ("move_radius", move_radius.to_json()),
             ]),
+            Substrate::Adversarial { n, construction } => Json::obj([
+                ("family", Json::Str("adversarial".into())),
+                ("n", Json::Num(*n as f64)),
+                ("construction", Json::Str(construction.id().into())),
+            ]),
+            Substrate::Static { n, graph } => {
+                let mut pairs = vec![
+                    ("family", Json::Str("static".into())),
+                    ("n", Json::Num(*n as f64)),
+                    ("graph", Json::Str(graph.id().into())),
+                ];
+                if let StaticKind::ErdosRenyi { p_hat } = graph {
+                    pairs.push(("p_hat", p_hat.to_json()));
+                }
+                Json::obj(pairs)
+            }
         }
     }
 
@@ -403,6 +502,20 @@ impl Substrate {
                 mobility: MobilityKind::from_id(&string(v, "mobility", ctx)?)?,
                 radius: RadiusSpec::from_json(field(v, "radius", ctx)?)?,
                 move_radius: MoveRadiusSpec::from_json(field(v, "move_radius", ctx)?)?,
+            }),
+            "adversarial" => Ok(Substrate::Adversarial {
+                n: uint(v, "n", ctx)?,
+                construction: AdversarialKind::from_id(&string(v, "construction", ctx)?)?,
+            }),
+            "static" => Ok(Substrate::Static {
+                n: uint(v, "n", ctx)?,
+                graph: match string(v, "graph", ctx)?.as_str() {
+                    "erdos_renyi" => StaticKind::ErdosRenyi {
+                        p_hat: PHatSpec::from_json(field(v, "p_hat", ctx)?)?,
+                    },
+                    "grid2d" => StaticKind::Grid2d,
+                    other => return Err(ScenarioError(format!("unknown static graph `{other}`"))),
+                },
             }),
             other => Err(ScenarioError(format!("unknown substrate family `{other}`"))),
         }
@@ -429,6 +542,29 @@ pub enum Protocol {
     },
     /// Classic randomized push–pull gossip.
     PushPull,
+    /// Measurement probe: minimum sampled node-expansion ratio at one set
+    /// size `h` (sweepable via [`Param::SetSize`]; clamped to `n/2` at
+    /// resolution). The trial observable is the ratio, not a round count.
+    ExpansionProbe {
+        /// Set size `h` to probe.
+        set_size: u64,
+        /// Candidate sets sampled per snapshot.
+        samples: u64,
+    },
+    /// Measurement probe: exact diameter of one snapshot.
+    DiameterProbe,
+    /// Measurement probe: the data-driven Lemma 2.4 / Theorem 2.5 flooding
+    /// bound evaluated on a measured expansion sequence.
+    BoundProbe {
+        /// Snapshots inspected per trial.
+        snapshots: u64,
+        /// Candidate sets sampled per set size per snapshot.
+        samples: u64,
+    },
+    /// Measurement probe (geometric substrates only): the Claim 1 cell
+    /// occupancy concentration `λ` of one stationary snapshot. Inert (never
+    /// completes) on other substrate families.
+    OccupancyProbe,
 }
 
 impl Protocol {
@@ -439,7 +575,23 @@ impl Protocol {
             Protocol::Probabilistic { beta } => format!("probabilistic(beta={beta})"),
             Protocol::Parsimonious { active_rounds } => format!("parsimonious(k={active_rounds})"),
             Protocol::PushPull => "push_pull".into(),
+            Protocol::ExpansionProbe { set_size, .. } => format!("expansion(h={set_size})"),
+            Protocol::DiameterProbe => "diameter".into(),
+            Protocol::BoundProbe { .. } => "bound".into(),
+            Protocol::OccupancyProbe => "occupancy".into(),
         }
+    }
+
+    /// `true` for the measurement probes, whose trial observable is a
+    /// measured quantity instead of a completion round count.
+    pub fn is_probe(&self) -> bool {
+        matches!(
+            self,
+            Protocol::ExpansionProbe { .. }
+                | Protocol::DiameterProbe
+                | Protocol::BoundProbe { .. }
+                | Protocol::OccupancyProbe
+        )
     }
 
     /// Serializes: unit variants as strings, parameterised ones as objects.
@@ -447,12 +599,28 @@ impl Protocol {
         match self {
             Protocol::Flooding => Json::Str("flooding".into()),
             Protocol::PushPull => Json::Str("push_pull".into()),
+            Protocol::DiameterProbe => Json::Str("diameter_probe".into()),
+            Protocol::OccupancyProbe => Json::Str("occupancy_probe".into()),
             Protocol::Probabilistic { beta } => {
                 Json::obj([("probabilistic", Json::obj([("beta", Json::Num(*beta))]))])
             }
             Protocol::Parsimonious { active_rounds } => Json::obj([(
                 "parsimonious",
                 Json::obj([("active_rounds", Json::Num(*active_rounds as f64))]),
+            )]),
+            Protocol::ExpansionProbe { set_size, samples } => Json::obj([(
+                "expansion_probe",
+                Json::obj([
+                    ("set_size", Json::Num(*set_size as f64)),
+                    ("samples", Json::Num(*samples as f64)),
+                ]),
+            )]),
+            Protocol::BoundProbe { snapshots, samples } => Json::obj([(
+                "bound_probe",
+                Json::obj([
+                    ("snapshots", Json::Num(*snapshots as f64)),
+                    ("samples", Json::Num(*samples as f64)),
+                ]),
             )]),
         }
     }
@@ -463,6 +631,8 @@ impl Protocol {
             return match s {
                 "flooding" => Ok(Protocol::Flooding),
                 "push_pull" => Ok(Protocol::PushPull),
+                "diameter_probe" => Ok(Protocol::DiameterProbe),
+                "occupancy_probe" => Ok(Protocol::OccupancyProbe),
                 other => Err(ScenarioError(format!("unknown protocol `{other}`"))),
             };
         }
@@ -474,6 +644,18 @@ impl Protocol {
         if let Some(p) = v.get("parsimonious") {
             return Ok(Protocol::Parsimonious {
                 active_rounds: uint(p, "active_rounds", "parsimonious protocol")? as u64,
+            });
+        }
+        if let Some(p) = v.get("expansion_probe") {
+            return Ok(Protocol::ExpansionProbe {
+                set_size: uint(p, "set_size", "expansion probe")? as u64,
+                samples: uint(p, "samples", "expansion probe")? as u64,
+            });
+        }
+        if let Some(p) = v.get("bound_probe") {
+            return Ok(Protocol::BoundProbe {
+                snapshots: uint(p, "snapshots", "bound probe")? as u64,
+                samples: uint(p, "samples", "bound probe")? as u64,
             });
         }
         Err(ScenarioError(format!("unrecognised protocol: {v}")))
@@ -508,11 +690,13 @@ pub enum Param {
     ActiveRounds,
     /// Trials per cell (values are rounded).
     Trials,
+    /// Expansion-probe set size `h` (values are rounded).
+    SetSize,
 }
 
 impl Param {
     /// All variants, in canonical order.
-    pub const ALL: [Param; 11] = [
+    pub const ALL: [Param; 12] = [
         Param::N,
         Param::Q,
         Param::PHat,
@@ -524,6 +708,7 @@ impl Param {
         Param::Beta,
         Param::ActiveRounds,
         Param::Trials,
+        Param::SetSize,
     ];
 
     /// Stable identifier used in JSON and row labels.
@@ -540,6 +725,7 @@ impl Param {
             Param::Beta => "beta",
             Param::ActiveRounds => "active_rounds",
             Param::Trials => "trials",
+            Param::SetSize => "set_size",
         }
     }
 
@@ -664,6 +850,76 @@ impl Sweep {
 }
 
 // ---------------------------------------------------------------------------
+// Precision
+
+/// Per-cell sample-size policy: how many Monte-Carlo trials a cell runs.
+///
+/// Under [`Precision::TargetStderr`], execution grows a cell's trial set
+/// through the deterministic checkpoint schedule
+/// [`meg_stats::precision_checkpoints`] (`min_trials`, doubling, capped at
+/// `max_trials`) and stops at the first checkpoint whose completed-trial
+/// observable has standard error ≤ `eps`. `eps = 0` can never be satisfied
+/// and therefore means "spend the whole `max_trials` budget" — which is why
+/// an `eps = 0` adaptive run is byte-identical to a fixed run of
+/// `max_trials` trials. Trial `i`'s randomness depends only on the cell seed
+/// and `i`, never on the batching, so fixed and adaptive runs agree on every
+/// shared trial.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Precision {
+    /// Run exactly the scenario's (possibly swept) `trials` per cell.
+    FixedTrials,
+    /// Run `min_trials`, then keep doubling toward `max_trials` until the
+    /// standard error of the cell's observable drops to `eps`.
+    TargetStderr {
+        /// Target standard error of the mean (0 = always exhaust the budget).
+        eps: f64,
+        /// Trials dispatched before the first precision check.
+        min_trials: usize,
+        /// Hard per-cell trial budget.
+        max_trials: usize,
+    },
+}
+
+impl Precision {
+    /// Serializes: `"fixed_trials"` or `{"target_stderr": {…}}`.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Precision::FixedTrials => Json::Str("fixed_trials".into()),
+            Precision::TargetStderr {
+                eps,
+                min_trials,
+                max_trials,
+            } => Json::obj([(
+                "target_stderr",
+                Json::obj([
+                    ("eps", Json::Num(*eps)),
+                    ("min_trials", Json::Num(*min_trials as f64)),
+                    ("max_trials", Json::Num(*max_trials as f64)),
+                ]),
+            )]),
+        }
+    }
+
+    /// Decodes from the [`to_json`](Precision::to_json) representation.
+    pub fn from_json(v: &Json) -> Result<Self, ScenarioError> {
+        if let Some(s) = v.as_str() {
+            return match s {
+                "fixed_trials" => Ok(Precision::FixedTrials),
+                other => Err(ScenarioError(format!("unknown precision policy `{other}`"))),
+            };
+        }
+        if let Some(p) = v.get("target_stderr") {
+            return Ok(Precision::TargetStderr {
+                eps: num(p, "eps", "target_stderr precision")?,
+                min_trials: uint(p, "min_trials", "target_stderr precision")?,
+                max_trials: uint(p, "max_trials", "target_stderr precision")?,
+            });
+        }
+        Err(ScenarioError(format!("unrecognised precision policy: {v}")))
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Scenario
 
 /// A complete experiment definition: substrates × protocols × sweep grid,
@@ -680,10 +936,13 @@ pub struct Scenario {
     pub protocols: Vec<Protocol>,
     /// The parameter grid.
     pub sweep: Sweep,
-    /// Monte-Carlo trials per cell (sweepable via [`Param::Trials`]).
+    /// Monte-Carlo trials per cell (sweepable via [`Param::Trials`];
+    /// ignored under [`Precision::TargetStderr`]).
     pub trials: usize,
     /// Maximum rounds per trial.
     pub round_budget: u64,
+    /// Per-cell sample-size policy.
+    pub precision: Precision,
 }
 
 impl Scenario {
@@ -731,6 +990,26 @@ impl Scenario {
         if self.round_budget == 0 {
             return err("round_budget must be ≥ 1".into());
         }
+        if let Precision::TargetStderr {
+            eps,
+            min_trials,
+            max_trials,
+        } = self.precision
+        {
+            if !(eps >= 0.0 && eps.is_finite()) {
+                return err(format!(
+                    "target_stderr eps={eps} must be a finite number ≥ 0"
+                ));
+            }
+            if min_trials == 0 {
+                return err("target_stderr min_trials must be ≥ 1".into());
+            }
+            if max_trials < min_trials {
+                return err(format!(
+                    "target_stderr max_trials={max_trials} below min_trials={min_trials}"
+                ));
+            }
+        }
         for s in &self.substrates {
             match s {
                 Substrate::Edge { n, q, .. } => {
@@ -741,9 +1020,11 @@ impl Scenario {
                         return err(format!("edge substrate death rate q={q} outside (0, 1]"));
                     }
                 }
-                Substrate::Geometric { n, .. } => {
+                Substrate::Geometric { n, .. }
+                | Substrate::Adversarial { n, .. }
+                | Substrate::Static { n, .. } => {
                     if *n < 2 {
-                        return err("geometric substrate needs n ≥ 2".into());
+                        return err(format!("substrate `{}` needs n ≥ 2", s.label()));
                     }
                 }
             }
@@ -755,6 +1036,14 @@ impl Scenario {
                 }
                 Protocol::Parsimonious { active_rounds } if *active_rounds == 0 => {
                     return err("parsimonious active_rounds must be ≥ 1".into());
+                }
+                Protocol::ExpansionProbe { set_size, samples }
+                    if *set_size == 0 || *samples == 0 =>
+                {
+                    return err("expansion probe needs set_size ≥ 1 and samples ≥ 1".into());
+                }
+                Protocol::BoundProbe { snapshots, samples } if *snapshots == 0 || *samples == 0 => {
+                    return err("bound probe needs snapshots ≥ 1 and samples ≥ 1".into());
                 }
                 _ => {}
             }
@@ -783,6 +1072,7 @@ impl Scenario {
             ("sweep", self.sweep.to_json()),
             ("trials", Json::Num(self.trials as f64)),
             ("round_budget", Json::Num(self.round_budget as f64)),
+            ("precision", self.precision.to_json()),
         ])
     }
 
@@ -810,6 +1100,11 @@ impl Scenario {
             sweep: Sweep::from_json(field(v, "sweep", ctx)?)?,
             trials: uint(v, "trials", ctx)?,
             round_budget: uint(v, "round_budget", ctx)? as u64,
+            // Absent in pre-adaptive scenario files: default to fixed trials.
+            precision: match v.get("precision") {
+                Some(p) => Precision::from_json(p)?,
+                None => Precision::FixedTrials,
+            },
         })
     }
 
@@ -852,6 +1147,7 @@ mod tests {
             sweep: Sweep::over(Param::N, [100.0, 200.0]).and(Param::Q, [0.5, 0.02, 0.9]),
             trials: 3,
             round_budget: 10_000,
+            precision: Precision::FixedTrials,
         }
     }
 
@@ -864,6 +1160,100 @@ mod tests {
         // pretty form too
         let back2 = Scenario::parse(&s.to_json().render_pretty()).unwrap();
         assert_eq!(back2, s);
+    }
+
+    #[test]
+    fn precision_round_trips_and_defaults_to_fixed() {
+        let mut s = demo();
+        s.precision = Precision::TargetStderr {
+            eps: 0.25,
+            min_trials: 4,
+            max_trials: 64,
+        };
+        let back = Scenario::parse(&s.to_json().render()).unwrap();
+        assert_eq!(back, s);
+        // Pre-adaptive scenario files carry no `precision` field: decoding
+        // must default to fixed trials rather than reject them.
+        let mut json = demo().to_json();
+        if let Json::Obj(pairs) = &mut json {
+            pairs.retain(|(k, _)| k != "precision");
+        }
+        let legacy = Scenario::from_json(&json).unwrap();
+        assert_eq!(legacy.precision, Precision::FixedTrials);
+        // Validation catches nonsense policies.
+        let mut s = demo();
+        s.precision = Precision::TargetStderr {
+            eps: -1.0,
+            min_trials: 4,
+            max_trials: 8,
+        };
+        assert!(s.validate().is_err());
+        let mut s = demo();
+        s.precision = Precision::TargetStderr {
+            eps: 0.1,
+            min_trials: 9,
+            max_trials: 8,
+        };
+        assert!(s.validate().is_err());
+        let mut s = demo();
+        s.precision = Precision::TargetStderr {
+            eps: 0.1,
+            min_trials: 0,
+            max_trials: 8,
+        };
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn new_substrates_and_probes_round_trip() {
+        let mut s = demo();
+        s.substrates = vec![
+            Substrate::Adversarial {
+                n: 64,
+                construction: AdversarialKind::RotatingStar,
+            },
+            Substrate::Adversarial {
+                n: 64,
+                construction: AdversarialKind::RotatingBridge,
+            },
+            Substrate::Static {
+                n: 100,
+                graph: StaticKind::ErdosRenyi {
+                    p_hat: PHatSpec::LogFactor(4.0),
+                },
+            },
+            Substrate::Static {
+                n: 100,
+                graph: StaticKind::Grid2d,
+            },
+        ];
+        s.protocols = vec![
+            Protocol::ExpansionProbe {
+                set_size: 16,
+                samples: 10,
+            },
+            Protocol::DiameterProbe,
+            Protocol::BoundProbe {
+                snapshots: 3,
+                samples: 12,
+            },
+            Protocol::OccupancyProbe,
+        ];
+        s.sweep = Sweep::over(Param::SetSize, [1.0, 4.0, 16.0]);
+        let back = Scenario::parse(&s.to_json().render()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(s.substrates[0].label(), "adv-rotating_star");
+        assert_eq!(s.substrates[2].label(), "static-erdos_renyi");
+        assert_eq!(s.protocols[0].label(), "expansion(h=16)");
+        assert!(s.protocols.iter().all(Protocol::is_probe));
+        assert!(!Protocol::Flooding.is_probe());
+        // Probe parameter validation.
+        let mut bad = s.clone();
+        bad.protocols = vec![Protocol::ExpansionProbe {
+            set_size: 0,
+            samples: 10,
+        }];
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -56,7 +56,8 @@ pub fn format_from_env() -> OutputFormat {
 
 /// Fixed CSV header for engine result rows.
 pub const CSV_HEADER: &str = "scenario,cell,family,substrate,protocol,params,regime,seed,trials,\
-completion_rate,mean_rounds,min_rounds,max_rounds,std_rounds,mean_messages";
+requested_trials,achieved_stderr,completion_rate,mean_rounds,min_rounds,max_rounds,std_rounds,\
+mean_messages";
 
 fn csv_escape(s: &str) -> String {
     if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
@@ -85,6 +86,11 @@ pub fn row_to_csv(row: &Row) -> String {
         csv_escape(&row.regime),
         row.seed.to_string(),
         row.trials.to_string(),
+        row.requested_trials.to_string(),
+        match row.achieved_stderr {
+            Some(se) => format!("{se}"),
+            None => String::new(),
+        },
         format!("{}", row.completion_rate),
         opt(|s| s.mean),
         opt(|s| s.min),
@@ -105,8 +111,10 @@ pub fn rows_to_table(caption: &str, rows: &[Row]) -> Table {
             "protocol",
             "params",
             "regime",
+            "trials",
             "completion",
             "mean T",
+            "±se",
             "range",
             "messages",
         ],
@@ -125,8 +133,18 @@ pub fn rows_to_table(caption: &str, rows: &[Row]) -> Table {
             row.protocol.clone(),
             row.params_compact(),
             row.regime.clone(),
+            // `executed/requested` makes adaptive early stops visible.
+            if row.trials == row.requested_trials {
+                row.trials.to_string()
+            } else {
+                format!("{}/{}", row.trials, row.requested_trials)
+            },
             format!("{:.0}%", row.completion_rate * 100.0),
             mean,
+            match row.achieved_stderr {
+                Some(se) => format!("{se:.2}"),
+                None => "-".into(),
+            },
             range,
             fmt_f64(row.mean_messages),
         ]);
@@ -208,6 +226,8 @@ mod tests {
             regime: "Tight".into(),
             seed: u64::MAX,
             trials: 5,
+            requested_trials: 5,
+            achieved_stderr: Some(0.41),
             completion_rate: 0.8,
             rounds: Summary::of_counts(&[3, 4, 5, 4]),
             mean_messages: 1234.5,

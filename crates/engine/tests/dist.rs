@@ -115,6 +115,50 @@ fn interrupted_run_resumes_without_reexecuting_cells() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+#[test]
+fn golden_adaptive_eps_zero_equals_fixed_trials_sharded_and_unsharded() {
+    // eps = 0 never converges, so adaptive mode must spend exactly
+    // max_trials — and the rows must be byte-identical to fixed-trials mode
+    // at that count, in every execution topology.
+    let mut fixed = ci_sized("quick_smoke");
+    fixed.trials = 3;
+    let mut adaptive = fixed.clone();
+    adaptive.precision = meg_engine::Precision::TargetStderr {
+        eps: 0.0,
+        min_trials: 2,
+        max_trials: 3,
+    };
+    let reference = reference_lines(&fixed, 2009);
+
+    // Unsharded adaptive == unsharded fixed.
+    assert_eq!(reference_lines(&adaptive, 2009), reference);
+
+    // Sharded adaptive (both strategies) merges byte-identically to the
+    // fixed unsharded stream.
+    for strategy in [ShardStrategy::Contiguous, ShardStrategy::RoundRobin] {
+        let dir = tmp(&format!("golden-adaptive-{}", strategy.id()));
+        for i in 0..2 {
+            let opts = DistOptions {
+                shard: ShardSpec {
+                    index: i,
+                    count: 2,
+                    strategy,
+                },
+                out_dir: Some(dir.clone()),
+                ..DistOptions::default()
+            };
+            run_sharded(&adaptive, 2009, &opts, |_, _| {}).unwrap();
+        }
+        assert_eq!(
+            merge_dir(&dir).unwrap().lines,
+            reference,
+            "adaptive eps=0 sharded+merged ({}) must equal the fixed run",
+            strategy.id()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
 // ---------------------------------------------------------------------------
 // CLI end-to-end (drives the real meg-lab binary)
 
@@ -236,5 +280,73 @@ fn cli_limit_exits_3_and_resume_completes() {
         resumed, reference,
         "resumed CLI output must match clean run"
     );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+const CLI_ADAPTIVE: &[&str] = &[
+    "--target-stderr",
+    "0.75",
+    "--min-trials",
+    "2",
+    "--max-trials",
+    "8",
+];
+
+#[test]
+fn cli_adaptive_worker_pool_matches_single_process_and_converges() {
+    // Single-process adaptive run is the reference …
+    let reference = run_ok(
+        &[
+            &["run", "quick_smoke"],
+            CLI_SCALE,
+            CLI_ADAPTIVE,
+            &["--format", "json"],
+        ]
+        .concat(),
+    );
+    // … and every row either met the target or spent the whole budget.
+    for line in reference.lines() {
+        let row = meg_engine::Row::from_json(&meg_engine::Json::parse(line).unwrap()).unwrap();
+        assert_eq!(row.requested_trials, 8);
+        assert!(
+            row.achieved_stderr.is_some_and(|se| se <= 0.75) || row.trials == 8,
+            "row neither converged nor exhausted its budget: {line}"
+        );
+    }
+
+    // The worker pool runs the batch-dispatch control loop; crashing workers
+    // exercise batch retry. Both must reproduce the reference byte for byte.
+    for extra in [
+        &["--format", "json", "--workers", "2"][..],
+        &[
+            "--format",
+            "json",
+            "--workers",
+            "2",
+            "--worker-fail-after",
+            "2",
+        ][..],
+    ] {
+        let pooled = run_ok(&[&["run", "quick_smoke"], CLI_SCALE, CLI_ADAPTIVE, extra].concat());
+        assert_eq!(
+            pooled, reference,
+            "adaptive worker pool must match the single-process run ({extra:?})"
+        );
+    }
+
+    // Sharded + checkpointed + merged: still byte-identical.
+    let dir = tmp("cli-adaptive-shards");
+    for shard in ["0/2", "1/2"] {
+        run_ok(
+            &[
+                &["run", "quick_smoke"],
+                CLI_SCALE,
+                CLI_ADAPTIVE,
+                &["--format", "json", "--shard", shard, "--out", dir_arg(&dir)],
+            ]
+            .concat(),
+        );
+    }
+    assert_eq!(run_ok(&["merge", dir_arg(&dir)]), reference);
     std::fs::remove_dir_all(&dir).unwrap();
 }

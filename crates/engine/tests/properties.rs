@@ -6,8 +6,8 @@
 use meg_engine::json::Json;
 use meg_engine::run::Row;
 use meg_engine::scenario::{
-    Axis, EdgeEngine, InitKind, MobilityKind, MoveRadiusSpec, PHatSpec, Param, Protocol,
-    RadiusSpec, Scenario, Substrate, Sweep,
+    AdversarialKind, Axis, EdgeEngine, InitKind, MobilityKind, MoveRadiusSpec, PHatSpec, Param,
+    Precision, Protocol, RadiusSpec, Scenario, StaticKind, Substrate, Sweep,
 };
 use meg_engine::sink::{row_to_csv, CSV_HEADER};
 use meg_stats::Summary;
@@ -92,23 +92,80 @@ fn arb_geo_substrate() -> impl Strategy<Value = Substrate> {
     )
 }
 
+fn arb_other_substrate() -> impl Strategy<Value = Substrate> {
+    (4usize..5000, 0usize..4, arb_phat()).prop_map(|(n, kind, p_hat)| match kind {
+        0 => Substrate::Adversarial {
+            n,
+            construction: AdversarialKind::RotatingStar,
+        },
+        1 => Substrate::Adversarial {
+            n,
+            construction: AdversarialKind::RotatingBridge,
+        },
+        2 => Substrate::Static {
+            n,
+            graph: StaticKind::ErdosRenyi { p_hat },
+        },
+        _ => Substrate::Static {
+            n,
+            graph: StaticKind::Grid2d,
+        },
+    })
+}
+
 fn arb_substrate() -> impl Strategy<Value = Substrate> {
-    // Generate both families, keep one — the shim has no `prop_oneof`.
+    // Generate every family, keep one — the shim has no `prop_oneof`.
     (
-        proptest::bool::ANY,
+        0u64..4,
         arb_edge_substrate(),
         arb_geo_substrate(),
+        arb_other_substrate(),
     )
-        .prop_map(|(edge, e, g)| if edge { e } else { g })
+        .prop_map(|(kind, e, g, o)| match kind {
+            0 | 1 => {
+                if kind == 0 {
+                    e
+                } else {
+                    g
+                }
+            }
+            _ => o,
+        })
 }
 
 fn arb_protocol() -> impl Strategy<Value = Protocol> {
-    (0u64..4, 0.0f64..=1.0, 1u64..20).prop_map(|(kind, beta, k)| match kind {
+    (0u64..8, 0.0f64..=1.0, 1u64..20, 1u64..64).prop_map(|(kind, beta, k, h)| match kind {
         0 => Protocol::Flooding,
         1 => Protocol::Probabilistic { beta },
         2 => Protocol::Parsimonious { active_rounds: k },
-        _ => Protocol::PushPull,
+        3 => Protocol::PushPull,
+        4 => Protocol::ExpansionProbe {
+            set_size: h,
+            samples: k,
+        },
+        5 => Protocol::DiameterProbe,
+        6 => Protocol::BoundProbe {
+            snapshots: k,
+            samples: h,
+        },
+        _ => Protocol::OccupancyProbe,
     })
+}
+
+fn arb_precision() -> impl Strategy<Value = Precision> {
+    (proptest::bool::ANY, 0.0f64..10.0, 1usize..16, 0usize..256).prop_map(
+        |(fixed, eps, min_trials, extra)| {
+            if fixed {
+                Precision::FixedTrials
+            } else {
+                Precision::TargetStderr {
+                    eps,
+                    min_trials,
+                    max_trials: min_trials + extra,
+                }
+            }
+        },
+    )
 }
 
 fn arb_param() -> impl Strategy<Value = Param> {
@@ -136,9 +193,10 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
         1usize..20,
         1u64..1_000_000,
         0u64..1000,
+        arb_precision(),
     )
         .prop_map(
-            |(substrates, protocols, sweep, trials, round_budget, tag)| Scenario {
+            |(substrates, protocols, sweep, trials, round_budget, tag, precision)| Scenario {
                 name: format!("prop_scenario_{tag}"),
                 description: format!("generated scenario #{tag} — quotes \" and \\ too"),
                 substrates,
@@ -146,6 +204,7 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
                 sweep,
                 trials,
                 round_budget,
+                precision,
             },
         )
 }
@@ -178,6 +237,8 @@ fn arb_row() -> impl Strategy<Value = Row> {
                 regime,
                 seed: 0x1234_5678_9abc_def0,
                 trials: 4,
+                requested_trials: 8,
+                achieved_stderr: if completed { Some(0.125) } else { None },
                 completion_rate: if completed { 0.75 } else { 0.0 },
                 rounds: if completed {
                     Summary::of_counts(&[3, 5, 9])

@@ -42,6 +42,9 @@ pub mod table;
 
 pub use ci::ConfidenceInterval;
 pub use fit::{linear_fit, power_law_fit, LinearFit};
-pub use runner::{run_trials, run_trials_sequential};
+pub use runner::{
+    precision_checkpoints, run_trials, run_trials_range, run_trials_scheduled,
+    run_trials_sequential, run_until_precise,
+};
 pub use summary::Summary;
 pub use table::Table;

@@ -43,12 +43,108 @@ where
         .collect()
 }
 
+/// Runs trials `start .. start + count` in parallel and collects their
+/// results in trial order.
+///
+/// Trial `i` receives exactly the RNG stream it would receive from
+/// [`run_trials`]: the seed depends only on `(master_seed, i)`, never on the
+/// range boundaries. Concatenating range results therefore reproduces a
+/// single [`run_trials`] call byte for byte — which is what lets the
+/// distributed coordinator grow a cell's trial set in increments without
+/// changing any statistic.
+pub fn run_trials_range<T, F>(master_seed: u64, start: usize, count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &mut ChaCha8Rng) -> T + Sync,
+{
+    (start..start + count)
+        .into_par_iter()
+        .map(|i| {
+            let mut rng = trial_rng(master_seed, i as u64);
+            f(i, &mut rng)
+        })
+        .collect()
+}
+
+/// The deterministic trial-count schedule adaptive execution checks at:
+/// `min_trials`, then doubling, capped at (and always ending with)
+/// `max_trials`.
+///
+/// Both the in-process runner and the distributed coordinator consult this
+/// same schedule, so an adaptive run stops after the identical number of
+/// trials no matter where it executes — the invariant behind the engine's
+/// "sharded adaptive output is byte-identical to unsharded" guarantee.
+pub fn precision_checkpoints(min_trials: usize, max_trials: usize) -> Vec<usize> {
+    let max = max_trials.max(1);
+    let mut at = min_trials.clamp(1, max);
+    let mut out = vec![at];
+    while at < max {
+        at = (at.saturating_mul(2)).min(max);
+        out.push(at);
+    }
+    out
+}
+
+/// Runs trials in parallel batches up to each checkpoint in `checkpoints`
+/// (ascending trial counts; see [`precision_checkpoints`]), stopping early
+/// when `stop` returns `true` on the results collected so far. The final
+/// checkpoint is a hard budget: `stop` is not consulted there.
+///
+/// Like [`run_trials`], trial `i`'s randomness depends only on
+/// `(master_seed, i)`, so the returned prefix is byte-identical to a fixed
+/// [`run_trials`] call of the same length — batching is invisible to the
+/// statistics.
+pub fn run_trials_scheduled<T, F, S>(
+    master_seed: u64,
+    checkpoints: &[usize],
+    f: F,
+    stop: S,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &mut ChaCha8Rng) -> T + Sync,
+    S: Fn(&[T]) -> bool,
+{
+    let mut results: Vec<T> = Vec::new();
+    for (k, &target) in checkpoints.iter().enumerate() {
+        if target > results.len() {
+            let start = results.len();
+            let mut chunk = run_trials_range(master_seed, start, target - start, &f);
+            results.append(&mut chunk);
+        }
+        let last = k + 1 == checkpoints.len();
+        if !last && stop(&results) {
+            break;
+        }
+    }
+    results
+}
+
 /// Runs trials until either `max_trials` is reached or the half-width of the
 /// 95% confidence interval of the mean drops below `target_half_width`
-/// (checked every `batch` trials). Returns the collected f64 observations.
+/// (checked every `batch` trials once at least `2 * batch` results exist).
+/// Returns the collected f64 observations.
 ///
-/// This adaptive mode keeps the cheap configurations cheap while spending more
-/// repetitions where the variance demands it.
+/// This adaptive mode keeps the cheap configurations cheap while spending
+/// more repetitions where the variance demands it — the sample-size policy
+/// the scenario engine's `Precision::TargetStderr` mode exposes end to end
+/// (`meg-lab run --target-stderr`). It is a thin wrapper over
+/// [`run_trials_scheduled`] with evenly spaced checkpoints, so the collected
+/// prefix is always byte-identical to a fixed-size [`run_trials`] call of
+/// the same length.
+///
+/// ```
+/// use meg_stats::runner::run_until_precise;
+/// use rand::Rng;
+///
+/// // A deterministic observable needs only the minimum two batches …
+/// let cheap = run_until_precise(7, 10, 1_000, 0.5, |_, _| 42.0);
+/// assert_eq!(cheap.len(), 20);
+///
+/// // … while an unreachable target spends the whole budget.
+/// let spent = run_until_precise(7, 10, 60, 1e-12, |_, rng| rng.gen_range(0.0..100.0));
+/// assert_eq!(spent.len(), 60);
+/// ```
 pub fn run_until_precise<F>(
     master_seed: u64,
     batch: usize,
@@ -60,27 +156,18 @@ where
     F: Fn(usize, &mut ChaCha8Rng) -> f64 + Sync,
 {
     assert!(batch > 0, "batch must be positive");
-    let mut results: Vec<f64> = Vec::new();
-    while results.len() < max_trials {
-        let start = results.len();
-        let todo = batch.min(max_trials - start);
-        let mut chunk: Vec<f64> = (start..start + todo)
-            .into_par_iter()
-            .map(|i| {
-                let mut rng = trial_rng(master_seed, i as u64);
-                f(i, &mut rng)
-            })
-            .collect();
-        results.append(&mut chunk);
-        if results.len() >= 2 * batch {
-            if let Some(ci) = crate::ci::mean_confidence_interval(&results, 0.95) {
-                if ci.half_width() <= target_half_width {
-                    break;
-                }
-            }
-        }
+    if max_trials == 0 {
+        return Vec::new();
     }
-    results
+    let checkpoints: Vec<usize> = (batch..max_trials)
+        .step_by(batch)
+        .chain([max_trials.max(1)])
+        .collect();
+    run_trials_scheduled(master_seed, &checkpoints, f, |results| {
+        results.len() >= 2 * batch
+            && crate::ci::mean_confidence_interval(results, 0.95)
+                .is_some_and(|ci| ci.half_width() <= target_half_width)
+    })
 }
 
 #[cfg(test)]
@@ -145,5 +232,39 @@ mod tests {
         let a = run_until_precise(3, 8, 40, 1e-9, |_, rng| rng.gen_range(0.0..10.0));
         let b = run_until_precise(3, 8, 40, 1e-9, |_, rng| rng.gen_range(0.0..10.0));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn range_results_concatenate_to_a_full_run() {
+        let f = |i: usize, rng: &mut rand_chacha::ChaCha8Rng| (i, rng.gen::<u64>());
+        let full = run_trials(77, 30, f);
+        let mut pieced = run_trials_range(77, 0, 12, f);
+        pieced.extend(run_trials_range(77, 12, 5, f));
+        pieced.extend(run_trials_range(77, 17, 13, f));
+        assert_eq!(pieced, full);
+        assert!(run_trials_range(77, 9, 0, f).is_empty());
+    }
+
+    #[test]
+    fn precision_checkpoints_double_and_end_at_max() {
+        assert_eq!(precision_checkpoints(4, 40), vec![4, 8, 16, 32, 40]);
+        assert_eq!(precision_checkpoints(5, 5), vec![5]);
+        assert_eq!(precision_checkpoints(9, 5), vec![5]); // min clamps to max
+        assert_eq!(precision_checkpoints(0, 3), vec![1, 2, 3]);
+        assert_eq!(precision_checkpoints(0, 0), vec![1]);
+    }
+
+    #[test]
+    fn scheduled_runner_stops_at_first_satisfied_checkpoint_only() {
+        // Stop rule satisfied immediately: only the first checkpoint runs.
+        let out = run_trials_scheduled(1, &[4, 8, 16], |i, _| i, |_| true);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        // Stop rule never satisfied: the final checkpoint is a hard budget.
+        let out = run_trials_scheduled(1, &[4, 8, 16], |i, _| i, |_| false);
+        assert_eq!(out.len(), 16);
+        // The prefix matches a fixed run of the same length (byte-identity).
+        let f = |_: usize, rng: &mut rand_chacha::ChaCha8Rng| rng.gen::<u64>();
+        let adaptive = run_trials_scheduled(9, &[4, 8, 16], f, |r| r.len() >= 8);
+        assert_eq!(adaptive, run_trials(9, 8, f));
     }
 }
