@@ -125,6 +125,28 @@ if [ "$MODE" != "quick" ]; then
         exit 1
     fi
 
+    step "bench-smoke (meg-lab bench: harness runs, JSON well-formed)"
+    BENCH_DIR=$(mktemp -d)
+    cargo run -q --release --offline -p meg-engine --bin meg-lab -- \
+        bench --repetitions 2 --warmup 1 --scale 0.1 \
+        --label ci-smoke --out "$BENCH_DIR/bench.json" > "$BENCH_DIR/lines.jsonl"
+    python3 - "$BENCH_DIR" <<'PYEOF'
+import json, sys, pathlib
+d = pathlib.Path(sys.argv[1])
+doc = json.loads((d / "bench.json").read_text())
+assert doc["label"] == "ci-smoke" and doc["repetitions"] == 2, "bad meta"
+results = doc["results"]
+assert len(results) >= 5, f"only {len(results)} bench results"
+for r in results:
+    for key in ("bench", "median_ms", "iqr_ms", "min_ms", "max_ms", "checksum"):
+        assert key in r, f"missing {key} in {r}"
+    assert r["min_ms"] >= 0 and r["median_ms"] >= r["min_ms"], f"bad stats in {r}"
+lines = [json.loads(l) for l in (d / "lines.jsonl").read_text().splitlines() if l.strip()]
+assert len(lines) == len(results), "stdout lines and document disagree"
+print(f"bench-smoke: {len(results)} workloads, JSON well-formed")
+PYEOF
+    rm -rf "$BENCH_DIR"
+
     step "bench compile check"
     cargo check -q --workspace --benches --offline
 fi

@@ -10,7 +10,7 @@
 //! degenerates for it).
 
 use crate::evolving::EvolvingGraph;
-use meg_graph::{AdjacencyList, Node};
+use meg_graph::{Node, SnapshotBuf};
 
 /// The rotating-star evolving graph.
 ///
@@ -25,7 +25,7 @@ pub struct RotatingStar {
     n: usize,
     offset: u64,
     time: u64,
-    snapshot: AdjacencyList,
+    snapshot: SnapshotBuf,
 }
 
 impl RotatingStar {
@@ -37,7 +37,7 @@ impl RotatingStar {
             n,
             offset,
             time: 0,
-            snapshot: AdjacencyList::new(n),
+            snapshot: SnapshotBuf::with_nodes(n),
         }
     }
 
@@ -71,21 +71,19 @@ impl RotatingStar {
 }
 
 impl EvolvingGraph for RotatingStar {
-    type Snapshot = AdjacencyList;
-
     fn num_nodes(&self) -> usize {
         self.n
     }
 
-    fn advance(&mut self) -> &AdjacencyList {
+    fn advance(&mut self) -> &SnapshotBuf {
         let center = self.center_at(self.time);
-        self.snapshot.clear_edges();
+        self.snapshot.begin(self.n);
         for v in 0..self.n as Node {
             if v != center {
-                self.snapshot
-                    .add_edge_unchecked(center.min(v), center.max(v));
+                self.snapshot.push_edge(center.min(v), center.max(v));
             }
         }
+        self.snapshot.build();
         self.time += 1;
         &self.snapshot
     }
@@ -107,7 +105,7 @@ impl EvolvingGraph for RotatingStar {
 pub struct RotatingBridge {
     n: usize,
     time: u64,
-    snapshot: AdjacencyList,
+    snapshot: SnapshotBuf,
 }
 
 impl RotatingBridge {
@@ -118,7 +116,7 @@ impl RotatingBridge {
         RotatingBridge {
             n,
             time: 0,
-            snapshot: AdjacencyList::new(n),
+            snapshot: SnapshotBuf::with_nodes(n),
         }
     }
 
@@ -129,28 +127,27 @@ impl RotatingBridge {
 }
 
 impl EvolvingGraph for RotatingBridge {
-    type Snapshot = AdjacencyList;
-
     fn num_nodes(&self) -> usize {
         self.n
     }
 
-    fn advance(&mut self) -> &AdjacencyList {
+    fn advance(&mut self) -> &SnapshotBuf {
         let half = self.n / 2;
-        self.snapshot.clear_edges();
+        self.snapshot.begin(self.n);
         for u in 0..half {
             for v in (u + 1)..half {
-                self.snapshot.add_edge_unchecked(u as Node, v as Node);
+                self.snapshot.push_edge(u as Node, v as Node);
             }
         }
         for u in half..self.n {
             for v in (u + 1)..self.n {
-                self.snapshot.add_edge_unchecked(u as Node, v as Node);
+                self.snapshot.push_edge(u as Node, v as Node);
             }
         }
         let a = (self.time % half as u64) as u32;
         let b = (half as u64 + self.time % half as u64) as u32;
-        self.snapshot.add_edge_unchecked(a, b);
+        self.snapshot.push_edge(a, b);
+        self.snapshot.build();
         self.time += 1;
         &self.snapshot
     }

@@ -8,11 +8,17 @@
 //!
 //! The [`EvolvingGraph`] trait captures exactly what the flooding process
 //! needs: the number of nodes and the ability to produce the snapshot of the
-//! next time step. Model crates (`meg-geometric`, `meg-edge`) implement it;
-//! [`FrozenGraph`] adapts any static graph so that static flooding (= BFS) is
-//! a special case handled by the same engine.
+//! next time step. Every model owns a reusable
+//! [`SnapshotBuf`] — a flat CSR buffer — and
+//! [`advance`](EvolvingGraph::advance) **fills it in place** instead of
+//! rebuilding a per-node allocation structure, so stepping the graph performs
+//! no heap allocation once the buffer capacities have warmed up (the
+//! workspace's hot-path invariant; see `docs/ARCHITECTURE.md`). Model crates
+//! (`meg-geometric`, `meg-edge`) implement the trait; [`FrozenGraph`] adapts
+//! any static graph so that static flooding (= BFS) is a special case handled
+//! by the same engine.
 
-use meg_graph::{AdjacencyList, Graph};
+use meg_graph::{AdjacencyList, Graph, SnapshotBuf};
 
 /// How the underlying Markov chain is initialised at time 0.
 ///
@@ -33,21 +39,21 @@ pub enum InitialDistribution {
 
 /// A dynamic graph process over a fixed node set `[n]`.
 ///
-/// Implementations own their randomness: each call to
-/// [`advance`](EvolvingGraph::advance) draws the next snapshot `G_t` and
-/// returns a view of it. The first call returns `G_0`, the second `G_1`, and
-/// so on; [`time`](EvolvingGraph::time) reports how many snapshots have been
-/// produced so far.
+/// Implementations own their randomness **and their snapshot storage**: each
+/// call to [`advance`](EvolvingGraph::advance) draws the next snapshot `G_t`
+/// *into* the model-owned [`SnapshotBuf`] and returns a view of it. The first
+/// call returns `G_0`, the second `G_1`, and so on;
+/// [`time`](EvolvingGraph::time) reports how many snapshots have been
+/// produced so far. The returned reference is invalidated by the next
+/// `advance` — consumers that need to keep a snapshot clone it (cheap: two
+/// flat vectors).
 pub trait EvolvingGraph {
-    /// Concrete snapshot type produced at every time step.
-    type Snapshot: Graph;
-
     /// Number of nodes `n`; constant over time.
     fn num_nodes(&self) -> usize;
 
-    /// Produces the snapshot for the current time step and advances the
-    /// underlying chain.
-    fn advance(&mut self) -> &Self::Snapshot;
+    /// Produces the snapshot for the current time step (filling the
+    /// model-owned buffer in place) and advances the underlying chain.
+    fn advance(&mut self) -> &SnapshotBuf;
 
     /// Number of snapshots produced so far (i.e. the index of the *next*
     /// snapshot that [`advance`](EvolvingGraph::advance) will return).
@@ -58,17 +64,26 @@ pub trait EvolvingGraph {
 ///
 /// Flooding on a `FrozenGraph` is exactly BFS from the source, which gives the
 /// reference behaviour every dynamic model is tested against, and also models
-/// the "static stationary graph" the paper compares mobility against.
+/// the "static stationary graph" the paper compares mobility against. The
+/// snapshot buffer is filled once at construction (preserving the adjacency
+/// list's exact neighbor order) and `advance` only bumps the clock.
 #[derive(Clone, Debug)]
 pub struct FrozenGraph {
     graph: AdjacencyList,
+    snapshot: SnapshotBuf,
     time: u64,
 }
 
 impl FrozenGraph {
     /// Wraps a static graph.
     pub fn new(graph: AdjacencyList) -> Self {
-        FrozenGraph { graph, time: 0 }
+        let mut snapshot = SnapshotBuf::new();
+        snapshot.copy_from_adjacency(&graph);
+        FrozenGraph {
+            graph,
+            snapshot,
+            time: 0,
+        }
     }
 
     /// Borrows the underlying static graph.
@@ -78,15 +93,13 @@ impl FrozenGraph {
 }
 
 impl EvolvingGraph for FrozenGraph {
-    type Snapshot = AdjacencyList;
-
     fn num_nodes(&self) -> usize {
         self.graph.num_nodes()
     }
 
-    fn advance(&mut self) -> &AdjacencyList {
+    fn advance(&mut self) -> &SnapshotBuf {
         self.time += 1;
-        &self.graph
+        &self.snapshot
     }
 
     fn time(&self) -> u64 {
@@ -99,7 +112,9 @@ impl EvolvingGraph for FrozenGraph {
 /// (e.g. "the bridge edge exists only at even steps").
 #[derive(Clone, Debug)]
 pub struct ScheduledGraph {
-    snapshots: Vec<AdjacencyList>,
+    /// Snapshot buffers converted once at construction (neighbor order
+    /// preserved), so `advance` is a zero-cost borrow like `FrozenGraph`.
+    snapshots: Vec<SnapshotBuf>,
     time: u64,
 }
 
@@ -116,6 +131,14 @@ impl ScheduledGraph {
             snapshots.iter().all(|g| g.num_nodes() == n),
             "all snapshots must share the node set"
         );
+        let snapshots = snapshots
+            .iter()
+            .map(|g| {
+                let mut buf = SnapshotBuf::new();
+                buf.copy_from_adjacency(g);
+                buf
+            })
+            .collect();
         ScheduledGraph { snapshots, time: 0 }
     }
 
@@ -126,13 +149,11 @@ impl ScheduledGraph {
 }
 
 impl EvolvingGraph for ScheduledGraph {
-    type Snapshot = AdjacencyList;
-
     fn num_nodes(&self) -> usize {
         self.snapshots[0].num_nodes()
     }
 
-    fn advance(&mut self) -> &AdjacencyList {
+    fn advance(&mut self) -> &SnapshotBuf {
         let idx = (self.time % self.snapshots.len() as u64) as usize;
         self.time += 1;
         &self.snapshots[idx]
@@ -159,6 +180,19 @@ mod tests {
         assert_eq!(e0, e1);
         assert_eq!(f.time(), 2);
         assert_eq!(f.graph().num_edges(), 5);
+    }
+
+    #[test]
+    fn frozen_snapshot_preserves_neighbor_order_exactly() {
+        let mut g = AdjacencyList::new(4);
+        g.add_edge(2, 0);
+        g.add_edge(0, 3);
+        g.add_edge(1, 0);
+        let mut f = FrozenGraph::new(g.clone());
+        let snap = f.advance();
+        for u in 0..4u32 {
+            assert_eq!(snap.neighbors(u), g.neighbors(u), "node {u}");
+        }
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! or uninformed side is smaller.
 
 use crate::evolving::{EvolvingGraph, FrozenGraph};
-use meg_graph::{Graph, Node, NodeSet};
+use meg_graph::{visit_neighbors, Graph, Node, NodeSet};
 
 /// Why a flooding run ended.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -68,9 +68,13 @@ impl FloodingResult {
 ///
 /// Exposed so callers can interleave flooding with their own per-round
 /// measurements (expansion of the informed set, snapshot statistics, …).
+/// The `newly` scratch vector is part of the state and reused across rounds,
+/// so a round allocates nothing once its capacity has warmed up.
 #[derive(Clone, Debug)]
 pub struct FloodingState {
     informed: NodeSet,
+    /// Scratch: nodes informed during the current round (reused each round).
+    newly: Vec<Node>,
 }
 
 impl FloodingState {
@@ -78,6 +82,7 @@ impl FloodingState {
     pub fn new(num_nodes: usize, source: Node) -> Self {
         FloodingState {
             informed: NodeSet::singleton(num_nodes, source),
+            newly: Vec::new(),
         }
     }
 
@@ -86,6 +91,7 @@ impl FloodingState {
         assert!(!sources.is_empty(), "at least one source required");
         FloodingState {
             informed: NodeSet::from_iter(num_nodes, sources.iter().copied()),
+            newly: Vec::new(),
         }
     }
 
@@ -110,22 +116,29 @@ impl FloodingState {
         let n = self.informed.universe();
         debug_assert_eq!(g.num_nodes(), n, "snapshot node count changed");
         let informed_count = self.informed.len();
-        let mut newly: Vec<Node> = Vec::new();
+        let informed = &self.informed;
+        let newly = &mut self.newly;
+        newly.clear();
         if informed_count * 2 <= n {
             // Scan informed nodes and collect their uninformed neighbors.
-            for u in self.informed.iter() {
-                g.for_each_neighbor(u, &mut |v| {
-                    if !self.informed.contains(v) {
+            for u in informed.iter() {
+                visit_neighbors(g, u, |v| {
+                    if !informed.contains(v) {
                         newly.push(v);
                     }
                 });
             }
         } else {
-            // Scan uninformed nodes and test whether any neighbor is informed.
-            for v in self.informed.complement().iter() {
+            // Scan uninformed nodes (ascending, exactly the old
+            // `complement().iter()` order without materialising the
+            // complement) and test whether any neighbor is informed.
+            for v in 0..n as Node {
+                if informed.contains(v) {
+                    continue;
+                }
                 let mut hit = false;
-                g.for_each_neighbor(v, &mut |w| {
-                    if !hit && self.informed.contains(w) {
+                visit_neighbors(g, v, |w| {
+                    if !hit && informed.contains(w) {
                         hit = true;
                     }
                 });
@@ -135,8 +148,8 @@ impl FloodingState {
             }
         }
         let mut added = 0usize;
-        for v in newly {
-            if self.informed.insert(v) {
+        for i in 0..self.newly.len() {
+            if self.informed.insert(self.newly[i]) {
                 added += 1;
             }
         }
@@ -152,7 +165,13 @@ pub fn flood<M: EvolvingGraph>(meg: &mut M, source: Node, max_rounds: u64) -> Fl
         "source {source} out of range for n={n}"
     );
     let mut state = FloodingState::new(n, source);
-    let mut informed_per_round = vec![state.informed_count()];
+    // Pre-size the per-round trace from the round budget, capped so a
+    // generous budget (the engine uses 2·10⁶) cannot force a huge up-front
+    // reservation: completed floods rarely exceed ~2n rounds, and a run that
+    // does simply grows the vector as before.
+    let expected_rounds = (max_rounds as usize).min(2 * n + 64);
+    let mut informed_per_round = Vec::with_capacity(expected_rounds + 1);
+    informed_per_round.push(state.informed_count());
     let mut rounds = 0u64;
     let mut outcome = if state.is_complete() {
         FloodingOutcome::Completed

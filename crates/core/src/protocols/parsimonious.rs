@@ -11,7 +11,7 @@
 
 use super::ProtocolResult;
 use crate::evolving::EvolvingGraph;
-use meg_graph::{Graph, Node, NodeSet};
+use meg_graph::{visit_neighbors, Node, NodeSet};
 
 /// Runs parsimonious flooding from `source`.
 ///
@@ -40,9 +40,11 @@ where
     let mut messages = 0u64;
     let mut rounds = 0u64;
     let mut completed = informed.is_full();
+    // Reused across rounds: no per-round allocation after warm-up.
+    let mut newly: Vec<Node> = Vec::new();
     while rounds < max_rounds && !completed {
         let snapshot = meg.advance();
-        let mut newly: Vec<Node> = Vec::new();
+        newly.clear();
         let mut any_active = false;
         for u in informed.iter() {
             if remaining_active[u as usize] == 0 {
@@ -50,14 +52,14 @@ where
             }
             any_active = true;
             remaining_active[u as usize] -= 1;
-            snapshot.for_each_neighbor(u, &mut |v| {
+            visit_neighbors(snapshot, u, |v| {
                 messages += 1;
                 if !informed.contains(v) {
                     newly.push(v);
                 }
             });
         }
-        for v in newly {
+        for &v in &newly {
             if informed.insert(v) {
                 remaining_active[v as usize] = active_rounds;
             }

@@ -8,7 +8,7 @@
 
 use super::ProtocolResult;
 use crate::evolving::EvolvingGraph;
-use meg_graph::{Graph, Node, NodeSet};
+use meg_graph::{visit_neighbors, Node, NodeSet};
 use rand::Rng;
 
 /// Runs probabilistic flooding from `source` with forwarding probability
@@ -32,21 +32,23 @@ where
     let mut messages = 0u64;
     let mut rounds = 0u64;
     let mut completed = informed.is_full();
+    // Reused across rounds: no per-round allocation after warm-up.
+    let mut newly: Vec<Node> = Vec::new();
     while rounds < max_rounds && !completed {
         let snapshot = meg.advance();
-        let mut newly: Vec<Node> = Vec::new();
+        newly.clear();
         for u in informed.iter() {
             if beta < 1.0 && !rng.gen_bool(beta) {
                 continue;
             }
-            snapshot.for_each_neighbor(u, &mut |v| {
+            visit_neighbors(snapshot, u, |v| {
                 messages += 1;
                 if !informed.contains(v) {
                     newly.push(v);
                 }
             });
         }
-        for v in newly {
+        for &v in &newly {
             informed.insert(v);
         }
         rounds += 1;

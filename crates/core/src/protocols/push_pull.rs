@@ -10,7 +10,7 @@
 
 use super::ProtocolResult;
 use crate::evolving::EvolvingGraph;
-use meg_graph::{Graph, Node, NodeSet};
+use meg_graph::{Node, NodeSet};
 use rand::Rng;
 
 /// Runs push–pull gossip from `source` for at most `max_rounds` rounds.
@@ -31,17 +31,19 @@ where
     let mut messages = 0u64;
     let mut rounds = 0u64;
     let mut completed = informed.is_full();
-    let mut neighbors_buf: Vec<Node> = Vec::new();
+    // The contact buffer is reused across rounds; the snapshot's CSR layout
+    // lets each node draw its random contact straight off the neighbor
+    // slice.
+    let mut newly: Vec<Node> = Vec::new();
     while rounds < max_rounds && !completed {
         let snapshot = meg.advance();
-        let mut newly: Vec<Node> = Vec::new();
+        newly.clear();
         for u in 0..n as Node {
-            neighbors_buf.clear();
-            snapshot.for_each_neighbor(u, &mut |v| neighbors_buf.push(v));
-            if neighbors_buf.is_empty() {
+            let slice = snapshot.neighbors(u);
+            if slice.is_empty() {
                 continue;
             }
-            let v = neighbors_buf[rng.gen_range(0..neighbors_buf.len())];
+            let v = slice[rng.gen_range(0..slice.len())];
             messages += 1;
             let u_informed = informed.contains(u);
             let v_informed = informed.contains(v);
@@ -51,7 +53,7 @@ where
                 newly.push(u); // pull
             }
         }
-        for v in newly {
+        for &v in &newly {
             informed.insert(v);
         }
         rounds += 1;

@@ -7,7 +7,7 @@
 
 use crate::model::EdgeMegParams;
 use meg_core::evolving::{EvolvingGraph, InitialDistribution};
-use meg_graph::{AdjacencyList, Node};
+use meg_graph::{Node, SnapshotBuf};
 use meg_markov::TwoStateChain;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -20,7 +20,7 @@ pub struct DenseEdgeMeg {
     /// `alive[k]` is the state of the pair with linear index `k`.
     alive: Vec<bool>,
     rng: StdRng,
-    snapshot: AdjacencyList,
+    snapshot: SnapshotBuf,
     time: u64,
 }
 
@@ -43,7 +43,7 @@ impl DenseEdgeMeg {
             chain,
             alive,
             rng,
-            snapshot: AdjacencyList::new(params.n),
+            snapshot: SnapshotBuf::with_nodes(params.n),
             time: 0,
         }
     }
@@ -64,25 +64,35 @@ impl DenseEdgeMeg {
     }
 
     fn rebuild_snapshot(&mut self) {
-        self.snapshot.clear_edges();
-        let n = self.params.n as u64;
-        for (k, &alive) in self.alive.iter().enumerate() {
-            if alive {
-                let (a, b) = meg_graph::generators::pair_from_index(n, k as u64);
-                self.snapshot.add_edge_unchecked(a as Node, b as Node);
+        self.snapshot.begin(self.params.n);
+        // The dense state vector is laid out row-major over the upper
+        // triangle, so scan it row by row: the inner loop is a plain slice
+        // walk whose pair (a, a+1+off) falls out of the induction variable —
+        // same edges in the same order as `pair_from_index(n, k)` random
+        // access, without the per-edge square root and without a
+        // loop-carried pair counter.
+        let n = self.params.n;
+        let mut start = 0usize;
+        for a in 0..n.saturating_sub(1) {
+            let row_len = n - 1 - a;
+            let row = &self.alive[start..start + row_len];
+            for (off, &alive) in row.iter().enumerate() {
+                if alive {
+                    self.snapshot.push_edge(a as Node, (a + 1 + off) as Node);
+                }
             }
+            start += row_len;
         }
+        self.snapshot.build();
     }
 }
 
 impl EvolvingGraph for DenseEdgeMeg {
-    type Snapshot = AdjacencyList;
-
     fn num_nodes(&self) -> usize {
         self.params.n
     }
 
-    fn advance(&mut self) -> &AdjacencyList {
+    fn advance(&mut self) -> &SnapshotBuf {
         // Snapshot G_t reflects the current edge states; the chain then moves
         // to the states of time t+1.
         self.rebuild_snapshot();
@@ -118,6 +128,29 @@ mod tests {
             (got - expected).abs() < 0.25 * expected,
             "stationary edges {got} vs expected {expected}"
         );
+    }
+
+    #[test]
+    fn snapshot_edge_set_equals_alive_state_exactly() {
+        // The CSR snapshot must reproduce the alive pair set bit-for-bit —
+        // the dense engine's private state is the independent reference the
+        // snapshot-buffer construction is checked against.
+        let params = EdgeMegParams::with_stationary(60, 0.15, 0.4);
+        let mut meg = DenseEdgeMeg::stationary(params, 19);
+        for step in 0..10 {
+            let expected: Vec<(Node, Node)> = meg
+                .alive
+                .iter()
+                .enumerate()
+                .filter(|(_, &alive)| alive)
+                .map(|(k, _)| {
+                    let (a, b) = meg_graph::generators::pair_from_index(60, k as u64);
+                    (a as Node, b as Node)
+                })
+                .collect();
+            let snap = meg.advance();
+            assert_eq!(snap.edges(), expected, "step {step}");
+        }
     }
 
     #[test]

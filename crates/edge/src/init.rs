@@ -49,8 +49,6 @@ impl AutoEdgeMeg {
 }
 
 impl meg_core::evolving::EvolvingGraph for AutoEdgeMeg {
-    type Snapshot = AdjacencyList;
-
     fn num_nodes(&self) -> usize {
         match self {
             AutoEdgeMeg::Dense(m) => m.num_nodes(),
@@ -58,7 +56,7 @@ impl meg_core::evolving::EvolvingGraph for AutoEdgeMeg {
         }
     }
 
-    fn advance(&mut self) -> &AdjacencyList {
+    fn advance(&mut self) -> &meg_graph::SnapshotBuf {
         match self {
             AutoEdgeMeg::Dense(m) => m.advance(),
             AutoEdgeMeg::Sparse(m) => m.advance(),

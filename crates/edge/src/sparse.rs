@@ -16,7 +16,7 @@
 use crate::model::EdgeMegParams;
 use meg_core::evolving::{EvolvingGraph, InitialDistribution};
 use meg_graph::generators::pair_from_index;
-use meg_graph::{AdjacencyList, Graph, Node};
+use meg_graph::{Graph, Node, SnapshotBuf};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
@@ -31,7 +31,7 @@ pub struct SparseEdgeMeg {
     /// randomized per instance).
     alive: BTreeSet<u64>,
     rng: StdRng,
-    snapshot: AdjacencyList,
+    snapshot: SnapshotBuf,
     time: u64,
 }
 
@@ -56,7 +56,7 @@ impl SparseEdgeMeg {
             params,
             alive,
             rng,
-            snapshot: AdjacencyList::new(params.n),
+            snapshot: SnapshotBuf::with_nodes(params.n),
             time: 0,
         }
     }
@@ -77,12 +77,13 @@ impl SparseEdgeMeg {
     }
 
     fn rebuild_snapshot(&mut self) {
-        self.snapshot.clear_edges();
+        self.snapshot.begin(self.params.n);
         let n = self.params.n as u64;
         for &idx in &self.alive {
             let (a, b) = pair_from_index(n, idx);
-            self.snapshot.add_edge_unchecked(a as Node, b as Node);
+            self.snapshot.push_edge(a as Node, b as Node);
         }
+        self.snapshot.build();
     }
 
     fn step_chain(&mut self) {
@@ -158,13 +159,11 @@ fn sample_bernoulli_indices<R: Rng>(
 }
 
 impl EvolvingGraph for SparseEdgeMeg {
-    type Snapshot = AdjacencyList;
-
     fn num_nodes(&self) -> usize {
         self.params.n
     }
 
-    fn advance(&mut self) -> &AdjacencyList {
+    fn advance(&mut self) -> &SnapshotBuf {
         self.rebuild_snapshot();
         self.step_chain();
         self.time += 1;
@@ -217,6 +216,27 @@ mod tests {
         assert_eq!(count, 100);
         sample_bernoulli_indices(0, 0.5, &mut rng, |_| count += 1);
         assert_eq!(count, 100);
+    }
+
+    #[test]
+    fn snapshot_edge_set_equals_alive_state_exactly() {
+        // The alive `BTreeSet` (private state) is the independent reference:
+        // the CSR snapshot must list exactly those pairs, in index order.
+        let n = 120usize;
+        let params = EdgeMegParams::with_stationary(n, 0.05, 0.4);
+        let mut meg = SparseEdgeMeg::stationary(params, 23);
+        for step in 0..10 {
+            let expected: Vec<(Node, Node)> = meg
+                .alive
+                .iter()
+                .map(|&idx| {
+                    let (a, b) = pair_from_index(n as u64, idx);
+                    (a as Node, b as Node)
+                })
+                .collect();
+            let snap = meg.advance();
+            assert_eq!(snap.edges(), expected, "step {step}");
+        }
     }
 
     #[test]

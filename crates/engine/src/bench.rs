@@ -1,0 +1,380 @@
+//! `meg-lab bench` — the workspace's trustworthy wall-time measurement
+//! harness.
+//!
+//! The vendored criterion shim only smoke-runs benches with tiny fixed
+//! iteration counts, so its numbers cannot be trusted for perf work. This
+//! module is the replacement the ROADMAP gates hot-path optimisation on:
+//! a small registry of **named benchmark workloads** (each a deterministic,
+//! seeded end-to-end run over the real substrates), timed with warm-up
+//! repetitions followed by `R` measured repetitions, and summarised as
+//! **median / IQR / min** wall time so one noisy repetition cannot skew a
+//! reported speedup.
+//!
+//! Results render as machine-readable JSON (see [`results_to_json`]); the
+//! committed `BENCH_PR5.json` at the repository root records the
+//! pre/post-refactor trajectory of the allocation-free snapshot pipeline and
+//! is the template every future perf PR extends. Every workload returns a
+//! `checksum` folded from its observable output; it is recorded in the JSON
+//! so (a) the optimiser cannot dead-code-eliminate the work and (b) two
+//! harness runs on the same code can be spot-checked for identical behaviour.
+//!
+//! ## Example
+//!
+//! ```
+//! use meg_engine::bench::{run_bench, BenchOptions};
+//!
+//! let opts = BenchOptions {
+//!     repetitions: 2,
+//!     warmup: 1,
+//!     scale: 0.02, // doc-test sized; real runs use scale 1.0
+//! };
+//! let result = run_bench("geo_flood_n4096", &opts).unwrap();
+//! assert_eq!(result.repetitions, 2);
+//! assert!(result.median_ms >= 0.0);
+//! assert!(result.checksum > 0.0);
+//! ```
+
+use crate::json::Json;
+use meg_core::evolving::{EvolvingGraph, InitialDistribution};
+use meg_core::flooding::flood;
+use meg_core::protocols::push_pull_gossip;
+use meg_core::spec;
+use meg_edge::{DenseEdgeMeg, EdgeMegParams, SparseEdgeMeg};
+use meg_geometric::{GeometricMeg, GeometricMegParams};
+use meg_graph::Graph;
+use meg_stats::quantile::quantile;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+/// Fixed seed for every workload: benches must measure the same work on
+/// every invocation, on every machine, pre- and post-optimisation.
+const BENCH_SEED: u64 = 0x4D45_475F_5035; // "MEG_P5"
+
+/// Options shared by every benchmark workload.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchOptions {
+    /// Measured repetitions (the statistics are computed over these).
+    pub repetitions: usize,
+    /// Untimed warm-up repetitions run first (cache / branch-predictor /
+    /// page-table warm-up). Note that every repetition constructs fresh
+    /// models, so each *measured* repetition still includes the models' own
+    /// buffer-capacity warm-up — deliberately: the workloads time the
+    /// end-to-end trial cost the engine actually pays, identically for every
+    /// code version being compared.
+    pub warmup: usize,
+    /// Node-count multiplier applied to each workload's canonical `n`.
+    pub scale: f64,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            repetitions: 5,
+            warmup: 2,
+            scale: 1.0,
+        }
+    }
+}
+
+/// Measured wall-time statistics of one named workload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchResult {
+    /// Workload name (from [`bench_names`]).
+    pub name: String,
+    /// Resolved workload parameters (`n` after scaling, etc.).
+    pub params: Vec<(String, f64)>,
+    /// Measured repetitions.
+    pub repetitions: usize,
+    /// Warm-up repetitions that ran before measurement.
+    pub warmup: usize,
+    /// Median wall time over the measured repetitions, in milliseconds.
+    pub median_ms: f64,
+    /// Interquartile range (Q3 − Q1) of the wall times, in milliseconds.
+    pub iqr_ms: f64,
+    /// Minimum wall time, in milliseconds.
+    pub min_ms: f64,
+    /// Maximum wall time, in milliseconds.
+    pub max_ms: f64,
+    /// Checksum folded from the workload's observable output (anti-DCE and
+    /// a cheap behavioural fingerprint; identical across runs of the same
+    /// code at the same scale).
+    pub checksum: f64,
+}
+
+impl BenchResult {
+    /// Renders the result as one JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("bench", Json::Str(self.name.clone())),
+            (
+                "params",
+                Json::Obj(
+                    self.params
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
+            ("repetitions", Json::Num(self.repetitions as f64)),
+            ("warmup", Json::Num(self.warmup as f64)),
+            ("median_ms", Json::Num(self.median_ms)),
+            ("iqr_ms", Json::Num(self.iqr_ms)),
+            ("min_ms", Json::Num(self.min_ms)),
+            ("max_ms", Json::Num(self.max_ms)),
+            ("checksum", Json::Num(self.checksum)),
+        ])
+    }
+}
+
+/// Renders a labelled harness run (label + options + every result) as the
+/// JSON document `meg-lab bench --out` writes.
+pub fn results_to_json(label: &str, opts: &BenchOptions, results: &[BenchResult]) -> Json {
+    Json::obj([
+        ("label", Json::Str(label.to_string())),
+        ("harness", Json::Str("meg-lab bench".to_string())),
+        ("repetitions", Json::Num(opts.repetitions as f64)),
+        ("warmup", Json::Num(opts.warmup as f64)),
+        ("scale", Json::Num(opts.scale)),
+        (
+            "results",
+            Json::Arr(results.iter().map(BenchResult::to_json).collect()),
+        ),
+    ])
+}
+
+/// Names of all benchmark workloads, in registry order.
+pub fn bench_names() -> Vec<&'static str> {
+    vec![
+        "geo_flood_n4096",
+        "geo_snapshots_n4096",
+        "geo_flood_torus_n2048",
+        "edge_sparse_flood_n16384",
+        "edge_dense_flood_n1024",
+        "edge_dense_snapshots_n2048",
+        "push_pull_geo_n2048",
+    ]
+}
+
+fn scaled_n(base: usize, scale: f64) -> usize {
+    ((base as f64 * scale).round() as usize).max(16)
+}
+
+/// Geometric-MEG with grid-walk mobility at `factor ×` the connectivity
+/// threshold (the Theorem 3.4/3.5 regime).
+fn geo_meg(n: usize, factor: f64, seed: u64) -> GeometricMeg<meg_mobility::GridWalk> {
+    let radius =
+        factor * spec::geometric_connectivity_threshold(n, spec::DEFAULT_THRESHOLD_CONSTANT);
+    let side = (n as f64).sqrt();
+    let radius = radius.min(side * 0.95);
+    GeometricMeg::from_params(
+        GeometricMegParams {
+            n,
+            move_radius: radius * 0.5,
+            transmission_radius: radius,
+            resolution: 1.0,
+        },
+        seed,
+    )
+}
+
+/// One repetition of a named workload; returns its checksum.
+/// `None` means the name is unknown.
+fn run_once(name: &str, scale: f64) -> Option<(Vec<(String, f64)>, f64)> {
+    match name {
+        // The acceptance workload of the snapshot-pipeline refactor: flooding
+        // on a geometric MEG at n = 4096, three sources, snapshot rebuilt
+        // every round.
+        "geo_flood_n4096" => {
+            let n = scaled_n(4096, scale);
+            let mut sum = 0.0;
+            for (i, source) in [0u32, 1, 2].into_iter().enumerate() {
+                let mut meg = geo_meg(n, 1.2, BENCH_SEED + i as u64);
+                let r = flood(&mut meg, source % n as u32, 100_000);
+                sum += r.rounds as f64 + r.informed.len() as f64;
+            }
+            Some((vec![("n".into(), n as f64), ("trials".into(), 3.0)], sum))
+        }
+        // Pure snapshot construction: advance() in a loop, no protocol on
+        // top, isolating the radius-graph + snapshot-buffer hot path.
+        "geo_snapshots_n4096" => {
+            let n = scaled_n(4096, scale);
+            let steps = 60;
+            let mut meg = geo_meg(n, 1.2, BENCH_SEED);
+            let mut sum = 0.0;
+            for _ in 0..steps {
+                sum += meg.advance().num_edges() as f64;
+            }
+            Some((
+                vec![("n".into(), n as f64), ("steps".into(), steps as f64)],
+                sum,
+            ))
+        }
+        // Torus metric exercises the wrapped distance check.
+        "geo_flood_torus_n2048" => {
+            let n = scaled_n(2048, scale);
+            let side = (n as f64).sqrt();
+            let radius = (1.2
+                * spec::geometric_connectivity_threshold(n, spec::DEFAULT_THRESHOLD_CONSTANT))
+            .min(side * 0.95);
+            let mut rng = ChaCha8Rng::seed_from_u64(BENCH_SEED);
+            let walkers = meg_mobility::TorusWalkers::new(n, side, radius * 0.5, 1.0, &mut rng);
+            let mut meg = GeometricMeg::new(walkers, radius, BENCH_SEED);
+            let r = flood(&mut meg, 0, 100_000);
+            Some((
+                vec![("n".into(), n as f64)],
+                r.rounds as f64 + r.informed.len() as f64,
+            ))
+        }
+        // Sparse edge-MEG in the paper's sparse connected regime.
+        "edge_sparse_flood_n16384" => {
+            let n = scaled_n(16384, scale);
+            let p_hat = 3.0 * (n as f64).ln() / n as f64;
+            let params = EdgeMegParams::with_stationary(n, p_hat.min(0.9), 0.5);
+            let mut sum = 0.0;
+            for i in 0..3u64 {
+                let mut meg = SparseEdgeMeg::stationary(params, BENCH_SEED + i);
+                let r = flood(&mut meg, 0, 100_000);
+                sum += r.rounds as f64 + r.informed.len() as f64;
+            }
+            Some((vec![("n".into(), n as f64), ("trials".into(), 3.0)], sum))
+        }
+        // Dense engine: every pair touched per step.
+        "edge_dense_flood_n1024" => {
+            let n = scaled_n(1024, scale);
+            let p_hat = 4.0 * (n as f64).ln() / n as f64;
+            let params = EdgeMegParams::with_stationary(n, p_hat.min(0.9), 0.5);
+            let mut sum = 0.0;
+            for i in 0..3u64 {
+                let mut meg =
+                    DenseEdgeMeg::new(params, InitialDistribution::Stationary, BENCH_SEED + i);
+                let r = flood(&mut meg, 0, 100_000);
+                sum += r.rounds as f64 + r.informed.len() as f64;
+            }
+            Some((vec![("n".into(), n as f64), ("trials".into(), 3.0)], sum))
+        }
+        // Dense snapshot rebuild without a protocol on top.
+        "edge_dense_snapshots_n2048" => {
+            let n = scaled_n(2048, scale);
+            let p_hat = 0.02;
+            let params = EdgeMegParams::with_stationary(n, p_hat, 0.3);
+            let mut meg = DenseEdgeMeg::new(params, InitialDistribution::Stationary, BENCH_SEED);
+            let steps = 20;
+            let mut sum = 0.0;
+            for _ in 0..steps {
+                sum += meg.advance().num_edges() as f64;
+            }
+            Some((
+                vec![("n".into(), n as f64), ("steps".into(), steps as f64)],
+                sum,
+            ))
+        }
+        // Push–pull consumes the snapshot differently (one random neighbor
+        // per node per round), covering the neighbor-slice fast path.
+        "push_pull_geo_n2048" => {
+            let n = scaled_n(2048, scale);
+            let mut meg = geo_meg(n, 1.5, BENCH_SEED);
+            let mut rng = ChaCha8Rng::seed_from_u64(BENCH_SEED);
+            let r = push_pull_gossip(&mut meg, 0, 100_000, &mut rng);
+            Some((
+                vec![("n".into(), n as f64)],
+                r.rounds as f64 + r.informed_count() as f64,
+            ))
+        }
+        _ => None,
+    }
+}
+
+/// Runs one named workload under `opts`; `None` if the name is unknown.
+pub fn run_bench(name: &str, opts: &BenchOptions) -> Option<BenchResult> {
+    let repetitions = opts.repetitions.max(1);
+    // Warm-up: untimed, but must execute the identical workload.
+    for _ in 0..opts.warmup {
+        run_once(name, opts.scale)?;
+    }
+    let mut times_ms = Vec::with_capacity(repetitions);
+    let mut params = Vec::new();
+    let mut checksum = 0.0;
+    for _ in 0..repetitions {
+        let start = Instant::now();
+        let (p, sum) = run_once(name, opts.scale)?;
+        times_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        params = p;
+        checksum = sum;
+    }
+    let median_ms = quantile(&times_ms, 0.5).expect("non-empty");
+    let q1 = quantile(&times_ms, 0.25).expect("non-empty");
+    let q3 = quantile(&times_ms, 0.75).expect("non-empty");
+    let min_ms = times_ms.iter().copied().fold(f64::INFINITY, f64::min);
+    let max_ms = times_ms.iter().copied().fold(0.0f64, f64::max);
+    Some(BenchResult {
+        name: name.to_string(),
+        params,
+        repetitions,
+        warmup: opts.warmup,
+        median_ms,
+        iqr_ms: q3 - q1,
+        min_ms,
+        max_ms,
+        checksum,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: BenchOptions = BenchOptions {
+        repetitions: 2,
+        warmup: 1,
+        scale: 0.02,
+    };
+
+    #[test]
+    fn every_registered_bench_runs_and_reports_sane_statistics() {
+        for name in bench_names() {
+            let r = run_bench(name, &TINY).unwrap_or_else(|| panic!("bench `{name}` missing"));
+            assert_eq!(r.name, name);
+            assert_eq!(r.repetitions, 2);
+            assert!(r.min_ms >= 0.0, "{name}");
+            assert!(r.median_ms >= r.min_ms, "{name}");
+            assert!(r.max_ms >= r.median_ms, "{name}");
+            assert!(r.iqr_ms >= 0.0, "{name}");
+            assert!(r.checksum.is_finite() && r.checksum > 0.0, "{name}");
+            assert!(!r.params.is_empty(), "{name}");
+        }
+    }
+
+    #[test]
+    fn unknown_bench_is_none() {
+        assert!(run_bench("no_such_bench", &TINY).is_none());
+    }
+
+    #[test]
+    fn checksums_are_deterministic_across_runs() {
+        for name in ["geo_flood_n4096", "edge_sparse_flood_n16384"] {
+            let a = run_bench(name, &TINY).unwrap();
+            let b = run_bench(name, &TINY).unwrap();
+            assert_eq!(a.checksum, b.checksum, "{name}");
+        }
+    }
+
+    #[test]
+    fn json_rendering_contains_every_field() {
+        let r = run_bench("edge_dense_snapshots_n2048", &TINY).unwrap();
+        let doc = results_to_json("test", &TINY, std::slice::from_ref(&r));
+        let text = doc.render();
+        for key in [
+            "\"label\":\"test\"",
+            "\"bench\":\"edge_dense_snapshots_n2048\"",
+            "\"median_ms\":",
+            "\"iqr_ms\":",
+            "\"min_ms\":",
+            "\"checksum\":",
+        ] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
+        // And the document is parseable JSON.
+        assert!(Json::parse(&text).is_ok());
+    }
+}

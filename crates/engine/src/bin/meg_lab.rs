@@ -7,6 +7,15 @@
 //! meg-lab run --file scenario.json  # run a scenario from disk
 //! meg-lab worker [--fail-after N]   # cell-execution server (stdin/stdout)
 //! meg-lab merge <dir> [--format F]  # merge *.part.jsonl checkpoints
+//! meg-lab bench [names…] [flags]    # wall-time measurement harness
+//!
+//! bench flags:
+//!   --list                list the registered workloads
+//!   --repetitions R       measured repetitions        (default 5)
+//!   --warmup W            untimed warm-up repetitions (default 2)
+//!   --scale F             node-count multiplier       (default 1)
+//!   --label STR           label recorded in the JSON document
+//!   --out FILE            also write the full JSON document to FILE
 //!
 //! run flags:
 //!   --seed N              master seed        (default: MEG_SEED or 2009)
@@ -48,6 +57,8 @@ const USAGE: &str = "usage:
           [--out DIR] [--resume DIR] [--limit N] [--worker-fail-after N]
   meg-lab worker [--fail-after N]
   meg-lab merge <dir> [--format table|json|csv]
+  meg-lab bench [names…] [--list] [--repetitions R] [--warmup W] \\
+          [--scale F] [--label STR] [--out FILE]
 
 Environment defaults: MEG_SEED, MEG_TRIALS, MEG_SCALE, MEG_OUTPUT.
 Flags win over the environment.";
@@ -66,6 +77,7 @@ fn main() {
         Some("run") => cmd_run(&args[1..]),
         Some("worker") => cmd_worker(&args[1..]),
         Some("merge") => cmd_merge(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => println!("{USAGE}"),
         Some(other) => fail(&format!("unknown command `{other}`")),
     }
@@ -385,6 +397,87 @@ fn cmd_run(args: &[String]) {
              finish with `meg-lab run … --resume <dir>`"
         );
         std::process::exit(3);
+    }
+}
+
+fn cmd_bench(args: &[String]) {
+    use meg_engine::bench::{bench_names, results_to_json, run_bench, BenchOptions};
+
+    let mut opts = BenchOptions::default();
+    let mut names: Vec<String> = Vec::new();
+    let mut label = String::from("meg-lab bench");
+    let mut out: Option<PathBuf> = None;
+    let mut list = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut flag_value = |what: &str| -> String {
+            match it.next() {
+                Some(v) => v.clone(),
+                None => fail(&format!("`{what}` needs a value")),
+            }
+        };
+        match arg.as_str() {
+            "--list" => list = true,
+            "--repetitions" => {
+                opts.repetitions = flag_value("--repetitions")
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&r| r >= 1)
+                    .unwrap_or_else(|| fail("--repetitions must be a positive integer"));
+            }
+            "--warmup" => {
+                opts.warmup = flag_value("--warmup")
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| fail("--warmup must be a non-negative integer"));
+            }
+            "--scale" => {
+                opts.scale = flag_value("--scale")
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|&f| f > 0.0)
+                    .unwrap_or_else(|| fail("--scale must be a positive number"));
+            }
+            "--label" => label = flag_value("--label"),
+            "--out" => out = Some(PathBuf::from(flag_value("--out"))),
+            other if other.starts_with('-') => fail(&format!("unknown bench flag `{other}`")),
+            other => names.push(other.to_string()),
+        }
+    }
+
+    if list {
+        println!("registered bench workloads:");
+        for name in bench_names() {
+            println!("  {name}");
+        }
+        return;
+    }
+    let names: Vec<String> = if names.is_empty() {
+        bench_names().into_iter().map(String::from).collect()
+    } else {
+        names
+    };
+
+    let mut results = Vec::with_capacity(names.len());
+    for name in &names {
+        let r = run_bench(name, &opts).unwrap_or_else(|| {
+            fail(&format!(
+                "unknown bench `{name}` (try: {})",
+                bench_names().join(", ")
+            ))
+        });
+        println!("{}", r.to_json().render());
+        results.push(r);
+    }
+    let doc = results_to_json(&label, &opts, &results);
+    if let Some(path) = out {
+        std::fs::write(&path, doc.render_pretty() + "\n")
+            .unwrap_or_else(|e| fail(&format!("cannot write `{}`: {e}", path.display())));
+        eprintln!(
+            "meg-lab bench: wrote {} result(s) to {}",
+            results.len(),
+            path.display()
+        );
     }
 }
 

@@ -30,6 +30,7 @@ use meg_edge::{DenseEdgeMeg, EdgeMegParams, SparseEdgeMeg};
 use meg_geometric::{GeometricMeg, GeometricMegParams};
 use meg_graph::expansion::{min_expansion_sampled, SamplingStrategy};
 use meg_graph::generators;
+use meg_graph::Graph;
 use meg_mobility::{Billiard, RandomWaypoint, TorusWalkers};
 use meg_stats::seeds::{derive_seed, labeled_seed};
 use meg_stats::{
@@ -620,10 +621,20 @@ fn probe_trial<M: EvolvingGraph>(
                 rng,
             ))
         }
-        Protocol::DiameterProbe => match meg_graph::diameter::exact(meg.advance()).finite() {
-            Some(d) => TrialOutcome::measured(d as f64),
-            None => TrialOutcome::failed(),
-        },
+        Protocol::DiameterProbe => {
+            // Freeze the snapshot through the duplicate-dropping CSR
+            // constructor: the n-source BFS sweep assumes a simple graph
+            // (duplicate edges would double-visit neighbors), and the
+            // diameter is invariant to the neighbor reordering a freeze
+            // implies. Every in-tree substrate already produces simple
+            // snapshots, so this is a guard, not a behaviour change.
+            let snapshot = meg.advance();
+            let frozen = meg_graph::Csr::from_edges_dedup(snapshot.num_nodes(), &snapshot.edges());
+            match meg_graph::diameter::exact(&frozen).finite() {
+                Some(d) => TrialOutcome::measured(d as f64),
+                None => TrialOutcome::failed(),
+            }
+        }
         Protocol::BoundProbe { snapshots, samples } => {
             let options = ExpansionMeasurement {
                 snapshots: *snapshots as usize,

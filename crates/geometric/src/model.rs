@@ -1,8 +1,8 @@
 //! The geometric-MEG evolving graph.
 
-use crate::radius_graph::radius_graph;
+use crate::radius_graph::{radius_graph_into, RadiusGraphWorkspace};
 use meg_core::evolving::EvolvingGraph;
-use meg_graph::AdjacencyList;
+use meg_graph::SnapshotBuf;
 use meg_mobility::grid_walk::{GridWalk, GridWalkParams};
 use meg_mobility::{Mobility, Region};
 use rand::rngs::StdRng;
@@ -54,7 +54,10 @@ pub struct GeometricMeg<M: Mobility> {
     mobility: M,
     radius: f64,
     rng: StdRng,
-    snapshot: AdjacencyList,
+    /// Model-owned snapshot buffer, rebuilt in place every step.
+    snapshot: SnapshotBuf,
+    /// Reusable bucket-grid scratch for the radius-graph construction.
+    workspace: RadiusGraphWorkspace,
     time: u64,
 }
 
@@ -71,7 +74,8 @@ impl<M: Mobility> GeometricMeg<M> {
             mobility,
             radius: transmission_radius,
             rng: StdRng::seed_from_u64(seed),
-            snapshot: AdjacencyList::new(n),
+            snapshot: SnapshotBuf::with_nodes(n),
+            workspace: RadiusGraphWorkspace::default(),
             time: 0,
         }
     }
@@ -100,11 +104,13 @@ impl<M: Mobility> GeometricMeg<M> {
 
     /// Builds (and returns a reference to) the snapshot of the *current*
     /// positions without advancing the mobility process.
-    pub fn current_snapshot(&mut self) -> &AdjacencyList {
-        self.snapshot = radius_graph(
+    pub fn current_snapshot(&mut self) -> &SnapshotBuf {
+        radius_graph_into(
             self.mobility.positions(),
             self.radius,
             self.mobility.region(),
+            &mut self.workspace,
+            &mut self.snapshot,
         );
         &self.snapshot
     }
@@ -132,17 +138,17 @@ impl GeometricMeg<GridWalk> {
 }
 
 impl<M: Mobility> EvolvingGraph for GeometricMeg<M> {
-    type Snapshot = AdjacencyList;
-
     fn num_nodes(&self) -> usize {
         self.mobility.num_nodes()
     }
 
-    fn advance(&mut self) -> &AdjacencyList {
-        self.snapshot = radius_graph(
+    fn advance(&mut self) -> &SnapshotBuf {
+        radius_graph_into(
             self.mobility.positions(),
             self.radius,
             self.mobility.region(),
+            &mut self.workspace,
+            &mut self.snapshot,
         );
         self.mobility.advance(&mut self.rng);
         self.time += 1;

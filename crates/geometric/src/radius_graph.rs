@@ -6,53 +6,217 @@
 //! nodes in the same or adjacent cells, so a snapshot costs
 //! `O(n + #candidate pairs)` — the dominant cost of simulating geometric-MEG,
 //! incurred once per time step.
+//!
+//! The construction is allocation-free on the hot path:
+//! [`radius_graph_into`] fills a caller-owned
+//! [`SnapshotBuf`] using a caller-owned [`RadiusGraphWorkspace`] whose bucket
+//! index is a **flat counting sort** — bucket membership, node ids, and the
+//! `x`/`y` coordinates each live in one contiguous vector, so the inner
+//! candidate loops scan flat `f64` slices (cache-friendly, no per-bucket
+//! `Vec`s) and the distance test is a branch-light `#[inline]` helper.
+//! [`radius_graph`] is the one-shot allocating wrapper over the same core
+//! (identical edge order), kept for single-snapshot sampling and tests.
 
-use meg_graph::{AdjacencyList, Node};
+use meg_graph::{AdjacencyList, Node, SnapshotBuf};
 use meg_mobility::space::{Point, Region};
 
-/// Builds the radius graph of `positions` under the metric of `region`.
+/// Reusable scratch for the bucket-grid construction.
 ///
-/// Nodes are connected iff their distance (Euclidean in a square, wrap-around
-/// on a torus) is at most `radius`.
-pub fn radius_graph(positions: &[Point], radius: f64, region: Region) -> AdjacencyList {
+/// Hoisted out of the per-call path (the old implementation allocated a
+/// `vec![Vec::new(); k²]` bucket table per snapshot): the caller owns one
+/// workspace per evolving graph and every rebuild reuses its five flat
+/// vectors, which stop allocating once their capacities reach the run's
+/// high-water mark.
+#[derive(Clone, Debug, Default)]
+pub struct RadiusGraphWorkspace {
+    /// Per-bucket occupancy counts (counting-sort pass 1), then reused as the
+    /// per-bucket fill cursor in pass 2.
+    counts: Vec<usize>,
+    /// Per-bucket start offset into the three flat arrays (`k² + 1` entries).
+    starts: Vec<usize>,
+    /// Node ids, grouped by bucket, index order preserved inside each bucket.
+    nodes: Vec<Node>,
+    /// `x` coordinate of `nodes[i]` (flat, parallel to `nodes`).
+    xs: Vec<f64>,
+    /// `y` coordinate of `nodes[i]` (flat, parallel to `nodes`).
+    ys: Vec<f64>,
+    /// Branchless-compress scratch: accepted candidate slots of the current
+    /// inner scan (the accept branch mispredicts ~⅓ of the time if taken
+    /// inline; an unconditional store plus flag add is far cheaper).
+    hits: Vec<usize>,
+}
+
+/// Squared-distance test over flat coordinate values — the single distance
+/// check shared by every candidate loop (previously duplicated through
+/// `Region::distance_squared`, which re-matched the region enum per pair).
+#[inline(always)]
+fn within_square(ax: f64, ay: f64, bx: f64, by: f64, r2: f64) -> bool {
+    let dx = ax - bx;
+    let dy = ay - by;
+    dx * dx + dy * dy <= r2
+}
+
+/// Toroidal variant: folds each axis delta to its minimal wrap-around
+/// representative, then applies the same squared test. `half = side / 2`.
+/// Produces bit-identical accept/reject decisions to
+/// `Region::Torus::distance_squared` (the folded magnitude is the exact
+/// negation or identity of the signed minimal delta, so its square is
+/// identical).
+#[inline(always)]
+fn within_torus(ax: f64, ay: f64, bx: f64, by: f64, r2: f64, side: f64, half: f64) -> bool {
+    let mut dx = (ax - bx).abs();
+    if dx > half {
+        dx = side - dx;
+    }
+    let mut dy = (ay - by).abs();
+    if dy > half {
+        dy = side - dy;
+    }
+    dx * dx + dy * dy <= r2
+}
+
+/// The shared bucket-grid core: emits every radius-graph edge as
+/// `(min, max)` pairs, each exactly once, in a deterministic order (bucket
+/// scan order; identical to the order the historical `AdjacencyList`
+/// construction inserted edges in).
+fn radius_graph_core(
+    positions: &[Point],
+    radius: f64,
+    region: Region,
+    ws: &mut RadiusGraphWorkspace,
+    emit: &mut impl FnMut(Node, Node),
+) {
     let n = positions.len();
-    let mut g = AdjacencyList::new(n);
     if n == 0 || radius <= 0.0 {
-        return g;
+        return;
     }
     let side = region.side();
     let r2 = radius * radius;
+    let half = side / 2.0;
+    let wrap = region.is_torus();
     // Number of buckets per axis; each bucket has side ≥ radius so only the
     // 8-neighborhood needs to be examined. On a torus the neighborhood wraps.
-    let buckets_per_axis = ((side / radius).floor() as usize).max(1);
-    let bucket_side = side / buckets_per_axis as f64;
-    let bucket_of = |p: Point| -> (usize, usize) {
-        let bx = ((p.0 / bucket_side) as usize).min(buckets_per_axis - 1);
-        let by = ((p.1 / bucket_side) as usize).min(buckets_per_axis - 1);
-        (bx, by)
+    let k = ((side / radius).floor() as usize).max(1);
+    let bucket_side = side / k as f64;
+    let nb = k * k;
+
+    // Counting sort of the nodes into buckets: three flat arrays, node index
+    // order preserved within each bucket (same per-bucket order as pushing
+    // into per-bucket Vecs).
+    ws.counts.clear();
+    ws.counts.resize(nb, 0);
+    let bucket_of = |p: Point| -> usize {
+        let bx = ((p.0 / bucket_side) as usize).min(k - 1);
+        let by = ((p.1 / bucket_side) as usize).min(k - 1);
+        by * k + bx
     };
-    let mut buckets: Vec<Vec<Node>> = vec![Vec::new(); buckets_per_axis * buckets_per_axis];
+    // Cache each node's bucket id in the `hits` scratch so the placement
+    // pass below reuses it instead of redoing the two divisions per node
+    // (the scratch is free here — the candidate scan only needs it later).
+    ws.hits.resize(n, 0);
     for (i, &p) in positions.iter().enumerate() {
-        let (bx, by) = bucket_of(p);
-        buckets[by * buckets_per_axis + bx].push(i as Node);
+        let b = bucket_of(p);
+        ws.hits[i] = b;
+        ws.counts[b] += 1;
     }
-    let wrap = region.is_torus();
-    let m = buckets_per_axis as isize;
-    for by in 0..buckets_per_axis {
-        for bx in 0..buckets_per_axis {
-            let here = &buckets[by * buckets_per_axis + bx];
-            // Same-bucket pairs.
-            for (i, &u) in here.iter().enumerate() {
-                for &v in &here[i + 1..] {
-                    if region.distance_squared(positions[u as usize], positions[v as usize]) <= r2 {
-                        g.add_edge_unchecked(u.min(v), u.max(v));
-                    }
+    ws.starts.clear();
+    ws.starts.reserve(nb + 1);
+    let mut acc = 0usize;
+    ws.starts.push(0);
+    for &c in &ws.counts {
+        acc += c;
+        ws.starts.push(acc);
+    }
+    ws.counts.copy_from_slice(&ws.starts[..nb]);
+    // Resize without `clear()`: the placement pass overwrites every slot, so
+    // re-initialising the kept prefix would be wasted work.
+    ws.nodes.resize(n, 0);
+    ws.xs.resize(n, 0.0);
+    ws.ys.resize(n, 0.0);
+    for (i, &p) in positions.iter().enumerate() {
+        let slot = &mut ws.counts[ws.hits[i]];
+        ws.nodes[*slot] = i as Node;
+        ws.xs[*slot] = p.0;
+        ws.ys[*slot] = p.1;
+        *slot += 1;
+    }
+
+    // Monomorphise the candidate scan per metric so the inner loops carry no
+    // per-pair branch on the region kind.
+    if wrap {
+        scan_buckets(
+            ws,
+            k,
+            true,
+            |ax, ay, bx, by| within_torus(ax, ay, bx, by, r2, side, half),
+            emit,
+        );
+    } else {
+        scan_buckets(
+            ws,
+            k,
+            false,
+            |ax, ay, bx, by| within_square(ax, ay, bx, by, r2),
+            emit,
+        );
+    }
+}
+
+/// The bucket-pair candidate scan over an already-built workspace index.
+///
+/// `close` is the metric predicate (monomorphised per region, so the pair
+/// loops compile branch-light); `wrap` selects toroidal neighbor offsets.
+/// Accepted candidates are compressed branchlessly into `ws.hits` before
+/// emission, so the distance loop carries no data-dependent branch; the
+/// emission order (ascending slot among accepted) is exactly the order the
+/// branchy formulation produced.
+fn scan_buckets(
+    ws: &mut RadiusGraphWorkspace,
+    k: usize,
+    wrap: bool,
+    close: impl Fn(f64, f64, f64, f64) -> bool + Copy,
+    emit: &mut impl FnMut(Node, Node),
+) {
+    let RadiusGraphWorkspace {
+        starts,
+        nodes,
+        xs,
+        ys,
+        hits,
+        ..
+    } = ws;
+    let nb = k * k;
+    // With ≤ 3 buckets per axis a wrapped neighbor offset can land on a
+    // bucket pair that was already examined (the historical implementation
+    // deduplicated this with a checked `add_edge` per candidate); a tiny
+    // visited-pair mask restores single-visit semantics at bucket-pair
+    // granularity instead — same edge set, same emission order, no per-edge
+    // membership scan. `k ≤ 3 ⇒ nb ≤ 9 ⇒ nb² ≤ 81`.
+    let dedup_pairs = k <= 3;
+    let mut visited_pair = [false; 81];
+
+    let m = k as isize;
+    for by in 0..k {
+        for bx in 0..k {
+            let here_idx = by * k + bx;
+            let hs = starts[here_idx];
+            let he = starts[here_idx + 1];
+            // Same-bucket pairs: i < j scan order == node index order.
+            for i in hs..he {
+                let (uxi, uyi) = (xs[i], ys[i]);
+                let mut m = 0usize;
+                for j in (i + 1)..he {
+                    hits[m] = j;
+                    m += close(uxi, uyi, xs[j], ys[j]) as usize;
+                }
+                for &j in &hits[..m] {
+                    let (u, v) = (nodes[i], nodes[j]);
+                    emit(u.min(v), u.max(v));
                 }
             }
             // Forward neighbor buckets (E, SW, S, SE) so each unordered bucket
-            // pair is visited once. With few buckets per axis the wrapped
-            // neighbor can coincide with an already-visited bucket, so guard
-            // against processing a pair twice via a canonical-index check.
+            // pair is visited once; wrapped duplicates are skipped through the
+            // visited-pair mask above.
             for (dx, dy) in [(1isize, 0isize), (-1, 1), (0, 1), (1, 1)] {
                 let (nx, ny) = if wrap {
                     (
@@ -67,31 +231,66 @@ pub fn radius_graph(positions: &[Point], radius: f64, region: Region) -> Adjacen
                     }
                     (nx as usize, ny as usize)
                 };
-                let here_idx = by * buckets_per_axis + bx;
-                let there_idx = ny * buckets_per_axis + nx;
+                let there_idx = ny * k + nx;
                 if there_idx == here_idx {
                     continue; // wrapped onto ourselves (tiny grids)
                 }
-                let there = &buckets[there_idx];
-                for &u in here {
-                    for &v in there {
-                        if region.distance_squared(positions[u as usize], positions[v as usize])
-                            <= r2
-                        {
-                            // On wrapped tiny grids the same bucket pair can be
-                            // reached through two different offsets; add_edge
-                            // (checked) keeps the graph simple in that case.
-                            if buckets_per_axis <= 3 {
-                                g.add_edge(u.min(v), u.max(v));
-                            } else {
-                                g.add_edge_unchecked(u.min(v), u.max(v));
-                            }
-                        }
+                if dedup_pairs {
+                    let key = here_idx.min(there_idx) * nb + here_idx.max(there_idx);
+                    if visited_pair[key] {
+                        continue;
+                    }
+                    visited_pair[key] = true;
+                }
+                let ts = starts[there_idx];
+                let te = starts[there_idx + 1];
+                for i in hs..he {
+                    let (uxi, uyi) = (xs[i], ys[i]);
+                    let mut m = 0usize;
+                    for j in ts..te {
+                        hits[m] = j;
+                        m += close(uxi, uyi, xs[j], ys[j]) as usize;
+                    }
+                    for &j in &hits[..m] {
+                        let (u, v) = (nodes[i], nodes[j]);
+                        emit(u.min(v), u.max(v));
                     }
                 }
             }
         }
     }
+}
+
+/// Builds the radius graph of `positions` **in place**: the snapshot lands in
+/// the caller-owned `out` buffer, scratch lives in the caller-owned `ws`.
+///
+/// Nodes are connected iff their distance (Euclidean in a square, wrap-around
+/// on a torus) is at most `radius`. Performs zero heap allocations once both
+/// buffers' capacities have warmed up — this is the per-time-step hot path of
+/// every geometric evolving graph.
+pub fn radius_graph_into(
+    positions: &[Point],
+    radius: f64,
+    region: Region,
+    ws: &mut RadiusGraphWorkspace,
+    out: &mut SnapshotBuf,
+) {
+    out.begin(positions.len());
+    radius_graph_core(positions, radius, region, ws, &mut |u, v| {
+        out.push_edge(u, v)
+    });
+    out.build();
+}
+
+/// Builds the radius graph of `positions` under the metric of `region`
+/// (one-shot allocating form; same construction — and same edge order — as
+/// [`radius_graph_into`]).
+pub fn radius_graph(positions: &[Point], radius: f64, region: Region) -> AdjacencyList {
+    let mut ws = RadiusGraphWorkspace::default();
+    let mut g = AdjacencyList::new(positions.len());
+    radius_graph_core(positions, radius, region, &mut ws, &mut |u, v| {
+        g.add_edge_unchecked(u, v);
+    });
     g
 }
 
@@ -160,6 +359,72 @@ mod tests {
     }
 
     #[test]
+    fn in_place_form_matches_allocating_form_exactly() {
+        // Same workspace and snapshot buffer reused across every
+        // configuration: the in-place construction must agree with the
+        // allocating one edge-for-edge (including neighbor order) on both
+        // metrics, including tiny wrapped grids where bucket pairs collide.
+        let mut ws = RadiusGraphWorkspace::default();
+        let mut buf = SnapshotBuf::new();
+        let mut checked = 0usize;
+        for seed in 0..25u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(1000 + seed);
+            let n = rng.gen_range(1..120usize);
+            let side = rng.gen_range(3.0..25.0f64);
+            let radius = rng.gen_range(0.2..side); // spans k = 1 .. large
+            for region in [Region::Square { side }, Region::Torus { side }] {
+                let pos = random_positions(n, side, 2000 + seed);
+                let reference = radius_graph(&pos, radius, region);
+                radius_graph_into(&pos, radius, region, &mut ws, &mut buf);
+                assert_eq!(buf.num_nodes(), reference.num_nodes());
+                assert_eq!(buf.num_edges(), reference.num_edges(), "seed {seed}");
+                for u in 0..n as Node {
+                    assert_eq!(
+                        buf.neighbors(u),
+                        reference.neighbors(u),
+                        "seed {seed} {region:?} node {u}"
+                    );
+                }
+                let brute = radius_graph_brute_force(&pos, radius, region);
+                assert_same_graph(&reference, &brute);
+                checked += 1;
+            }
+        }
+        assert_eq!(checked, 50);
+    }
+
+    #[test]
+    fn workspace_capacities_stabilise_after_warmup() {
+        let region = Region::Torus { side: 12.0 };
+        let mut ws = RadiusGraphWorkspace::default();
+        let mut buf = SnapshotBuf::new();
+        let pos = random_positions(400, 12.0, 9);
+        for _ in 0..5 {
+            radius_graph_into(&pos, 2.5, region, &mut ws, &mut buf);
+        }
+        let warm = (
+            ws.counts.capacity(),
+            ws.starts.capacity(),
+            ws.nodes.capacity(),
+            ws.xs.capacity(),
+            ws.ys.capacity(),
+            buf.capacities(),
+        );
+        for _ in 0..20 {
+            radius_graph_into(&pos, 2.5, region, &mut ws, &mut buf);
+            let now = (
+                ws.counts.capacity(),
+                ws.starts.capacity(),
+                ws.nodes.capacity(),
+                ws.xs.capacity(),
+                ws.ys.capacity(),
+                buf.capacities(),
+            );
+            assert_eq!(now, warm, "workspace capacity drifted after warm-up");
+        }
+    }
+
+    #[test]
     fn torus_connects_across_the_seam() {
         let region = Region::Torus { side: 10.0 };
         let pos = [(0.2, 5.0), (9.8, 5.0), (5.0, 5.0)];
@@ -193,5 +458,12 @@ mod tests {
             radius_graph(&[(1.0, 1.0), (1.5, 1.0)], 0.0, region).num_edges(),
             0
         );
+        let mut ws = RadiusGraphWorkspace::default();
+        let mut buf = SnapshotBuf::new();
+        radius_graph_into(&[], 1.0, region, &mut ws, &mut buf);
+        assert_eq!(buf.num_nodes(), 0);
+        radius_graph_into(&[(1.0, 1.0), (1.5, 1.0)], 0.0, region, &mut ws, &mut buf);
+        assert_eq!(buf.num_nodes(), 2);
+        assert_eq!(buf.num_edges(), 0);
     }
 }

@@ -160,6 +160,10 @@ impl Graph for AdjacencyList {
         };
         self.adj[a as usize].contains(&b)
     }
+
+    fn neighbor_slice(&self, u: Node) -> Option<&[Node]> {
+        Some(&self.adj[u as usize])
+    }
 }
 
 #[cfg(test)]

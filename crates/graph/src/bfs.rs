@@ -5,7 +5,7 @@
 //! for lower-bound sanity checks, and the reference implementation that the
 //! flooding engine on a *frozen* evolving graph must agree with.
 
-use crate::{Graph, Node};
+use crate::{visit_neighbors, Graph, Node};
 
 /// Distance label meaning "unreachable".
 pub const UNREACHABLE: u32 = u32::MAX;
@@ -21,7 +21,7 @@ pub fn distances<G: Graph + ?Sized>(g: &G, source: Node) -> Vec<u32> {
     queue.push_back(source);
     while let Some(u) = queue.pop_front() {
         let du = dist[u as usize];
-        g.for_each_neighbor(u, &mut |v| {
+        visit_neighbors(g, u, |v| {
             if dist[v as usize] == UNREACHABLE {
                 dist[v as usize] = du + 1;
                 queue.push_back(v);

@@ -58,6 +58,35 @@ impl Csr {
         }
     }
 
+    /// Builds a CSR graph with `n` nodes from an edge list, **dropping
+    /// duplicate edges** (and self-loops) so the result is guaranteed simple.
+    ///
+    /// This is the constructor consumers that assume simple graphs — the
+    /// diameter and expansion probes, whose math is over simple snapshots —
+    /// should freeze edge lists through: [`Csr::from_edges`] keeps duplicates
+    /// silently (its documented caveat), which double-counts degrees and
+    /// skews expansion ratios. Duplicates are detected on the canonical
+    /// `(min, max)` form; the first occurrence wins, so neighbor order is the
+    /// first-occurrence order of the input stream. In debug builds the
+    /// result is additionally asserted to be simple.
+    pub fn from_edges_dedup(n: usize, edges: &[(Node, Node)]) -> Self {
+        let mut seen = std::collections::HashSet::with_capacity(edges.len());
+        let filtered: Vec<(Node, Node)> = edges
+            .iter()
+            .copied()
+            .filter(|&(u, v)| u != v && seen.insert((u.min(v), u.max(v))))
+            .collect();
+        let csr = Csr::from_edges(n, &filtered);
+        debug_assert!(
+            (0..n as Node).all(|u| {
+                let nb = csr.neighbors(u);
+                !nb.contains(&u) && (1..nb.len()).all(|i| !nb[..i].contains(&nb[i]))
+            }),
+            "from_edges_dedup produced a non-simple graph"
+        );
+        csr
+    }
+
     /// Converts an adjacency list into CSR form.
     pub fn from_adjacency(g: &AdjacencyList) -> Self {
         let n = g.num_nodes();
@@ -111,6 +140,10 @@ impl Graph for Csr {
     fn has_edge(&self, u: Node, v: Node) -> bool {
         self.neighbors(u).contains(&v)
     }
+
+    fn neighbor_slice(&self, u: Node) -> Option<&[Node]> {
+        Some(self.neighbors(u))
+    }
 }
 
 #[cfg(test)]
@@ -141,6 +174,26 @@ mod tests {
         assert_eq!(Graph::degree(&csr, 1), 2);
         assert!(csr.has_edge(0, 1));
         assert!(!csr.has_edge(0, 2));
+    }
+
+    #[test]
+    fn from_edges_dedup_drops_duplicates_and_self_loops() {
+        let edges = [(0u32, 1u32), (1, 0), (0, 1), (2, 2), (1, 2), (2, 1)];
+        let naive = Csr::from_edges(3, &edges);
+        assert_eq!(naive.num_edges(), 5, "from_edges keeps duplicates");
+        let clean = Csr::from_edges_dedup(3, &edges);
+        assert_eq!(clean.num_edges(), 2);
+        assert_eq!(Graph::degree(&clean, 1), 2);
+        assert_eq!(clean.neighbors(1), &[0, 2], "first occurrence wins");
+        assert!(clean.has_edge(0, 1) && clean.has_edge(1, 2));
+        assert!(!clean.has_edge(0, 2));
+        // Already-simple input is passed through unchanged.
+        let simple = [(0u32, 1u32), (1, 2)];
+        let a = Csr::from_edges(3, &simple);
+        let b = Csr::from_edges_dedup(3, &simple);
+        for u in 0..3u32 {
+            assert_eq!(a.neighbors(u), b.neighbors(u));
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! (random-subset and BFS-ball sampling, the latter catching the clustered
 //! sets that are worst for geometric graphs).
 
-use crate::{out_neighborhood, Graph, Node, NodeSet};
+use crate::{out_neighborhood, visit_neighbors, Graph, Node, NodeSet};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -135,7 +135,7 @@ pub fn bfs_ball<G: Graph + ?Sized>(g: &G, seed: Node, target: usize) -> NodeSet 
     while set.len() < target {
         let Some(u) = queue.pop_front() else { break };
         let mut done = false;
-        g.for_each_neighbor(u, &mut |v| {
+        visit_neighbors(g, u, |v| {
             if done || set.contains(v) {
                 return;
             }

@@ -52,10 +52,12 @@ pub mod expansion;
 pub mod generators;
 pub mod metrics;
 pub mod nodeset;
+pub mod snapshot_buf;
 
 pub use adjacency::AdjacencyList;
 pub use csr::Csr;
 pub use nodeset::NodeSet;
+pub use snapshot_buf::SnapshotBuf;
 
 /// A node identifier. Nodes are always the integers `0 .. n`.
 pub type Node = u32;
@@ -101,6 +103,33 @@ pub trait Graph {
         self.for_each_neighbor(u, &mut |v| out.push(v));
         out
     }
+
+    /// Borrows the neighbors of `u` as a contiguous slice when the
+    /// representation stores them contiguously ([`AdjacencyList`], [`Csr`],
+    /// [`SnapshotBuf`]); `None` otherwise.
+    ///
+    /// Hot loops should go through [`visit_neighbors`], which takes this fast
+    /// path when available and falls back to
+    /// [`for_each_neighbor`](Graph::for_each_neighbor) (a dynamic call per
+    /// neighbor) when it is not. The slice order **must** equal the
+    /// `for_each_neighbor` order — RNG-consuming consumers rely on it.
+    fn neighbor_slice(&self, _u: Node) -> Option<&[Node]> {
+        None
+    }
+}
+
+/// Invokes `f` on every neighbor of `u`, using the contiguous
+/// [`Graph::neighbor_slice`] fast path when the representation provides one.
+#[inline]
+pub fn visit_neighbors<G: Graph + ?Sized>(g: &G, u: Node, mut f: impl FnMut(Node)) {
+    match g.neighbor_slice(u) {
+        Some(slice) => {
+            for &v in slice {
+                f(v);
+            }
+        }
+        None => g.for_each_neighbor(u, &mut f),
+    }
 }
 
 /// Out-neighborhood `N(I)` of a node set `I`: all nodes *outside* `I` adjacent
@@ -108,7 +137,7 @@ pub trait Graph {
 pub fn out_neighborhood<G: Graph + ?Sized>(g: &G, set: &NodeSet) -> NodeSet {
     let mut out = NodeSet::new(g.num_nodes());
     for u in set.iter() {
-        g.for_each_neighbor(u, &mut |v| {
+        visit_neighbors(g, u, |v| {
             if !set.contains(v) {
                 out.insert(v);
             }

@@ -1,0 +1,417 @@
+//! Reusable flat CSR snapshot buffer — the allocation-free hot path of the
+//! evolving-graph pipeline.
+//!
+//! Every `EvolvingGraph::advance()` produces a fresh snapshot `G_t`. Building
+//! an [`AdjacencyList`] for that (one heap `Vec` per
+//! node) costs `Θ(n)` small allocations per time step, which dominates the
+//! simulation cost in exactly the large-`n` regimes the paper's theorems are
+//! about. [`SnapshotBuf`] replaces it with a model-owned, **reusable** flat
+//! CSR (compressed sparse row) buffer:
+//!
+//! * `offsets: Vec<usize>` (`n + 1` entries) and `targets: Vec<Node>`
+//!   (`2·m` entries) hold the finished snapshot — two contiguous arrays,
+//!   cache-friendly neighbor scans, no per-node storage;
+//! * `edges: Vec<(Node, Node)>` is the staging area producers push into, and
+//!   `deg: Vec<usize>` is the counting-sort scratch;
+//! * [`begin`](SnapshotBuf::begin) / [`push_edge`](SnapshotBuf::push_edge) /
+//!   [`build`](SnapshotBuf::build) only ever `clear()` and refill these four
+//!   vectors, so once their capacities have grown to the high-water mark of
+//!   the run (**warm-up**), a rebuild performs **zero** heap allocations.
+//!
+//! The build is a stable counting sort over the staged edge stream: node
+//! `u`'s neighbors end up in exactly the order edges incident to `u` were
+//! pushed. This matches the push order of the `AdjacencyList` construction it
+//! replaces, which is what keeps RNG-consuming consumers (push–pull's random
+//! neighbor choice, BFS-ball sampling) byte-identical across the migration.
+
+use crate::{AdjacencyList, Graph, Node};
+
+/// A mutable, reusable CSR-style snapshot of an undirected simple graph.
+///
+/// Lifecycle: [`begin(n)`](SnapshotBuf::begin) →
+/// [`push_edge`](SnapshotBuf::push_edge)`*` → [`build`](SnapshotBuf::build) →
+/// query (via [`Graph`] or [`neighbors`](SnapshotBuf::neighbors)) → `begin`
+/// again. Queries before `build` are a logic error (checked by
+/// `debug_assert`).
+///
+/// Producers must push each undirected edge exactly once and never push
+/// self-loops — the same contract as
+/// [`AdjacencyList::add_edge_unchecked`].
+///
+/// ## Example
+///
+/// ```
+/// use meg_graph::{Graph, SnapshotBuf};
+///
+/// let mut buf = SnapshotBuf::new();
+/// for t in 0..3 {
+///     buf.begin(4);
+///     buf.push_edge(0, 1);
+///     buf.push_edge(2, 3);
+///     if t == 2 {
+///         buf.push_edge(1, 2);
+///     }
+///     buf.build();
+///     assert_eq!(buf.num_nodes(), 4);
+///     assert!(buf.has_edge(0, 1));
+/// }
+/// assert_eq!(buf.num_edges(), 3);
+/// assert_eq!(buf.neighbors(1), &[0, 2]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SnapshotBuf {
+    n: usize,
+    /// Staged edge stream of the snapshot under construction.
+    edges: Vec<(Node, Node)>,
+    /// Degree counts during staging; reused as fill cursors inside `build`.
+    /// `u32` keeps the cursor array half the size of the offset array, which
+    /// matters in the scatter-heavy fill pass (`2m` random writes driven
+    /// through it).
+    deg: Vec<u32>,
+    /// CSR row offsets (`n + 1` entries once built).
+    offsets: Vec<usize>,
+    /// CSR column indices (`2·num_edges` entries once built).
+    targets: Vec<Node>,
+    built: bool,
+}
+
+impl SnapshotBuf {
+    /// Creates an empty buffer (zero nodes, built state).
+    pub fn new() -> Self {
+        SnapshotBuf {
+            n: 0,
+            edges: Vec::new(),
+            deg: Vec::new(),
+            offsets: vec![0],
+            targets: Vec::new(),
+            built: true,
+        }
+    }
+
+    /// Creates a built, edgeless snapshot over `n` nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        let mut buf = Self::new();
+        buf.begin(n);
+        buf.build();
+        buf
+    }
+
+    /// Starts a new snapshot over `n` nodes, discarding the previous one.
+    ///
+    /// Reuses every internal buffer: after the capacities have reached the
+    /// run's high-water mark this allocates nothing.
+    pub fn begin(&mut self, n: usize) {
+        self.n = n;
+        self.edges.clear();
+        self.deg.clear();
+        self.deg.resize(n, 0);
+        self.built = false;
+    }
+
+    /// Stages the undirected edge `{u, v}`.
+    ///
+    /// The caller guarantees `u != v`, both endpoints in range, and that the
+    /// edge has not been pushed before (`debug_assert`ed where cheap — the
+    /// same contract as [`AdjacencyList::add_edge_unchecked`]).
+    #[inline]
+    pub fn push_edge(&mut self, u: Node, v: Node) {
+        debug_assert!(!self.built, "push_edge after build without begin");
+        debug_assert_ne!(u, v, "self-loop ({u},{v})");
+        debug_assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u},{v}) out of range for n={}",
+            self.n
+        );
+        self.deg[u as usize] += 1;
+        self.deg[v as usize] += 1;
+        self.edges.push((u, v));
+    }
+
+    /// Finalises the staged edges into CSR form (stable counting sort).
+    pub fn build(&mut self) {
+        debug_assert!(!self.built, "build called twice without begin");
+        let n = self.n;
+        self.offsets.clear();
+        self.offsets.reserve(n + 1);
+        let mut acc = 0usize;
+        self.offsets.push(0);
+        for u in 0..n {
+            // Reuse `deg` as the per-node fill cursor while accumulating the
+            // offsets (one pass instead of prefix-sum + copy-back).
+            let d = self.deg[u];
+            self.deg[u] = acc as u32;
+            acc += d as usize;
+            self.offsets.push(acc);
+        }
+        assert!(
+            acc <= u32::MAX as usize,
+            "snapshot arc count {acc} exceeds the u32 cursor range"
+        );
+        // Resize without `clear()`: every slot is overwritten by the fill
+        // pass below, so re-zeroing the kept prefix would be wasted work.
+        self.targets.resize(2 * self.edges.len(), 0);
+        for &(u, v) in &self.edges {
+            self.targets[self.deg[u as usize] as usize] = v;
+            self.deg[u as usize] += 1;
+            self.targets[self.deg[v as usize] as usize] = u;
+            self.deg[v as usize] += 1;
+        }
+        self.built = true;
+    }
+
+    /// Rebuilds the buffer as an exact copy of an adjacency list, preserving
+    /// every neighbor list's order (used by the frozen/scheduled adapters).
+    pub fn copy_from_adjacency(&mut self, g: &AdjacencyList) {
+        let n = g.num_nodes();
+        self.n = n;
+        self.edges.clear();
+        self.deg.clear();
+        self.deg.resize(n, 0);
+        self.offsets.clear();
+        self.offsets.reserve(n + 1);
+        self.targets.clear();
+        let mut acc = 0usize;
+        self.offsets.push(0);
+        for u in 0..n {
+            acc += g.neighbors(u as Node).len();
+            self.offsets.push(acc);
+        }
+        self.targets.reserve(acc);
+        for u in 0..n {
+            self.targets.extend_from_slice(g.neighbors(u as Node));
+        }
+        // Recover the staged edge stream so `num_edges`/`edges` stay
+        // consistent: each undirected edge once, in row order.
+        for u in 0..n as Node {
+            for &v in g.neighbors(u) {
+                if u < v {
+                    self.edges.push((u, v));
+                }
+            }
+        }
+        debug_assert_eq!(self.edges.len(), g.num_edges());
+        self.built = true;
+    }
+
+    /// Borrows the neighbor slice of `u` (valid after `build`).
+    #[inline]
+    pub fn neighbors(&self, u: Node) -> &[Node] {
+        debug_assert!(self.built, "query before build");
+        &self.targets[self.offsets[u as usize]..self.offsets[u as usize + 1]]
+    }
+
+    /// Returns every edge `{u, v}` with `u < v`, in CSR row order
+    /// (allocates; intended for tests and one-shot freezes, not the hot
+    /// path).
+    pub fn edges(&self) -> Vec<(Node, Node)> {
+        debug_assert!(self.built, "query before build");
+        let mut out = Vec::with_capacity(self.num_edges());
+        for u in 0..self.n as Node {
+            for &v in self.neighbors(u) {
+                if u < v {
+                    out.push((u, v));
+                }
+            }
+        }
+        out
+    }
+
+    /// Copies the snapshot into a fresh [`AdjacencyList`], replaying the
+    /// staged edge stream so per-node neighbor order is preserved
+    /// (test/interop helper — allocates).
+    pub fn to_adjacency(&self) -> AdjacencyList {
+        debug_assert!(self.built, "query before build");
+        let mut g = AdjacencyList::new(self.n);
+        for &(u, v) in &self.edges {
+            g.add_edge_unchecked(u, v);
+        }
+        g
+    }
+
+    /// Capacity snapshot `(edges, deg, offsets, targets)` — lets tests assert
+    /// the no-allocation-after-warm-up invariant without a custom allocator.
+    pub fn capacities(&self) -> (usize, usize, usize, usize) {
+        (
+            self.edges.capacity(),
+            self.deg.capacity(),
+            self.offsets.capacity(),
+            self.targets.capacity(),
+        )
+    }
+}
+
+impl Graph for SnapshotBuf {
+    fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    fn for_each_neighbor(&self, u: Node, f: &mut dyn FnMut(Node)) {
+        for &v in self.neighbors(u) {
+            f(v);
+        }
+    }
+
+    fn degree(&self, u: Node) -> usize {
+        debug_assert!(self.built, "query before build");
+        self.offsets[u as usize + 1] - self.offsets[u as usize]
+    }
+
+    fn has_edge(&self, u: Node, v: Node) -> bool {
+        // Scan the shorter of the two neighbor lists (same trick as
+        // `AdjacencyList::has_edge`; the sparse edge engine calls this per
+        // birth candidate).
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).contains(&b)
+    }
+
+    fn neighbor_slice(&self, u: Node) -> Option<&[Node]> {
+        Some(self.neighbors(u))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn build_and_query_matches_adjacency_semantics() {
+        let mut buf = SnapshotBuf::new();
+        buf.begin(5);
+        for (u, v) in [(0, 1), (3, 2), (1, 4), (1, 2)] {
+            buf.push_edge(u, v);
+        }
+        buf.build();
+        assert_eq!(buf.num_nodes(), 5);
+        assert_eq!(buf.num_edges(), 4);
+        // Neighbor order = push order of incident edges.
+        assert_eq!(buf.neighbors(1), &[0, 4, 2]);
+        assert_eq!(buf.neighbors(2), &[3, 1]);
+        assert_eq!(Graph::degree(&buf, 1), 3);
+        assert!(buf.has_edge(2, 3) && buf.has_edge(3, 2));
+        assert!(!buf.has_edge(0, 4));
+        assert_eq!(buf.edges(), vec![(0, 1), (1, 4), (1, 2), (2, 3)]);
+        assert_eq!(buf.neighbor_slice(1), Some(&[0, 4, 2][..]));
+    }
+
+    #[test]
+    fn reuse_across_rebuilds_is_clean() {
+        let mut buf = SnapshotBuf::new();
+        buf.begin(3);
+        buf.push_edge(0, 1);
+        buf.push_edge(1, 2);
+        buf.build();
+        assert_eq!(buf.num_edges(), 2);
+        buf.begin(4);
+        buf.push_edge(2, 3);
+        buf.build();
+        assert_eq!(buf.num_nodes(), 4);
+        assert_eq!(buf.num_edges(), 1);
+        assert!(buf.neighbors(0).is_empty());
+        assert!(buf.neighbors(1).is_empty());
+        assert_eq!(buf.neighbors(3), &[2]);
+    }
+
+    #[test]
+    fn capacities_stabilise_after_warmup() {
+        let mut buf = SnapshotBuf::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let rebuild = |buf: &mut SnapshotBuf, rng: &mut ChaCha8Rng| {
+            buf.begin(64);
+            for u in 0..64u32 {
+                for v in (u + 1)..64 {
+                    if rng.gen_bool(0.2) {
+                        buf.push_edge(u, v);
+                    }
+                }
+            }
+            buf.build();
+        };
+        for _ in 0..20 {
+            rebuild(&mut buf, &mut rng);
+        }
+        let warm = buf.capacities();
+        for _ in 0..50 {
+            rebuild(&mut buf, &mut rng);
+            assert_eq!(buf.capacities(), warm, "capacity drifted after warm-up");
+        }
+    }
+
+    #[test]
+    fn matches_adjacency_list_for_random_edge_streams() {
+        // The CSR construction must be edge-set- and neighbor-order-identical
+        // to pushing the same stream into an AdjacencyList.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut buf = SnapshotBuf::new();
+        for trial in 0..60 {
+            let n = rng.gen_range(2..40usize);
+            let mut adj = AdjacencyList::new(n);
+            buf.begin(n);
+            let mut pushed = std::collections::BTreeSet::new();
+            for _ in 0..rng.gen_range(0..80) {
+                let u = rng.gen_range(0..n) as Node;
+                let v = rng.gen_range(0..n) as Node;
+                let (a, b) = (u.min(v), u.max(v));
+                if a == b || !pushed.insert((a, b)) {
+                    continue;
+                }
+                adj.add_edge_unchecked(a, b);
+                buf.push_edge(a, b);
+            }
+            buf.build();
+            assert_eq!(buf.num_edges(), adj.num_edges(), "trial {trial}");
+            for u in 0..n as Node {
+                assert_eq!(buf.neighbors(u), adj.neighbors(u), "trial {trial} node {u}");
+            }
+            assert_eq!(buf.edges(), adj.edges(), "trial {trial}");
+            let back = buf.to_adjacency();
+            assert_eq!(back.edges(), adj.edges(), "trial {trial} round-trip");
+        }
+    }
+
+    #[test]
+    fn copy_from_adjacency_preserves_neighbor_order() {
+        let mut g = AdjacencyList::new(5);
+        // Deliberately scrambled insertion order.
+        g.add_edge(3, 1);
+        g.add_edge(1, 0);
+        g.add_edge(4, 1);
+        let mut buf = SnapshotBuf::new();
+        buf.copy_from_adjacency(&g);
+        assert_eq!(buf.num_edges(), 3);
+        for u in 0..5u32 {
+            assert_eq!(buf.neighbors(u), g.neighbors(u), "node {u}");
+        }
+        // Reuse for a different graph.
+        let h = generators::cycle(7);
+        buf.copy_from_adjacency(&h);
+        assert_eq!(buf.num_nodes(), 7);
+        assert_eq!(buf.num_edges(), 7);
+        for u in 0..7u32 {
+            assert_eq!(buf.neighbors(u), h.neighbors(u), "node {u}");
+        }
+    }
+
+    #[test]
+    fn with_nodes_is_edgeless_and_queryable() {
+        let buf = SnapshotBuf::with_nodes(6);
+        assert_eq!(buf.num_nodes(), 6);
+        assert_eq!(buf.num_edges(), 0);
+        for u in 0..6u32 {
+            assert!(buf.neighbors(u).is_empty());
+        }
+        let empty = SnapshotBuf::new();
+        assert_eq!(empty.num_nodes(), 0);
+        assert_eq!(empty.num_edges(), 0);
+    }
+}

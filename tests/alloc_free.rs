@@ -1,0 +1,103 @@
+//! The no-allocation invariant of the snapshot pipeline, asserted with a
+//! counting global allocator.
+//!
+//! `EvolvingGraph::advance()` fills a model-owned flat CSR buffer
+//! ([`meg::graph::SnapshotBuf`]) in place. After a warm-up phase — during
+//! which the buffer and workspace capacities grow to the run's high-water
+//! mark — stepping the dense-edge and geometric evolving graphs must perform
+//! **zero** heap allocations (the acceptance criterion of the
+//! allocation-free snapshot pipeline refactor). The sparse edge engine is
+//! deliberately out of scope: its alive-set `BTreeSet` allocates per birth by
+//! design.
+//!
+//! The test counts `alloc` / `realloc` / `alloc_zeroed` calls around the
+//! measured loop on the test's own single thread; nothing else runs
+//! concurrently in this integration-test binary (one `#[test]`), so a
+//! non-zero delta is attributable to `advance()`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let result = f();
+    (ALLOCATIONS.load(Ordering::Relaxed) - before, result)
+}
+
+#[test]
+fn advance_is_allocation_free_after_warmup_on_dense_and_geometric_paths() {
+    use meg::core::evolving::EvolvingGraph;
+    use meg::edge::{DenseEdgeMeg, EdgeMegParams};
+    use meg::geometric::{GeometricMeg, GeometricMegParams};
+    use meg::graph::Graph;
+
+    // --- dense edge-MEG ---------------------------------------------------
+    let params = EdgeMegParams::with_stationary(256, 0.08, 0.4);
+    let mut dense = DenseEdgeMeg::stationary(params, 7);
+    // Warm-up: let every buffer reach its high-water capacity. The snapshot
+    // size fluctuates around the stationary level, so a generous warm-up
+    // covers the edge-count peaks the measured window will see.
+    for _ in 0..100 {
+        dense.advance();
+    }
+    let (dense_allocs, dense_edges) = allocations_during(|| {
+        let mut total = 0usize;
+        for _ in 0..200 {
+            total += dense.advance().num_edges();
+        }
+        total
+    });
+    assert!(dense_edges > 0, "dense workload degenerated");
+    assert_eq!(
+        dense_allocs, 0,
+        "dense advance() allocated {dense_allocs} times after warm-up"
+    );
+
+    // --- geometric-MEG (grid walk, square metric) -------------------------
+    let params = GeometricMegParams::new(512, 1.5, 4.0);
+    let mut geo = GeometricMeg::from_params(params, 11);
+    for _ in 0..100 {
+        geo.advance();
+    }
+    let (geo_allocs, geo_edges) = allocations_during(|| {
+        let mut total = 0usize;
+        for _ in 0..200 {
+            total += geo.advance().num_edges();
+        }
+        total
+    });
+    assert!(geo_edges > 0, "geometric workload degenerated");
+    assert_eq!(
+        geo_allocs, 0,
+        "geometric advance() allocated {geo_allocs} times after warm-up"
+    );
+}
