@@ -57,6 +57,13 @@ fi
 step "cargo test -q (tier-1: unit + property + integration + doc)"
 cargo test -q --workspace --offline
 
+if [ "$MODE" != "quick" ]; then
+    step "test-stats (gof + stepping-equivalence + delta-consistency, release)"
+    cargo test -q --release --offline -p meg-stats gof
+    cargo test -q --release --offline -p meg-edge --test stepping_equivalence
+    cargo test -q --release --offline -p meg-graph --test delta_consistency
+fi
+
 step "cargo doc --workspace --no-deps (must be warning-free)"
 DOCWARN=$(cargo doc --workspace --no-deps --offline 2>&1 | grep -c '^warning' || true)
 if [ "$DOCWARN" -ne 0 ]; then
@@ -144,6 +151,15 @@ for r in results:
 lines = [json.loads(l) for l in (d / "lines.jsonl").read_text().splitlines() if l.strip()]
 assert len(lines) == len(results), "stdout lines and document disagree"
 print(f"bench-smoke: {len(results)} workloads, JSON well-formed")
+# A/B stepping pair: the per-pair and transitions dense-flood workloads run
+# the same population, so both must be present and report sane medians.
+by_name = {r["bench"]: r for r in results}
+a = by_name.get("edge_dense_flood_n4096")
+b = by_name.get("edge_dense_flood_fast_n4096")
+assert a and b, "stepping A/B pair missing from bench results"
+ratio = a["median_ms"] / b["median_ms"] if b["median_ms"] > 0 else float("inf")
+print(f"bench-smoke A/B: dense_flood per_pair {a['median_ms']:.2f} ms vs "
+      f"transitions {b['median_ms']:.2f} ms ({ratio:.1f}x at smoke scale)")
 PYEOF
     rm -rf "$BENCH_DIR"
 

@@ -1,16 +1,33 @@
 //! Dense edge-MEG engine: one explicit Markov-chain state per potential edge.
 //!
-//! Every step touches all `C(n, 2)` pairs, so this engine is `O(n²)` per
-//! snapshot. It is the exact, obviously-correct reference used to validate
-//! the sparse engine, and it is perfectly adequate for the dense regimes
-//! (`p̂ = Ω(1)`) and for `n` up to a few thousand.
+//! Under the default [`Stepping::PerPair`] every step touches all `C(n, 2)`
+//! pairs, so stepping is `O(n²)` per snapshot. It is the exact,
+//! obviously-correct reference used to validate the sparse engine, and it is
+//! perfectly adequate for the dense regimes (`p̂ = Ω(1)`) and for `n` up to a
+//! few thousand.
+//!
+//! [`Stepping::Transitions`] keeps the same per-pair state vector for `O(1)`
+//! membership tests but steps by *flips only*: holding times of the two-state
+//! chain are geometric, so deaths are skip-sampled as positions in a flat
+//! alive-index array (rate `q`) and births as pair indices over the whole
+//! triangle (rate `p`, pre-step-alive candidates rejected). The flips are
+//! applied to the snapshot as a CSR delta
+//! ([`SnapshotBuf::apply_delta`]) instead of rebuilding it, making a round
+//! `O(1 + p·C(n,2) + q·|E|)` — sub-linear in the pair count for the sparse
+//! and moderate regimes the paper's theorems live in.
 
 use crate::model::EdgeMegParams;
-use meg_core::evolving::{EvolvingGraph, InitialDistribution};
+use crate::sparse::sample_bernoulli_indices;
+use meg_core::evolving::{EvolvingGraph, InitialDistribution, Stepping};
+use meg_graph::generators::pair_from_index;
 use meg_graph::{Node, SnapshotBuf};
 use meg_markov::TwoStateChain;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Spare target slots reserved per CSR row by the transition-stepping path,
+/// so a typical round's births fit without a rebuild.
+pub(crate) const DELTA_SLACK: u32 = 4;
 
 /// Edge-MEG with a dense per-pair state vector.
 #[derive(Clone, Debug)]
@@ -22,15 +39,45 @@ pub struct DenseEdgeMeg {
     rng: StdRng,
     snapshot: SnapshotBuf,
     time: u64,
+    stepping: Stepping,
+    /// Flat array of alive pair indices (transition stepping only): deaths
+    /// are skip-sampled as positions in this array and swap-removed.
+    alive_idx: Vec<u32>,
+    /// Whether the snapshot currently mirrors `alive` (transition stepping
+    /// builds it once, then maintains it by deltas).
+    snapshot_synced: bool,
+    /// Scratch: sampled birth pair indices of the current round.
+    birth_idx: Vec<u32>,
+    /// Scratch: sampled death positions into `alive_idx` (increasing).
+    death_pos: Vec<u32>,
+    /// Scratch: this round's flips as endpoint pairs, fed to `apply_delta`.
+    births: Vec<(Node, Node)>,
+    deaths: Vec<(Node, Node)>,
 }
 
 impl DenseEdgeMeg {
-    /// Creates the evolving graph with the given initial distribution.
+    /// Creates the evolving graph with the given initial distribution and
+    /// the default per-pair stepping.
     pub fn new(params: EdgeMegParams, init: InitialDistribution, seed: u64) -> Self {
+        Self::with_stepping(params, init, Stepping::PerPair, seed)
+    }
+
+    /// Creates the evolving graph with an explicit stepping mode.
+    ///
+    /// Both modes sample the same process; they consume randomness in a
+    /// different order, so trajectories at equal seeds differ (the
+    /// `stepping_equivalence` suite checks the laws agree). The initial state
+    /// is drawn identically, so `G_0` matches across modes at equal seeds.
+    pub fn with_stepping(
+        params: EdgeMegParams,
+        init: InitialDistribution,
+        stepping: Stepping,
+        seed: u64,
+    ) -> Self {
         let chain = params.chain();
         let mut rng = StdRng::seed_from_u64(seed);
         let num_pairs = params.num_pairs() as usize;
-        let alive = match init {
+        let alive: Vec<bool> = match init {
             InitialDistribution::Empty => vec![false; num_pairs],
             InitialDistribution::Full => vec![true; num_pairs],
             InitialDistribution::Stationary => {
@@ -38,6 +85,20 @@ impl DenseEdgeMeg {
                 (0..num_pairs).map(|_| rng.gen_bool(phat)).collect()
             }
         };
+        let mut alive_idx = Vec::new();
+        if stepping == Stepping::Transitions {
+            assert!(
+                params.num_pairs() <= u32::MAX as u64,
+                "transition stepping indexes pairs with u32; n={} has too many pairs",
+                params.n
+            );
+            alive_idx = alive
+                .iter()
+                .enumerate()
+                .filter(|(_, &a)| a)
+                .map(|(k, _)| k as u32)
+                .collect();
+        }
         DenseEdgeMeg {
             params,
             chain,
@@ -45,12 +106,24 @@ impl DenseEdgeMeg {
             rng,
             snapshot: SnapshotBuf::with_nodes(params.n),
             time: 0,
+            stepping,
+            alive_idx,
+            snapshot_synced: false,
+            birth_idx: Vec::new(),
+            death_pos: Vec::new(),
+            births: Vec::new(),
+            deaths: Vec::new(),
         }
     }
 
     /// Stationary-start constructor (the paper's setting).
     pub fn stationary(params: EdgeMegParams, seed: u64) -> Self {
         Self::new(params, InitialDistribution::Stationary, seed)
+    }
+
+    /// The stepping mode this engine was built with.
+    pub fn stepping(&self) -> Stepping {
+        self.stepping
     }
 
     /// The model parameters.
@@ -85,6 +158,55 @@ impl DenseEdgeMeg {
         }
         self.snapshot.build();
     }
+
+    /// Transition stepping: sample only the pairs that flip this round and
+    /// record them as a delta in `births`/`deaths`.
+    ///
+    /// Births are drawn first (against the pre-step state), because the model
+    /// forbids a same-round death→rebirth: an edge alive at `t` that dies is
+    /// absent at `t+1` regardless of the birth coin it would have drawn.
+    fn step_transitions(&mut self) {
+        let total = self.params.num_pairs();
+        let n = self.params.n as u64;
+        let p = self.params.p;
+        let q = self.params.q;
+        self.birth_idx.clear();
+        self.death_pos.clear();
+        self.births.clear();
+        self.deaths.clear();
+        // Births: every pair absent before this step turns on w.p. p.
+        let alive = &self.alive;
+        let birth_idx = &mut self.birth_idx;
+        sample_bernoulli_indices(total, p, &mut self.rng, |k| {
+            if !alive[k as usize] {
+                birth_idx.push(k as u32);
+            }
+        });
+        // Deaths: every alive edge dies w.p. q — sampled as *positions* in
+        // the flat alive-index array (the array order is arbitrary but the
+        // marks are i.i.d., so any order samples the same law).
+        let death_pos = &mut self.death_pos;
+        sample_bernoulli_indices(self.alive_idx.len() as u64, q, &mut self.rng, |pos| {
+            death_pos.push(pos as u32);
+        });
+        // Apply deaths in decreasing position order: swap_remove only ever
+        // moves elements from beyond the positions still to be processed.
+        for i in (0..self.death_pos.len()).rev() {
+            let pos = self.death_pos[i] as usize;
+            let k = self.alive_idx.swap_remove(pos);
+            self.alive[k as usize] = false;
+            let (a, b) = pair_from_index(n, k as u64);
+            self.deaths.push((a as Node, b as Node));
+        }
+        // Apply births.
+        for i in 0..self.birth_idx.len() {
+            let k = self.birth_idx[i];
+            self.alive[k as usize] = true;
+            self.alive_idx.push(k);
+            let (a, b) = pair_from_index(n, k as u64);
+            self.births.push((a as Node, b as Node));
+        }
+    }
 }
 
 impl EvolvingGraph for DenseEdgeMeg {
@@ -93,11 +215,42 @@ impl EvolvingGraph for DenseEdgeMeg {
     }
 
     fn advance(&mut self) -> &SnapshotBuf {
-        // Snapshot G_t reflects the current edge states; the chain then moves
-        // to the states of time t+1.
-        self.rebuild_snapshot();
-        for state in self.alive.iter_mut() {
-            *state = self.chain.step(*state, &mut self.rng);
+        match self.stepping {
+            Stepping::PerPair => {
+                // Snapshot G_t reflects the current edge states; the chain
+                // then moves to the states of time t+1.
+                self.rebuild_snapshot();
+                for state in self.alive.iter_mut() {
+                    *state = self.chain.step(*state, &mut self.rng);
+                }
+            }
+            Stepping::Transitions => {
+                // The snapshot persistently mirrors the edge states: built in
+                // full (with row slack) on the first call, then maintained by
+                // per-round deltas. The chain therefore steps at the *start*
+                // of each later call — the k-th advance still returns
+                // `G_{k−1}`, exactly like the per-pair path.
+                if !self.snapshot_synced {
+                    self.snapshot.begin(self.params.n);
+                    let n = self.params.n;
+                    let mut start = 0usize;
+                    for a in 0..n.saturating_sub(1) {
+                        let row_len = n - 1 - a;
+                        let row = &self.alive[start..start + row_len];
+                        for (off, &alive) in row.iter().enumerate() {
+                            if alive {
+                                self.snapshot.push_edge(a as Node, (a + 1 + off) as Node);
+                            }
+                        }
+                        start += row_len;
+                    }
+                    self.snapshot.build_with_slack(DELTA_SLACK);
+                    self.snapshot_synced = true;
+                } else {
+                    self.step_transitions();
+                    self.snapshot.apply_delta(&self.births, &self.deaths);
+                }
+            }
         }
         self.time += 1;
         &self.snapshot
@@ -150,6 +303,45 @@ mod tests {
                 .collect();
             let snap = meg.advance();
             assert_eq!(snap.edges(), expected, "step {step}");
+        }
+    }
+
+    #[test]
+    fn transition_stepping_matches_g0_and_tracks_state_exactly() {
+        let params = EdgeMegParams::with_stationary(80, 0.12, 0.35);
+        let mut per_pair = DenseEdgeMeg::stationary(params, 99);
+        let mut fast = DenseEdgeMeg::with_stepping(
+            params,
+            InitialDistribution::Stationary,
+            Stepping::Transitions,
+            99,
+        );
+        // The initial state is drawn identically, so G_0 agrees byte-for-byte.
+        assert_eq!(per_pair.advance().edges(), fast.advance().edges());
+        // Every later delta-maintained snapshot must mirror the private state
+        // vector exactly (the same invariant the per-pair path is tested on).
+        // Under transition stepping the chain steps at the start of `advance`,
+        // so the state and the returned snapshot coincide afterwards.
+        for step in 0..60 {
+            fast.advance();
+            let expected: Vec<(Node, Node)> = fast
+                .alive
+                .iter()
+                .enumerate()
+                .filter(|(_, &alive)| alive)
+                .map(|(k, _)| {
+                    let (a, b) = pair_from_index(80, k as u64);
+                    (a as Node, b as Node)
+                })
+                .collect();
+            let mut got = fast.snapshot.edges();
+            got.sort_unstable();
+            assert_eq!(got, expected, "step {step}");
+            assert_eq!(
+                fast.snapshot.num_edges(),
+                fast.alive_idx.len(),
+                "step {step}"
+            );
         }
     }
 

@@ -14,6 +14,13 @@
 //!   step costs `O(m_alive + births)`; this is what makes the sparse regimes
 //!   (`p̂ = Θ(log n / n)`, `n` up to 10⁵⁻⁶) tractable.
 //!
+//! Both engines additionally support `Stepping::Transitions`
+//! (`meg_core::evolving::Stepping`): holding times of the per-edge chain are
+//! geometric, so instead of a coin per pair per round only the *flips* are
+//! sampled (skip-sampling = walking the next-flip-time calendar) and applied
+//! to the snapshot as a CSR delta. Same process, different RNG schedule; the
+//! `stepping_equivalence` test suite pins the statistical equivalence.
+//!
 //! [`init`] provides the stationary / empty / full initialisations used by the
 //! stationary-vs-worst-case gap experiments.
 //!

@@ -77,6 +77,21 @@ impl EdgeMegParams {
     pub fn prefers_sparse_engine(&self) -> bool {
         self.stationary_edge_probability() < 0.15
     }
+
+    /// Expected number of edge flips per round in the stationary regime:
+    /// `N·(1−p̂)·p` births plus `N·p̂·q` deaths, which are equal
+    /// (detailed balance), giving `2N·pq/(p+q)`.
+    ///
+    /// This is the per-round work of `Stepping::Transitions`; comparing it
+    /// against [`num_pairs`](EdgeMegParams::num_pairs) (the per-round work of
+    /// per-pair stepping) predicts the fast path's speedup.
+    pub fn expected_stationary_flips(&self) -> f64 {
+        let s = self.p + self.q;
+        if s == 0.0 {
+            return 0.0;
+        }
+        2.0 * self.num_pairs() as f64 * self.p * self.q / s
+    }
 }
 
 /// Re-export of the initial-distribution selector used by both engines.
@@ -101,6 +116,19 @@ mod tests {
         assert!((params.stationary_edge_probability() - 0.01).abs() < 1e-12);
         assert!(params.prefers_sparse_engine());
         assert_eq!(params.q, 0.5);
+    }
+
+    #[test]
+    fn expected_flips_closed_form() {
+        let p = EdgeMegParams::new(100, 0.02, 0.08);
+        // births = N·(1−p̂)·p = 4950·0.8·0.02; deaths = N·p̂·q = 4950·0.2·0.08.
+        let births = 4950.0 * 0.8 * 0.02;
+        let deaths = 4950.0 * 0.2 * 0.08;
+        assert!((p.expected_stationary_flips() - (births + deaths)).abs() < 1e-9);
+        assert_eq!(
+            EdgeMegParams::new(10, 0.0, 0.0).expected_stationary_flips(),
+            0.0
+        );
     }
 
     #[test]

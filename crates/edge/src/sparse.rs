@@ -13,8 +13,9 @@
 //!   rule), so each *absent* pair independently turns on with probability `p`,
 //!   exactly as the model prescribes.
 
+use crate::dense::DELTA_SLACK;
 use crate::model::EdgeMegParams;
-use meg_core::evolving::{EvolvingGraph, InitialDistribution};
+use meg_core::evolving::{EvolvingGraph, InitialDistribution, Stepping};
 use meg_graph::generators::pair_from_index;
 use meg_graph::{Graph, Node, SnapshotBuf};
 use rand::rngs::StdRng;
@@ -22,42 +23,104 @@ use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
 
 /// Edge-MEG storing only the alive edges.
+///
+/// Under the default [`Stepping::PerPair`] the alive set is a `BTreeSet`
+/// (deterministic iteration order for the per-edge death draws). Under
+/// [`Stepping::Transitions`] it is a flat `Vec<u32>` of pair indices instead:
+/// deaths are skip-sampled as positions in that array and swap-removed,
+/// births are skip-sampled pair indices checked against the pre-step snapshot
+/// — no tree, no per-birth node allocation, and the snapshot is maintained by
+/// deltas rather than rebuilt.
 #[derive(Clone, Debug)]
 pub struct SparseEdgeMeg {
     params: EdgeMegParams,
-    /// Linear pair indices of the alive edges, ordered so that the death
-    /// phase consumes RNG draws in a deterministic edge order (a `HashSet`
-    /// here would make trajectories depend on hash-iteration order, which is
-    /// randomized per instance).
+    /// Linear pair indices of the alive edges (per-pair stepping), ordered so
+    /// that the death phase consumes RNG draws in a deterministic edge order
+    /// (a `HashSet` here would make trajectories depend on hash-iteration
+    /// order, which is randomized per instance).
     alive: BTreeSet<u64>,
     rng: StdRng,
     snapshot: SnapshotBuf,
     time: u64,
+    stepping: Stepping,
+    /// Flat alive pair-index array (transition stepping only; order is
+    /// arbitrary after the first swap-remove, which is fine because death
+    /// marks are i.i.d. across positions).
+    alive_vec: Vec<u32>,
+    /// Whether the snapshot currently mirrors the alive set (transition
+    /// stepping builds it once, then maintains it by deltas).
+    snapshot_synced: bool,
+    /// Scratch buffers for the per-round flips (transition stepping).
+    birth_idx: Vec<u32>,
+    death_pos: Vec<u32>,
+    births: Vec<(Node, Node)>,
+    deaths: Vec<(Node, Node)>,
 }
 
 impl SparseEdgeMeg {
-    /// Creates the evolving graph with the given initial distribution.
+    /// Creates the evolving graph with the given initial distribution and
+    /// the default per-pair stepping.
     pub fn new(params: EdgeMegParams, init: InitialDistribution, seed: u64) -> Self {
+        Self::with_stepping(params, init, Stepping::PerPair, seed)
+    }
+
+    /// Creates the evolving graph with an explicit stepping mode.
+    ///
+    /// The initial alive set is drawn identically in both modes (same RNG
+    /// draws), so `G_0` matches across modes at equal seeds; trajectories
+    /// then diverge because the modes consume randomness differently.
+    pub fn with_stepping(
+        params: EdgeMegParams,
+        init: InitialDistribution,
+        stepping: Stepping,
+        seed: u64,
+    ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let total_pairs = params.num_pairs();
-        let alive: BTreeSet<u64> = match init {
-            InitialDistribution::Empty => BTreeSet::new(),
-            InitialDistribution::Full => (0..total_pairs).collect(),
-            InitialDistribution::Stationary => {
-                let phat = params.stationary_edge_probability();
-                let mut set = BTreeSet::new();
-                sample_bernoulli_indices(total_pairs, phat, &mut rng, |idx| {
-                    set.insert(idx);
-                });
-                set
+        let mut alive: BTreeSet<u64> = BTreeSet::new();
+        let mut alive_vec: Vec<u32> = Vec::new();
+        match stepping {
+            Stepping::PerPair => match init {
+                InitialDistribution::Empty => {}
+                InitialDistribution::Full => alive = (0..total_pairs).collect(),
+                InitialDistribution::Stationary => {
+                    let phat = params.stationary_edge_probability();
+                    sample_bernoulli_indices(total_pairs, phat, &mut rng, |idx| {
+                        alive.insert(idx);
+                    });
+                }
+            },
+            Stepping::Transitions => {
+                assert!(
+                    total_pairs <= u32::MAX as u64,
+                    "transition stepping indexes pairs with u32; n={} has too many pairs",
+                    params.n
+                );
+                match init {
+                    InitialDistribution::Empty => {}
+                    InitialDistribution::Full => alive_vec = (0..total_pairs as u32).collect(),
+                    InitialDistribution::Stationary => {
+                        let phat = params.stationary_edge_probability();
+                        sample_bernoulli_indices(total_pairs, phat, &mut rng, |idx| {
+                            alive_vec.push(idx as u32);
+                        });
+                    }
+                }
             }
-        };
+        }
         SparseEdgeMeg {
             params,
             alive,
             rng,
             snapshot: SnapshotBuf::with_nodes(params.n),
             time: 0,
+            stepping,
+            alive_vec,
+            snapshot_synced: false,
+            birth_idx: Vec::new(),
+            death_pos: Vec::new(),
+            births: Vec::new(),
+            deaths: Vec::new(),
         }
     }
 
@@ -71,9 +134,17 @@ impl SparseEdgeMeg {
         self.params
     }
 
+    /// The stepping mode this engine was built with.
+    pub fn stepping(&self) -> Stepping {
+        self.stepping
+    }
+
     /// Number of currently alive edges.
     pub fn alive_edges(&self) -> usize {
-        self.alive.len()
+        match self.stepping {
+            Stepping::PerPair => self.alive.len(),
+            Stepping::Transitions => self.alive_vec.len(),
+        }
     }
 
     fn rebuild_snapshot(&mut self) {
@@ -115,12 +186,59 @@ impl SparseEdgeMeg {
             }
         }
     }
+
+    /// Transition stepping: sample only the flips of this round against the
+    /// flat alive array and the pre-step snapshot, recording them as a delta.
+    ///
+    /// Births are sampled first (rejected against the snapshot, which still
+    /// mirrors the pre-step edge set) because a same-round death must not
+    /// re-enable a birth; deaths are then sampled as positions in `alive_vec`
+    /// and applied by swap-remove in decreasing position order.
+    fn step_transitions(&mut self) {
+        let total = self.params.num_pairs();
+        let n = self.params.n as u64;
+        let p = self.params.p;
+        let q = self.params.q;
+        self.birth_idx.clear();
+        self.death_pos.clear();
+        self.births.clear();
+        self.deaths.clear();
+        let snapshot = &self.snapshot;
+        let birth_idx = &mut self.birth_idx;
+        let births = &mut self.births;
+        sample_bernoulli_indices(total, p, &mut self.rng, |idx| {
+            let (a, b) = pair_from_index(n, idx);
+            if !snapshot.has_edge(a as Node, b as Node) {
+                birth_idx.push(idx as u32);
+                births.push((a as Node, b as Node));
+            }
+        });
+        let death_pos = &mut self.death_pos;
+        sample_bernoulli_indices(self.alive_vec.len() as u64, q, &mut self.rng, |pos| {
+            death_pos.push(pos as u32);
+        });
+        for i in (0..self.death_pos.len()).rev() {
+            let pos = self.death_pos[i] as usize;
+            let k = self.alive_vec.swap_remove(pos);
+            let (a, b) = pair_from_index(n, k as u64);
+            self.deaths.push((a as Node, b as Node));
+        }
+        for i in 0..self.birth_idx.len() {
+            self.alive_vec.push(self.birth_idx[i]);
+        }
+    }
 }
 
 /// Calls `visit` on each index in `0..total` selected independently with
 /// probability `prob`, using geometric skip-sampling (expected cost
 /// `O(total · prob)`).
-fn sample_bernoulli_indices<R: Rng>(
+///
+/// This is the shared primitive behind both the sparse engine's birth phase
+/// and the `Stepping::Transitions` fast path of *both* engines: the skip
+/// `⌊ln U / ln(1−prob)⌋` is exactly a geometric holding time, so visiting the
+/// selected indices is equivalent to walking a pre-drawn next-flip-time
+/// calendar without materialising it.
+pub(crate) fn sample_bernoulli_indices<R: Rng>(
     total: u64,
     prob: f64,
     rng: &mut R,
@@ -164,8 +282,31 @@ impl EvolvingGraph for SparseEdgeMeg {
     }
 
     fn advance(&mut self) -> &SnapshotBuf {
-        self.rebuild_snapshot();
-        self.step_chain();
+        match self.stepping {
+            Stepping::PerPair => {
+                self.rebuild_snapshot();
+                self.step_chain();
+            }
+            Stepping::Transitions => {
+                // The snapshot persistently mirrors the alive set: full build
+                // with row slack on the first call, per-round deltas after
+                // that (the chain steps at the start of each later call, so
+                // the k-th advance still returns `G_{k−1}`).
+                if !self.snapshot_synced {
+                    self.snapshot.begin(self.params.n);
+                    let n = self.params.n as u64;
+                    for i in 0..self.alive_vec.len() {
+                        let (a, b) = pair_from_index(n, self.alive_vec[i] as u64);
+                        self.snapshot.push_edge(a as Node, b as Node);
+                    }
+                    self.snapshot.build_with_slack(DELTA_SLACK);
+                    self.snapshot_synced = true;
+                } else {
+                    self.step_transitions();
+                    self.snapshot.apply_delta(&self.births, &self.deaths);
+                }
+            }
+        }
         self.time += 1;
         &self.snapshot
     }
@@ -236,6 +377,44 @@ mod tests {
                 .collect();
             let snap = meg.advance();
             assert_eq!(snap.edges(), expected, "step {step}");
+        }
+    }
+
+    #[test]
+    fn transition_stepping_matches_g0_and_tracks_state_exactly() {
+        let n = 150usize;
+        let params = EdgeMegParams::with_stationary(n, 0.04, 0.3);
+        let mut per_pair = SparseEdgeMeg::stationary(params, 71);
+        let mut fast = SparseEdgeMeg::with_stepping(
+            params,
+            InitialDistribution::Stationary,
+            Stepping::Transitions,
+            71,
+        );
+        // Identical initial skip-sampling draws → identical G_0.
+        assert_eq!(per_pair.advance().edges(), fast.advance().edges());
+        // Later snapshots must mirror the flat alive array exactly (the
+        // chain steps at the start of `advance`, so state and snapshot
+        // coincide afterwards).
+        for step in 0..60 {
+            fast.advance();
+            let mut expected: Vec<(Node, Node)> = fast
+                .alive_vec
+                .iter()
+                .map(|&k| {
+                    let (a, b) = pair_from_index(n as u64, k as u64);
+                    (a as Node, b as Node)
+                })
+                .collect();
+            expected.sort_unstable();
+            let mut got = fast.snapshot.edges();
+            got.sort_unstable();
+            assert_eq!(got, expected, "step {step}");
+            assert_eq!(
+                fast.snapshot.num_edges(),
+                fast.alive_vec.len(),
+                "step {step}"
+            );
         }
     }
 

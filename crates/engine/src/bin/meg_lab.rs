@@ -22,6 +22,10 @@
 //!   --trials N            trials per cell    (default: MEG_TRIALS or scenario)
 //!   --scale F             node-count scale   (default: MEG_SCALE or 1)
 //!   --format table|json|csv                  (default: MEG_OUTPUT or table)
+//!   --stepping per_pair|transitions
+//!                         override the chain stepping mode of every edge
+//!                         substrate (default: whatever the scenario declares;
+//!                         `transitions` is the sub-linear fast path)
 //!
 //! adaptive-precision run flags:
 //!   --target-stderr EPS   grow each cell's trials until the standard error
@@ -42,7 +46,7 @@
 use meg_engine::dist::{merge_dir, run_sharded, worker, DistOptions, ShardSpec, ShardStrategy};
 use meg_engine::harness;
 use meg_engine::run::Row;
-use meg_engine::scenario::Scenario;
+use meg_engine::scenario::{Scenario, SteppingKind, Substrate};
 use meg_engine::sink::{row_to_csv, rows_to_table, OutputFormat, CSV_HEADER};
 use meg_engine::{builtin, builtin_names, Json};
 use std::path::PathBuf;
@@ -52,6 +56,7 @@ const USAGE: &str = "usage:
   meg-lab show <name>
   meg-lab run <name | --file scenario.json> \\
           [--seed N] [--trials N] [--scale F] [--format table|json|csv] \\
+          [--stepping per_pair|transitions] \\
           [--target-stderr EPS] [--min-trials N] [--max-trials N] \\
           [--shard i/m] [--strategy contiguous|round_robin] [--workers K] \\
           [--out DIR] [--resume DIR] [--limit N] [--worker-fail-after N]
@@ -142,6 +147,7 @@ fn cmd_run(args: &[String]) {
     let mut seed: Option<u64> = None;
     let mut trials: Option<usize> = None;
     let mut scale: Option<f64> = None;
+    let mut stepping: Option<SteppingKind> = None;
     let mut format: Option<OutputFormat> = None;
     let mut target_stderr: Option<f64> = None;
     let mut min_trials: Option<usize> = None;
@@ -187,6 +193,12 @@ fn cmd_run(args: &[String]) {
                         .ok()
                         .filter(|&f| f > 0.0)
                         .unwrap_or_else(|| fail("--scale must be a positive number")),
+                )
+            }
+            "--stepping" => {
+                stepping = Some(
+                    SteppingKind::from_id(&flag_value("--stepping"))
+                        .unwrap_or_else(|_| fail("--stepping must be per_pair or transitions")),
                 )
             }
             "--format" => {
@@ -289,6 +301,15 @@ fn cmd_run(args: &[String]) {
     };
     if let Some(t) = trials.or_else(harness::trials_from_env) {
         scenario.trials = t;
+    }
+    if let Some(mode) = stepping {
+        // The flag overrides every edge substrate; other families have no
+        // stepping knob, so the flag is inert for them by design.
+        for sub in &mut scenario.substrates {
+            if let Substrate::Edge { stepping, .. } = sub {
+                *stepping = mode;
+            }
+        }
     }
     match target_stderr.or_else(harness::target_stderr_from_env) {
         Some(eps) => {

@@ -9,7 +9,7 @@
 
 use crate::scenario::{
     AdversarialKind, EdgeEngine, InitKind, MobilityKind, MoveRadiusSpec, PHatSpec, Param,
-    Precision, Protocol, RadiusSpec, Scenario, StaticKind, Substrate, Sweep,
+    Precision, Protocol, RadiusSpec, Scenario, StaticKind, SteppingKind, Substrate, Sweep,
 };
 
 /// Round budget used by flooding scenarios: generous enough that only
@@ -92,6 +92,7 @@ pub fn edge_vs_n() -> Scenario {
             p_hat: PHatSpec::LogFactor(3.0),
             q: 0.5,
             init: InitKind::Stationary,
+            stepping: SteppingKind::PerPair,
         }],
         protocols: vec![Protocol::Flooding],
         sweep: Sweep::over(Param::N, [1_000.0, 2_000.0, 4_000.0, 8_000.0, 16_000.0])
@@ -142,6 +143,7 @@ pub fn protocol_variants() -> Scenario {
                 p_hat: PHatSpec::LogFactor(4.0),
                 q: 0.2,
                 init: InitKind::Stationary,
+                stepping: SteppingKind::PerPair,
             },
             Substrate::Geometric {
                 n: 1_500,
@@ -212,6 +214,7 @@ pub fn edge_vs_density() -> Scenario {
             p_hat: PHatSpec::LogFactor(3.0),
             q: 0.5,
             init: InitKind::Stationary,
+            stepping: SteppingKind::PerPair,
         }],
         protocols: vec![Protocol::Flooding],
         sweep: Sweep::over(Param::PHatFactor, [3.0, 6.0, 12.0, 30.0, 80.0, 240.0]),
@@ -271,6 +274,7 @@ pub fn edge_expansion() -> Scenario {
             p_hat: PHatSpec::LogFactor(4.0),
             q: 0.5,
             init: InitKind::Stationary,
+            stepping: SteppingKind::PerPair,
         }],
         protocols: vec![Protocol::ExpansionProbe {
             set_size: 1,
@@ -303,6 +307,7 @@ pub fn edge_stationary_vs_worst() -> Scenario {
                 p_hat: PHatSpec::LogFactor(4.0),
                 q: 0.5,
                 init: InitKind::Stationary,
+                stepping: SteppingKind::PerPair,
             },
             Substrate::Edge {
                 n: 1_500,
@@ -310,6 +315,7 @@ pub fn edge_stationary_vs_worst() -> Scenario {
                 p_hat: PHatSpec::LogFactor(4.0),
                 q: 0.5,
                 init: InitKind::Empty,
+                stepping: SteppingKind::PerPair,
             },
         ],
         protocols: vec![Protocol::Flooding],
@@ -344,6 +350,7 @@ pub fn general_bound() -> Scenario {
                 p_hat: PHatSpec::LogFactor(4.0),
                 q: 0.5,
                 init: InitKind::Stationary,
+                stepping: SteppingKind::PerPair,
             },
             Substrate::Static {
                 n: 1_500,
@@ -445,6 +452,7 @@ pub fn quick_smoke() -> Scenario {
                 p_hat: PHatSpec::LogFactor(3.0),
                 q: 0.5,
                 init: InitKind::Stationary,
+                stepping: SteppingKind::PerPair,
             },
             Substrate::Geometric {
                 n: 150,

@@ -52,6 +52,8 @@ pub enum ResolvedSubstrate {
         p_hat: f64,
         /// Initial distribution.
         init: meg_core::evolving::InitialDistribution,
+        /// Chain stepping mode.
+        stepping: meg_core::evolving::Stepping,
     },
     /// Concrete geometric-MEG configuration.
     Geometric {
@@ -434,6 +436,7 @@ fn resolve_cell(
             p_hat,
             q,
             init,
+            stepping,
         } => {
             let p_hat = p_hat.resolve(n, q);
             let params = EdgeMegParams::with_stationary(n, p_hat, q);
@@ -442,6 +445,7 @@ fn resolve_cell(
                 params,
                 p_hat,
                 init: init.to_initial_distribution(),
+                stepping: stepping.to_stepping(),
             }
         }
         Substrate::Geometric {
@@ -707,16 +711,17 @@ fn execute_trial(cell: &Cell, rng: &mut ChaCha8Rng) -> TrialOutcome {
             engine,
             params,
             init,
+            stepping,
             ..
         } => {
             let sub_seed: u64 = rng.gen();
             match engine {
                 EdgeEngine::Sparse => {
-                    let mut meg = SparseEdgeMeg::new(*params, *init, sub_seed);
+                    let mut meg = SparseEdgeMeg::with_stepping(*params, *init, *stepping, sub_seed);
                     drive(&mut meg, cell, 0, rng)
                 }
                 EdgeEngine::Dense => {
-                    let mut meg = DenseEdgeMeg::new(*params, *init, sub_seed);
+                    let mut meg = DenseEdgeMeg::with_stepping(*params, *init, *stepping, sub_seed);
                     drive(&mut meg, cell, 0, rng)
                 }
             }
@@ -936,7 +941,7 @@ pub fn run_scenario(scenario: &Scenario, master_seed: u64) -> Result<Vec<Row>, S
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::{InitKind, MoveRadiusSpec, PHatSpec, RadiusSpec, Sweep};
+    use crate::scenario::{InitKind, MoveRadiusSpec, PHatSpec, RadiusSpec, SteppingKind, Sweep};
 
     fn tiny_scenario() -> Scenario {
         Scenario {
@@ -949,6 +954,7 @@ mod tests {
                     p_hat: PHatSpec::LogFactor(3.0),
                     q: 0.5,
                     init: InitKind::Stationary,
+                    stepping: SteppingKind::PerPair,
                 },
                 Substrate::Geometric {
                     n: 80,
@@ -1288,6 +1294,7 @@ mod tests {
                     p_hat: PHatSpec::LogFactor(3.0),
                     q: 0.5,
                     init: InitKind::Stationary,
+                    stepping: SteppingKind::PerPair,
                 },
             ],
             protocols: vec![Protocol::OccupancyProbe],
@@ -1310,6 +1317,36 @@ mod tests {
     }
 
     #[test]
+    fn transitions_stepping_cells_resolve_and_flood() {
+        let mut s = tiny_scenario();
+        for sub in &mut s.substrates {
+            if let Substrate::Edge { stepping, .. } = sub {
+                *stepping = SteppingKind::Transitions;
+            }
+        }
+        let cells = resolve_cells(&s).unwrap();
+        assert_eq!(cells[0].substrate_label, "edge-sparse-transitions");
+        assert!(cells.iter().any(|c| matches!(
+            c.substrate,
+            ResolvedSubstrate::Edge {
+                stepping: meg_core::evolving::Stepping::Transitions,
+                ..
+            }
+        )));
+        let rows = run_scenario(&s, 99).unwrap();
+        let flood = rows
+            .iter()
+            .find(|r| r.substrate == "edge-sparse-transitions" && r.protocol == "flooding")
+            .unwrap();
+        assert!(
+            flood.completion_rate > 0.0,
+            "transitions stepping should flood above threshold: {flood:?}"
+        );
+        // Determinism holds under the fast path too.
+        assert_eq!(rows, run_scenario(&s, 99).unwrap());
+    }
+
+    #[test]
     fn protocol_knob_overrides_apply() {
         let s = Scenario {
             name: "knobs".into(),
@@ -1320,6 +1357,7 @@ mod tests {
                 p_hat: PHatSpec::Fixed(0.2),
                 q: 0.3,
                 init: InitKind::Stationary,
+                stepping: SteppingKind::PerPair,
             }],
             protocols: vec![Protocol::Probabilistic { beta: 0.9 }],
             sweep: Sweep::over(Param::Beta, [0.25, 0.75]),

@@ -176,6 +176,46 @@ impl InitKind {
     }
 }
 
+/// How the per-edge chains are stepped each round (see
+/// `meg_core::evolving::Stepping`). Serialized as `"per_pair"` /
+/// `"transitions"`; scenarios written before the field existed decode as
+/// [`SteppingKind::PerPair`], the reference path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SteppingKind {
+    /// One Bernoulli draw per potential pair per round (reference path).
+    #[default]
+    PerPair,
+    /// Geometric skip-sampled flips applied as snapshot deltas (fast path).
+    Transitions,
+}
+
+impl SteppingKind {
+    /// Stable identifier used in JSON and CLI flags.
+    pub fn id(self) -> &'static str {
+        match self {
+            SteppingKind::PerPair => "per_pair",
+            SteppingKind::Transitions => "transitions",
+        }
+    }
+
+    /// Inverse of [`id`](SteppingKind::id).
+    pub fn from_id(s: &str) -> Result<Self, ScenarioError> {
+        match s {
+            "per_pair" => Ok(SteppingKind::PerPair),
+            "transitions" => Ok(SteppingKind::Transitions),
+            _ => Err(ScenarioError(format!("unknown stepping mode `{s}`"))),
+        }
+    }
+
+    /// The `meg-core` stepping mode this selects.
+    pub fn to_stepping(self) -> meg_core::evolving::Stepping {
+        match self {
+            SteppingKind::PerPair => meg_core::evolving::Stepping::PerPair,
+            SteppingKind::Transitions => meg_core::evolving::Stepping::Transitions,
+        }
+    }
+}
+
 /// The deterministic adversarial constructions of the Introduction
 /// (implemented in `meg_core::adversarial`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -376,6 +416,8 @@ pub enum Substrate {
         q: f64,
         /// Initial distribution of the chains.
         init: InitKind,
+        /// Chain stepping mode (defaults to the per-pair reference path).
+        stepping: SteppingKind,
     },
     /// Geometric-MEG: a mobility model plus a transmission radius.
     Geometric {
@@ -411,6 +453,13 @@ impl Substrate {
     /// `geo-grid_walk`.
     pub fn label(&self) -> String {
         match self {
+            // The stepping mode is surfaced only when it deviates from the
+            // default, so pre-existing row labels stay byte-identical.
+            Substrate::Edge {
+                engine,
+                stepping: SteppingKind::Transitions,
+                ..
+            } => format!("edge-{}-transitions", engine.id()),
             Substrate::Edge { engine, .. } => format!("edge-{}", engine.id()),
             Substrate::Geometric { mobility, .. } => format!("geo-{}", mobility.id()),
             Substrate::Adversarial { construction, .. } => format!("adv-{}", construction.id()),
@@ -447,14 +496,23 @@ impl Substrate {
                 p_hat,
                 q,
                 init,
-            } => Json::obj([
-                ("family", Json::Str("edge".into())),
-                ("n", Json::Num(*n as f64)),
-                ("engine", Json::Str(engine.id().into())),
-                ("p_hat", p_hat.to_json()),
-                ("q", Json::Num(*q)),
-                ("init", Json::Str(init.id().into())),
-            ]),
+                stepping,
+            } => {
+                let mut pairs = vec![
+                    ("family", Json::Str("edge".into())),
+                    ("n", Json::Num(*n as f64)),
+                    ("engine", Json::Str(engine.id().into())),
+                    ("p_hat", p_hat.to_json()),
+                    ("q", Json::Num(*q)),
+                    ("init", Json::Str(init.id().into())),
+                ];
+                // Emitted only when non-default, so scenario files written
+                // before the field existed re-render byte-identically.
+                if *stepping != SteppingKind::PerPair {
+                    pairs.push(("stepping", Json::Str(stepping.id().into())));
+                }
+                Json::obj(pairs)
+            }
             Substrate::Geometric {
                 n,
                 mobility,
@@ -496,6 +554,11 @@ impl Substrate {
                 p_hat: PHatSpec::from_json(field(v, "p_hat", ctx)?)?,
                 q: num(v, "q", ctx)?,
                 init: InitKind::from_id(&string(v, "init", ctx)?)?,
+                // Absent in scenarios written before PR 6: per-pair default.
+                stepping: match v.get("stepping") {
+                    Some(_) => SteppingKind::from_id(&string(v, "stepping", ctx)?)?,
+                    None => SteppingKind::PerPair,
+                },
             }),
             "geometric" => Ok(Substrate::Geometric {
                 n: uint(v, "n", ctx)?,
@@ -1130,6 +1193,7 @@ mod tests {
                     p_hat: PHatSpec::LogFactor(3.0),
                     q: 0.5,
                     init: InitKind::Stationary,
+                    stepping: SteppingKind::PerPair,
                 },
                 Substrate::Geometric {
                     n: 400,
@@ -1305,6 +1369,7 @@ mod tests {
             p_hat: PHatSpec::Fixed(0.1),
             q: 0.0,
             init: InitKind::Stationary,
+            stepping: SteppingKind::PerPair,
         }];
         assert!(s.validate().is_err());
     }
@@ -1322,6 +1387,37 @@ mod tests {
         let r = RadiusSpec::Fixed(0.1).resolve(400);
         assert!(r > 1.0);
         assert_eq!(MoveRadiusSpec::RadiusFraction(0.5).resolve(8.0), 4.0);
+    }
+
+    #[test]
+    fn stepping_round_trips_and_defaults_to_per_pair() {
+        let mut s = demo();
+        if let Substrate::Edge { stepping, .. } = &mut s.substrates[0] {
+            *stepping = SteppingKind::Transitions;
+        }
+        let back = Scenario::parse(&s.to_json().render()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.substrates[0].label(), "edge-sparse-transitions");
+        // Scenario files written before the field existed carry no
+        // `stepping` key: decoding must default to the per-pair reference
+        // path rather than reject them — and the default must re-render
+        // byte-identically (no `stepping` key emitted).
+        let default_text = demo().to_json().render();
+        assert!(!default_text.contains("stepping"));
+        let legacy = Scenario::parse(&default_text).unwrap();
+        assert!(matches!(
+            legacy.substrates[0],
+            Substrate::Edge {
+                stepping: SteppingKind::PerPair,
+                ..
+            }
+        ));
+        // Unknown ids are rejected, not silently defaulted.
+        assert!(SteppingKind::from_id("warp").is_err());
+        assert_eq!(
+            SteppingKind::from_id("transitions").unwrap().id(),
+            "transitions"
+        );
     }
 
     #[test]

@@ -23,6 +23,23 @@
 //! pushed. This matches the push order of the `AdjacencyList` construction it
 //! replaces, which is what keeps RNG-consuming consumers (push–pull's random
 //! neighbor choice, BFS-ball sampling) byte-identical across the migration.
+//!
+//! ## Delta maintenance
+//!
+//! The transition-stepping edge engines flip only `O(p·N + q·|E|)` edges per
+//! round, so rebuilding the whole CSR would dominate them. For that path
+//! [`build_with_slack`](SnapshotBuf::build_with_slack) reserves `slack` spare
+//! target slots per row and [`apply_delta`](SnapshotBuf::apply_delta) edits
+//! the CSR in place: deaths swap-remove within the live prefix of each
+//! endpoint's row, births append into the row's slack. The row invariant is
+//! `live degree = row_len[u] ≤ offsets[u+1] − offsets[u] = row capacity`;
+//! queries only ever read the live prefix. When a birth lands on a row whose
+//! slack is exhausted, `apply_delta` falls back to a full rebuild (gathering
+//! the live edge set plus the pending births into the staging buffer) with
+//! fresh slack — the fallback reuses the staging buffers, so even it
+//! allocates nothing after warm-up. Within-row neighbor order is **not**
+//! preserved across deltas (swap-remove scrambles it); consumers that need
+//! order stability must use the rebuild path.
 
 use crate::{AdjacencyList, Graph, Node};
 
@@ -68,10 +85,24 @@ pub struct SnapshotBuf {
     /// matters in the scatter-heavy fill pass (`2m` random writes driven
     /// through it).
     deg: Vec<u32>,
-    /// CSR row offsets (`n + 1` entries once built).
+    /// CSR row *capacity* offsets (`n + 1` entries once built). Row `u` owns
+    /// `targets[offsets[u]..offsets[u+1]]`; only the first `row_len[u]` slots
+    /// are live.
     offsets: Vec<usize>,
-    /// CSR column indices (`2·num_edges` entries once built).
+    /// CSR column indices (`2·num_edges + n·slack` slots once built).
     targets: Vec<Node>,
+    /// Live degree of each row (`≤` the row capacity; equal when slack is 0
+    /// and no deltas have been applied).
+    row_len: Vec<u32>,
+    /// Live undirected edge count (kept exact across deltas; the staging
+    /// `edges` length is only the *initial* count).
+    m: usize,
+    /// Per-row spare slots requested at the last build; reused by the
+    /// slack-exhaustion fallback rebuild.
+    slack: u32,
+    /// Whether `edges` still mirrors the live edge set (false once a delta
+    /// has edited rows in place).
+    staging_valid: bool,
     built: bool,
 }
 
@@ -84,6 +115,10 @@ impl SnapshotBuf {
             deg: Vec::new(),
             offsets: vec![0],
             targets: Vec::new(),
+            row_len: Vec::new(),
+            m: 0,
+            slack: 0,
+            staging_valid: true,
             built: true,
         }
     }
@@ -129,34 +164,143 @@ impl SnapshotBuf {
 
     /// Finalises the staged edges into CSR form (stable counting sort).
     pub fn build(&mut self) {
+        self.finish_build(0);
+    }
+
+    /// Like [`build`](SnapshotBuf::build), but reserves `slack` spare target
+    /// slots per row so later [`apply_delta`](SnapshotBuf::apply_delta) calls
+    /// can append births without a rebuild. Row capacities are
+    /// `degree + slack`; queries still only see the live prefix.
+    pub fn build_with_slack(&mut self, slack: u32) {
+        self.finish_build(slack);
+    }
+
+    fn finish_build(&mut self, slack: u32) {
         debug_assert!(!self.built, "build called twice without begin");
         let n = self.n;
         self.offsets.clear();
         self.offsets.reserve(n + 1);
+        self.row_len.clear();
+        self.row_len.reserve(n);
         let mut acc = 0usize;
         self.offsets.push(0);
         for u in 0..n {
             // Reuse `deg` as the per-node fill cursor while accumulating the
             // offsets (one pass instead of prefix-sum + copy-back).
             let d = self.deg[u];
+            self.row_len.push(d);
             self.deg[u] = acc as u32;
-            acc += d as usize;
+            acc += d as usize + slack as usize;
             self.offsets.push(acc);
         }
         assert!(
             acc <= u32::MAX as usize,
             "snapshot arc count {acc} exceeds the u32 cursor range"
         );
-        // Resize without `clear()`: every slot is overwritten by the fill
-        // pass below, so re-zeroing the kept prefix would be wasted work.
-        self.targets.resize(2 * self.edges.len(), 0);
+        // Resize without `clear()`: every live slot is overwritten by the
+        // fill pass below (slack slots stay unread garbage), so re-zeroing
+        // the kept prefix would be wasted work.
+        self.targets.resize(acc, 0);
         for &(u, v) in &self.edges {
             self.targets[self.deg[u as usize] as usize] = v;
             self.deg[u as usize] += 1;
             self.targets[self.deg[v as usize] as usize] = u;
             self.deg[v as usize] += 1;
         }
+        self.m = self.edges.len();
+        self.slack = slack;
+        self.staging_valid = true;
         self.built = true;
+    }
+
+    /// Edits the built CSR in place: removes every edge in `deaths`, then
+    /// inserts every edge in `births` into the rows' slack slots.
+    ///
+    /// Deaths swap-remove within the live prefix of both endpoint rows (so
+    /// within-row neighbor order is *not* preserved); births append. When a
+    /// birth finds either endpoint row full, the remaining births are folded
+    /// into a full rebuild with the slack requested at the last
+    /// `build_with_slack` — semantically identical, just slower. All slices
+    /// must be consistent with the current edge set: every death present,
+    /// every birth absent, no duplicates.
+    pub fn apply_delta(&mut self, births: &[(Node, Node)], deaths: &[(Node, Node)]) {
+        debug_assert!(self.built, "apply_delta before build");
+        for &(u, v) in deaths {
+            self.remove_arc(u, v);
+            self.remove_arc(v, u);
+            self.m -= 1;
+        }
+        if !deaths.is_empty() {
+            self.staging_valid = false;
+        }
+        for (i, &(u, v)) in births.iter().enumerate() {
+            debug_assert_ne!(u, v, "self-loop birth ({u},{v})");
+            if self.row_has_slack(u) && self.row_has_slack(v) {
+                self.push_arc(u, v);
+                self.push_arc(v, u);
+                self.m += 1;
+                self.staging_valid = false;
+            } else {
+                self.rebuild_from_rows(&births[i..]);
+                return;
+            }
+        }
+    }
+
+    #[inline]
+    fn remove_arc(&mut self, u: Node, v: Node) {
+        let start = self.offsets[u as usize];
+        let len = self.row_len[u as usize] as usize;
+        let row = &mut self.targets[start..start + len];
+        let pos = row
+            .iter()
+            .position(|&x| x == v)
+            .expect("apply_delta: death of an absent edge");
+        row.swap(pos, len - 1);
+        self.row_len[u as usize] -= 1;
+    }
+
+    #[inline]
+    fn row_has_slack(&self, u: Node) -> bool {
+        let cap = self.offsets[u as usize + 1] - self.offsets[u as usize];
+        (self.row_len[u as usize] as usize) < cap
+    }
+
+    #[inline]
+    fn push_arc(&mut self, u: Node, v: Node) {
+        let slot = self.offsets[u as usize] + self.row_len[u as usize] as usize;
+        self.targets[slot] = v;
+        self.row_len[u as usize] += 1;
+    }
+
+    /// Slack-exhaustion fallback: gathers the live edge set plus the still
+    /// `pending` births into the staging buffer and rebuilds with the same
+    /// per-row slack. Reuses `edges`/`deg`/`offsets`/`targets`, so after
+    /// warm-up even this path allocates nothing.
+    fn rebuild_from_rows(&mut self, pending: &[(Node, Node)]) {
+        let n = self.n;
+        self.edges.clear();
+        self.deg.clear();
+        self.deg.resize(n, 0);
+        for u in 0..n {
+            let start = self.offsets[u];
+            for i in 0..self.row_len[u] as usize {
+                let v = self.targets[start + i];
+                if (u as Node) < v {
+                    self.edges.push((u as Node, v));
+                    self.deg[u] += 1;
+                    self.deg[v as usize] += 1;
+                }
+            }
+        }
+        for &(u, v) in pending {
+            self.edges.push((u, v));
+            self.deg[u as usize] += 1;
+            self.deg[v as usize] += 1;
+        }
+        let slack = self.slack;
+        self.built = false;
+        self.finish_build(slack);
     }
 
     /// Rebuilds the buffer as an exact copy of an adjacency list, preserving
@@ -170,10 +314,14 @@ impl SnapshotBuf {
         self.offsets.clear();
         self.offsets.reserve(n + 1);
         self.targets.clear();
+        self.row_len.clear();
+        self.row_len.reserve(n);
         let mut acc = 0usize;
         self.offsets.push(0);
         for u in 0..n {
-            acc += g.neighbors(u as Node).len();
+            let d = g.neighbors(u as Node).len();
+            self.row_len.push(d as u32);
+            acc += d;
             self.offsets.push(acc);
         }
         self.targets.reserve(acc);
@@ -190,14 +338,17 @@ impl SnapshotBuf {
             }
         }
         debug_assert_eq!(self.edges.len(), g.num_edges());
+        self.m = self.edges.len();
+        self.slack = 0;
+        self.staging_valid = true;
         self.built = true;
     }
 
-    /// Borrows the neighbor slice of `u` (valid after `build`).
+    /// Borrows the live neighbor slice of `u` (valid after `build`).
     #[inline]
     pub fn neighbors(&self, u: Node) -> &[Node] {
         debug_assert!(self.built, "query before build");
-        &self.targets[self.offsets[u as usize]..self.offsets[u as usize + 1]]
+        &self.targets[self.offsets[u as usize]..][..self.row_len[u as usize] as usize]
     }
 
     /// Returns every edge `{u, v}` with `u < v`, in CSR row order
@@ -216,14 +367,25 @@ impl SnapshotBuf {
         out
     }
 
-    /// Copies the snapshot into a fresh [`AdjacencyList`], replaying the
-    /// staged edge stream so per-node neighbor order is preserved
-    /// (test/interop helper — allocates).
+    /// Copies the snapshot into a fresh [`AdjacencyList`]
+    /// (test/interop helper — allocates). While the staged edge stream still
+    /// mirrors the live edge set it is replayed so per-node neighbor order is
+    /// preserved; after in-place deltas the rows are walked directly instead.
     pub fn to_adjacency(&self) -> AdjacencyList {
         debug_assert!(self.built, "query before build");
         let mut g = AdjacencyList::new(self.n);
-        for &(u, v) in &self.edges {
-            g.add_edge_unchecked(u, v);
+        if self.staging_valid {
+            for &(u, v) in &self.edges {
+                g.add_edge_unchecked(u, v);
+            }
+        } else {
+            for u in 0..self.n as Node {
+                for &v in self.neighbors(u) {
+                    if u < v {
+                        g.add_edge_unchecked(u, v);
+                    }
+                }
+            }
         }
         g
     }
@@ -246,7 +408,7 @@ impl Graph for SnapshotBuf {
     }
 
     fn num_edges(&self) -> usize {
-        self.edges.len()
+        self.m
     }
 
     fn for_each_neighbor(&self, u: Node, f: &mut dyn FnMut(Node)) {
@@ -257,7 +419,7 @@ impl Graph for SnapshotBuf {
 
     fn degree(&self, u: Node) -> usize {
         debug_assert!(self.built, "query before build");
-        self.offsets[u as usize + 1] - self.offsets[u as usize]
+        self.row_len[u as usize] as usize
     }
 
     fn has_edge(&self, u: Node, v: Node) -> bool {
@@ -399,6 +561,123 @@ mod tests {
         assert_eq!(buf.num_edges(), 7);
         for u in 0..7u32 {
             assert_eq!(buf.neighbors(u), h.neighbors(u), "node {u}");
+        }
+    }
+
+    fn sorted_rows(buf: &SnapshotBuf) -> Vec<Vec<Node>> {
+        (0..buf.num_nodes() as Node)
+            .map(|u| {
+                let mut row = buf.neighbors(u).to_vec();
+                row.sort_unstable();
+                row
+            })
+            .collect()
+    }
+
+    #[test]
+    fn build_with_slack_is_query_identical_to_plain_build() {
+        let mut plain = SnapshotBuf::new();
+        let mut slacked = SnapshotBuf::new();
+        for buf in [&mut plain, &mut slacked] {
+            buf.begin(6);
+            for (u, v) in [(0, 1), (4, 2), (1, 4), (5, 0)] {
+                buf.push_edge(u, v);
+            }
+        }
+        plain.build();
+        slacked.build_with_slack(3);
+        assert_eq!(plain.num_edges(), slacked.num_edges());
+        for u in 0..6u32 {
+            assert_eq!(plain.neighbors(u), slacked.neighbors(u), "node {u}");
+            assert_eq!(Graph::degree(&plain, u), Graph::degree(&slacked, u));
+        }
+        assert_eq!(plain.edges(), slacked.edges());
+    }
+
+    #[test]
+    fn apply_delta_edits_in_place_and_falls_back_when_slack_runs_out() {
+        let mut buf = SnapshotBuf::new();
+        buf.begin(5);
+        buf.push_edge(0, 1);
+        buf.push_edge(1, 2);
+        buf.push_edge(3, 4);
+        buf.build_with_slack(1);
+        // One death + one birth fit in the slack.
+        buf.apply_delta(&[(0, 2)], &[(1, 2)]);
+        assert_eq!(buf.num_edges(), 3);
+        assert!(buf.has_edge(0, 2) && !buf.has_edge(1, 2));
+        assert_eq!(
+            sorted_rows(&buf),
+            vec![vec![1, 2], vec![0], vec![0], vec![4], vec![3]]
+        );
+        // Two more births on node 0 exhaust its single spare slot and force
+        // the fallback rebuild; the result must still be the exact edge set.
+        buf.apply_delta(&[(0, 3), (0, 4)], &[]);
+        assert_eq!(buf.num_edges(), 5);
+        assert_eq!(
+            sorted_rows(&buf),
+            vec![vec![1, 2, 3, 4], vec![0], vec![0], vec![0, 4], vec![0, 3]]
+        );
+        // The adjacency interop path must reflect the delta-edited rows.
+        let g = buf.to_adjacency();
+        assert_eq!(g.num_edges(), 5);
+        assert!(g.has_edge(0, 4));
+    }
+
+    #[test]
+    fn delta_sequences_match_from_scratch_rebuilds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let n = 24usize;
+        for slack in [0u32, 1, 4] {
+            let mut live = std::collections::BTreeSet::new();
+            let mut buf = SnapshotBuf::new();
+            buf.begin(n);
+            for u in 0..n as Node {
+                for v in (u + 1)..n as Node {
+                    if rng.gen_bool(0.15) {
+                        live.insert((u, v));
+                        buf.push_edge(u, v);
+                    }
+                }
+            }
+            buf.build_with_slack(slack);
+            for round in 0..40 {
+                let deaths: Vec<(Node, Node)> =
+                    live.iter().copied().filter(|_| rng.gen_bool(0.3)).collect();
+                let mut births = Vec::new();
+                for _ in 0..rng.gen_range(0..8) {
+                    let u = rng.gen_range(0..n) as Node;
+                    let v = rng.gen_range(0..n) as Node;
+                    let (a, b) = (u.min(v), u.max(v));
+                    if a != b && !live.contains(&(a, b)) && !births.contains(&(a, b)) {
+                        births.push((a, b));
+                    }
+                }
+                for d in &deaths {
+                    live.remove(d);
+                }
+                for &b in &births {
+                    live.insert(b);
+                }
+                buf.apply_delta(&births, &deaths);
+                // Reference: a from-scratch build of the same edge set.
+                let mut fresh = SnapshotBuf::new();
+                fresh.begin(n);
+                for &(u, v) in &live {
+                    fresh.push_edge(u, v);
+                }
+                fresh.build();
+                assert_eq!(
+                    buf.num_edges(),
+                    fresh.num_edges(),
+                    "slack {slack} round {round}"
+                );
+                assert_eq!(
+                    sorted_rows(&buf),
+                    sorted_rows(&fresh),
+                    "slack {slack} round {round}"
+                );
+            }
         }
     }
 

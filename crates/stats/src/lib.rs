@@ -8,6 +8,9 @@
 //! * [`ci`] — normal-approximation confidence intervals;
 //! * [`fit`] — least-squares fits, including log–log power-law fits used to
 //!   check the `√n/R` and `log n / log(np̂)` scaling shapes;
+//! * [`gof`] — chi-square and two-sample KS goodness-of-fit tests with
+//!   deterministic closed-form critical values, backing the
+//!   stepping-equivalence suite;
 //! * [`histogram`] — fixed-width binning;
 //! * [`table`] — ASCII and CSV rendering of experiment tables;
 //! * [`runner`] — seeded, rayon-parallel Monte-Carlo trial execution;
@@ -33,6 +36,7 @@
 
 pub mod ci;
 pub mod fit;
+pub mod gof;
 pub mod histogram;
 pub mod quantile;
 pub mod runner;
@@ -42,6 +46,7 @@ pub mod table;
 
 pub use ci::ConfidenceInterval;
 pub use fit::{linear_fit, power_law_fit, LinearFit};
+pub use gof::{chi_square_gof, ks_two_sample, Alpha, ChiSquareTest, KsTest};
 pub use runner::{
     precision_checkpoints, run_trials, run_trials_range, run_trials_scheduled,
     run_trials_sequential, run_until_precise,

@@ -6,9 +6,14 @@
 //! which the buffer and workspace capacities grow to the run's high-water
 //! mark — stepping the dense-edge and geometric evolving graphs must perform
 //! **zero** heap allocations (the acceptance criterion of the
-//! allocation-free snapshot pipeline refactor). The sparse edge engine is
-//! deliberately out of scope: its alive-set `BTreeSet` allocates per birth by
-//! design.
+//! allocation-free snapshot pipeline refactor). Both stepping modes are
+//! covered: the per-pair reference path and the `Stepping::Transitions`
+//! skip-sampling path, whose per-round work is a `SnapshotBuf::apply_delta`
+//! edit rather than a rebuild — raw delta rounds (including the
+//! slack-exhaustion rebuild fallback) are measured directly as well. The
+//! sparse engine's *per-pair* path stays out of scope (its alive-set
+//! `BTreeSet` allocates per birth by design); its transitions path keeps the
+//! alive set in a flat reused `Vec` and is held to the zero-allocation bar.
 //!
 //! The test counts `alloc` / `realloc` / `alloc_zeroed` calls around the
 //! measured loop on the test's own single thread; nothing else runs
@@ -99,5 +104,103 @@ fn advance_is_allocation_free_after_warmup_on_dense_and_geometric_paths() {
     assert_eq!(
         geo_allocs, 0,
         "geometric advance() allocated {geo_allocs} times after warm-up"
+    );
+
+    // --- dense edge-MEG, transitions stepping (delta snapshot path) -------
+    use meg::core::evolving::{InitialDistribution, Stepping};
+    let params = EdgeMegParams::with_stationary(256, 0.08, 0.4);
+    let mut fast = DenseEdgeMeg::with_stepping(
+        params,
+        InitialDistribution::Stationary,
+        Stepping::Transitions,
+        7,
+    );
+    for _ in 0..100 {
+        fast.advance();
+    }
+    let (fast_allocs, fast_edges) = allocations_during(|| {
+        let mut total = 0usize;
+        for _ in 0..200 {
+            total += fast.advance().num_edges();
+        }
+        total
+    });
+    assert!(fast_edges > 0, "dense transitions workload degenerated");
+    assert_eq!(
+        fast_allocs, 0,
+        "dense transitions advance() allocated {fast_allocs} times after warm-up"
+    );
+
+    // --- sparse edge-MEG, transitions stepping ----------------------------
+    use meg::edge::SparseEdgeMeg;
+    let params = EdgeMegParams::with_stationary(256, 0.03, 0.4);
+    let mut sparse = SparseEdgeMeg::with_stepping(
+        params,
+        InitialDistribution::Stationary,
+        Stepping::Transitions,
+        13,
+    );
+    for _ in 0..100 {
+        sparse.advance();
+    }
+    let (sparse_allocs, sparse_edges) = allocations_during(|| {
+        let mut total = 0usize;
+        for _ in 0..200 {
+            total += sparse.advance().num_edges();
+        }
+        total
+    });
+    assert!(sparse_edges > 0, "sparse transitions workload degenerated");
+    assert_eq!(
+        sparse_allocs, 0,
+        "sparse transitions advance() allocated {sparse_allocs} times after warm-up"
+    );
+
+    // --- raw SnapshotBuf delta rounds -------------------------------------
+    // A ring with slack 2, hammered with kill/revive delta rounds plus
+    // slack-exhaustion rebuilds: after one warm-up rebuild (which sizes the
+    // staging buffer), every delta round — in-place *and* fallback — must be
+    // allocation-free.
+    use meg::graph::SnapshotBuf;
+    let n = 64u32;
+    let mut buf = SnapshotBuf::new();
+    buf.begin(n as usize);
+    for u in 0..n {
+        buf.push_edge(u.min((u + 1) % n), u.max((u + 1) % n));
+    }
+    buf.build_with_slack(2);
+    let kill: Vec<(u32, u32)> = (0..n)
+        .step_by(2)
+        .map(|u| {
+            let v = (u + 1) % n;
+            (u.min(v), u.max(v))
+        })
+        .collect();
+    // Three chords at one hub exceed its slack of 2 and trigger the rebuild
+    // fallback; a second hub provides a fresh exhaustion for the measured
+    // window.
+    let chords_a: [(u32, u32); 3] = [(0, 4), (0, 8), (0, 12)];
+    let chords_b: [(u32, u32); 3] = [(1, 5), (1, 9), (1, 13)];
+    for _ in 0..4 {
+        buf.apply_delta(&[], &kill);
+        buf.apply_delta(&kill, &[]);
+    }
+    buf.apply_delta(&chords_a, &[]); // warm-up rebuild
+    buf.apply_delta(&[], &chords_a);
+    let (delta_allocs, delta_edges) = allocations_during(|| {
+        let mut total = 0usize;
+        for _ in 0..100 {
+            buf.apply_delta(&[], &kill);
+            buf.apply_delta(&kill, &[]);
+            total += buf.num_edges();
+        }
+        buf.apply_delta(&chords_b, &[]); // fallback rebuild, measured
+        buf.apply_delta(&[], &chords_b);
+        total + buf.num_edges()
+    });
+    assert!(delta_edges > 0, "delta workload degenerated");
+    assert_eq!(
+        delta_allocs, 0,
+        "apply_delta allocated {delta_allocs} times after warm-up"
     );
 }
