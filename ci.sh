@@ -163,6 +163,51 @@ print(f"bench-smoke A/B: dense_flood per_pair {a['median_ms']:.2f} ms vs "
 PYEOF
     rm -rf "$BENCH_DIR"
 
+    step "metrics-smoke (--metrics report: counters live, stdout untouched)"
+    MET_DIR=$(mktemp -d)
+    # shellcheck disable=SC2086
+    $MEG_LAB run quick_smoke $COMMON > "$MET_DIR/off.jsonl"
+    # shellcheck disable=SC2086
+    $MEG_LAB run quick_smoke $COMMON --metrics report \
+        > "$MET_DIR/on.jsonl" 2> "$MET_DIR/metrics.txt"
+    if ! diff -u "$MET_DIR/off.jsonl" "$MET_DIR/on.jsonl"; then
+        echo "row stream changed when the recorder was installed" >&2
+        rm -rf "$MET_DIR"
+        exit 1
+    fi
+    grep -q "── metrics report" "$MET_DIR/metrics.txt" || {
+        echo "no metrics report on stderr" >&2; cat "$MET_DIR/metrics.txt" >&2; exit 1; }
+    # Counters that must be present AND nonzero for this workload.
+    for c in edge_births edge_deaths rng_draws bucket_scan_visits rounds trials; do
+        grep -qE "^  $c +[1-9][0-9]*$" "$MET_DIR/metrics.txt" || {
+            echo "counter $c missing or zero in the metrics report:" >&2
+            cat "$MET_DIR/metrics.txt" >&2
+            rm -rf "$MET_DIR"
+            exit 1
+        }
+    done
+    # Span timings must have been recorded for the core phases.
+    for s in advance trial cell; do
+        grep -qE "^  $s +[1-9][0-9]*" "$MET_DIR/metrics.txt" || {
+            echo "span $s missing from the metrics report" >&2
+            rm -rf "$MET_DIR"
+            exit 1
+        }
+    done
+    echo "metrics report carries live counters and spans; rows byte-identical"
+    rm -rf "$MET_DIR"
+
+    step "metrics overhead guard (dense stepping bench, on/off median ratio ≤ 1.05)"
+    OVERHEAD_OUT=$(cargo run -q --release --offline -p meg-engine --bin meg-lab -- \
+        bench --overhead edge_dense_flood_fast_n4096 --repetitions 5 --warmup 2 --scale 0.25)
+    python3 - "$OVERHEAD_OUT" <<'PYEOF'
+import json, sys
+m = json.loads(sys.argv[1].splitlines()[0])
+print(f"overhead: off {m['off_median_ms']:.2f} ms vs on {m['on_median_ms']:.2f} ms "
+      f"(ratio {m['ratio']:.4f})")
+assert m["ratio"] <= 1.05, f"metrics overhead {m['ratio']:.4f} exceeds the 5% budget"
+PYEOF
+
     step "bench compile check"
     cargo check -q --workspace --benches --offline
 fi

@@ -22,6 +22,7 @@ use meg_core::evolving::{EvolvingGraph, InitialDistribution, Stepping};
 use meg_graph::generators::pair_from_index;
 use meg_graph::{Node, SnapshotBuf};
 use meg_markov::TwoStateChain;
+use meg_obs as obs;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -165,7 +166,10 @@ impl DenseEdgeMeg {
     /// Births are drawn first (against the pre-step state), because the model
     /// forbids a same-round death→rebirth: an edge alive at `t` that dies is
     /// absent at `t+1` regardless of the birth coin it would have drawn.
-    fn step_transitions(&mut self) {
+    ///
+    /// Returns the number of RNG draws the two skip-sampling passes consumed
+    /// (aggregated here, flushed to the metrics counters once per round).
+    fn step_transitions(&mut self) -> u64 {
         let total = self.params.num_pairs();
         let n = self.params.n as u64;
         let p = self.params.p;
@@ -177,7 +181,7 @@ impl DenseEdgeMeg {
         // Births: every pair absent before this step turns on w.p. p.
         let alive = &self.alive;
         let birth_idx = &mut self.birth_idx;
-        sample_bernoulli_indices(total, p, &mut self.rng, |k| {
+        let mut draws = sample_bernoulli_indices(total, p, &mut self.rng, |k| {
             if !alive[k as usize] {
                 birth_idx.push(k as u32);
             }
@@ -186,7 +190,7 @@ impl DenseEdgeMeg {
         // the flat alive-index array (the array order is arbitrary but the
         // marks are i.i.d., so any order samples the same law).
         let death_pos = &mut self.death_pos;
-        sample_bernoulli_indices(self.alive_idx.len() as u64, q, &mut self.rng, |pos| {
+        draws += sample_bernoulli_indices(self.alive_idx.len() as u64, q, &mut self.rng, |pos| {
             death_pos.push(pos as u32);
         });
         // Apply deaths in decreasing position order: swap_remove only ever
@@ -206,6 +210,7 @@ impl DenseEdgeMeg {
             let (a, b) = pair_from_index(n, k as u64);
             self.births.push((a as Node, b as Node));
         }
+        draws
     }
 }
 
@@ -215,13 +220,34 @@ impl EvolvingGraph for DenseEdgeMeg {
     }
 
     fn advance(&mut self) -> &SnapshotBuf {
+        let _span = obs::span("advance");
         match self.stepping {
             Stepping::PerPair => {
                 // Snapshot G_t reflects the current edge states; the chain
-                // then moves to the states of time t+1.
+                // then moves to the states of time t+1. Flip counting stays
+                // in locals and flushes once per round — the per-pair loop is
+                // the engine's hottest path, so no per-iteration atomics.
                 self.rebuild_snapshot();
-                for state in self.alive.iter_mut() {
-                    *state = self.chain.step(*state, &mut self.rng);
+                // Two monomorphic copies of the stepping loop: at ~1.5 ns per
+                // pair even the flip-count bookkeeping is a measurable tax,
+                // so the unobserved path must not carry it. Both branches
+                // call `chain.step` identically — RNG consumption (and hence
+                // the trajectory) is the same with or without a recorder.
+                if obs::installed() {
+                    let mut born = 0u64;
+                    let mut died = 0u64;
+                    for state in self.alive.iter_mut() {
+                        let was = *state;
+                        *state = self.chain.step(was, &mut self.rng);
+                        born += (!was & *state) as u64;
+                        died += (was & !*state) as u64;
+                    }
+                    obs::add(obs::Counter::EdgeBirths, born);
+                    obs::add(obs::Counter::EdgeDeaths, died);
+                } else {
+                    for state in self.alive.iter_mut() {
+                        *state = self.chain.step(*state, &mut self.rng);
+                    }
                 }
             }
             Stepping::Transitions => {
@@ -247,8 +273,14 @@ impl EvolvingGraph for DenseEdgeMeg {
                     self.snapshot.build_with_slack(DELTA_SLACK);
                     self.snapshot_synced = true;
                 } else {
-                    self.step_transitions();
-                    self.snapshot.apply_delta(&self.births, &self.deaths);
+                    let draws = self.step_transitions();
+                    let outcome = self.snapshot.apply_delta(&self.births, &self.deaths);
+                    if obs::installed() {
+                        obs::add(obs::Counter::EdgeBirths, self.births.len() as u64);
+                        obs::add(obs::Counter::EdgeDeaths, self.deaths.len() as u64);
+                        obs::add(obs::Counter::RngDraws, draws);
+                        obs::record_delta(outcome.is_rebuilt(), outcome.rebuild_bytes() as u64);
+                    }
                 }
             }
         }

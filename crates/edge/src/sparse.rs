@@ -18,6 +18,7 @@ use crate::model::EdgeMegParams;
 use meg_core::evolving::{EvolvingGraph, InitialDistribution, Stepping};
 use meg_graph::generators::pair_from_index;
 use meg_graph::{Graph, Node, SnapshotBuf};
+use meg_obs as obs;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
@@ -161,11 +162,14 @@ impl SparseEdgeMeg {
         let total_pairs = self.params.num_pairs();
         let p = self.params.p;
         let q = self.params.q;
+        let record = obs::installed();
         // Deaths: keep each alive edge with probability 1 − q.
+        let alive_before = self.alive.len();
         if q > 0.0 {
             let rng = &mut self.rng;
             self.alive.retain(|_| !rng.gen_bool(q));
         }
+        let died = alive_before - self.alive.len();
         // Births: each pair that was absent *before* this step turns on with
         // probability p. Pairs that were alive before the step are skipped:
         // if they survived the death phase they stay alive anyway, and if they
@@ -173,17 +177,25 @@ impl SparseEdgeMeg {
         // can be reborn. To distinguish "alive before the step" from "alive
         // after the death phase" we consult the pre-step snapshot, which holds
         // exactly the pre-step edge set.
+        let mut born = 0u64;
+        let mut draws = 0u64;
         if p > 0.0 {
             let mut births: Vec<u64> = Vec::new();
-            sample_bernoulli_indices(total_pairs, p, &mut self.rng, |idx| {
+            draws = sample_bernoulli_indices(total_pairs, p, &mut self.rng, |idx| {
                 let (a, b) = pair_from_index(self.params.n as u64, idx);
                 if !self.snapshot.has_edge(a as Node, b as Node) {
                     births.push(idx);
                 }
             });
+            born = births.len() as u64;
             for idx in births {
                 self.alive.insert(idx);
             }
+        }
+        if record {
+            obs::add(obs::Counter::EdgeDeaths, died as u64);
+            obs::add(obs::Counter::EdgeBirths, born);
+            obs::add(obs::Counter::RngDraws, draws);
         }
     }
 
@@ -194,7 +206,10 @@ impl SparseEdgeMeg {
     /// mirrors the pre-step edge set) because a same-round death must not
     /// re-enable a birth; deaths are then sampled as positions in `alive_vec`
     /// and applied by swap-remove in decreasing position order.
-    fn step_transitions(&mut self) {
+    ///
+    /// Returns the number of RNG draws the two skip-sampling passes consumed
+    /// (aggregated here, flushed to the metrics counters once per round).
+    fn step_transitions(&mut self) -> u64 {
         let total = self.params.num_pairs();
         let n = self.params.n as u64;
         let p = self.params.p;
@@ -206,7 +221,7 @@ impl SparseEdgeMeg {
         let snapshot = &self.snapshot;
         let birth_idx = &mut self.birth_idx;
         let births = &mut self.births;
-        sample_bernoulli_indices(total, p, &mut self.rng, |idx| {
+        let mut draws = sample_bernoulli_indices(total, p, &mut self.rng, |idx| {
             let (a, b) = pair_from_index(n, idx);
             if !snapshot.has_edge(a as Node, b as Node) {
                 birth_idx.push(idx as u32);
@@ -214,7 +229,7 @@ impl SparseEdgeMeg {
             }
         });
         let death_pos = &mut self.death_pos;
-        sample_bernoulli_indices(self.alive_vec.len() as u64, q, &mut self.rng, |pos| {
+        draws += sample_bernoulli_indices(self.alive_vec.len() as u64, q, &mut self.rng, |pos| {
             death_pos.push(pos as u32);
         });
         for i in (0..self.death_pos.len()).rev() {
@@ -226,6 +241,7 @@ impl SparseEdgeMeg {
         for i in 0..self.birth_idx.len() {
             self.alive_vec.push(self.birth_idx[i]);
         }
+        draws
     }
 }
 
@@ -238,25 +254,30 @@ impl SparseEdgeMeg {
 /// `⌊ln U / ln(1−prob)⌋` is exactly a geometric holding time, so visiting the
 /// selected indices is equivalent to walking a pre-drawn next-flip-time
 /// calendar without materialising it.
+///
+/// Returns the number of uniform RNG draws consumed, so callers can feed the
+/// `rng_draws` metrics counter without the sampler depending on `meg-obs`.
 pub(crate) fn sample_bernoulli_indices<R: Rng>(
     total: u64,
     prob: f64,
     rng: &mut R,
     mut visit: impl FnMut(u64),
-) {
+) -> u64 {
     if prob <= 0.0 || total == 0 {
-        return;
+        return 0;
     }
     if prob >= 1.0 {
         for idx in 0..total {
             visit(idx);
         }
-        return;
+        return 0;
     }
     let log_q = (1.0 - prob).ln();
     let mut idx: u64 = 0;
+    let mut draws: u64 = 0;
     loop {
         let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        draws += 1;
         let skip = (u.ln() / log_q).floor();
         if !skip.is_finite() || skip >= (total as f64) {
             break;
@@ -274,6 +295,7 @@ pub(crate) fn sample_bernoulli_indices<R: Rng>(
             break;
         }
     }
+    draws
 }
 
 impl EvolvingGraph for SparseEdgeMeg {
@@ -282,6 +304,7 @@ impl EvolvingGraph for SparseEdgeMeg {
     }
 
     fn advance(&mut self) -> &SnapshotBuf {
+        let _span = obs::span("advance");
         match self.stepping {
             Stepping::PerPair => {
                 self.rebuild_snapshot();
@@ -302,8 +325,14 @@ impl EvolvingGraph for SparseEdgeMeg {
                     self.snapshot.build_with_slack(DELTA_SLACK);
                     self.snapshot_synced = true;
                 } else {
-                    self.step_transitions();
-                    self.snapshot.apply_delta(&self.births, &self.deaths);
+                    let draws = self.step_transitions();
+                    let outcome = self.snapshot.apply_delta(&self.births, &self.deaths);
+                    if obs::installed() {
+                        obs::add(obs::Counter::EdgeBirths, self.births.len() as u64);
+                        obs::add(obs::Counter::EdgeDeaths, self.deaths.len() as u64);
+                        obs::add(obs::Counter::RngDraws, draws);
+                        obs::record_delta(outcome.is_rebuilt(), outcome.rebuild_bytes() as u64);
+                    }
                 }
             }
         }

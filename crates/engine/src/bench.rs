@@ -45,6 +45,7 @@ use meg_core::spec;
 use meg_edge::{DenseEdgeMeg, EdgeMegParams, SparseEdgeMeg};
 use meg_geometric::{GeometricMeg, GeometricMegParams};
 use meg_graph::Graph;
+use meg_obs as obs;
 use meg_stats::quantile::quantile;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -103,15 +104,22 @@ pub struct BenchResult {
     /// a cheap behavioural fingerprint; identical across runs of the same
     /// code at the same scale).
     pub checksum: f64,
+    /// `meg-obs` counter deltas from one extra **untimed** instrumented
+    /// repetition (`--counters`); `None` when the repetition was not run.
+    /// Never populated from the timed repetitions — the recorder stays off
+    /// while the clock runs.
+    pub counters: Option<Vec<(String, u64)>>,
 }
 
 impl BenchResult {
-    /// Renders the result as one JSON object.
+    /// Renders the result as one JSON object. The `counters` key is present
+    /// only when the instrumented repetition ran, keeping the document
+    /// byte-compatible with pre-observability consumers.
     pub fn to_json(&self) -> Json {
-        Json::obj([
-            ("bench", Json::Str(self.name.clone())),
+        let mut fields = vec![
+            ("bench".to_string(), Json::Str(self.name.clone())),
             (
-                "params",
+                "params".to_string(),
                 Json::Obj(
                     self.params
                         .iter()
@@ -119,14 +127,29 @@ impl BenchResult {
                         .collect(),
                 ),
             ),
-            ("repetitions", Json::Num(self.repetitions as f64)),
-            ("warmup", Json::Num(self.warmup as f64)),
-            ("median_ms", Json::Num(self.median_ms)),
-            ("iqr_ms", Json::Num(self.iqr_ms)),
-            ("min_ms", Json::Num(self.min_ms)),
-            ("max_ms", Json::Num(self.max_ms)),
-            ("checksum", Json::Num(self.checksum)),
-        ])
+            (
+                "repetitions".to_string(),
+                Json::Num(self.repetitions as f64),
+            ),
+            ("warmup".to_string(), Json::Num(self.warmup as f64)),
+            ("median_ms".to_string(), Json::Num(self.median_ms)),
+            ("iqr_ms".to_string(), Json::Num(self.iqr_ms)),
+            ("min_ms".to_string(), Json::Num(self.min_ms)),
+            ("max_ms".to_string(), Json::Num(self.max_ms)),
+            ("checksum".to_string(), Json::Num(self.checksum)),
+        ];
+        if let Some(counters) = &self.counters {
+            fields.push((
+                "counters".to_string(),
+                Json::Obj(
+                    counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                        .collect(),
+                ),
+            ));
+        }
+        Json::Obj(fields)
     }
 }
 
@@ -401,6 +424,105 @@ pub fn run_bench(name: &str, opts: &BenchOptions) -> Option<BenchResult> {
         min_ms,
         max_ms,
         checksum,
+        counters: None,
+    })
+}
+
+/// [`run_bench`] plus one extra **untimed** repetition with the `meg-obs`
+/// recorder installed, recording the counter deltas that repetition produced
+/// (flips, RNG draws, delta patches/rebuilds, …) in
+/// [`BenchResult::counters`]. The timed repetitions run with the recorder
+/// off, so the reported wall times are the uninstrumented ones; the recorder
+/// is uninstalled again before returning.
+pub fn run_bench_with_counters(name: &str, opts: &BenchOptions) -> Option<BenchResult> {
+    obs::uninstall();
+    let mut result = run_bench(name, opts)?;
+    obs::install();
+    let before = obs::snapshot();
+    let instrumented = run_once(name, opts.scale);
+    let after = obs::snapshot();
+    obs::uninstall();
+    instrumented?;
+    result.counters = Some(
+        after
+            .counter_deltas(&before)
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    );
+    Some(result)
+}
+
+/// Metrics-off vs metrics-on A/B measurement of one workload — the number
+/// behind the "instrumentation is free when off, cheap when on" claim and
+/// the ≤ 5% overhead guard in `ci.sh`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OverheadResult {
+    /// Workload name.
+    pub name: String,
+    /// Median wall time with no recorder installed, in milliseconds.
+    pub off_median_ms: f64,
+    /// Median wall time with the `meg-obs` recorder installed, in
+    /// milliseconds.
+    pub on_median_ms: f64,
+    /// `on_median_ms / off_median_ms` — 1.0 means free, 1.05 is the guard.
+    pub ratio: f64,
+}
+
+impl OverheadResult {
+    /// Renders the measurement as one JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("bench", Json::Str(self.name.clone())),
+            ("off_median_ms", Json::Num(self.off_median_ms)),
+            ("on_median_ms", Json::Num(self.on_median_ms)),
+            ("ratio", Json::Num(self.ratio)),
+        ])
+    }
+}
+
+/// Times one workload with the recorder uninstalled vs installed and reports
+/// the median ratio. The two variants are **interleaved per repetition**
+/// (off, on, off, on, …) so slow machine drift — thermal throttling,
+/// frequency ramp-up, cache warming — cancels out of the ratio instead of
+/// biasing whichever variant ran second. Both variants execute the identical
+/// seeded work (the checksums are asserted equal), so the ratio isolates the
+/// instrumentation cost. `None` if the name is unknown.
+pub fn run_overhead(name: &str, opts: &BenchOptions) -> Option<OverheadResult> {
+    let repetitions = opts.repetitions.max(1);
+    obs::uninstall();
+    for _ in 0..opts.warmup {
+        run_once(name, opts.scale)?;
+    }
+    let mut off_ms = Vec::with_capacity(repetitions);
+    let mut on_ms = Vec::with_capacity(repetitions);
+    let mut off_sum = 0.0;
+    let mut on_sum = 0.0;
+    for _ in 0..repetitions {
+        obs::uninstall();
+        let start = Instant::now();
+        let (_, sum) = run_once(name, opts.scale)?;
+        off_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        off_sum = sum;
+
+        obs::install();
+        let start = Instant::now();
+        let step = run_once(name, opts.scale);
+        on_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        obs::uninstall();
+        on_sum = step?.1;
+    }
+    assert_eq!(
+        off_sum, on_sum,
+        "metrics must not change behaviour for `{name}`"
+    );
+    let off_median_ms = quantile(&off_ms, 0.5).expect("non-empty");
+    let on_median_ms = quantile(&on_ms, 0.5).expect("non-empty");
+    Some(OverheadResult {
+        name: name.to_string(),
+        off_median_ms,
+        on_median_ms,
+        ratio: on_median_ms / off_median_ms.max(f64::MIN_POSITIVE),
     })
 }
 
@@ -454,6 +576,40 @@ mod tests {
     #[test]
     fn unknown_bench_is_none() {
         assert!(run_bench("no_such_bench", &TINY).is_none());
+        assert!(run_bench_with_counters("no_such_bench", &TINY).is_none());
+        assert!(run_overhead("no_such_bench", &TINY).is_none());
+    }
+
+    /// One test covers both recorder-touching modes: the recorder is
+    /// process-global, so splitting these into parallel-running tests would
+    /// let one test's `uninstall()` race the other's instrumented repetition.
+    #[test]
+    fn counters_and_overhead_modes_use_the_recorder_and_restore_it() {
+        let r = run_bench_with_counters("edge_dense_flood_n1024", &TINY).unwrap();
+        let counters = r.counters.as_ref().expect("instrumented rep recorded");
+        let get = |name: &str| {
+            counters
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        assert!(get("edge_births") > 0, "dense flood must flip edges");
+        assert!(
+            get("rounds") == 0,
+            "bench drives flood() directly, not trials"
+        );
+        let text = r.to_json().render();
+        assert!(text.contains("\"counters\":{"), "{text}");
+        assert!(Json::parse(&text).is_ok());
+        assert!(!obs::installed(), "recorder must be off after --counters");
+
+        let m = run_overhead("edge_dense_snapshots_n2048", &TINY).unwrap();
+        assert!(m.off_median_ms >= 0.0 && m.on_median_ms >= 0.0);
+        assert!(m.ratio.is_finite() && m.ratio > 0.0);
+        assert!(!obs::installed(), "recorder must be off after --overhead");
+        let text = m.to_json().render();
+        assert!(text.contains("\"ratio\":"), "{text}");
     }
 
     #[test]

@@ -16,6 +16,12 @@
 //!   --scale F             node-count multiplier       (default 1)
 //!   --label STR           label recorded in the JSON document
 //!   --out FILE            also write the full JSON document to FILE
+//!   --counters            run one extra untimed repetition per workload with
+//!                         the meg-obs recorder installed and record its
+//!                         counter deltas in the JSON (timed reps stay
+//!                         metrics-off)
+//!   --overhead            A/B-time each workload metrics-off vs metrics-on
+//!                         and print the ratio (the ≤ 5% guard in ci.sh)
 //!
 //! run flags:
 //!   --seed N              master seed        (default: MEG_SEED or 2009)
@@ -26,6 +32,13 @@
 //!                         override the chain stepping mode of every edge
 //!                         substrate (default: whatever the scenario declares;
 //!                         `transitions` is the sub-linear fast path)
+//!   --metrics report|jsonl
+//!                         install the meg-obs recorder and emit counters,
+//!                         gauges, and span timings to stderr after the run
+//!                         (default: MEG_METRICS or off); row output on
+//!                         stdout is byte-identical either way
+//!   --verbose             narrate worker fault events (deaths, respawns,
+//!                         retries) on stderr
 //!
 //! adaptive-precision run flags:
 //!   --target-stderr EPS   grow each cell's trials until the standard error
@@ -44,7 +57,7 @@
 //! ```
 
 use meg_engine::dist::{merge_dir, run_sharded, worker, DistOptions, ShardSpec, ShardStrategy};
-use meg_engine::harness;
+use meg_engine::harness::{self, MetricsMode};
 use meg_engine::run::Row;
 use meg_engine::scenario::{Scenario, SteppingKind, Substrate};
 use meg_engine::sink::{row_to_csv, rows_to_table, OutputFormat, CSV_HEADER};
@@ -56,17 +69,18 @@ const USAGE: &str = "usage:
   meg-lab show <name>
   meg-lab run <name | --file scenario.json> \\
           [--seed N] [--trials N] [--scale F] [--format table|json|csv] \\
-          [--stepping per_pair|transitions] \\
+          [--stepping per_pair|transitions] [--metrics report|jsonl] \\
           [--target-stderr EPS] [--min-trials N] [--max-trials N] \\
           [--shard i/m] [--strategy contiguous|round_robin] [--workers K] \\
-          [--out DIR] [--resume DIR] [--limit N] [--worker-fail-after N]
+          [--out DIR] [--resume DIR] [--limit N] [--worker-fail-after N] \\
+          [--verbose]
   meg-lab worker [--fail-after N]
   meg-lab merge <dir> [--format table|json|csv]
   meg-lab bench [names…] [--list] [--repetitions R] [--warmup W] \\
-          [--scale F] [--label STR] [--out FILE]
+          [--scale F] [--label STR] [--out FILE] [--counters] [--overhead]
 
-Environment defaults: MEG_SEED, MEG_TRIALS, MEG_SCALE, MEG_OUTPUT.
-Flags win over the environment.";
+Environment defaults: MEG_SEED, MEG_TRIALS, MEG_SCALE, MEG_OUTPUT,
+MEG_METRICS. Flags win over the environment.";
 
 fn fail(msg: &str) -> ! {
     eprintln!("meg-lab: {msg}");
@@ -159,6 +173,8 @@ fn cmd_run(args: &[String]) {
     let mut resume_dir: Option<PathBuf> = None;
     let mut limit: Option<usize> = None;
     let mut worker_fail_after: Option<usize> = None;
+    let mut metrics: Option<MetricsMode> = None;
+    let mut verbose = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -270,6 +286,14 @@ fn cmd_run(args: &[String]) {
                         .unwrap_or_else(|| fail("--worker-fail-after must be ≥ 1")),
                 )
             }
+            "--metrics" => {
+                metrics = Some(
+                    flag_value("--metrics")
+                        .parse()
+                        .unwrap_or_else(|e: String| fail(&e)),
+                )
+            }
+            "--verbose" => verbose = true,
             other if other.starts_with('-') => fail(&format!("unknown flag `{other}`")),
             other if name.is_none() => name = Some(other.to_string()),
             other => fail(&format!("unexpected argument `{other}`")),
@@ -328,6 +352,7 @@ fn cmd_run(args: &[String]) {
     }
     let seed = seed.unwrap_or_else(harness::master_seed_from_env);
     let format = format.unwrap_or_else(meg_engine::sink::format_from_env);
+    let metrics = metrics.or_else(harness::metrics_from_env);
 
     let distributed = shard.is_some()
         || strategy.is_some()
@@ -338,7 +363,7 @@ fn cmd_run(args: &[String]) {
         || worker_fail_after.is_some();
     if !distributed {
         // Single-process, no checkpointing: the original streaming path.
-        match harness::run_and_emit(&scenario, seed, format) {
+        match harness::run_and_emit_observed(&scenario, seed, format, metrics) {
             Ok(rows) => {
                 if format == OutputFormat::Table {
                     println!(
@@ -383,18 +408,31 @@ fn cmd_run(args: &[String]) {
         worker_cmd: None,
         worker_fail_after,
         max_retries: 3,
+        verbose,
     };
 
     if format == OutputFormat::Csv {
         println!("{CSV_HEADER}");
     }
+    if metrics.is_some() {
+        meg_engine::obs::install();
+    }
+    let mut prev = meg_engine::obs::snapshot();
     let mut table_rows: Vec<Row> = Vec::new();
-    let report = run_sharded(&scenario, seed, &opts, |_cell, line| match format {
-        OutputFormat::Json => println!("{line}"),
-        OutputFormat::Csv => println!("{}", row_to_csv(&parse_row(line))),
-        OutputFormat::Table => table_rows.push(parse_row(line)),
+    let report = run_sharded(&scenario, seed, &opts, |cell, line| {
+        match format {
+            OutputFormat::Json => println!("{line}"),
+            OutputFormat::Csv => println!("{}", row_to_csv(&parse_row(line))),
+            OutputFormat::Table => table_rows.push(parse_row(line)),
+        }
+        if let Some(mode) = metrics {
+            harness::emit_cell_metrics(mode, cell, &mut prev);
+        }
     })
     .unwrap_or_else(|e| fail(&format!("sharded run failed: {e}")));
+    if let Some(mode) = metrics {
+        harness::emit_metrics_summary(mode);
+    }
 
     if format == OutputFormat::Table {
         let caption = format!(
@@ -422,13 +460,18 @@ fn cmd_run(args: &[String]) {
 }
 
 fn cmd_bench(args: &[String]) {
-    use meg_engine::bench::{bench_names, results_to_json, run_bench, BenchOptions};
+    use meg_engine::bench::{
+        bench_names, results_to_json, run_bench, run_bench_with_counters, run_overhead,
+        BenchOptions,
+    };
 
     let mut opts = BenchOptions::default();
     let mut names: Vec<String> = Vec::new();
     let mut label = String::from("meg-lab bench");
     let mut out: Option<PathBuf> = None;
     let mut list = false;
+    let mut counters = false;
+    let mut overhead = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -461,6 +504,8 @@ fn cmd_bench(args: &[String]) {
             }
             "--label" => label = flag_value("--label"),
             "--out" => out = Some(PathBuf::from(flag_value("--out"))),
+            "--counters" => counters = true,
+            "--overhead" => overhead = true,
             other if other.starts_with('-') => fail(&format!("unknown bench flag `{other}`")),
             other => names.push(other.to_string()),
         }
@@ -479,9 +524,53 @@ fn cmd_bench(args: &[String]) {
         names
     };
 
+    if overhead {
+        // A/B mode: each workload timed metrics-off then metrics-on under
+        // identical options; the ratio is the instrumentation overhead.
+        let measurements: Vec<_> = names
+            .iter()
+            .map(|name| {
+                let m = run_overhead(name, &opts).unwrap_or_else(|| {
+                    fail(&format!(
+                        "unknown bench `{name}` (try: {})",
+                        bench_names().join(", ")
+                    ))
+                });
+                println!("{}", m.to_json().render());
+                m
+            })
+            .collect();
+        if let Some(path) = out {
+            let doc = meg_engine::Json::obj([
+                ("label", meg_engine::Json::Str(label)),
+                (
+                    "harness",
+                    meg_engine::Json::Str("meg-lab bench --overhead".to_string()),
+                ),
+                (
+                    "overhead",
+                    meg_engine::Json::Arr(measurements.iter().map(|m| m.to_json()).collect()),
+                ),
+            ]);
+            std::fs::write(&path, doc.render_pretty() + "\n")
+                .unwrap_or_else(|e| fail(&format!("cannot write `{}`: {e}", path.display())));
+            eprintln!(
+                "meg-lab bench: wrote {} overhead measurement(s) to {}",
+                measurements.len(),
+                path.display()
+            );
+        }
+        return;
+    }
+
     let mut results = Vec::with_capacity(names.len());
     for name in &names {
-        let r = run_bench(name, &opts).unwrap_or_else(|| {
+        let runner = if counters {
+            run_bench_with_counters
+        } else {
+            run_bench
+        };
+        let r = runner(name, &opts).unwrap_or_else(|| {
             fail(&format!(
                 "unknown bench `{name}` (try: {})",
                 bench_names().join(", ")

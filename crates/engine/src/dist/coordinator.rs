@@ -77,6 +77,7 @@ use crate::run::{
     adaptive_stop, aggregate_row, cell_seed, resolve_cells, run_cell, Cell, TrialOutcome,
 };
 use crate::scenario::{Precision, Scenario};
+use meg_obs as obs;
 use meg_stats::precision_checkpoints;
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
@@ -110,6 +111,8 @@ pub struct DistOptions {
     pub worker_fail_after: Option<usize>,
     /// Per-cell retry budget when a worker dies (respawn + resend).
     pub max_retries: usize,
+    /// Narrate worker fault events (deaths, respawns, retries) on stderr.
+    pub verbose: bool,
 }
 
 impl Default for DistOptions {
@@ -123,6 +126,7 @@ impl Default for DistOptions {
             worker_cmd: None,
             worker_fail_after: None,
             max_retries: 3,
+            verbose: false,
         }
     }
 }
@@ -338,6 +342,7 @@ impl WorkQueue {
                 return None;
             }
             if let Some(item) = st.items.pop_front() {
+                obs::sample(obs::Gauge::QueueDepth, st.items.len() as u64);
                 return Some(item);
             }
             if st.open_cells == 0 {
@@ -348,7 +353,10 @@ impl WorkQueue {
     }
 
     fn push(&self, item: WorkItem) {
-        self.state.lock().expect("queue lock").items.push_back(item);
+        let mut st = self.state.lock().expect("queue lock");
+        st.items.push_back(item);
+        obs::sample(obs::Gauge::QueueDepth, st.items.len() as u64);
+        drop(st);
         self.available.notify_one();
     }
 
@@ -450,6 +458,7 @@ impl WorkerProc {
 
     /// Writes one request line and reads one response line.
     fn round_trip(&mut self, request: &str) -> Result<String, String> {
+        let _span = obs::span("worker_round_trip");
         writeln!(self.stdin, "{request}")
             .and_then(|_| self.stdin.flush())
             .map_err(|e| format!("write: {e}"))?;
@@ -553,6 +562,15 @@ fn worker_thread(
                 None => match WorkerProc::spawn(cmd, handshake, opts.worker_fail_after) {
                     Ok(p) => {
                         proc = Some(p);
+                        if attempts > 0 {
+                            obs::add(obs::Counter::WorkerRespawns, 1);
+                            if opts.verbose {
+                                eprintln!(
+                                    "meg-lab: worker respawned (attempt {} for {item:?})",
+                                    attempts + 1
+                                );
+                            }
+                        }
                         continue;
                     }
                     Err(e) => Err(e),
@@ -563,15 +581,30 @@ fn worker_thread(
                 Err(reason) => {
                     if let Some(p) = proc.take() {
                         p.kill();
+                        obs::add(obs::Counter::WorkerDeaths, 1);
+                        if opts.verbose {
+                            eprintln!("meg-lab: worker died on {item:?}: {reason}");
+                        }
                     }
                     attempts += 1;
                     if attempts > opts.max_retries {
+                        if opts.verbose {
+                            eprintln!("meg-lab: giving up on {item:?} after {attempts} attempt(s)");
+                        }
                         abort.store(true, Ordering::SeqCst);
                         queue.shut_down();
                         let _ = results.send(Err(DistError::Worker(format!(
                             "{item:?} failed after {attempts} attempt(s): {reason}"
                         ))));
                         break 'items;
+                    }
+                    obs::add(obs::Counter::WorkerRetries, 1);
+                    if opts.verbose {
+                        eprintln!(
+                            "meg-lab: retrying {item:?} (attempt {} of {})",
+                            attempts + 1,
+                            opts.max_retries + 1
+                        );
                     }
                 }
             }

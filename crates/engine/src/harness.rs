@@ -16,11 +16,15 @@
 //! * `MEG_TARGET_STDERR` — switch to adaptive precision with this target
 //!   standard error (`meg-lab run --target-stderr`), with
 //!   `MEG_MIN_TRIALS` / `MEG_MAX_TRIALS` shaping the per-cell budget
-//!   (defaults: the trial count, and 32 × min).
+//!   (defaults: the trial count, and 32 × min);
+//! * `MEG_METRICS` — `report` | `jsonl`: install the `meg-obs` recorder for
+//!   the run and emit the metrics summary to **stderr** (stdout stays the
+//!   byte-identical row stream).
 
 use crate::run::{run_scenario_streaming, Row};
 use crate::scenario::{Precision, Scenario, ScenarioError};
 use crate::sink::{format_from_env, render_rows, rows_to_table, OutputFormat, CSV_HEADER};
+use meg_obs as obs;
 
 fn env_parse<T: std::str::FromStr>(name: &str) -> Option<T> {
     std::env::var(name).ok().and_then(|s| s.parse().ok())
@@ -55,6 +59,62 @@ pub fn min_trials_from_env() -> Option<usize> {
 /// Adaptive per-cell trial budget from `MEG_MAX_TRIALS` (minimum 1 when set).
 pub fn max_trials_from_env() -> Option<usize> {
     env_parse::<usize>("MEG_MAX_TRIALS").map(|t| t.max(1))
+}
+
+/// Which metrics sink a run should drive (`--metrics` / `MEG_METRICS`).
+///
+/// Metrics always land on stderr: stdout carries the row stream, whose bytes
+/// are diffed against golden fixtures and across shards, and must be
+/// identical whether or not a recorder is installed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricsMode {
+    /// Human-readable sweep-level summary after the run.
+    Report,
+    /// One JSON line of counter deltas per cell, plus a final sweep line.
+    Jsonl,
+}
+
+impl std::str::FromStr for MetricsMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "report" => Ok(MetricsMode::Report),
+            "jsonl" => Ok(MetricsMode::Jsonl),
+            other => Err(format!(
+                "metrics mode must be report or jsonl, not `{other}`"
+            )),
+        }
+    }
+}
+
+/// Metrics sink from `MEG_METRICS` (`report` | `jsonl`).
+pub fn metrics_from_env() -> Option<MetricsMode> {
+    env_parse("MEG_METRICS")
+}
+
+/// Emits one per-cell counter-delta JSON line to stderr (jsonl mode only)
+/// and advances `prev` to the current snapshot.
+pub fn emit_cell_metrics(mode: MetricsMode, cell: usize, prev: &mut obs::MetricsSnapshot) {
+    if mode != MetricsMode::Jsonl {
+        return;
+    }
+    let now = obs::snapshot();
+    let deltas: Vec<String> = now
+        .counter_deltas(prev)
+        .iter()
+        .map(|(n, v)| format!("\"{n}\":{v}"))
+        .collect();
+    eprintln!("{{\"cell\":{cell},\"counters\":{{{}}}}}", deltas.join(","));
+    *prev = now;
+}
+
+/// Emits the sweep-level metrics summary to stderr.
+pub fn emit_metrics_summary(mode: MetricsMode) {
+    let snap = obs::snapshot();
+    match mode {
+        MetricsMode::Report => eprint!("{}", snap.render_report()),
+        MetricsMode::Jsonl => eprintln!("{}", snap.render_jsonl()),
+    }
 }
 
 /// Resolves the adaptive-precision knobs into a [`Precision::TargetStderr`]
@@ -113,11 +173,24 @@ pub fn apply_env(scenario: &Scenario) -> Scenario {
 
 /// Runs a scenario with streaming output to stdout in `format`, returning the
 /// rows. JSON and CSV rows are printed as they are produced; the table is
-/// rendered once at the end (column widths need the full batch).
+/// rendered once at the end (column widths need the full batch). Honors
+/// `MEG_METRICS` (see [`run_and_emit_observed`]).
 pub fn run_and_emit(
     scenario: &Scenario,
     master_seed: u64,
     format: OutputFormat,
+) -> Result<Vec<Row>, ScenarioError> {
+    run_and_emit_observed(scenario, master_seed, format, metrics_from_env())
+}
+
+/// [`run_and_emit`] with an explicit metrics sink: when `metrics` is set the
+/// `meg-obs` recorder is (re)installed for the run and the summary lands on
+/// stderr afterwards — stdout's row bytes are identical either way.
+pub fn run_and_emit_observed(
+    scenario: &Scenario,
+    master_seed: u64,
+    format: OutputFormat,
+    metrics: Option<MetricsMode>,
 ) -> Result<Vec<Row>, ScenarioError> {
     if format == OutputFormat::Csv {
         println!("{CSV_HEADER}");
@@ -126,13 +199,25 @@ pub fn run_and_emit(
         "{}: {} (seed {})",
         scenario.name, scenario.description, master_seed
     );
-    let rows = run_scenario_streaming(scenario, master_seed, |row| match format {
-        OutputFormat::Json => println!("{}", row.to_json().render()),
-        OutputFormat::Csv => println!("{}", crate::sink::row_to_csv(row)),
-        OutputFormat::Table => {}
+    if metrics.is_some() {
+        obs::install();
+    }
+    let mut prev = obs::snapshot();
+    let rows = run_scenario_streaming(scenario, master_seed, |row| {
+        match format {
+            OutputFormat::Json => println!("{}", row.to_json().render()),
+            OutputFormat::Csv => println!("{}", crate::sink::row_to_csv(row)),
+            OutputFormat::Table => {}
+        }
+        if let Some(mode) = metrics {
+            emit_cell_metrics(mode, row.cell, &mut prev);
+        }
     })?;
     if format == OutputFormat::Table {
         print!("{}", rows_to_table(&caption, &rows).render_ascii());
+    }
+    if let Some(mode) = metrics {
+        emit_metrics_summary(mode);
     }
     Ok(rows)
 }

@@ -81,6 +81,7 @@ pub mod sink;
 pub use builtin::{builtin, builtin_names};
 pub use dist::{merge_dir, run_sharded, DistError, DistOptions, ShardSpec, ShardStrategy};
 pub use json::Json;
+pub use meg_obs as obs;
 pub use run::{run_scenario, run_scenario_streaming, Row, TrialOutcome};
 pub use scenario::{
     AdversarialKind, Axis, EdgeEngine, InitKind, MobilityKind, MoveRadiusSpec, PHatSpec, Param,

@@ -32,6 +32,7 @@ use meg_graph::expansion::{min_expansion_sampled, SamplingStrategy};
 use meg_graph::generators;
 use meg_graph::Graph;
 use meg_mobility::{Billiard, RandomWaypoint, TorusWalkers};
+use meg_obs as obs;
 use meg_stats::seeds::{derive_seed, labeled_seed};
 use meg_stats::{
     precision_checkpoints, run_trials, run_trials_range, run_trials_scheduled, Summary,
@@ -601,6 +602,12 @@ fn protocol_trial<M: EvolvingGraph>(
         Protocol::PushPull => push_pull_gossip(meg, source, budget, rng),
         probe => unreachable!("probe `{}` must not reach protocol_trial", probe.label()),
     };
+    if obs::installed() {
+        obs::add(obs::Counter::Rounds, r.rounds);
+        for &informed in &r.informed_per_round {
+            obs::sample(obs::Gauge::InformedPerRound, informed as u64);
+        }
+    }
     TrialOutcome {
         completed: r.completed,
         value: r.rounds as f64,
@@ -706,6 +713,8 @@ fn geometric_occupancy_trial(
 
 /// Executes one trial of one resolved cell under the given RNG stream.
 fn execute_trial(cell: &Cell, rng: &mut ChaCha8Rng) -> TrialOutcome {
+    let _span = obs::span("trial");
+    obs::add(obs::Counter::Trials, 1);
     match &cell.substrate {
         ResolvedSubstrate::Edge {
             engine,
@@ -903,6 +912,7 @@ pub fn aggregate_row(
 
 /// Runs one resolved cell under `cell_seed` and aggregates its row.
 pub fn run_cell(scenario: &Scenario, cell: &Cell, cell_seed: u64) -> Row {
+    let _span = obs::span("cell");
     let outcomes = run_cell_outcomes(scenario, cell, cell_seed);
     aggregate_row(scenario, cell, cell_seed, &outcomes)
 }

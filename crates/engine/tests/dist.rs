@@ -226,24 +226,71 @@ fn cli_worker_pool_matches_single_process_output() {
 #[test]
 fn cli_coordinator_restarts_crashing_workers() {
     let reference = cli_unsharded_json();
+    let cells = reference.lines().count();
+    assert!(cells >= 2, "fixture too small to exercise restarts");
     // Every worker aborts after serving one cell, so each cell costs one
     // subprocess — the run only completes if the restart path works.
-    let survived = run_ok(
-        &[
-            &["run", "quick_smoke"],
-            CLI_SCALE,
-            &[
-                "--format",
-                "json",
-                "--workers",
-                "2",
-                "--worker-fail-after",
-                "1",
-            ],
-        ]
-        .concat(),
+    // `--verbose --metrics report` turns the fault events into narrated
+    // stderr lines and counters; stdout must stay byte-identical anyway.
+    let out = meg_lab()
+        .args(
+            [
+                &["run", "quick_smoke"][..],
+                CLI_SCALE,
+                &[
+                    "--format",
+                    "json",
+                    "--workers",
+                    "2",
+                    "--worker-fail-after",
+                    "1",
+                    "--verbose",
+                    "--metrics",
+                    "report",
+                ],
+            ]
+            .concat(),
+        )
+        .output()
+        .expect("meg-lab runs");
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(out.status.success(), "faulted run failed: {stderr}");
+    assert_eq!(
+        String::from_utf8(out.stdout).expect("utf8 stdout"),
+        reference,
+        "rows must be byte-identical under --verbose --metrics"
     );
-    assert_eq!(survived, reference);
+
+    // With fail-after=1 every worker thread respawns once per item after its
+    // first, so total respawns land in [cells − workers, cells − 1].
+    let narrated = stderr
+        .lines()
+        .filter(|l| l.contains("worker respawned"))
+        .count();
+    assert!(
+        (cells - 2..=cells - 1).contains(&narrated),
+        "expected {} or {} respawn lines, saw {narrated}:\n{stderr}",
+        cells - 2,
+        cells - 1
+    );
+    assert!(
+        stderr.lines().any(|l| l.contains("worker died")),
+        "deaths must be narrated: {stderr}"
+    );
+
+    // The metrics report's counter must agree with the narrated lines.
+    assert!(stderr.contains("── metrics report"), "{stderr}");
+    let counted: usize = stderr
+        .lines()
+        .find_map(|l| l.trim_start().strip_prefix("worker_respawns"))
+        .expect("worker_respawns counter in report")
+        .trim()
+        .parse()
+        .expect("counter value");
+    assert_eq!(
+        counted, narrated,
+        "counter and narration disagree:\n{stderr}"
+    );
 }
 
 #[test]

@@ -1,0 +1,109 @@
+//! Determinism under observation: the golden fixtures of `golden_rows.rs`
+//! re-run with the `meg-obs` recorder **installed**.
+//!
+//! The observability layer's hard invariant is that metrics change nothing
+//! observable: clock reads sit strictly outside RNG-consuming code and all
+//! metrics output goes to stderr, so the row stream must be byte-identical
+//! whether or not a recorder is listening. This binary proves it against
+//! every committed fixture (fixed-trials, adaptive, and the transitions-
+//! stepping pin) — and then checks the counters actually moved, so a silent
+//! regression that disables instrumentation cannot masquerade as passing.
+//!
+//! One `#[test]` on purpose: the recorder is process-global, and this file
+//! is a separate test binary so its `install()` cannot leak into the
+//! metrics-off runs of `golden_rows.rs`.
+
+use meg_engine::obs;
+use meg_engine::prelude::*;
+use meg_engine::scenario::{Precision, SteppingKind, Substrate};
+
+const SEED: u64 = 20260730;
+const SCALE: f64 = 0.1;
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing fixture {path}: {e}"))
+}
+
+fn rendered_rows(scenario: &Scenario) -> String {
+    let rows = run_scenario(scenario, SEED).expect("scenario runs");
+    let mut out = String::new();
+    for row in rows {
+        out.push_str(&row.to_json().render());
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn every_golden_fixture_is_byte_identical_with_the_recorder_installed() {
+    obs::install();
+
+    // Fixed-trials fixtures (the 26 per-pair builtins).
+    for name in builtin_names() {
+        let mut scenario = builtin(name).expect("registry consistent").scaled(SCALE);
+        scenario.trials = 2;
+        assert_eq!(
+            rendered_rows(&scenario),
+            fixture(&format!("{name}.jsonl")),
+            "`{name}` rows drifted under observation"
+        );
+    }
+
+    // The transitions-stepping pin.
+    let mut scenario = builtin("edge_vs_n")
+        .expect("registry consistent")
+        .scaled(SCALE);
+    scenario.trials = 2;
+    for sub in &mut scenario.substrates {
+        if let Substrate::Edge { stepping, .. } = sub {
+            *stepping = SteppingKind::Transitions;
+        }
+    }
+    assert_eq!(
+        rendered_rows(&scenario),
+        fixture("edge_vs_n.transitions.jsonl"),
+        "transitions-stepping rows drifted under observation"
+    );
+
+    // Adaptive-precision fixtures.
+    for name in builtin_names() {
+        let mut scenario = builtin(name).expect("registry consistent").scaled(SCALE);
+        scenario.precision = Precision::TargetStderr {
+            eps: 0.5,
+            min_trials: 2,
+            max_trials: 4,
+        };
+        assert_eq!(
+            rendered_rows(&scenario),
+            fixture(&format!("{name}.adaptive.jsonl")),
+            "`{name}` adaptive rows drifted under observation"
+        );
+    }
+
+    // The runs above must actually have been observed — a recorder that
+    // silently stopped recording would make the byte-identity checks
+    // vacuous.
+    let snap = obs::snapshot();
+    assert!(
+        snap.counter("trials") > 0,
+        "no trials recorded: instrumentation is dark"
+    );
+    assert!(snap.counter("rounds") > 0, "no rounds recorded");
+    assert!(snap.counter("rng_draws") > 0, "no RNG draws recorded");
+    assert!(
+        snap.counter("edge_births") > 0 && snap.counter("edge_deaths") > 0,
+        "no edge flips recorded"
+    );
+    assert!(
+        snap.counter("bucket_scan_visits") > 0,
+        "no geometric bucket scans recorded"
+    );
+    assert!(
+        snap.counter("delta_rounds") > 0,
+        "no snapshot delta rounds recorded"
+    );
+    let report = snap.render_report();
+    assert!(report.contains("trials"), "report misses trials: {report}");
+    obs::uninstall();
+}

@@ -143,6 +143,7 @@ impl<M: Mobility> EvolvingGraph for GeometricMeg<M> {
     }
 
     fn advance(&mut self) -> &SnapshotBuf {
+        let _span = meg_obs::span("advance");
         radius_graph_into(
             self.mobility.positions(),
             self.radius,

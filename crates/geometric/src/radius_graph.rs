@@ -25,6 +25,7 @@
 
 use meg_graph::{AdjacencyList, Graph, Node, SnapshotBuf};
 use meg_mobility::space::{Point, Region};
+use meg_obs as obs;
 
 /// Reusable scratch for the bucket-grid construction.
 ///
@@ -226,6 +227,10 @@ fn scan_buckets(
     // membership scan. `k ≤ 3 ⇒ nb ≤ 9 ⇒ nb² ≤ 81`.
     let dedup_pairs = k <= 3;
     let mut visited_pair = [false; 81];
+    // Candidate-pair tally for the `bucket_scan_visits` counter: accumulated
+    // at bucket-pair granularity (one multiply per pair of buckets, nothing
+    // per candidate) and flushed once at the end.
+    let mut visits = 0u64;
 
     let m = k as isize;
     for by in 0..k {
@@ -233,6 +238,8 @@ fn scan_buckets(
             let here_idx = by * k + bx;
             let hs = starts[here_idx];
             let he = starts[here_idx + 1];
+            let cnt = (he - hs) as u64;
+            visits += cnt * cnt.saturating_sub(1) / 2;
             // Same-bucket pairs: i < j scan order == node index order.
             for i in hs..he {
                 let (uxi, uyi) = (xs[i], ys[i]);
@@ -276,6 +283,7 @@ fn scan_buckets(
                 }
                 let ts = starts[there_idx];
                 let te = starts[there_idx + 1];
+                visits += (he - hs) as u64 * (te - ts) as u64;
                 for i in hs..he {
                     let (uxi, uyi) = (xs[i], ys[i]);
                     let mut m = 0usize;
@@ -290,6 +298,9 @@ fn scan_buckets(
                 }
             }
         }
+    }
+    if obs::installed() {
+        obs::add(obs::Counter::BucketScanVisits, visits);
     }
 }
 
@@ -393,6 +404,7 @@ pub fn radius_graph_update(
         }
     };
 
+    let mut visits = 0u64;
     for &u in moved {
         let (ux, uy) = positions[u as usize];
         // Deaths: stale neighbors now beyond the radius. A pair whose two
@@ -438,6 +450,7 @@ pub fn radius_graph_update(
             }
         }
         for &b in &bucket_ids[..nb_ct] {
+            visits += (ws.starts[b + 1] - ws.starts[b]) as u64;
             for j in ws.starts[b]..ws.starts[b + 1] {
                 let v = ws.nodes[j];
                 if v == u || (ws.flags[v as usize] && v < u) {
@@ -449,7 +462,13 @@ pub fn radius_graph_update(
             }
         }
     }
-    out.apply_delta(&ws.births, &ws.deaths);
+    let outcome = out.apply_delta(&ws.births, &ws.deaths);
+    if obs::installed() {
+        obs::add(obs::Counter::EdgeBirths, ws.births.len() as u64);
+        obs::add(obs::Counter::EdgeDeaths, ws.deaths.len() as u64);
+        obs::add(obs::Counter::BucketScanVisits, visits);
+        obs::record_delta(outcome.is_rebuilt(), outcome.rebuild_bytes() as u64);
+    }
     (ws.births.len(), ws.deaths.len())
 }
 

@@ -57,7 +57,7 @@ pub mod snapshot_buf;
 pub use adjacency::AdjacencyList;
 pub use csr::Csr;
 pub use nodeset::NodeSet;
-pub use snapshot_buf::SnapshotBuf;
+pub use snapshot_buf::{DeltaOutcome, SnapshotBuf};
 
 /// A node identifier. Nodes are always the integers `0 .. n`.
 pub type Node = u32;

@@ -43,6 +43,40 @@
 
 use crate::{AdjacencyList, Graph, Node};
 
+/// How [`SnapshotBuf::apply_delta`] absorbed one round of edits — the signal
+/// the metrics layer and the delta-consistency tests use to distinguish
+/// cheap in-place patches from slack-exhaustion rebuilds. Returned rather
+/// than recorded so `meg-graph` stays independent of the instrumentation
+/// crate; callers forward it to `meg-obs` when a recorder is installed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[must_use = "callers should record or assert whether the delta patched or rebuilt"]
+pub enum DeltaOutcome {
+    /// Every edit landed inside the rows' live prefixes and slack slots.
+    Patched,
+    /// A birth found an endpoint row full: the remaining births were folded
+    /// into a full rebuild with fresh slack.
+    Rebuilt {
+        /// Arc slots (`targets` entries, live + slack) written by the
+        /// rebuild's fill pass.
+        arc_slots: usize,
+    },
+}
+
+impl DeltaOutcome {
+    /// Whether this round took the slack-exhaustion rebuild fallback.
+    pub fn is_rebuilt(self) -> bool {
+        matches!(self, DeltaOutcome::Rebuilt { .. })
+    }
+
+    /// Bytes written by the rebuild's fill pass (0 for a patched round).
+    pub fn rebuild_bytes(self) -> usize {
+        match self {
+            DeltaOutcome::Patched => 0,
+            DeltaOutcome::Rebuilt { arc_slots } => arc_slots * std::mem::size_of::<Node>(),
+        }
+    }
+}
+
 /// A mutable, reusable CSR-style snapshot of an undirected simple graph.
 ///
 /// Lifecycle: [`begin(n)`](SnapshotBuf::begin) →
@@ -222,8 +256,13 @@ impl SnapshotBuf {
     /// into a full rebuild with the slack requested at the last
     /// `build_with_slack` — semantically identical, just slower. All slices
     /// must be consistent with the current edge set: every death present,
-    /// every birth absent, no duplicates.
-    pub fn apply_delta(&mut self, births: &[(Node, Node)], deaths: &[(Node, Node)]) {
+    /// every birth absent, no duplicates. The returned [`DeltaOutcome`] says
+    /// which path the round took (and how much the fallback rewrote).
+    pub fn apply_delta(
+        &mut self,
+        births: &[(Node, Node)],
+        deaths: &[(Node, Node)],
+    ) -> DeltaOutcome {
         debug_assert!(self.built, "apply_delta before build");
         for &(u, v) in deaths {
             self.remove_arc(u, v);
@@ -242,9 +281,12 @@ impl SnapshotBuf {
                 self.staging_valid = false;
             } else {
                 self.rebuild_from_rows(&births[i..]);
-                return;
+                return DeltaOutcome::Rebuilt {
+                    arc_slots: self.targets.len(),
+                };
             }
         }
+        DeltaOutcome::Patched
     }
 
     #[inline]
@@ -603,7 +645,9 @@ mod tests {
         buf.push_edge(3, 4);
         buf.build_with_slack(1);
         // One death + one birth fit in the slack.
-        buf.apply_delta(&[(0, 2)], &[(1, 2)]);
+        let outcome = buf.apply_delta(&[(0, 2)], &[(1, 2)]);
+        assert_eq!(outcome, DeltaOutcome::Patched);
+        assert_eq!(outcome.rebuild_bytes(), 0);
         assert_eq!(buf.num_edges(), 3);
         assert!(buf.has_edge(0, 2) && !buf.has_edge(1, 2));
         assert_eq!(
@@ -612,7 +656,11 @@ mod tests {
         );
         // Two more births on node 0 exhaust its single spare slot and force
         // the fallback rebuild; the result must still be the exact edge set.
-        buf.apply_delta(&[(0, 3), (0, 4)], &[]);
+        let outcome = buf.apply_delta(&[(0, 3), (0, 4)], &[]);
+        assert!(outcome.is_rebuilt());
+        // 5 edges = 10 live arc slots, + 1 slack slot per row.
+        assert_eq!(outcome, DeltaOutcome::Rebuilt { arc_slots: 15 });
+        assert_eq!(outcome.rebuild_bytes(), 15 * std::mem::size_of::<Node>(),);
         assert_eq!(buf.num_edges(), 5);
         assert_eq!(
             sorted_rows(&buf),
@@ -659,7 +707,7 @@ mod tests {
                 for &b in &births {
                     live.insert(b);
                 }
-                buf.apply_delta(&births, &deaths);
+                let _ = buf.apply_delta(&births, &deaths);
                 // Reference: a from-scratch build of the same edge set.
                 let mut fresh = SnapshotBuf::new();
                 fresh.begin(n);

@@ -107,7 +107,15 @@ proptest! {
                     }
                 }
             }
-            buf.apply_delta(&births, &deaths);
+            let outcome = buf.apply_delta(&births, &deaths);
+            // Deaths swap-remove within the live prefix and never consume
+            // slack, so a births-free round must stay on the in-place path.
+            if births.is_empty() {
+                prop_assert!(
+                    !outcome.is_rebuilt(),
+                    "deaths alone must never trip the rebuild fallback"
+                );
+            }
             assert_matches_fresh_build(&buf, n, &edges)?;
         }
     }
@@ -123,11 +131,17 @@ proptest! {
         buf.begin(n);
         buf.build_with_slack(slack);
         let star: Vec<(Node, Node)> = (1..n_nodes).map(|v| (0, v)).collect();
-        buf.apply_delta(&star, &[]);
+        // n − 1 ≥ 3 new arcs at the hub against slack ≤ 2: the outcome must
+        // report the fallback, and size the rebuild it paid for.
+        let outcome = buf.apply_delta(&star, &[]);
+        prop_assert!(outcome.is_rebuilt(), "a full star must exhaust slack {}", slack);
+        prop_assert!(outcome.rebuild_bytes() > 0, "a rebuild has a byte cost");
         let mut edges: BTreeSet<(Node, Node)> = star.iter().copied().collect();
         assert_matches_fresh_build(&buf, n, &edges)?;
-        // Kill the whole star again, then add a ring.
-        buf.apply_delta(&[], &star);
+        // Kill the whole star again (deaths-only: in-place), then add a ring
+        // (may or may not exhaust the post-rebuild slack — outcome unpinned).
+        let outcome = buf.apply_delta(&[], &star);
+        prop_assert!(!outcome.is_rebuilt(), "deaths-only round must patch in place");
         edges.clear();
         let ring: Vec<(Node, Node)> = (0..n_nodes)
             .map(|u| {
@@ -135,7 +149,7 @@ proptest! {
                 (u.min(v), u.max(v))
             })
             .collect();
-        buf.apply_delta(&ring, &[]);
+        let _ = buf.apply_delta(&ring, &[]);
         edges.extend(ring.iter().copied());
         assert_matches_fresh_build(&buf, n, &edges)?;
     }

@@ -1,0 +1,641 @@
+//! # meg-obs
+//!
+//! Zero-overhead-when-off instrumentation for the meg workspace: monotonic
+//! [`Counter`]s, per-round [`Gauge`]s, and [`span`] timings, plus
+//! [`MetricsSnapshot`] rendering for the `meg-lab run --metrics` sinks.
+//!
+//! ## Design rules
+//!
+//! * **Off by default, cheap when off.** All recording entry points begin
+//!   with one relaxed atomic load of the global enable flag and return
+//!   immediately when no recorder is installed. No locks are taken, no
+//!   clocks are read, and nothing allocates on the disabled path.
+//! * **Deterministic under observation.** Recording never consumes RNG
+//!   draws, never reorders work, and never feeds back into simulation
+//!   branches; monotonic-clock reads happen strictly outside RNG-consuming
+//!   code. Installing a recorder therefore cannot change a single emitted
+//!   row byte — the `golden_rows_observed` suite enforces this.
+//! * **Allocation-free recording.** [`install`] pre-warms every span
+//!   reservoir to a fixed capacity; recording pushes into that capacity and
+//!   degrades to aggregate-only statistics (count/total/min/max) once it is
+//!   full, so a recorder-installed hot loop stays at zero allocations.
+//! * **Aggregate, don't instrument iterations.** Hot loops accumulate into
+//!   local variables and flush one counter add per call — per-iteration
+//!   atomics are forbidden by the ≤5% overhead budget.
+//!
+//! ## Example
+//!
+//! ```
+//! use meg_obs as obs;
+//!
+//! obs::install();
+//! obs::add(obs::Counter::EdgeBirths, 3);
+//! {
+//!     let _guard = obs::span("advance");
+//!     // ... timed work ...
+//! }
+//! let snap = obs::snapshot();
+//! assert_eq!(snap.counter("edge_births"), 3);
+//! assert_eq!(snap.span("advance").unwrap().count, 1);
+//! obs::uninstall();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Registry: counters, gauges, spans
+
+/// Monotonic event counters. Each increments forever while a recorder is
+/// installed; [`install`] resets all of them to zero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Edges born this run (both edge-MEG flip sampling and geometric
+    /// movement deltas).
+    EdgeBirths,
+    /// Edges that died this run.
+    EdgeDeaths,
+    /// Delta rounds applied through `SnapshotBuf::apply_delta`.
+    DeltaRounds,
+    /// Delta rounds absorbed in place within the per-row slack.
+    DeltaPatched,
+    /// Delta rounds that exhausted the slack and fell back to a rebuild.
+    DeltaRebuilds,
+    /// Arc-slot bytes written by slack-exhaustion snapshot rebuilds.
+    RebuildBytes,
+    /// RNG draws consumed by skip-sampling the flip calendar.
+    RngDraws,
+    /// Candidate pairs visited by the geometric bucket scan.
+    BucketScanVisits,
+    /// Protocol rounds driven across all trials.
+    Rounds,
+    /// Trials executed.
+    Trials,
+    /// Worker subprocesses respawned after a death.
+    WorkerRespawns,
+    /// Work items retried after a worker failure.
+    WorkerRetries,
+    /// Worker deaths detected (failed round trips).
+    WorkerDeaths,
+}
+
+impl Counter {
+    /// Every counter, in rendering order.
+    pub const ALL: [Counter; 13] = [
+        Counter::EdgeBirths,
+        Counter::EdgeDeaths,
+        Counter::DeltaRounds,
+        Counter::DeltaPatched,
+        Counter::DeltaRebuilds,
+        Counter::RebuildBytes,
+        Counter::RngDraws,
+        Counter::BucketScanVisits,
+        Counter::Rounds,
+        Counter::Trials,
+        Counter::WorkerRespawns,
+        Counter::WorkerRetries,
+        Counter::WorkerDeaths,
+    ];
+
+    /// The counter's snake_case name, used in reports and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::EdgeBirths => "edge_births",
+            Counter::EdgeDeaths => "edge_deaths",
+            Counter::DeltaRounds => "delta_rounds",
+            Counter::DeltaPatched => "delta_patched",
+            Counter::DeltaRebuilds => "delta_rebuilds",
+            Counter::RebuildBytes => "rebuild_bytes",
+            Counter::RngDraws => "rng_draws",
+            Counter::BucketScanVisits => "bucket_scan_visits",
+            Counter::Rounds => "rounds",
+            Counter::Trials => "trials",
+            Counter::WorkerRespawns => "worker_respawns",
+            Counter::WorkerRetries => "worker_retries",
+            Counter::WorkerDeaths => "worker_deaths",
+        }
+    }
+}
+
+/// Per-round gauges: repeated samples of an instantaneous value, summarized
+/// as count/mean/min/max.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Gauge {
+    /// Informed-node count sampled once per protocol round.
+    InformedPerRound,
+    /// Coordinator work-queue depth sampled at each push.
+    QueueDepth,
+}
+
+impl Gauge {
+    /// Every gauge, in rendering order.
+    pub const ALL: [Gauge; 2] = [Gauge::InformedPerRound, Gauge::QueueDepth];
+
+    /// The gauge's snake_case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::InformedPerRound => "informed_per_round",
+            Gauge::QueueDepth => "queue_depth",
+        }
+    }
+}
+
+/// The fixed span vocabulary. [`span`] names outside this list are ignored
+/// (with a debug assertion to catch typos).
+pub const SPAN_NAMES: [&str; 4] = ["advance", "trial", "cell", "worker_round_trip"];
+
+/// Samples kept per span for median/IQR estimation; recording beyond this
+/// keeps the aggregate statistics exact but stops storing raw durations.
+pub const SPAN_RESERVOIR_CAP: usize = 4096;
+
+// ---------------------------------------------------------------------------
+// Static recorder state
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+static COUNTERS: [AtomicU64; Counter::ALL.len()] =
+    [const { AtomicU64::new(0) }; Counter::ALL.len()];
+
+/// One gauge's aggregate state: sample count, sum, min, max.
+struct GaugeCell {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+static GAUGES: [GaugeCell; Gauge::ALL.len()] = [const {
+    GaugeCell {
+        count: AtomicU64::new(0),
+        sum: AtomicU64::new(0),
+        min: AtomicU64::new(u64::MAX),
+        max: AtomicU64::new(0),
+    }
+}; Gauge::ALL.len()];
+
+/// One span's timing state. Mutex-protected: spans are coarse (per round at
+/// the finest), so an uncontended lock per record is well inside budget.
+struct SpanState {
+    count: u64,
+    total_ms: f64,
+    min_ms: f64,
+    max_ms: f64,
+    reservoir: Vec<f64>,
+}
+
+impl SpanState {
+    const fn new() -> SpanState {
+        SpanState {
+            count: 0,
+            total_ms: 0.0,
+            min_ms: f64::INFINITY,
+            max_ms: 0.0,
+            reservoir: Vec::new(),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.count = 0;
+        self.total_ms = 0.0;
+        self.min_ms = f64::INFINITY;
+        self.max_ms = 0.0;
+        self.reservoir.clear();
+        self.reservoir.reserve(SPAN_RESERVOIR_CAP);
+    }
+
+    fn record(&mut self, ms: f64) {
+        self.count += 1;
+        self.total_ms += ms;
+        self.min_ms = self.min_ms.min(ms);
+        self.max_ms = self.max_ms.max(ms);
+        if self.reservoir.len() < SPAN_RESERVOIR_CAP {
+            self.reservoir.push(ms);
+        }
+    }
+}
+
+static SPANS: [Mutex<SpanState>; SPAN_NAMES.len()] =
+    [const { Mutex::new(SpanState::new()) }; SPAN_NAMES.len()];
+
+// ---------------------------------------------------------------------------
+// Recording API
+
+/// Whether a recorder is currently installed. The single branch every
+/// recording entry point takes first; inlined so the disabled path costs one
+/// relaxed load.
+#[inline(always)]
+pub fn installed() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Resets every counter, gauge, and span, pre-warms the span reservoirs
+/// (the only allocations the recorder ever makes), and enables recording.
+pub fn install() {
+    ENABLED.store(false, Ordering::SeqCst);
+    for c in &COUNTERS {
+        c.store(0, Ordering::SeqCst);
+    }
+    for g in &GAUGES {
+        g.count.store(0, Ordering::SeqCst);
+        g.sum.store(0, Ordering::SeqCst);
+        g.min.store(u64::MAX, Ordering::SeqCst);
+        g.max.store(0, Ordering::SeqCst);
+    }
+    for s in &SPANS {
+        s.lock().expect("span lock").reset();
+    }
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Disables recording. Accumulated values stay readable via [`snapshot`]
+/// until the next [`install`].
+pub fn uninstall() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Adds `n` to a counter. No-op unless a recorder is installed. Hot loops
+/// should accumulate locally and call this once per round or per call.
+#[inline]
+pub fn add(counter: Counter, n: u64) {
+    if installed() {
+        COUNTERS[counter as usize].fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Records one snapshot-delta round: bumps [`Counter::DeltaRounds`] and the
+/// patched/rebuilt split (plus [`Counter::RebuildBytes`] for a rebuild).
+/// Takes plain values rather than `meg-graph`'s `DeltaOutcome` so the graph
+/// crate stays below this one in the dependency DAG.
+#[inline]
+pub fn record_delta(rebuilt: bool, rebuild_bytes: u64) {
+    if installed() {
+        add(Counter::DeltaRounds, 1);
+        if rebuilt {
+            add(Counter::DeltaRebuilds, 1);
+            add(Counter::RebuildBytes, rebuild_bytes);
+        } else {
+            add(Counter::DeltaPatched, 1);
+        }
+    }
+}
+
+/// Records one gauge sample. No-op unless a recorder is installed.
+#[inline]
+pub fn sample(gauge: Gauge, value: u64) {
+    if installed() {
+        let g = &GAUGES[gauge as usize];
+        g.count.fetch_add(1, Ordering::Relaxed);
+        g.sum.fetch_add(value, Ordering::Relaxed);
+        g.min.fetch_min(value, Ordering::Relaxed);
+        g.max.fetch_max(value, Ordering::Relaxed);
+    }
+}
+
+/// An in-flight span timing; records the elapsed wall time on drop. Inert
+/// (no clock read, nothing recorded) when no recorder is installed.
+#[must_use = "a span guard records on drop; binding it to `_` drops it immediately"]
+pub struct SpanGuard {
+    slot: Option<(usize, Instant)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((slot, started)) = self.slot.take() {
+            let ms = started.elapsed().as_secs_f64() * 1e3;
+            if installed() {
+                SPANS[slot].lock().expect("span lock").record(ms);
+            }
+        }
+    }
+}
+
+/// Starts timing a span. `name` must be one of [`SPAN_NAMES`]; unknown
+/// names are ignored (debug builds assert). The monotonic clock is read only
+/// while a recorder is installed, and only here and at guard drop — never
+/// inside RNG-consuming code.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !installed() {
+        return SpanGuard { slot: None };
+    }
+    let slot = SPAN_NAMES.iter().position(|&s| s == name);
+    debug_assert!(slot.is_some(), "unknown span name {name:?}");
+    SpanGuard {
+        slot: slot.map(|i| (i, Instant::now())),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots and rendering
+
+/// Aggregate statistics of one gauge.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GaugeStats {
+    /// Gauge name.
+    pub name: &'static str,
+    /// Number of samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when no samples were recorded).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl GaugeStats {
+    /// Mean sample value, or 0.0 with no samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Aggregate statistics of one span.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpanStats {
+    /// Span name.
+    pub name: &'static str,
+    /// Number of timings recorded.
+    pub count: u64,
+    /// Total recorded milliseconds.
+    pub total_ms: f64,
+    /// Fastest timing (0 with no samples).
+    pub min_ms: f64,
+    /// Slowest timing.
+    pub max_ms: f64,
+    /// Median over the stored reservoir (first [`SPAN_RESERVOIR_CAP`]
+    /// samples).
+    pub median_ms: f64,
+    /// Interquartile range over the stored reservoir.
+    pub iqr_ms: f64,
+}
+
+/// A point-in-time copy of every counter, gauge, and span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every counter, in [`Counter::ALL`] order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Every gauge's aggregate statistics, in [`Gauge::ALL`] order.
+    pub gauges: Vec<GaugeStats>,
+    /// Every span's aggregate statistics, in [`SPAN_NAMES`] order.
+    pub spans: Vec<SpanStats>,
+}
+
+/// Reads the current value of every counter, gauge, and span. Valid whether
+/// or not recording is currently enabled.
+pub fn snapshot() -> MetricsSnapshot {
+    let counters = Counter::ALL
+        .iter()
+        .map(|&c| (c.name(), COUNTERS[c as usize].load(Ordering::SeqCst)))
+        .collect();
+    let gauges = Gauge::ALL
+        .iter()
+        .map(|&g| {
+            let cell = &GAUGES[g as usize];
+            let count = cell.count.load(Ordering::SeqCst);
+            GaugeStats {
+                name: g.name(),
+                count,
+                sum: cell.sum.load(Ordering::SeqCst),
+                min: if count == 0 {
+                    0
+                } else {
+                    cell.min.load(Ordering::SeqCst)
+                },
+                max: cell.max.load(Ordering::SeqCst),
+            }
+        })
+        .collect();
+    let spans = SPAN_NAMES
+        .iter()
+        .zip(&SPANS)
+        .map(|(&name, state)| {
+            let st = state.lock().expect("span lock");
+            let (median_ms, iqr_ms) =
+                match meg_stats::quantile::quantiles(&st.reservoir, &[0.25, 0.5, 0.75]) {
+                    Some(qs) => (qs[1], qs[2] - qs[0]),
+                    None => (0.0, 0.0),
+                };
+            SpanStats {
+                name,
+                count: st.count,
+                total_ms: st.total_ms,
+                min_ms: if st.count == 0 { 0.0 } else { st.min_ms },
+                max_ms: st.max_ms,
+                median_ms,
+                iqr_ms,
+            }
+        })
+        .collect();
+    MetricsSnapshot {
+        counters,
+        gauges,
+        spans,
+    }
+}
+
+impl MetricsSnapshot {
+    /// The value of the named counter (0 for unknown names).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// The named span's statistics, if it recorded anything is irrelevant —
+    /// `None` only for names outside [`SPAN_NAMES`].
+    pub fn span(&self, name: &str) -> Option<&SpanStats> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Counter deltas since `earlier` (saturating, so an `earlier` snapshot
+    /// from a different install epoch degrades to the raw values).
+    pub fn counter_deltas(&self, earlier: &MetricsSnapshot) -> Vec<(&'static str, u64)> {
+        self.counters
+            .iter()
+            .map(|&(name, v)| (name, v.saturating_sub(earlier.counter(name))))
+            .collect()
+    }
+
+    /// Fraction of delta rounds that fell back to a rebuild, or `None` when
+    /// no delta rounds ran.
+    pub fn delta_fallback_rate(&self) -> Option<f64> {
+        let rounds = self.counter("delta_rounds");
+        if rounds == 0 {
+            None
+        } else {
+            Some(self.counter("delta_rebuilds") as f64 / rounds as f64)
+        }
+    }
+
+    /// Renders the human-readable metrics report (the `--metrics report`
+    /// sink). Counters with value 0 are listed too: an absent signal is
+    /// itself a signal.
+    pub fn render_report(&self) -> String {
+        let mut out = String::new();
+        out.push_str("── metrics report ─────────────────────────────────────\n");
+        out.push_str("counters\n");
+        for &(name, v) in &self.counters {
+            out.push_str(&format!("  {name:<22} {v}\n"));
+        }
+        if let Some(rate) = self.delta_fallback_rate() {
+            out.push_str(&format!(
+                "derived\n  {:<22} {:.2}% ({} of {} delta rounds rebuilt)\n",
+                "delta_fallback_rate",
+                rate * 100.0,
+                self.counter("delta_rebuilds"),
+                self.counter("delta_rounds"),
+            ));
+        }
+        out.push_str("gauges                   count        mean   min   max\n");
+        for g in &self.gauges {
+            out.push_str(&format!(
+                "  {:<22} {:>6} {:>11.2} {:>5} {:>5}\n",
+                g.name,
+                g.count,
+                g.mean(),
+                g.min,
+                g.max
+            ));
+        }
+        out.push_str("spans                    count    total_ms   median_ms      iqr_ms\n");
+        for s in &self.spans {
+            out.push_str(&format!(
+                "  {:<22} {:>6} {:>11.3} {:>11.4} {:>11.4}\n",
+                s.name, s.count, s.total_ms, s.median_ms, s.iqr_ms
+            ));
+        }
+        out
+    }
+
+    /// Renders the snapshot as one JSON line (the `--metrics jsonl` sink).
+    /// The object is hand-rolled: every key is a fixed identifier, so no
+    /// escaping is needed and `meg-obs` stays free of JSON dependencies.
+    pub fn render_jsonl(&self) -> String {
+        let counters: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(n, v)| format!("\"{n}\":{v}"))
+            .collect();
+        let gauges: Vec<String> = self
+            .gauges
+            .iter()
+            .map(|g| {
+                format!(
+                    "\"{}\":{{\"count\":{},\"mean\":{:.4},\"min\":{},\"max\":{}}}",
+                    g.name,
+                    g.count,
+                    g.mean(),
+                    g.min,
+                    g.max
+                )
+            })
+            .collect();
+        let spans: Vec<String> = self
+            .spans
+            .iter()
+            .map(|s| {
+                format!(
+                    "\"{}\":{{\"count\":{},\"total_ms\":{:.4},\"median_ms\":{:.5},\"iqr_ms\":{:.5}}}",
+                    s.name, s.count, s.total_ms, s.median_ms, s.iqr_ms
+                )
+            })
+            .collect();
+        format!(
+            "{{\"counters\":{{{}}},\"gauges\":{{{}}},\"spans\":{{{}}}}}",
+            counters.join(","),
+            gauges.join(","),
+            spans.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The recorder is process-global, so the whole lifecycle lives in one
+    // test: parallel test threads toggling ENABLED would race each other.
+    #[test]
+    fn recorder_lifecycle_counters_gauges_spans_and_rendering() {
+        // Disabled: everything is a no-op and snapshots read zeros.
+        uninstall();
+        add(Counter::EdgeBirths, 5);
+        sample(Gauge::QueueDepth, 9);
+        drop(span("advance"));
+        install();
+        let zero = snapshot();
+        assert_eq!(zero.counter("edge_births"), 0);
+        assert_eq!(zero.gauges[1].count, 0);
+        assert_eq!(zero.span("advance").unwrap().count, 0);
+
+        // Enabled: counters accumulate, gauges summarize, spans time.
+        add(Counter::EdgeBirths, 5);
+        add(Counter::EdgeBirths, 2);
+        add(Counter::DeltaRounds, 4);
+        add(Counter::DeltaRebuilds, 1);
+        sample(Gauge::InformedPerRound, 10);
+        sample(Gauge::InformedPerRound, 30);
+        drop(span("advance"));
+        drop(span("advance"));
+        let snap = snapshot();
+        assert_eq!(snap.counter("edge_births"), 7);
+        assert_eq!(snap.delta_fallback_rate(), Some(0.25));
+        let informed = snap.gauges[0];
+        assert_eq!((informed.count, informed.min, informed.max), (2, 10, 30));
+        assert_eq!(informed.mean(), 20.0);
+        let adv = snap.span("advance").unwrap();
+        assert_eq!(adv.count, 2);
+        assert!(adv.total_ms >= 0.0 && adv.min_ms <= adv.max_ms);
+
+        // Deltas against an earlier snapshot.
+        add(Counter::EdgeBirths, 3);
+        let later = snapshot();
+        let deltas = later.counter_deltas(&snap);
+        assert!(deltas.contains(&("edge_births", 3)));
+        assert!(deltas.contains(&("delta_rounds", 0)));
+
+        // Rendering mentions every registered name.
+        let report = later.render_report();
+        let jsonl = later.render_jsonl();
+        for c in Counter::ALL {
+            assert!(report.contains(c.name()), "report lacks {}", c.name());
+            assert!(jsonl.contains(c.name()), "jsonl lacks {}", c.name());
+        }
+        for s in SPAN_NAMES {
+            assert!(report.contains(s) && jsonl.contains(s));
+        }
+        assert!(report.contains("delta_fallback_rate"));
+
+        // Reinstalling resets; uninstalling freezes.
+        install();
+        assert_eq!(snapshot().counter("edge_births"), 0);
+        add(Counter::Trials, 1);
+        uninstall();
+        add(Counter::Trials, 1);
+        assert_eq!(snapshot().counter("trials"), 1);
+    }
+
+    #[test]
+    fn reservoir_degrades_to_aggregates_past_capacity() {
+        let mut st = SpanState::new();
+        st.reset();
+        for i in 0..(SPAN_RESERVOIR_CAP + 10) {
+            st.record(i as f64);
+        }
+        assert_eq!(st.count as usize, SPAN_RESERVOIR_CAP + 10);
+        assert_eq!(st.reservoir.len(), SPAN_RESERVOIR_CAP);
+        assert_eq!(st.max_ms, (SPAN_RESERVOIR_CAP + 9) as f64);
+    }
+}

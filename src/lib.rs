@@ -17,6 +17,7 @@
 //! | [`geometric`] | geometric-MEG: mobility + transmission radius, cell-partition machinery of Theorem 3.2 |
 //! | [`edge`] | edge-MEG: dense and sparse per-edge two-state chain engines |
 //! | [`engine`] | declarative scenario engine: experiments as data (substrates × protocols × sweep grid), JSON round-tripping, output sinks, built-in scenarios, the `meg-lab` CLI |
+//! | [`obs`] | zero-overhead-when-off instrumentation: counters, per-round gauges, span timings, metrics reports |
 //!
 //! ## Quick start
 //!
@@ -47,6 +48,7 @@ pub use meg_geometric as geometric;
 pub use meg_graph as graph;
 pub use meg_markov as markov;
 pub use meg_mobility as mobility;
+pub use meg_obs as obs;
 pub use meg_stats as stats;
 
 /// The most commonly used items, importable with `use meg::prelude::*`.

@@ -182,25 +182,72 @@ fn advance_is_allocation_free_after_warmup_on_dense_and_geometric_paths() {
     let chords_a: [(u32, u32); 3] = [(0, 4), (0, 8), (0, 12)];
     let chords_b: [(u32, u32); 3] = [(1, 5), (1, 9), (1, 13)];
     for _ in 0..4 {
-        buf.apply_delta(&[], &kill);
-        buf.apply_delta(&kill, &[]);
+        assert!(!buf.apply_delta(&[], &kill).is_rebuilt());
+        assert!(!buf.apply_delta(&kill, &[]).is_rebuilt());
     }
-    buf.apply_delta(&chords_a, &[]); // warm-up rebuild
-    buf.apply_delta(&[], &chords_a);
+    // Warm-up rebuild: exceeding the hub's slack must report `Rebuilt`.
+    assert!(buf.apply_delta(&chords_a, &[]).is_rebuilt());
+    let _ = buf.apply_delta(&[], &chords_a);
     let (delta_allocs, delta_edges) = allocations_during(|| {
         let mut total = 0usize;
+        let mut rebuilds = 0usize;
         for _ in 0..100 {
-            buf.apply_delta(&[], &kill);
-            buf.apply_delta(&kill, &[]);
+            rebuilds += buf.apply_delta(&[], &kill).is_rebuilt() as usize;
+            rebuilds += buf.apply_delta(&kill, &[]).is_rebuilt() as usize;
             total += buf.num_edges();
         }
-        buf.apply_delta(&chords_b, &[]); // fallback rebuild, measured
-        buf.apply_delta(&[], &chords_b);
-        total + buf.num_edges()
+        // Fallback rebuild, measured: the outcome must say so.
+        rebuilds += buf.apply_delta(&chords_b, &[]).is_rebuilt() as usize;
+        let _ = buf.apply_delta(&[], &chords_b);
+        (total + buf.num_edges(), rebuilds)
     });
+    let (delta_edges, delta_rebuilds) = delta_edges;
     assert!(delta_edges > 0, "delta workload degenerated");
+    assert!(
+        delta_rebuilds >= 1,
+        "the chord burst must exhaust slack and report Rebuilt"
+    );
     assert_eq!(
         delta_allocs, 0,
         "apply_delta allocated {delta_allocs} times after warm-up"
     );
+
+    // --- recorder installed: observation must not allocate either ---------
+    // `meg::obs::install()` pre-reserves the span reservoirs (the layer's
+    // only allocations), so with the recorder live the counter adds, gauge
+    // samples, and span pushes on the advance() hot paths must all stay
+    // inside pre-sized storage. Reuses the already-warmed dense and
+    // geometric models above — same loops, now observed.
+    meg::obs::install();
+    for _ in 0..5 {
+        dense.advance();
+        geo.advance();
+    }
+    let (observed_allocs, observed_edges) = allocations_during(|| {
+        let mut total = 0usize;
+        for _ in 0..200 {
+            total += dense.advance().num_edges();
+            total += geo.advance().num_edges();
+        }
+        total
+    });
+    assert!(observed_edges > 0, "observed workload degenerated");
+    assert_eq!(
+        observed_allocs, 0,
+        "advance() with the recorder installed allocated {observed_allocs} times"
+    );
+    let snap = meg::obs::snapshot();
+    assert!(
+        snap.counter("edge_births") > 0,
+        "dense flips were not recorded"
+    );
+    assert!(
+        snap.counter("bucket_scan_visits") > 0,
+        "geometric bucket scans were not recorded"
+    );
+    assert!(
+        snap.span("advance").is_some_and(|s| s.count >= 400),
+        "advance spans were not recorded"
+    );
+    meg::obs::uninstall();
 }
