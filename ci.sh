@@ -197,6 +197,56 @@ PYEOF
     echo "metrics report carries live counters and spans; rows byte-identical"
     rm -rf "$MET_DIR"
 
+    step "distributed observability smoke (fault-injected pool: shipping + trace + progress)"
+    OBS_DIR=$(mktemp -d)
+    # shellcheck disable=SC2086
+    $MEG_LAB run quick_smoke $COMMON > "$OBS_DIR/reference.jsonl"
+    # Every worker aborts after one cell, so the sweep only completes through
+    # the respawn path — with the whole observability stack turned on.
+    # shellcheck disable=SC2086
+    MEG_PROGRESS_FORCE=1 $MEG_LAB run quick_smoke $COMMON \
+        --workers 2 --worker-fail-after 1 --verbose \
+        --metrics jsonl --trace "$OBS_DIR/trace.json" --progress \
+        > "$OBS_DIR/rows.jsonl" 2> "$OBS_DIR/stderr.txt"
+    if ! diff -u "$OBS_DIR/reference.jsonl" "$OBS_DIR/rows.jsonl"; then
+        echo "row stream changed under workers + shipping + trace + progress" >&2
+        rm -rf "$OBS_DIR"
+        exit 1
+    fi
+    python3 - "$OBS_DIR" <<'PYEOF'
+import json, sys, pathlib
+d = pathlib.Path(sys.argv[1])
+cells = len((d / "reference.jsonl").read_text().splitlines())
+lines = (d / "stderr.txt").read_text().splitlines()
+
+# Narrated faults must agree with the merged worker_respawns counter.
+narrated = sum(1 for l in lines if "worker respawned" in l)
+assert narrated >= 1, "fault injection produced no narrated respawns"
+merged = [json.loads(l) for l in lines if l.startswith('{"counters":')][-1]
+counted = merged["counters"].get("worker_respawns", 0)
+assert counted == narrated, f"worker_respawns {counted} != narrated {narrated}"
+
+# Worker-side counters must be shipped, tagged per worker, and reach the
+# merged snapshot (the coordinator itself runs no trials).
+workers = [json.loads(l) for l in lines if l.startswith('{"worker":')]
+assert len(workers) == 2, f"expected 2 per-worker lines, got {len(workers)}"
+shipped = sum(w["metrics"].get("counters", {}).get("trials", 0) for w in workers)
+assert shipped > 0, "worker-side trial counters never arrived"
+assert merged["counters"].get("trials", 0) >= shipped, "merge lost worker counters"
+
+# The progress meter drew (forced on via MEG_PROGRESS_FORCE).
+assert any("cells" in l and "rows/s" in l for l in lines), "no progress line"
+
+# The trace journal is valid JSON with >= 1 complete-phase event per cell.
+trace = json.loads((d / "trace.json").read_text())
+spans = sum(1 for e in trace["traceEvents"] if e.get("ph") == "X")
+assert spans >= cells, f"{spans} complete spans for {cells} cells"
+print(f"distributed observability smoke: {cells} cells, {narrated} respawn(s) "
+      f"(counter agrees), {shipped} worker-side trials shipped, "
+      f"{spans} trace spans")
+PYEOF
+    rm -rf "$OBS_DIR"
+
     step "metrics overhead guard (dense stepping bench, on/off median ratio ≤ 1.05)"
     OVERHEAD_OUT=$(cargo run -q --release --offline -p meg-engine --bin meg-lab -- \
         bench --overhead edge_dense_flood_fast_n4096 --repetitions 5 --warmup 2 --scale 0.25)

@@ -234,13 +234,31 @@ impl EvolvingGraph for DenseEdgeMeg {
                 // call `chain.step` identically — RNG consumption (and hence
                 // the trajectory) is the same with or without a recorder.
                 if obs::installed() {
+                    // Walk the state vector row by row (the same layout as
+                    // `rebuild_snapshot`) and batch the flip counts into
+                    // narrow per-row locals, widening once per row: the u32
+                    // accumulators stay out of the chain-step dependency path
+                    // and a row (< n pairs) cannot overflow them.
+                    let chain = &self.chain;
+                    let rng = &mut self.rng;
                     let mut born = 0u64;
                     let mut died = 0u64;
-                    for state in self.alive.iter_mut() {
-                        let was = *state;
-                        *state = self.chain.step(was, &mut self.rng);
-                        born += (!was & *state) as u64;
-                        died += (was & !*state) as u64;
+                    let n = self.params.n;
+                    let mut start = 0usize;
+                    for a in 0..n.saturating_sub(1) {
+                        let row_len = n - 1 - a;
+                        let row = &mut self.alive[start..start + row_len];
+                        let mut row_born = 0u32;
+                        let mut row_died = 0u32;
+                        for state in row.iter_mut() {
+                            let was = *state;
+                            *state = chain.step(was, rng);
+                            row_born += (!was & *state) as u32;
+                            row_died += (was & !*state) as u32;
+                        }
+                        born += row_born as u64;
+                        died += row_died as u64;
+                        start += row_len;
                     }
                     obs::add(obs::Counter::EdgeBirths, born);
                     obs::add(obs::Counter::EdgeDeaths, died);

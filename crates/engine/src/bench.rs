@@ -109,6 +109,10 @@ pub struct BenchResult {
     /// Never populated from the timed repetitions — the recorder stays off
     /// while the clock runs.
     pub counters: Option<Vec<(String, u64)>>,
+    /// Span statistics (count, total, p50/p90/p99 from the log2 latency
+    /// histogram) of the same instrumented repetition; spans that recorded
+    /// nothing are omitted. `None` without `--counters`.
+    pub spans: Option<Vec<meg_obs::SpanStats>>,
 }
 
 impl BenchResult {
@@ -145,6 +149,28 @@ impl BenchResult {
                     counters
                         .iter()
                         .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                        .collect(),
+                ),
+            ));
+        }
+        if let Some(spans) = &self.spans {
+            fields.push((
+                "spans".to_string(),
+                Json::Obj(
+                    spans
+                        .iter()
+                        .map(|s| {
+                            (
+                                s.name.to_string(),
+                                Json::obj([
+                                    ("count", Json::Num(s.count as f64)),
+                                    ("total_ms", Json::Num(s.total_ms())),
+                                    ("p50_ms", Json::Num(s.p50_ms())),
+                                    ("p90_ms", Json::Num(s.p90_ms())),
+                                    ("p99_ms", Json::Num(s.p99_ms())),
+                                ]),
+                            )
+                        })
                         .collect(),
                 ),
             ));
@@ -425,6 +451,7 @@ pub fn run_bench(name: &str, opts: &BenchOptions) -> Option<BenchResult> {
         max_ms,
         checksum,
         counters: None,
+        spans: None,
     })
 }
 
@@ -448,6 +475,16 @@ pub fn run_bench_with_counters(name: &str, opts: &BenchOptions) -> Option<BenchR
             .counter_deltas(&before)
             .into_iter()
             .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    );
+    // The recorder was freshly installed above, so `after`'s span histograms
+    // cover exactly the instrumented repetition.
+    result.spans = Some(
+        after
+            .spans
+            .iter()
+            .filter(|s| s.count > 0)
+            .copied()
             .collect(),
     );
     Some(result)

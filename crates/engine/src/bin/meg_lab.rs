@@ -36,9 +36,21 @@
 //!                         install the meg-obs recorder and emit counters,
 //!                         gauges, and span timings to stderr after the run
 //!                         (default: MEG_METRICS or off); row output on
-//!                         stdout is byte-identical either way
+//!                         stdout is byte-identical either way. Under
+//!                         --workers K the workers ship their own counters
+//!                         back and the summary reports the merged view with
+//!                         per-worker subtotals
+//!   --trace FILE          record per-cell lifecycle events (dispatch,
+//!                         respawns, retries, adaptive doubling) and write
+//!                         them to FILE as Chrome trace-event JSON, viewable
+//!                         in Perfetto (one timeline lane per worker)
+//!   --progress            throttled single-line status on stderr (cells
+//!                         done/total, rows/s, per-worker throughput,
+//!                         respawns, ETA); auto-disabled when stderr is not
+//!                         a TTY (MEG_PROGRESS_FORCE=1 overrides)
 //!   --verbose             narrate worker fault events (deaths, respawns,
-//!                         retries) on stderr
+//!                         retries) on stderr, prefixed with monotonic
+//!                         elapsed milliseconds and the cell index
 //!
 //! adaptive-precision run flags:
 //!   --target-stderr EPS   grow each cell's trials until the standard error
@@ -73,7 +85,7 @@ const USAGE: &str = "usage:
           [--target-stderr EPS] [--min-trials N] [--max-trials N] \\
           [--shard i/m] [--strategy contiguous|round_robin] [--workers K] \\
           [--out DIR] [--resume DIR] [--limit N] [--worker-fail-after N] \\
-          [--verbose]
+          [--trace FILE] [--progress] [--verbose]
   meg-lab worker [--fail-after N]
   meg-lab merge <dir> [--format table|json|csv]
   meg-lab bench [names…] [--list] [--repetitions R] [--warmup W] \\
@@ -174,6 +186,8 @@ fn cmd_run(args: &[String]) {
     let mut limit: Option<usize> = None;
     let mut worker_fail_after: Option<usize> = None;
     let mut metrics: Option<MetricsMode> = None;
+    let mut trace: Option<PathBuf> = None;
+    let mut progress = false;
     let mut verbose = false;
 
     let mut it = args.iter();
@@ -293,6 +307,8 @@ fn cmd_run(args: &[String]) {
                         .unwrap_or_else(|e: String| fail(&e)),
                 )
             }
+            "--trace" => trace = Some(PathBuf::from(flag_value("--trace"))),
+            "--progress" => progress = true,
             "--verbose" => verbose = true,
             other if other.starts_with('-') => fail(&format!("unknown flag `{other}`")),
             other if name.is_none() => name = Some(other.to_string()),
@@ -360,7 +376,9 @@ fn cmd_run(args: &[String]) {
         || out_dir.is_some()
         || resume_dir.is_some()
         || limit.is_some()
-        || worker_fail_after.is_some();
+        || worker_fail_after.is_some()
+        || trace.is_some()
+        || progress;
     if !distributed {
         // Single-process, no checkpointing: the original streaming path.
         match harness::run_and_emit_observed(&scenario, seed, format, metrics) {
@@ -409,6 +427,11 @@ fn cmd_run(args: &[String]) {
         worker_fail_after,
         max_retries: 3,
         verbose,
+        // Workers ship their counters back whenever a metrics sink wants
+        // them; without one the extra protocol lines would be dead weight.
+        ship_metrics: metrics.is_some() && workers.unwrap_or(0) > 0,
+        trace,
+        progress,
     };
 
     if format == OutputFormat::Csv {
@@ -431,7 +454,7 @@ fn cmd_run(args: &[String]) {
     })
     .unwrap_or_else(|e| fail(&format!("sharded run failed: {e}")));
     if let Some(mode) = metrics {
-        harness::emit_metrics_summary(mode);
+        harness::emit_metrics_summary_merged(mode, &report.worker_metrics);
     }
 
     if format == OutputFormat::Table {

@@ -69,15 +69,19 @@
 //! ```
 
 use super::checkpoint::{self, PartHeader, PartWriter};
+use super::progress::{self, Progress};
 use super::shard::ShardSpec;
-use super::worker::{batch_line, cell_line, hello_line, shutdown_line};
+use super::trace::{lane_names, TraceJournal};
+use super::worker::{batch_line, cell_line, hello_line_with, shutdown_line};
 use super::DistError;
 use crate::json::Json;
+use crate::metrics::snapshot_from_json;
 use crate::run::{
     adaptive_stop, aggregate_row, cell_seed, resolve_cells, run_cell, Cell, TrialOutcome,
 };
 use crate::scenario::{Precision, Scenario};
 use meg_obs as obs;
+use meg_obs::MetricsSnapshot;
 use meg_stats::precision_checkpoints;
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
@@ -85,6 +89,7 @@ use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// Options controlling one sharded run.
 #[derive(Clone, Debug)]
@@ -111,8 +116,19 @@ pub struct DistOptions {
     pub worker_fail_after: Option<usize>,
     /// Per-cell retry budget when a worker dies (respawn + resend).
     pub max_retries: usize,
-    /// Narrate worker fault events (deaths, respawns, retries) on stderr.
+    /// Narrate worker fault events (deaths, respawns, retries) on stderr,
+    /// each prefixed with the monotonic milliseconds since the pool started.
     pub verbose: bool,
+    /// Have each worker ship `meg-obs` counter-delta snapshots with every
+    /// response plus a final full snapshot at shutdown; the per-lane merges
+    /// land in [`RunReport::worker_metrics`].
+    pub ship_metrics: bool,
+    /// Record per-cell lifecycle events and write them to this file as
+    /// Chrome trace-event JSON when the run finishes (`--trace`).
+    pub trace: Option<PathBuf>,
+    /// Render a throttled single-line progress status on stderr
+    /// (`--progress`; auto-disabled when stderr is not a TTY).
+    pub progress: bool,
 }
 
 impl Default for DistOptions {
@@ -127,6 +143,9 @@ impl Default for DistOptions {
             worker_fail_after: None,
             max_retries: 3,
             verbose: false,
+            ship_metrics: false,
+            trace: None,
+            progress: false,
         }
     }
 }
@@ -145,6 +164,11 @@ pub struct RunReport {
     pub resumed: usize,
     /// Whether every assigned cell now has a row (false only under `limit`).
     pub complete: bool,
+    /// With [`DistOptions::ship_metrics`], one merged [`MetricsSnapshot`]
+    /// per worker lane: every counter delta the lane's subprocesses shipped,
+    /// plus the gauges and span histograms of the final snapshot. Empty
+    /// otherwise (including in-process runs).
+    pub worker_metrics: Vec<MetricsSnapshot>,
 }
 
 /// Buffers out-of-order results and releases them in ascending assigned
@@ -250,32 +274,68 @@ pub fn run_sharded<F: FnMut(usize, &str)>(
 
     let mut emitter = OrderedEmitter::new(&assigned, on_row);
     let resumed_count = resumed.len();
+
+    // Sweep observability: both read the monotonic clock strictly outside
+    // RNG-consuming code, so neither can perturb a single row byte.
+    let journal = opts.trace.as_ref().map(|_| TraceJournal::new());
+    let coord_lane = opts.workers; // == 0 → the single in-process lane
+    let meter = (opts.progress && progress::stderr_wants_progress())
+        .then(|| Progress::new(assigned.len(), resumed_count, opts.workers.max(1)));
+
     for (cell, line) in resumed {
+        if let Some(j) = &journal {
+            j.instant(coord_lane, format!("cell {cell} resumed"), Some(cell));
+        }
         emitter.offer(cell, line);
     }
 
     let executed = todo.len();
+    let mut worker_metrics = Vec::new();
     if opts.workers == 0 {
         for &index in &todo {
+            let t0 = journal.as_ref().map(|j| j.now_us());
             let row = run_cell(
                 scenario,
                 &cells[index],
                 cell_seed(&scenario.name, master_seed, index),
             );
             let line = row.to_json().render();
+            if let Some(j) = &journal {
+                j.complete(0, format!("cell {index}"), t0.unwrap_or(0), Some(index));
+            }
             if let Some(w) = &mut writer {
                 w.append(&line)?;
             }
             emitter.offer(index, line);
+            if let Some(m) = &meter {
+                m.item_done(0);
+                m.cell_done();
+            }
         }
     } else {
-        dispatch_to_workers(scenario, &cells, master_seed, opts, &todo, |index, line| {
-            if let Some(w) = &mut writer {
-                w.append(&line)?;
-            }
-            emitter.offer(index, line);
-            Ok(())
-        })?;
+        worker_metrics = dispatch_to_workers(
+            scenario,
+            &cells,
+            master_seed,
+            opts,
+            &todo,
+            journal.as_ref(),
+            meter.as_ref(),
+            |index, line| {
+                if let Some(w) = &mut writer {
+                    w.append(&line)?;
+                }
+                emitter.offer(index, line);
+                Ok(())
+            },
+        )?;
+    }
+
+    if let Some(m) = &meter {
+        m.finish();
+    }
+    if let (Some(j), Some(path)) = (&journal, &opts.trace) {
+        j.write(path, &lane_names(opts.workers))?;
     }
 
     let rows = emitter.finish();
@@ -285,6 +345,7 @@ pub fn run_sharded<F: FnMut(usize, &str)>(
         resumed: resumed_count,
         complete: executed == outstanding,
         rows,
+        worker_metrics,
     })
 }
 
@@ -304,6 +365,26 @@ enum WorkItem {
         start: usize,
         count: usize,
     },
+}
+
+impl WorkItem {
+    /// The global cell index this item concerns.
+    fn cell(&self) -> usize {
+        match *self {
+            WorkItem::Row(index) => index,
+            WorkItem::Batch { cell, .. } => cell,
+        }
+    }
+
+    /// Label for this item's trace span.
+    fn trace_name(&self) -> String {
+        match *self {
+            WorkItem::Row(index) => format!("cell {index}"),
+            WorkItem::Batch { cell, start, count } => {
+                format!("cell {cell} trials {start}..{}", start + count)
+            }
+        }
+    }
 }
 
 /// The shared work queue. Unlike a plain deque, it knows how many adaptive
@@ -383,6 +464,9 @@ struct WorkerProc {
     child: Child,
     stdin: std::process::ChildStdin,
     stdout: BufReader<std::process::ChildStdout>,
+    /// Whether the hello asked this worker to ship metrics snapshots (an
+    /// extra `{"metrics":…}` line after every response).
+    ship_metrics: bool,
 }
 
 /// The hello line plus what a healthy worker must echo back: agreeing on
@@ -399,6 +483,7 @@ impl WorkerProc {
         cmd: &std::path::Path,
         handshake: &Handshake,
         fail_after: Option<usize>,
+        ship_metrics: bool,
     ) -> Result<WorkerProc, String> {
         let mut command = Command::new(cmd);
         command
@@ -417,6 +502,7 @@ impl WorkerProc {
             child,
             stdin,
             stdout,
+            ship_metrics,
         };
         // A worker that fails the handshake must be reaped here — returning
         // Err after a plain drop would leak a zombie per retry attempt.
@@ -485,10 +571,11 @@ impl WorkerProc {
     /// exactly once: the adaptive batch reply must echo the cell and start
     /// offset and carry exactly `count` well-formed outcomes (a malformed
     /// reply counts as a worker failure, so it goes through the normal
-    /// respawn-and-retry path).
-    fn request(&mut self, item: WorkItem) -> Result<WorkReply, String> {
-        match item {
-            WorkItem::Row(index) => self.request_cell(index).map(WorkReply::Row),
+    /// respawn-and-retry path). A shipping worker follows every response
+    /// with a counter-delta line, returned alongside the reply.
+    fn request(&mut self, item: WorkItem) -> Result<(WorkReply, Option<MetricsSnapshot>), String> {
+        let reply = match item {
+            WorkItem::Row(index) => self.request_cell(index).map(WorkReply::Row)?,
             WorkItem::Batch { cell, start, count } => {
                 let line = self.round_trip(&batch_line(cell, start, count))?;
                 let parsed = Json::parse(&line).ok();
@@ -511,16 +598,58 @@ impl WorkerProc {
                          {count} outcomes)"
                     ));
                 }
-                Ok(WorkReply::Batch(outcomes.expect("validated above")))
+                WorkReply::Batch(outcomes.expect("validated above"))
             }
-        }
+        };
+        let metrics = if self.ship_metrics {
+            Some(self.read_metrics()?)
+        } else {
+            None
+        };
+        Ok((reply, metrics))
     }
 
-    fn shutdown(mut self) {
+    /// Reads the `{"metrics":…}` counter-delta line a shipping worker sends
+    /// after every response. A missing or malformed line is a worker failure
+    /// (the stream would be desynchronized), handled by respawn-and-retry.
+    fn read_metrics(&mut self) -> Result<MetricsSnapshot, String> {
+        let mut line = String::new();
+        match self.stdout.read_line(&mut line) {
+            Ok(0) => return Err("worker closed its stdout before its metrics line".into()),
+            Ok(_) => {}
+            Err(e) => return Err(format!("read metrics: {e}")),
+        }
+        Json::parse(line.trim_end_matches('\n'))
+            .ok()
+            .as_ref()
+            .and_then(|v| v.get("metrics"))
+            .ok_or_else(|| "expected a metrics delta line".to_string())
+            .and_then(|m| snapshot_from_json(m).map_err(|e| format!("metrics line: {e}")))
+    }
+
+    /// Sends shutdown; a shipping worker answers with its final full
+    /// snapshot (gauges and span histograms included), returned to be folded
+    /// into the lane's merge. Best-effort: a worker that dies instead just
+    /// yields `None`.
+    fn shutdown(mut self) -> Option<MetricsSnapshot> {
         let _ = writeln!(self.stdin, "{}", shutdown_line());
         let _ = self.stdin.flush();
+        let finale = if self.ship_metrics {
+            let mut line = String::new();
+            match self.stdout.read_line(&mut line) {
+                Ok(n) if n > 0 => Json::parse(line.trim_end_matches('\n'))
+                    .ok()
+                    .as_ref()
+                    .and_then(|v| v.get("final_metrics"))
+                    .and_then(|m| snapshot_from_json(m).ok()),
+                _ => None,
+            }
+        } else {
+            None
+        };
         drop(self.stdin);
         let _ = self.child.wait();
+        finale
     }
 
     fn kill(mut self) {
@@ -537,62 +666,123 @@ enum WorkReply {
     Batch(Vec<TrialOutcome>),
 }
 
+/// Shared, read-only context every pool thread borrows.
+struct PoolCtx<'a> {
+    cmd: &'a std::path::Path,
+    handshake: &'a Handshake,
+    opts: &'a DistOptions,
+    queue: &'a WorkQueue,
+    abort: &'a AtomicBool,
+    journal: Option<&'a TraceJournal>,
+    meter: Option<&'a Progress>,
+    /// When the pool started — anchors the `[+{ms}ms]` prefix on verbose
+    /// fault narration, correlatable with the trace journal's timestamps.
+    started: Instant,
+}
+
+impl PoolCtx<'_> {
+    fn elapsed_ms(&self) -> u128 {
+        self.started.elapsed().as_millis()
+    }
+}
+
 /// One worker thread: owns (and respawns) a subprocess, pulls work items off
 /// the shared queue, and ships each validated reply over the channel.
+/// Counter deltas the subprocess ships accumulate into `metrics_out`, plus
+/// the gauges/spans of its final shutdown snapshot (counters cleared there —
+/// the deltas already cover every increment, so nothing double-counts).
 fn worker_thread(
-    cmd: &std::path::Path,
-    handshake: &Handshake,
-    opts: &DistOptions,
-    queue: &WorkQueue,
+    lane: usize,
+    ctx: &PoolCtx<'_>,
     results: &mpsc::Sender<Result<(WorkItem, WorkReply), DistError>>,
-    abort: &AtomicBool,
+    metrics_out: &Mutex<MetricsSnapshot>,
 ) {
+    let opts = ctx.opts;
     let mut proc: Option<WorkerProc> = None;
-    'items: while !abort.load(Ordering::SeqCst) {
-        let Some(item) = queue.pop() else {
+    let mut acc = MetricsSnapshot::empty();
+    'items: while !ctx.abort.load(Ordering::SeqCst) {
+        let Some(item) = ctx.queue.pop() else {
             break;
         };
+        let cell = item.cell();
         let mut attempts = 0usize;
         let reply = loop {
-            if abort.load(Ordering::SeqCst) {
+            if ctx.abort.load(Ordering::SeqCst) {
                 break 'items;
             }
+            let t0 = ctx.journal.map(|j| j.now_us());
             let attempt = match proc.as_mut() {
                 Some(p) => p.request(item),
-                None => match WorkerProc::spawn(cmd, handshake, opts.worker_fail_after) {
-                    Ok(p) => {
-                        proc = Some(p);
-                        if attempts > 0 {
-                            obs::add(obs::Counter::WorkerRespawns, 1);
-                            if opts.verbose {
-                                eprintln!(
-                                    "meg-lab: worker respawned (attempt {} for {item:?})",
-                                    attempts + 1
-                                );
+                None => {
+                    match WorkerProc::spawn(
+                        ctx.cmd,
+                        ctx.handshake,
+                        opts.worker_fail_after,
+                        opts.ship_metrics,
+                    ) {
+                        Ok(p) => {
+                            proc = Some(p);
+                            if attempts > 0 {
+                                obs::add(obs::Counter::WorkerRespawns, 1);
+                                if let Some(m) = ctx.meter {
+                                    m.respawn();
+                                }
+                                if let Some(j) = ctx.journal {
+                                    j.instant(lane, "worker respawned".into(), Some(cell));
+                                }
+                                if opts.verbose {
+                                    eprintln!(
+                                        "meg-lab: [+{}ms] worker respawned \
+                                         (lane {lane}, attempt {} for cell {cell})",
+                                        ctx.elapsed_ms(),
+                                        attempts + 1
+                                    );
+                                }
                             }
+                            continue;
                         }
-                        continue;
+                        Err(e) => Err(e),
                     }
-                    Err(e) => Err(e),
-                },
+                }
             };
             match attempt {
-                Ok(reply) => break reply,
+                Ok((reply, delta)) => {
+                    if let Some(d) = delta {
+                        acc.merge(&d);
+                    }
+                    if let Some(j) = ctx.journal {
+                        j.complete(lane, item.trace_name(), t0.unwrap_or(0), Some(cell));
+                    }
+                    if let Some(m) = ctx.meter {
+                        m.item_done(lane);
+                    }
+                    break reply;
+                }
                 Err(reason) => {
                     if let Some(p) = proc.take() {
                         p.kill();
                         obs::add(obs::Counter::WorkerDeaths, 1);
+                        if let Some(j) = ctx.journal {
+                            j.instant(lane, "worker died".into(), Some(cell));
+                        }
                         if opts.verbose {
-                            eprintln!("meg-lab: worker died on {item:?}: {reason}");
+                            eprintln!(
+                                "meg-lab: [+{}ms] worker died (lane {lane}, cell {cell}): {reason}",
+                                ctx.elapsed_ms()
+                            );
                         }
                     }
                     attempts += 1;
                     if attempts > opts.max_retries {
                         if opts.verbose {
-                            eprintln!("meg-lab: giving up on {item:?} after {attempts} attempt(s)");
+                            eprintln!(
+                                "meg-lab: [+{}ms] giving up on cell {cell} \
+                                 (lane {lane}) after {attempts} attempt(s)",
+                                ctx.elapsed_ms()
+                            );
                         }
-                        abort.store(true, Ordering::SeqCst);
-                        queue.shut_down();
+                        ctx.abort.store(true, Ordering::SeqCst);
+                        ctx.queue.shut_down();
                         let _ = results.send(Err(DistError::Worker(format!(
                             "{item:?} failed after {attempts} attempt(s): {reason}"
                         ))));
@@ -601,7 +791,9 @@ fn worker_thread(
                     obs::add(obs::Counter::WorkerRetries, 1);
                     if opts.verbose {
                         eprintln!(
-                            "meg-lab: retrying {item:?} (attempt {} of {})",
+                            "meg-lab: [+{}ms] retrying cell {cell} on lane {lane} \
+                             (attempt {} of {})",
+                            ctx.elapsed_ms(),
                             attempts + 1,
                             opts.max_retries + 1
                         );
@@ -614,7 +806,13 @@ fn worker_thread(
         }
     }
     if let Some(p) = proc.take() {
-        p.shutdown();
+        if let Some(mut finale) = p.shutdown() {
+            finale.clear_counters();
+            acc.merge(&finale);
+        }
+    }
+    if let Ok(mut slot) = metrics_out.lock() {
+        *slot = acc;
     }
 }
 
@@ -636,16 +834,19 @@ struct CellCtl {
 /// the target is unmet, and aggregates the final row itself — reaching
 /// exactly the trial count an unsharded adaptive run would, so the row bytes
 /// match.
+#[allow(clippy::too_many_arguments)] // internal seam; run_sharded is the API
 fn dispatch_to_workers<F: FnMut(usize, String) -> Result<(), DistError>>(
     scenario: &Scenario,
     cells: &[Cell],
     master_seed: u64,
     opts: &DistOptions,
     todo: &[usize],
+    journal: Option<&TraceJournal>,
+    meter: Option<&Progress>,
     mut on_result: F,
-) -> Result<(), DistError> {
+) -> Result<Vec<MetricsSnapshot>, DistError> {
     if todo.is_empty() {
-        return Ok(());
+        return Ok(Vec::new());
     }
     let cmd = match &opts.worker_cmd {
         Some(p) => p.clone(),
@@ -653,7 +854,7 @@ fn dispatch_to_workers<F: FnMut(usize, String) -> Result<(), DistError>>(
             .map_err(|e| DistError::Worker(format!("cannot locate own executable: {e}")))?,
     };
     let handshake = Handshake {
-        hello: hello_line(scenario, master_seed),
+        hello: hello_line_with(scenario, master_seed, opts.ship_metrics),
         num_cells: scenario.num_cells(),
         fingerprint: super::checkpoint::scenario_fingerprint(scenario),
     };
@@ -683,14 +884,30 @@ fn dispatch_to_workers<F: FnMut(usize, String) -> Result<(), DistError>>(
     let abort = Arc::new(AtomicBool::new(false));
     let (tx, rx) = mpsc::channel();
     let pool_size = opts.workers.min(todo.len());
+    // Trace lane layout follows `lane_names(opts.workers)`: lanes past the
+    // pool (when fewer cells than workers) simply stay empty.
+    let coord_lane = opts.workers;
     let mut ctl: BTreeMap<usize, CellCtl> = BTreeMap::new();
+    let ctx = PoolCtx {
+        cmd: &cmd,
+        handshake: &handshake,
+        opts,
+        queue: &queue,
+        abort: &abort,
+        journal,
+        meter,
+        started: Instant::now(),
+    };
+    let lane_metrics: Vec<Mutex<MetricsSnapshot>> = (0..pool_size)
+        .map(|_| Mutex::new(MetricsSnapshot::empty()))
+        .collect();
 
     std::thread::scope(|scope| {
-        for _ in 0..pool_size {
+        for (lane, slot) in lane_metrics.iter().enumerate() {
             let tx = tx.clone();
-            let (cmd, handshake, queue, abort) = (&cmd, &handshake, &queue, &abort);
+            let ctx = &ctx;
             scope.spawn(move || {
-                worker_thread(cmd, handshake, opts, queue, &tx, abort);
+                worker_thread(lane, ctx, &tx, slot);
             });
         }
         drop(tx);
@@ -720,10 +937,18 @@ fn dispatch_to_workers<F: FnMut(usize, String) -> Result<(), DistError>>(
                         // checkpoint of the shared schedule.
                         state.next_checkpoint += 1;
                         let start = state.outcomes.len();
+                        let target = checkpoints[state.next_checkpoint];
+                        if let Some(j) = journal {
+                            j.instant(
+                                coord_lane,
+                                format!("double cell {cell} to {target} trials"),
+                                Some(cell),
+                            );
+                        }
                         queue.push(WorkItem::Batch {
                             cell,
                             start,
-                            count: checkpoints[state.next_checkpoint] - start,
+                            count: target - start,
                         });
                     } else {
                         let state = ctl.remove(&cell).expect("cell is in flight");
@@ -757,6 +982,12 @@ fn dispatch_to_workers<F: FnMut(usize, String) -> Result<(), DistError>>(
             }
             if let Some((index, line)) = finished {
                 finalized += 1;
+                if let Some(j) = journal {
+                    j.instant(coord_lane, format!("cell {index} complete"), Some(index));
+                }
+                if let Some(m) = meter {
+                    m.cell_done();
+                }
                 if let Err(e) = on_result(index, line) {
                     // Checkpoint write failed: stop the pool and surface it.
                     fail(&abort, &queue);
@@ -769,6 +1000,15 @@ fn dispatch_to_workers<F: FnMut(usize, String) -> Result<(), DistError>>(
             Some(e) => Err(e),
             None => Ok(()),
         }
+    })?;
+
+    Ok(if opts.ship_metrics {
+        lane_metrics
+            .into_iter()
+            .map(|m| m.into_inner().unwrap_or_else(|p| p.into_inner()))
+            .collect()
+    } else {
+        Vec::new()
     })
 }
 
@@ -955,6 +1195,39 @@ mod tests {
         let idle = run_sharded(&scenario, 13, &opts, |_, _| {}).unwrap();
         assert_eq!(idle.executed, 0);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tracing_an_in_process_run_keeps_rows_identical_and_writes_a_journal() {
+        let scenario = quick_smoke().scaled(0.25);
+        let reference = reference_lines(&scenario, 2009);
+        let trace_path =
+            std::env::temp_dir().join(format!("meg-coord-trace-{}.json", std::process::id()));
+        let opts = DistOptions {
+            trace: Some(trace_path.clone()),
+            progress: true, // accepted; draws only if stderr is a TTY
+            ..DistOptions::default()
+        };
+        let report = run_sharded(&scenario, 2009, &opts, |_, _| {}).unwrap();
+        assert_eq!(
+            report
+                .rows
+                .iter()
+                .map(|(_, l)| l.clone())
+                .collect::<Vec<_>>(),
+            reference,
+            "tracing must not change a row byte"
+        );
+        assert!(report.worker_metrics.is_empty(), "in-process ships nothing");
+
+        let doc = Json::parse(&std::fs::read_to_string(&trace_path).unwrap()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let cell_spans = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .count();
+        assert_eq!(cell_spans, reference.len(), "one complete span per cell");
+        std::fs::remove_file(&trace_path).unwrap();
     }
 
     #[test]

@@ -27,6 +27,12 @@
 //!   per-cell control loop: dispatch `min_trials`, inspect the returned
 //!   standard error, re-dispatch incremental trial batches until the target
 //!   is met or `max_trials` is spent;
+//! * [`trace`] / [`progress`] — sweep observability: a Chrome trace-event
+//!   journal of per-cell lifecycle events (`--trace out.json`, viewable in
+//!   Perfetto) and a throttled single-line stderr status (`--progress`).
+//!   Workers additionally ship `meg-obs` counter-delta snapshots with every
+//!   response (see [`worker`]), which the coordinator pools into the merged
+//!   `--metrics` view;
 //! * [`merge`] — [`merge_dir`] validates that every part file in a directory
 //!   belongs to the same run, rejects conflicting duplicates, checks
 //!   completeness, and re-sorts rows into canonical cell-index order — so a
@@ -67,13 +73,17 @@
 pub mod checkpoint;
 pub mod coordinator;
 pub mod merge;
+pub mod progress;
 pub mod shard;
+pub mod trace;
 pub mod worker;
 
 pub use checkpoint::{scenario_fingerprint, PartHeader};
 pub use coordinator::{run_sharded, DistOptions, RunReport};
 pub use merge::{merge_dir, Merged};
+pub use progress::Progress;
 pub use shard::{ShardSpec, ShardStrategy};
+pub use trace::TraceJournal;
 
 use crate::scenario::ScenarioError;
 use std::fmt;

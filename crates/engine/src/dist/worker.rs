@@ -13,6 +13,26 @@
 //! coordinator → worker   {"shutdown":true}              (or just EOF)
 //! ```
 //!
+//! ## Metrics shipping
+//!
+//! When the hello carries `"metrics":true` ([`hello_line_with`]), the worker
+//! installs its process-local `meg-obs` recorder and **ships telemetry back
+//! inline**: every cell/batch response is followed by one extra line
+//! holding the counter deltas recorded while serving that request, and the
+//! shutdown request (which is otherwise unanswered) is acknowledged with
+//! the worker's final full snapshot:
+//!
+//! ```text
+//! worker → coordinator   {"metrics":{"counters":{"trials":2,…}}}      ← after each response
+//! worker → coordinator   {"final_metrics":{"counters":{…},"gauges":{…},"spans":{…}}}
+//! ```
+//!
+//! Counter deltas partition the counter stream exactly, so the coordinator
+//! reconstructs each worker's totals by summing them — and stays correct
+//! across respawns, where a fresh process restarts its recorder from zero
+//! and the dead process's unshipped gauges/spans are the only loss. The
+//! response row/outcome lines are byte-identical with shipping on or off.
+//!
 //! The response to a plain cell request is **exactly** the row line an
 //! unsharded fixed-trials run would print: the worker derives the cell's
 //! seed from the global index it was handed, so which process executes a
@@ -60,8 +80,10 @@
 use super::checkpoint::scenario_fingerprint;
 use super::DistError;
 use crate::json::Json;
+use crate::metrics::snapshot_to_json;
 use crate::run::{cell_seed, resolve_cells, run_cell, run_cell_range, Cell};
 use crate::scenario::Scenario;
+use meg_obs as obs;
 use std::io::{BufRead, Write};
 
 /// Exit code of a fault-injected worker abort (distinct from real errors).
@@ -69,14 +91,24 @@ pub const FAIL_AFTER_EXIT_CODE: i32 = 17;
 
 /// Builds the handshake request line the coordinator opens with.
 pub fn hello_line(scenario: &Scenario, master_seed: u64) -> String {
-    Json::obj([(
-        "hello",
-        Json::obj([
-            ("scenario", scenario.to_json()),
-            ("master_seed", Json::Str(master_seed.to_string())),
-        ]),
-    )])
-    .render()
+    hello_line_with(scenario, master_seed, false)
+}
+
+/// [`hello_line`] with the metrics-shipping flag: `ship_metrics` makes the
+/// worker install its `meg-obs` recorder and follow every response with a
+/// counter-delta snapshot line (see the module docs).
+pub fn hello_line_with(scenario: &Scenario, master_seed: u64, ship_metrics: bool) -> String {
+    let mut fields = vec![
+        ("scenario".to_string(), scenario.to_json()),
+        (
+            "master_seed".to_string(),
+            Json::Str(master_seed.to_string()),
+        ),
+    ];
+    if ship_metrics {
+        fields.push(("metrics".to_string(), Json::Bool(true)));
+    }
+    Json::obj([("hello", Json::Obj(fields))]).render()
 }
 
 /// Builds a cell-assignment request line.
@@ -122,6 +154,9 @@ pub fn serve<R: BufRead, W: Write>(
 ) -> Result<usize, DistError> {
     let mut state: Option<(Scenario, u64, Vec<Cell>)> = None;
     let mut served = 0usize;
+    // `Some(prev)` once a metrics-shipping hello installed the recorder:
+    // the snapshot the next counter delta is taken against.
+    let mut shipping: Option<obs::MetricsSnapshot> = None;
 
     for line in input.lines() {
         let line = line.map_err(|e| DistError::Io(format!("worker stdin: {e}")))?;
@@ -132,6 +167,12 @@ pub fn serve<R: BufRead, W: Write>(
             .map_err(|e| DistError::Format(format!("worker: bad request line: {e}")))?;
 
         if msg.get("shutdown").is_some() {
+            if shipping.is_some() {
+                let finale = Json::obj([("final_metrics", snapshot_to_json(&obs::snapshot()))]);
+                writeln!(output, "{}", finale.render())
+                    .and_then(|_| output.flush())
+                    .map_err(|e| DistError::Io(format!("worker stdout: {e}")))?;
+            }
             break;
         }
         if let Some(hello) = msg.get("hello") {
@@ -158,6 +199,10 @@ pub fn serve<R: BufRead, W: Write>(
             writeln!(output, "{}", ready.render())
                 .and_then(|_| output.flush())
                 .map_err(|e| DistError::Io(format!("worker stdout: {e}")))?;
+            if hello.get("metrics").and_then(Json::as_bool) == Some(true) {
+                obs::install();
+                shipping = Some(obs::snapshot());
+            }
             state = Some((scenario, master_seed, cells));
             continue;
         }
@@ -196,6 +241,19 @@ pub fn serve<R: BufRead, W: Write>(
             writeln!(output, "{reply}")
                 .and_then(|_| output.flush())
                 .map_err(|e| DistError::Io(format!("worker stdout: {e}")))?;
+            if let Some(prev) = &mut shipping {
+                // Ship the counters this request recorded as a second line;
+                // the response line above stays byte-identical either way.
+                let now = obs::snapshot();
+                let delta = Json::obj([(
+                    "metrics",
+                    snapshot_to_json(&now.delta_counters_snapshot(prev)),
+                )]);
+                *prev = now;
+                writeln!(output, "{}", delta.render())
+                    .and_then(|_| output.flush())
+                    .map_err(|e| DistError::Io(format!("worker stdout: {e}")))?;
+            }
             served += 1;
             if fail_after.is_some_and(|n| served >= n) {
                 // Simulated crash: die without a goodbye, like a real one.
@@ -289,6 +347,37 @@ mod tests {
             hello_line(&scenario, 2009)
         );
         assert!(matches!(drive(&requests), Err(DistError::Format(_))));
+    }
+
+    #[test]
+    fn metrics_shipping_adds_delta_lines_without_touching_row_bytes() {
+        let scenario = quick_smoke().scaled(0.25);
+        let reference: Vec<String> = run_scenario(&scenario, 2009)
+            .unwrap()
+            .iter()
+            .map(|r| r.to_json().render())
+            .collect();
+        let requests = format!(
+            "{}\n{}\n{}\n",
+            hello_line_with(&scenario, 2009, true),
+            cell_line(1),
+            shutdown_line()
+        );
+        let (served, lines) = drive(&requests).unwrap();
+        assert_eq!(served, 1);
+        // ready, row, metrics delta, final snapshot.
+        assert_eq!(lines.len(), 4, "{lines:?}");
+        assert_eq!(lines[1], reference[1], "row bytes must not change");
+        let delta = Json::parse(&lines[2]).unwrap();
+        assert!(delta.get("metrics").is_some());
+        crate::metrics::snapshot_from_json(delta.get("metrics").unwrap()).unwrap();
+        let finale = Json::parse(&lines[3]).unwrap();
+        let final_snap =
+            crate::metrics::snapshot_from_json(finale.get("final_metrics").unwrap()).unwrap();
+        // Structural only: the recorder is process-global and other tests in
+        // this binary may be toggling it concurrently, so counter values are
+        // asserted in the subprocess-based CLI tests instead.
+        assert_eq!(final_snap.counters.len(), obs::Counter::ALL.len());
     }
 
     #[test]

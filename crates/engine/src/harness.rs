@@ -110,10 +110,50 @@ pub fn emit_cell_metrics(mode: MetricsMode, cell: usize, prev: &mut obs::Metrics
 
 /// Emits the sweep-level metrics summary to stderr.
 pub fn emit_metrics_summary(mode: MetricsMode) {
-    let snap = obs::snapshot();
+    emit_metrics_summary_merged(mode, &[]);
+}
+
+/// [`emit_metrics_summary`] for distributed runs: folds the per-lane
+/// snapshots the workers shipped back into the coordinator's own snapshot,
+/// so the summary covers engine/protocol counters recorded *inside* the
+/// worker subprocesses. Report mode prefixes one `worker i:` subtotal line
+/// per lane (nonzero counters only); jsonl mode emits one
+/// `{"worker":i,"metrics":{…}}` line per lane before the merged final line.
+pub fn emit_metrics_summary_merged(mode: MetricsMode, worker_metrics: &[obs::MetricsSnapshot]) {
+    let mut merged = obs::snapshot();
+    for lane in worker_metrics {
+        merged.merge(lane);
+    }
     match mode {
-        MetricsMode::Report => eprint!("{}", snap.render_report()),
-        MetricsMode::Jsonl => eprintln!("{}", snap.render_jsonl()),
+        MetricsMode::Report => {
+            for (i, lane) in worker_metrics.iter().enumerate() {
+                let nonzero: Vec<String> = lane
+                    .counters
+                    .iter()
+                    .filter(|(_, v)| *v > 0)
+                    .map(|(n, v)| format!("{n} {v}"))
+                    .collect();
+                eprintln!(
+                    "worker {i}: {}",
+                    if nonzero.is_empty() {
+                        "(no counters recorded)".to_string()
+                    } else {
+                        nonzero.join(" · ")
+                    }
+                );
+            }
+            eprint!("{}", merged.render_report());
+        }
+        MetricsMode::Jsonl => {
+            for (i, lane) in worker_metrics.iter().enumerate() {
+                let line = crate::json::Json::obj([
+                    ("worker", crate::json::Json::Num(i as f64)),
+                    ("metrics", crate::metrics::snapshot_to_json(lane)),
+                ]);
+                eprintln!("{}", line.render());
+            }
+            eprintln!("{}", merged.render_jsonl());
+        }
     }
 }
 

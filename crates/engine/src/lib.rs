@@ -74,6 +74,7 @@ pub mod builtin;
 pub mod dist;
 pub mod harness;
 pub mod json;
+pub mod metrics;
 pub mod run;
 pub mod scenario;
 pub mod sink;

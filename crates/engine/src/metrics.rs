@@ -1,0 +1,227 @@
+//! Lossless JSON transport for [`MetricsSnapshot`].
+//!
+//! `meg-obs` sits below the engine in the dependency DAG and carries no JSON
+//! layer of its own, so the snapshot ⇄ [`Json`] codec lives here. Workers
+//! serialize counter-delta snapshots with [`snapshot_to_json`] and ship them
+//! over the JSON-lines protocol; the coordinator parses them back with
+//! [`snapshot_from_json`] and pools them via `MetricsSnapshot::merge`.
+//!
+//! The codec is **lossless over the full `u64` range**: values ≤ 2⁵³ render
+//! as plain JSON numbers, larger ones as decimal strings (the same
+//! convention the engine uses for raw seeds), and the parser accepts either
+//! form. Span histograms are encoded sparsely as `[bucket, count]` pairs so
+//! a mostly-empty 48-bucket histogram costs a few bytes on the wire.
+
+use crate::json::Json;
+use meg_obs::{GaugeStats, MetricsSnapshot, SpanStats, SPAN_HIST_BUCKETS};
+
+/// Encodes a `u64` losslessly: a JSON number when exactly representable as
+/// `f64`, a decimal string beyond 2⁵³.
+fn u64_to_json(v: u64) -> Json {
+    if v <= (1u64 << 53) {
+        Json::Num(v as f64)
+    } else {
+        Json::Str(v.to_string())
+    }
+}
+
+/// Decodes a `u64` written by [`u64_to_json`] (number or decimal string).
+fn u64_from_json(v: &Json) -> Result<u64, String> {
+    match v {
+        Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= (1u64 << 53) as f64 => Ok(*x as u64),
+        Json::Str(s) => s.parse::<u64>().map_err(|e| format!("bad u64 {s:?}: {e}")),
+        other => Err(format!("expected u64, got {other}")),
+    }
+}
+
+fn field(obj: &Json, key: &str) -> Result<u64, String> {
+    match obj.get(key) {
+        Some(v) => u64_from_json(v).map_err(|e| format!("{key}: {e}")),
+        None => Err(format!("missing field {key:?}")),
+    }
+}
+
+/// Serializes a snapshot to its transport form. Zero-valued counters, empty
+/// gauges, and empty spans are omitted — [`snapshot_from_json`] restores the
+/// full vocabulary with zeros, so the round trip is still exact.
+pub fn snapshot_to_json(snap: &MetricsSnapshot) -> Json {
+    let counters: Vec<(String, Json)> = snap
+        .counters
+        .iter()
+        .filter(|(_, v)| *v > 0)
+        .map(|&(name, v)| (name.to_string(), u64_to_json(v)))
+        .collect();
+    let gauges: Vec<(String, Json)> = snap
+        .gauges
+        .iter()
+        .filter(|g| g.count > 0)
+        .map(|g| {
+            (
+                g.name.to_string(),
+                Json::obj([
+                    ("count", u64_to_json(g.count)),
+                    ("sum", u64_to_json(g.sum)),
+                    ("min", u64_to_json(g.min)),
+                    ("max", u64_to_json(g.max)),
+                ]),
+            )
+        })
+        .collect();
+    let spans: Vec<(String, Json)> = snap
+        .spans
+        .iter()
+        .filter(|s| s.count > 0)
+        .map(|s| {
+            let hist: Vec<Json> = s
+                .hist
+                .iter()
+                .enumerate()
+                .filter(|(_, &n)| n > 0)
+                .map(|(b, &n)| Json::Arr(vec![Json::Num(b as f64), u64_to_json(n)]))
+                .collect();
+            (
+                s.name.to_string(),
+                Json::obj([
+                    ("count", u64_to_json(s.count)),
+                    ("total_ns", u64_to_json(s.total_ns)),
+                    ("min_ns", u64_to_json(s.min_ns)),
+                    ("max_ns", u64_to_json(s.max_ns)),
+                    ("hist", Json::Arr(hist)),
+                ]),
+            )
+        })
+        .collect();
+    Json::obj([
+        ("counters", Json::Obj(counters)),
+        ("gauges", Json::Obj(gauges)),
+        ("spans", Json::Obj(spans)),
+    ])
+}
+
+/// Parses a snapshot from its transport form. Missing sections and names
+/// decode as zeros; names outside the current vocabulary are ignored (a
+/// newer peer may know counters this build does not).
+pub fn snapshot_from_json(json: &Json) -> Result<MetricsSnapshot, String> {
+    let mut snap = MetricsSnapshot::empty();
+    if let Some(Json::Obj(pairs)) = json.get("counters") {
+        for (key, value) in pairs {
+            if let Some(slot) = snap.counters.iter_mut().find(|(n, _)| n == key) {
+                slot.1 = u64_from_json(value).map_err(|e| format!("counter {key}: {e}"))?;
+            }
+        }
+    }
+    if let Some(Json::Obj(pairs)) = json.get("gauges") {
+        for (key, value) in pairs {
+            let Some(slot) = snap.gauges.iter_mut().find(|g| g.name == key) else {
+                continue;
+            };
+            *slot = GaugeStats {
+                name: slot.name,
+                count: field(value, "count").map_err(|e| format!("gauge {key}: {e}"))?,
+                sum: field(value, "sum").map_err(|e| format!("gauge {key}: {e}"))?,
+                min: field(value, "min").map_err(|e| format!("gauge {key}: {e}"))?,
+                max: field(value, "max").map_err(|e| format!("gauge {key}: {e}"))?,
+            };
+        }
+    }
+    if let Some(Json::Obj(pairs)) = json.get("spans") {
+        for (key, value) in pairs {
+            let Some(slot) = snap.spans.iter_mut().find(|s| s.name == key) else {
+                continue;
+            };
+            let mut hist = [0u64; SPAN_HIST_BUCKETS];
+            for entry in value.get("hist").and_then(Json::as_arr).unwrap_or(&[]) {
+                let pair = entry.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
+                    format!("span {key}: hist entry is not a [bucket, count] pair")
+                })?;
+                let bucket = pair[0]
+                    .as_usize()
+                    .filter(|&b| b < SPAN_HIST_BUCKETS)
+                    .ok_or_else(|| format!("span {key}: hist bucket out of range"))?;
+                hist[bucket] = u64_from_json(&pair[1]).map_err(|e| format!("span {key}: {e}"))?;
+            }
+            *slot = SpanStats {
+                name: slot.name,
+                count: field(value, "count").map_err(|e| format!("span {key}: {e}"))?,
+                total_ns: field(value, "total_ns").map_err(|e| format!("span {key}: {e}"))?,
+                min_ns: field(value, "min_ns").map_err(|e| format!("span {key}: {e}"))?,
+                max_ns: field(value, "max_ns").map_err(|e| format!("span {key}: {e}"))?,
+                hist,
+            };
+        }
+    }
+    Ok(snap)
+}
+
+/// Pools any number of snapshots into one, starting from the empty identity.
+pub fn merge_all<'a, I: IntoIterator<Item = &'a MetricsSnapshot>>(snaps: I) -> MetricsSnapshot {
+    let mut merged = MetricsSnapshot::empty();
+    for s in snaps {
+        merged.merge(s);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_the_empty_snapshot() {
+        let snap = MetricsSnapshot::empty();
+        let back = snapshot_from_json(&snapshot_to_json(&snap)).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn round_trips_values_beyond_f64_integer_precision() {
+        let mut snap = MetricsSnapshot::empty();
+        snap.counters[0].1 = u64::MAX;
+        snap.counters[1].1 = (1u64 << 53) + 1;
+        snap.gauges[0].count = 3;
+        snap.gauges[0].sum = u64::MAX - 1;
+        snap.gauges[0].min = 1;
+        snap.gauges[0].max = u64::MAX - 7;
+        snap.spans[0].count = u64::MAX;
+        snap.spans[0].total_ns = u64::MAX;
+        snap.spans[0].min_ns = 9;
+        snap.spans[0].max_ns = u64::MAX;
+        snap.spans[0].hist[SPAN_HIST_BUCKETS - 1] = u64::MAX;
+        let text = snapshot_to_json(&snap).render();
+        let back = snapshot_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn rejects_malformed_sections() {
+        for bad in [
+            r#"{"counters":{"trials":-1}}"#,
+            r#"{"counters":{"trials":1.5}}"#,
+            r#"{"gauges":{"queue_depth":{"count":1}}}"#,
+            r#"{"spans":{"advance":{"count":1,"total_ns":1,"min_ns":1,"max_ns":1,"hist":[[99,1]]}}}"#,
+            r#"{"spans":{"advance":{"count":1,"total_ns":1,"min_ns":1,"max_ns":1,"hist":[3]}}}"#,
+        ] {
+            let json = Json::parse(bad).unwrap();
+            assert!(snapshot_from_json(&json).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn unknown_names_are_ignored_and_missing_sections_decode_to_zero() {
+        let json = Json::parse(r#"{"counters":{"trials":4,"not_a_counter":9}}"#).unwrap();
+        let snap = snapshot_from_json(&json).unwrap();
+        assert_eq!(snap.counter("trials"), 4);
+        assert_eq!(snap.counter("edge_births"), 0);
+        assert_eq!(snap.span("advance").unwrap().count, 0);
+    }
+
+    #[test]
+    fn merge_all_pools_counters() {
+        let mut a = MetricsSnapshot::empty();
+        a.counters[0].1 = 2;
+        let mut b = MetricsSnapshot::empty();
+        b.counters[0].1 = 5;
+        let merged = merge_all([&a, &b]);
+        assert_eq!(merged.counters[0].1, 7);
+    }
+}

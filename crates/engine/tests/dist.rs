@@ -12,6 +12,7 @@
 use meg_engine::dist::{merge_dir, run_sharded, DistOptions, ShardSpec, ShardStrategy};
 use meg_engine::prelude::*;
 use meg_engine::scenario::Scenario;
+use meg_engine::Json;
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
@@ -291,6 +292,86 @@ fn cli_coordinator_restarts_crashing_workers() {
         counted, narrated,
         "counter and narration disagree:\n{stderr}"
     );
+}
+
+#[test]
+fn cli_full_observability_stack_keeps_stdout_identical() {
+    let reference = cli_unsharded_json();
+    let cells = reference.lines().count();
+    let trace_path =
+        std::env::temp_dir().join(format!("meg-dist-it-{}-cli-trace.json", std::process::id()));
+    // Everything at once: worker pool, metrics shipping + merged report,
+    // trace journal, and progress forced on (test stderr is not a TTY).
+    let out = meg_lab()
+        .env("MEG_PROGRESS_FORCE", "1")
+        .args(
+            [
+                &["run", "quick_smoke"][..],
+                CLI_SCALE,
+                &[
+                    "--format",
+                    "json",
+                    "--workers",
+                    "2",
+                    "--metrics",
+                    "report",
+                    "--trace",
+                    trace_path.to_str().expect("utf8 temp path"),
+                    "--progress",
+                ],
+            ]
+            .concat(),
+        )
+        .output()
+        .expect("meg-lab runs");
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(out.status.success(), "observed run failed: {stderr}");
+    assert_eq!(
+        String::from_utf8(out.stdout).expect("utf8 stdout"),
+        reference,
+        "rows must be byte-identical under the full observability stack"
+    );
+
+    // Worker-side counters must reach the merged report: per-lane subtotal
+    // lines, and a nonzero `trials` total (the coordinator itself runs no
+    // trials, so a nonzero value proves shipping + merge worked).
+    assert!(stderr.contains("── metrics report"), "{stderr}");
+    assert!(
+        stderr.contains("worker 0:") && stderr.contains("worker 1:"),
+        "per-worker subtotals missing from report:\n{stderr}"
+    );
+    let trials: u64 = stderr
+        .lines()
+        .find_map(|l| l.trim_start().strip_prefix("trials"))
+        .expect("trials counter in report")
+        .trim()
+        .parse()
+        .expect("counter value");
+    assert!(
+        trials > 0,
+        "merged report shows zero worker-side trials:\n{stderr}"
+    );
+
+    // The progress meter drew at least one status line (forced via env).
+    assert!(
+        stderr.contains("cells") && stderr.contains("rows/s"),
+        "progress line missing from stderr:\n{stderr}"
+    );
+
+    // The trace journal is valid trace-event JSON with one complete-phase
+    // span per cell on the worker lanes.
+    let doc = Json::parse(&std::fs::read_to_string(&trace_path).expect("trace file written"))
+        .expect("trace parses as JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    let spans = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+        .count();
+    assert_eq!(spans, cells, "one complete span per cell, got {spans}");
+    std::fs::remove_file(&trace_path).unwrap();
 }
 
 #[test]

@@ -13,9 +13,12 @@
 //! is a separate test binary so its `install()` cannot leak into the
 //! metrics-off runs of `golden_rows.rs`.
 
+use meg_engine::dist::{run_sharded, DistOptions};
 use meg_engine::obs;
 use meg_engine::prelude::*;
 use meg_engine::scenario::{Precision, SteppingKind, Substrate};
+use meg_engine::Json;
+use std::path::PathBuf;
 
 const SEED: u64 = 20260730;
 const SCALE: f64 = 0.1;
@@ -33,6 +36,31 @@ fn rendered_rows(scenario: &Scenario) -> String {
         out.push('\n');
     }
     out
+}
+
+/// The full observability stack turned on at once: a 2-worker pool with
+/// metrics shipping, a trace journal, and `--progress` (force-drawn — test
+/// stderr is not a TTY). Returns the row stream plus the run report for the
+/// worker-metrics assertions.
+fn sharded_observed_rows(
+    scenario: &Scenario,
+    trace_path: &std::path::Path,
+) -> (String, meg_engine::dist::RunReport) {
+    let opts = DistOptions {
+        workers: 2,
+        worker_cmd: Some(PathBuf::from(env!("CARGO_BIN_EXE_meg-lab"))),
+        ship_metrics: true,
+        trace: Some(trace_path.to_path_buf()),
+        progress: true,
+        ..DistOptions::default()
+    };
+    let mut out = String::new();
+    let report = run_sharded(scenario, SEED, &opts, |_, line| {
+        out.push_str(line);
+        out.push('\n');
+    })
+    .expect("sharded observed run succeeds");
+    (out, report)
 }
 
 #[test]
@@ -105,5 +133,97 @@ fn every_golden_fixture_is_byte_identical_with_the_recorder_installed() {
     );
     let report = snap.render_report();
     assert!(report.contains("trials"), "report misses trials: {report}");
+
+    // ——— The same fixtures once more, through the *whole* observability
+    // stack at once: a 2-worker process pool with metrics shipping, a trace
+    // journal, and progress forced on. Workers run with their own recorders;
+    // the coordinator merges shipped deltas — and none of it may move a row
+    // byte. ———
+    std::env::set_var("MEG_PROGRESS_FORCE", "1");
+    let trace_path = std::env::temp_dir().join(format!(
+        "meg-golden-observed-trace-{}.json",
+        std::process::id()
+    ));
+
+    for name in builtin_names() {
+        let mut scenario = builtin(name).expect("registry consistent").scaled(SCALE);
+        scenario.trials = 2;
+        let (rows, report) = sharded_observed_rows(&scenario, &trace_path);
+        let expected = fixture(&format!("{name}.jsonl"));
+        assert_eq!(
+            rows, expected,
+            "`{name}` rows drifted under workers + shipping + trace + progress"
+        );
+
+        // Worker-side counters must arrive and be nonzero once merged.
+        assert_eq!(report.worker_metrics.len(), 2, "one snapshot per lane");
+        let mut merged = meg_obs::MetricsSnapshot::empty();
+        for lane in &report.worker_metrics {
+            merged.merge(lane);
+        }
+        // `trials` is the one counter every builtin records (some sweeps
+        // never flood, some never touch an edge chain).
+        assert!(
+            merged.counter("trials") > 0,
+            "`{name}`: merged worker counters are zero — shipping is dark"
+        );
+
+        // The trace journal must be valid trace-event JSON with at least one
+        // complete-phase span per cell (worker lanes emit one "X" per item).
+        let doc = Json::parse(&std::fs::read_to_string(&trace_path).unwrap())
+            .unwrap_or_else(|e| panic!("`{name}` trace is not valid JSON: {e:?}"));
+        let spans = doc
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .map(|events| {
+                events
+                    .iter()
+                    .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+                    .count()
+            })
+            .unwrap_or(0);
+        assert!(
+            spans >= expected.lines().count(),
+            "`{name}` trace has {spans} complete spans for {} cells",
+            expected.lines().count()
+        );
+    }
+
+    // Adaptive fixtures exercise the Batch protocol path (and the
+    // coordinator's doubling instants) under the same full stack.
+    for name in builtin_names() {
+        let mut scenario = builtin(name).expect("registry consistent").scaled(SCALE);
+        scenario.precision = Precision::TargetStderr {
+            eps: 0.5,
+            min_trials: 2,
+            max_trials: 4,
+        };
+        let (rows, _) = sharded_observed_rows(&scenario, &trace_path);
+        assert_eq!(
+            rows,
+            fixture(&format!("{name}.adaptive.jsonl")),
+            "`{name}` adaptive rows drifted under workers + shipping + trace + progress"
+        );
+    }
+
+    // And the transitions-stepping pin.
+    let mut scenario = builtin("edge_vs_n")
+        .expect("registry consistent")
+        .scaled(SCALE);
+    scenario.trials = 2;
+    for sub in &mut scenario.substrates {
+        if let Substrate::Edge { stepping, .. } = sub {
+            *stepping = SteppingKind::Transitions;
+        }
+    }
+    let (rows, _) = sharded_observed_rows(&scenario, &trace_path);
+    assert_eq!(
+        rows,
+        fixture("edge_vs_n.transitions.jsonl"),
+        "transitions-stepping rows drifted under workers + shipping + trace + progress"
+    );
+
+    std::fs::remove_file(&trace_path).ok();
+    std::env::remove_var("MEG_PROGRESS_FORCE");
     obs::uninstall();
 }

@@ -1,0 +1,143 @@
+//! Property tests for the metrics monoid and its JSON codec: `merge` is
+//! associative and commutative with `MetricsSnapshot::empty()` as identity
+//! (all-integer storage makes this *exact*, not approximate), and
+//! `snapshot_to_json` / `snapshot_from_json` round-trip losslessly —
+//! including empty and saturated histograms and values beyond 2^53, which
+//! travel as decimal strings.
+
+use meg_engine::metrics::{snapshot_from_json, snapshot_to_json};
+use meg_engine::Json;
+use meg_obs::{hist_bucket, MetricsSnapshot};
+use proptest::prelude::*;
+
+/// Builds a reachable snapshot from raw material: counter values, plus
+/// per-gauge and per-span sample lists folded exactly the way the live
+/// recorder folds them.
+fn build_snapshot(
+    counters: Vec<u64>,
+    gauge_samples: Vec<Vec<u64>>,
+    span_samples: Vec<Vec<u64>>,
+) -> MetricsSnapshot {
+    let mut s = MetricsSnapshot::empty();
+    for (slot, v) in s.counters.iter_mut().zip(counters) {
+        slot.1 = v;
+    }
+    for (g, samples) in s.gauges.iter_mut().zip(gauge_samples) {
+        for v in samples {
+            g.count += 1;
+            g.sum += v;
+            g.min = if g.count == 1 { v } else { g.min.min(v) };
+            g.max = g.max.max(v);
+        }
+    }
+    for (sp, samples) in s.spans.iter_mut().zip(span_samples) {
+        for ns in samples {
+            sp.count += 1;
+            sp.total_ns += ns;
+            sp.min_ns = if sp.count == 1 { ns } else { sp.min_ns.min(ns) };
+            sp.max_ns = sp.max_ns.max(ns);
+            sp.hist[hist_bucket(ns)] += 1;
+        }
+    }
+    s
+}
+
+fn arb_snapshot() -> impl Strategy<Value = MetricsSnapshot> {
+    // Bounds keep three-way merges clear of u64 overflow while still
+    // crossing the 2^53 Num/Str boundary of the JSON codec.
+    let counters = proptest::collection::vec(0u64..=(u64::MAX >> 2), 16);
+    let samples =
+        || proptest::collection::vec(proptest::collection::vec(0u64..=(u64::MAX >> 3), 0..6), 8);
+    (counters, samples(), samples()).prop_map(|(c, g, s)| build_snapshot(c, g, s))
+}
+
+fn merged(a: &MetricsSnapshot, b: &MetricsSnapshot) -> MetricsSnapshot {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_commutative(a in arb_snapshot(), b in arb_snapshot()) {
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in arb_snapshot(),
+        b in arb_snapshot(),
+        c in arb_snapshot(),
+    ) {
+        prop_assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+    }
+
+    #[test]
+    fn empty_is_the_merge_identity(a in arb_snapshot()) {
+        prop_assert_eq!(merged(&a, &MetricsSnapshot::empty()), a.clone());
+        prop_assert_eq!(merged(&MetricsSnapshot::empty(), &a), a);
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless(a in arb_snapshot()) {
+        // Through the rendered text, not just the Json tree: the wire format
+        // is what the worker protocol actually ships.
+        let text = snapshot_to_json(&a).render();
+        let back = snapshot_from_json(&Json::parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn merging_round_tripped_halves_equals_merging_originals(
+        a in arb_snapshot(),
+        b in arb_snapshot(),
+    ) {
+        // The coordinator merges *decoded* snapshots; codec and monoid must
+        // commute for the sweep-wide totals to be exact.
+        let via_wire = merged(
+            &snapshot_from_json(&snapshot_to_json(&a)).unwrap(),
+            &snapshot_from_json(&snapshot_to_json(&b)).unwrap(),
+        );
+        prop_assert_eq!(via_wire, merged(&a, &b));
+    }
+}
+
+#[test]
+fn empty_and_saturated_histograms_round_trip() {
+    // Identity element: renders to a (near-)empty document and comes back.
+    let empty = MetricsSnapshot::empty();
+    let back = snapshot_from_json(&snapshot_to_json(&empty)).unwrap();
+    assert_eq!(back, empty);
+
+    // Saturated: u64::MAX lands in the open-ended top bucket, and every
+    // integer field survives the Str spelling beyond 2^53.
+    let mut sat = MetricsSnapshot::empty();
+    for slot in sat.counters.iter_mut() {
+        slot.1 = u64::MAX;
+    }
+    let span = &mut sat.spans[0];
+    span.count = 1;
+    span.total_ns = u64::MAX;
+    span.min_ns = u64::MAX;
+    span.max_ns = u64::MAX;
+    span.hist[hist_bucket(u64::MAX)] = 1;
+    let text = snapshot_to_json(&sat).render();
+    let back = snapshot_from_json(&Json::parse(&text).unwrap()).unwrap();
+    assert_eq!(back, sat);
+    assert_eq!(
+        back.spans[0].percentile_ns(0.99),
+        sat.spans[0].percentile_ns(0.99)
+    );
+}
+
+#[test]
+fn unknown_names_are_ignored_and_malformed_values_rejected() {
+    // Forward compatibility: a newer worker may ship counters this binary
+    // does not know; they must not poison the merge.
+    let doc = Json::parse(r#"{"counters":{"from_the_future":7}}"#).unwrap();
+    assert_eq!(snapshot_from_json(&doc).unwrap(), MetricsSnapshot::empty());
+    let bad = Json::parse(r#"{"counters":{"trials":-1}}"#).unwrap();
+    assert!(snapshot_from_json(&bad).is_err());
+}

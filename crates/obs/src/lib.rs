@@ -15,13 +15,18 @@
 //!   branches; monotonic-clock reads happen strictly outside RNG-consuming
 //!   code. Installing a recorder therefore cannot change a single emitted
 //!   row byte — the `golden_rows_observed` suite enforces this.
-//! * **Allocation-free recording.** [`install`] pre-warms every span
-//!   reservoir to a fixed capacity; recording pushes into that capacity and
-//!   degrades to aggregate-only statistics (count/total/min/max) once it is
-//!   full, so a recorder-installed hot loop stays at zero allocations.
+//! * **Allocation-free recording.** Span timings land in fixed-size log2
+//!   latency histograms ([`SPAN_HIST_BUCKETS`] buckets of `u64`), so the
+//!   recording path never allocates — not even at [`install`], which only
+//!   zeroes static state.
 //! * **Aggregate, don't instrument iterations.** Hot loops accumulate into
 //!   local variables and flush one counter add per call — per-iteration
 //!   atomics are forbidden by the ≤5% overhead budget.
+//! * **Mergeable.** [`MetricsSnapshot`] is a commutative monoid under
+//!   [`MetricsSnapshot::merge`] with [`MetricsSnapshot::empty`] as identity:
+//!   counters and histogram buckets are summed exactly (integer arithmetic
+//!   throughout — no f64 in the stored statistics), so a sweep coordinator
+//!   can pool snapshots shipped from worker processes in any order.
 //!
 //! ## Example
 //!
@@ -150,9 +155,35 @@ impl Gauge {
 /// (with a debug assertion to catch typos).
 pub const SPAN_NAMES: [&str; 4] = ["advance", "trial", "cell", "worker_round_trip"];
 
-/// Samples kept per span for median/IQR estimation; recording beyond this
-/// keeps the aggregate statistics exact but stops storing raw durations.
-pub const SPAN_RESERVOIR_CAP: usize = 4096;
+/// Buckets in each span's log2 latency histogram. Bucket 0 holds sub-ns
+/// (zero) readings; bucket `b ≥ 1` holds durations in `[2^(b-1), 2^b)` ns;
+/// the last bucket is open-ended (≥ 2^46 ns ≈ 19.5 h), so nothing is ever
+/// dropped.
+pub const SPAN_HIST_BUCKETS: usize = 48;
+
+/// The histogram bucket a duration of `ns` nanoseconds falls into.
+#[inline]
+pub fn hist_bucket(ns: u64) -> usize {
+    if ns == 0 {
+        0
+    } else {
+        ((64 - ns.leading_zeros()) as usize).min(SPAN_HIST_BUCKETS - 1)
+    }
+}
+
+/// A representative duration (ns) for histogram bucket `b`: the arithmetic
+/// midpoint of the bucket's range (lower bound × 1.5 for the open-ended top
+/// bucket). Used when reading percentiles back out of the histogram.
+#[inline]
+pub fn hist_bucket_mid_ns(b: usize) -> u64 {
+    match b {
+        0 => 0,
+        _ => {
+            let lower = 1u64 << (b - 1);
+            lower + lower / 2
+        }
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Static recorder state
@@ -179,44 +210,39 @@ static GAUGES: [GaugeCell; Gauge::ALL.len()] = [const {
     }
 }; Gauge::ALL.len()];
 
-/// One span's timing state. Mutex-protected: spans are coarse (per round at
-/// the finest), so an uncontended lock per record is well inside budget.
+/// One span's timing state: exact integer aggregates plus the log2 latency
+/// histogram. Entirely fixed-size — no allocation anywhere in the recording
+/// path. Mutex-protected: spans are coarse (per round at the finest), so an
+/// uncontended lock per record is well inside budget.
 struct SpanState {
     count: u64,
-    total_ms: f64,
-    min_ms: f64,
-    max_ms: f64,
-    reservoir: Vec<f64>,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+    hist: [u64; SPAN_HIST_BUCKETS],
 }
 
 impl SpanState {
     const fn new() -> SpanState {
         SpanState {
             count: 0,
-            total_ms: 0.0,
-            min_ms: f64::INFINITY,
-            max_ms: 0.0,
-            reservoir: Vec::new(),
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            hist: [0; SPAN_HIST_BUCKETS],
         }
     }
 
     fn reset(&mut self) {
-        self.count = 0;
-        self.total_ms = 0.0;
-        self.min_ms = f64::INFINITY;
-        self.max_ms = 0.0;
-        self.reservoir.clear();
-        self.reservoir.reserve(SPAN_RESERVOIR_CAP);
+        *self = SpanState::new();
     }
 
-    fn record(&mut self, ms: f64) {
+    fn record(&mut self, ns: u64) {
         self.count += 1;
-        self.total_ms += ms;
-        self.min_ms = self.min_ms.min(ms);
-        self.max_ms = self.max_ms.max(ms);
-        if self.reservoir.len() < SPAN_RESERVOIR_CAP {
-            self.reservoir.push(ms);
-        }
+        self.total_ns = self.total_ns.saturating_add(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+        self.hist[hist_bucket(ns)] += 1;
     }
 }
 
@@ -234,8 +260,8 @@ pub fn installed() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-/// Resets every counter, gauge, and span, pre-warms the span reservoirs
-/// (the only allocations the recorder ever makes), and enables recording.
+/// Resets every counter, gauge, and span histogram and enables recording.
+/// Purely zeroes static state — the recorder never allocates.
 pub fn install() {
     ENABLED.store(false, Ordering::SeqCst);
     for c in &COUNTERS {
@@ -307,9 +333,9 @@ pub struct SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some((slot, started)) = self.slot.take() {
-            let ms = started.elapsed().as_secs_f64() * 1e3;
+            let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
             if installed() {
-                SPANS[slot].lock().expect("span lock").record(ms);
+                SPANS[slot].lock().expect("span lock").record(ns);
             }
         }
     }
@@ -358,26 +384,138 @@ impl GaugeStats {
             self.sum as f64 / self.count as f64
         }
     }
+
+    fn empty(name: &'static str) -> GaugeStats {
+        GaugeStats {
+            name,
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        }
+    }
+
+    /// Pools another gauge's statistics into this one. Exact and
+    /// order-independent: min/max treat a zero-count side as the identity.
+    pub fn merge(&mut self, other: &GaugeStats) {
+        if other.count == 0 {
+            return;
+        }
+        self.min = if self.count == 0 {
+            other.min
+        } else {
+            self.min.min(other.min)
+        };
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum += other.sum;
+    }
 }
 
-/// Aggregate statistics of one span.
+/// Aggregate statistics of one span: exact integer-nanosecond aggregates
+/// plus a [`SPAN_HIST_BUCKETS`]-bucket log2 latency histogram from which
+/// p50/p90/p99 are read.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SpanStats {
     /// Span name.
     pub name: &'static str,
     /// Number of timings recorded.
     pub count: u64,
+    /// Total recorded nanoseconds.
+    pub total_ns: u64,
+    /// Fastest timing in nanoseconds (0 with no samples).
+    pub min_ns: u64,
+    /// Slowest timing in nanoseconds.
+    pub max_ns: u64,
+    /// Log2 latency histogram; see [`hist_bucket`] for the bucket scheme.
+    pub hist: [u64; SPAN_HIST_BUCKETS],
+}
+
+impl SpanStats {
+    fn empty(name: &'static str) -> SpanStats {
+        SpanStats {
+            name,
+            count: 0,
+            total_ns: 0,
+            min_ns: 0,
+            max_ns: 0,
+            hist: [0; SPAN_HIST_BUCKETS],
+        }
+    }
+
     /// Total recorded milliseconds.
-    pub total_ms: f64,
-    /// Fastest timing (0 with no samples).
-    pub min_ms: f64,
-    /// Slowest timing.
-    pub max_ms: f64,
-    /// Median over the stored reservoir (first [`SPAN_RESERVOIR_CAP`]
-    /// samples).
-    pub median_ms: f64,
-    /// Interquartile range over the stored reservoir.
-    pub iqr_ms: f64,
+    pub fn total_ms(&self) -> f64 {
+        self.total_ns as f64 / 1e6
+    }
+
+    /// Fastest timing in milliseconds.
+    pub fn min_ms(&self) -> f64 {
+        self.min_ns as f64 / 1e6
+    }
+
+    /// Slowest timing in milliseconds.
+    pub fn max_ms(&self) -> f64 {
+        self.max_ns as f64 / 1e6
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`) read from the histogram, in
+    /// nanoseconds: the representative midpoint of the bucket holding the
+    /// `⌈q·count⌉`-th smallest sample. 0 with no samples.
+    pub fn percentile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &n) in self.hist.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return hist_bucket_mid_ns(b);
+            }
+        }
+        hist_bucket_mid_ns(SPAN_HIST_BUCKETS - 1)
+    }
+
+    /// The `q`-quantile in milliseconds.
+    pub fn percentile_ms(&self, q: f64) -> f64 {
+        self.percentile_ns(q) as f64 / 1e6
+    }
+
+    /// Median latency (ms), from the histogram.
+    pub fn p50_ms(&self) -> f64 {
+        self.percentile_ms(0.50)
+    }
+
+    /// 90th-percentile latency (ms), from the histogram.
+    pub fn p90_ms(&self) -> f64 {
+        self.percentile_ms(0.90)
+    }
+
+    /// 99th-percentile latency (ms), from the histogram.
+    pub fn p99_ms(&self) -> f64 {
+        self.percentile_ms(0.99)
+    }
+
+    /// Pools another span's statistics into this one: counts, totals, and
+    /// histogram buckets sum exactly; min/max treat a zero-count side as the
+    /// identity. Integer arithmetic throughout, so pooling is associative
+    /// and commutative.
+    pub fn merge(&mut self, other: &SpanStats) {
+        if other.count == 0 {
+            return;
+        }
+        self.min_ns = if self.count == 0 {
+            other.min_ns
+        } else {
+            self.min_ns.min(other.min_ns)
+        };
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.count += other.count;
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+        for (a, b) in self.hist.iter_mut().zip(&other.hist) {
+            *a += b;
+        }
+    }
 }
 
 /// A point-in-time copy of every counter, gauge, and span.
@@ -421,19 +559,13 @@ pub fn snapshot() -> MetricsSnapshot {
         .zip(&SPANS)
         .map(|(&name, state)| {
             let st = state.lock().expect("span lock");
-            let (median_ms, iqr_ms) =
-                match meg_stats::quantile::quantiles(&st.reservoir, &[0.25, 0.5, 0.75]) {
-                    Some(qs) => (qs[1], qs[2] - qs[0]),
-                    None => (0.0, 0.0),
-                };
             SpanStats {
                 name,
                 count: st.count,
-                total_ms: st.total_ms,
-                min_ms: if st.count == 0 { 0.0 } else { st.min_ms },
-                max_ms: st.max_ms,
-                median_ms,
-                iqr_ms,
+                total_ns: st.total_ns,
+                min_ns: if st.count == 0 { 0 } else { st.min_ns },
+                max_ns: st.max_ns,
+                hist: st.hist,
             }
         })
         .collect();
@@ -445,6 +577,41 @@ pub fn snapshot() -> MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// The all-zero snapshot over the full vocabulary: the identity element
+    /// of [`MetricsSnapshot::merge`].
+    pub fn empty() -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: Counter::ALL.iter().map(|&c| (c.name(), 0)).collect(),
+            gauges: Gauge::ALL
+                .iter()
+                .map(|&g| GaugeStats::empty(g.name()))
+                .collect(),
+            spans: SPAN_NAMES.iter().map(|&s| SpanStats::empty(s)).collect(),
+        }
+    }
+
+    /// Pools `other` into `self`: counters summed, gauge aggregates
+    /// combined, span histograms added bucket-wise. Matching is by name, so
+    /// the operand's ordering is irrelevant; names `self` does not carry are
+    /// ignored. All-integer arithmetic makes the operation associative and
+    /// commutative with [`MetricsSnapshot::empty`] as identity — worker
+    /// snapshots can be merged in arrival order.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, v) in &mut self.counters {
+            *v += other.counter(name);
+        }
+        for g in &mut self.gauges {
+            if let Some(og) = other.gauges.iter().find(|og| og.name == g.name) {
+                g.merge(og);
+            }
+        }
+        for s in &mut self.spans {
+            if let Some(os) = other.spans.iter().find(|os| os.name == s.name) {
+                s.merge(os);
+            }
+        }
+    }
+
     /// The value of the named counter (0 for unknown names).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters
@@ -466,6 +633,26 @@ impl MetricsSnapshot {
             .iter()
             .map(|&(name, v)| (name, v.saturating_sub(earlier.counter(name))))
             .collect()
+    }
+
+    /// A counters-only snapshot holding the deltas since `earlier` (gauges
+    /// and spans zeroed). This is what workers ship with each response:
+    /// counter deltas partition the stream exactly, so summing them on the
+    /// coordinator reproduces the worker's totals.
+    pub fn delta_counters_snapshot(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::empty();
+        out.counters = self.counter_deltas(earlier);
+        out
+    }
+
+    /// Zeroes every counter in place, keeping gauges and spans. Used when a
+    /// worker's final full snapshot is folded over already-accumulated
+    /// per-response counter deltas (the counters would otherwise double
+    /// count).
+    pub fn clear_counters(&mut self) {
+        for (_, v) in &mut self.counters {
+            *v = 0;
+        }
     }
 
     /// Fraction of delta rounds that fell back to a rebuild, or `None` when
@@ -509,11 +696,18 @@ impl MetricsSnapshot {
                 g.max
             ));
         }
-        out.push_str("spans                    count    total_ms   median_ms      iqr_ms\n");
+        out.push_str(
+            "spans                    count    total_ms      p50_ms      p90_ms      p99_ms\n",
+        );
         for s in &self.spans {
             out.push_str(&format!(
-                "  {:<22} {:>6} {:>11.3} {:>11.4} {:>11.4}\n",
-                s.name, s.count, s.total_ms, s.median_ms, s.iqr_ms
+                "  {:<22} {:>6} {:>11.3} {:>11.4} {:>11.4} {:>11.4}\n",
+                s.name,
+                s.count,
+                s.total_ms(),
+                s.p50_ms(),
+                s.p90_ms(),
+                s.p99_ms()
             ));
         }
         out
@@ -522,6 +716,8 @@ impl MetricsSnapshot {
     /// Renders the snapshot as one JSON line (the `--metrics jsonl` sink).
     /// The object is hand-rolled: every key is a fixed identifier, so no
     /// escaping is needed and `meg-obs` stays free of JSON dependencies.
+    /// (The lossless transport codec lives in `meg-engine::metrics`; this
+    /// sink is for human/script consumption and reports milliseconds.)
     pub fn render_jsonl(&self) -> String {
         let counters: Vec<String> = self
             .counters
@@ -547,8 +743,14 @@ impl MetricsSnapshot {
             .iter()
             .map(|s| {
                 format!(
-                    "\"{}\":{{\"count\":{},\"total_ms\":{:.4},\"median_ms\":{:.5},\"iqr_ms\":{:.5}}}",
-                    s.name, s.count, s.total_ms, s.median_ms, s.iqr_ms
+                    "\"{}\":{{\"count\":{},\"total_ms\":{:.4},\"p50_ms\":{:.5},\"p90_ms\":{:.5},\"p99_ms\":{:.5},\"max_ms\":{:.5}}}",
+                    s.name,
+                    s.count,
+                    s.total_ms(),
+                    s.p50_ms(),
+                    s.p90_ms(),
+                    s.p99_ms(),
+                    s.max_ms()
                 )
             })
             .collect();
@@ -597,7 +799,9 @@ mod tests {
         assert_eq!(informed.mean(), 20.0);
         let adv = snap.span("advance").unwrap();
         assert_eq!(adv.count, 2);
-        assert!(adv.total_ms >= 0.0 && adv.min_ms <= adv.max_ms);
+        assert!(adv.min_ns <= adv.max_ns);
+        assert_eq!(adv.hist.iter().sum::<u64>(), 2);
+        assert!(adv.p50_ms() <= adv.p99_ms());
 
         // Deltas against an earlier snapshot.
         add(Counter::EdgeBirths, 3);
@@ -605,6 +809,9 @@ mod tests {
         let deltas = later.counter_deltas(&snap);
         assert!(deltas.contains(&("edge_births", 3)));
         assert!(deltas.contains(&("delta_rounds", 0)));
+        let shipped = later.delta_counters_snapshot(&snap);
+        assert_eq!(shipped.counter("edge_births"), 3);
+        assert_eq!(shipped.span("advance").unwrap().count, 0);
 
         // Rendering mentions every registered name.
         let report = later.render_report();
@@ -617,6 +824,7 @@ mod tests {
             assert!(report.contains(s) && jsonl.contains(s));
         }
         assert!(report.contains("delta_fallback_rate"));
+        assert!(report.contains("p50_ms") && jsonl.contains("p99_ms"));
 
         // Reinstalling resets; uninstalling freezes.
         install();
@@ -628,14 +836,101 @@ mod tests {
     }
 
     #[test]
-    fn reservoir_degrades_to_aggregates_past_capacity() {
-        let mut st = SpanState::new();
-        st.reset();
-        for i in 0..(SPAN_RESERVOIR_CAP + 10) {
-            st.record(i as f64);
+    fn histogram_bucket_scheme_covers_the_full_u64_range() {
+        assert_eq!(hist_bucket(0), 0);
+        assert_eq!(hist_bucket(1), 1);
+        assert_eq!(hist_bucket(2), 2);
+        assert_eq!(hist_bucket(3), 2);
+        assert_eq!(hist_bucket(4), 3);
+        assert_eq!(hist_bucket(1023), 10);
+        assert_eq!(hist_bucket(1024), 11);
+        assert_eq!(hist_bucket(u64::MAX), SPAN_HIST_BUCKETS - 1);
+        // Every bucket's representative lies at its midpoint and the top
+        // bucket is open-ended.
+        assert_eq!(hist_bucket_mid_ns(0), 0);
+        assert_eq!(hist_bucket_mid_ns(1), 1);
+        assert_eq!(hist_bucket_mid_ns(3), 6); // [4, 8) → 6
+        for b in 1..SPAN_HIST_BUCKETS - 1 {
+            assert_eq!(hist_bucket(hist_bucket_mid_ns(b)), b);
         }
-        assert_eq!(st.count as usize, SPAN_RESERVOIR_CAP + 10);
-        assert_eq!(st.reservoir.len(), SPAN_RESERVOIR_CAP);
-        assert_eq!(st.max_ms, (SPAN_RESERVOIR_CAP + 9) as f64);
+    }
+
+    #[test]
+    fn span_percentiles_read_back_from_the_histogram() {
+        let mut st = SpanState::new();
+        // 90 fast samples in [4, 8) ns, 10 slow ones in [1024, 2048) ns.
+        for _ in 0..90 {
+            st.record(5);
+        }
+        for _ in 0..10 {
+            st.record(1500);
+        }
+        let stats = SpanStats {
+            name: "advance",
+            count: st.count,
+            total_ns: st.total_ns,
+            min_ns: st.min_ns,
+            max_ns: st.max_ns,
+            hist: st.hist,
+        };
+        assert_eq!(stats.count, 100);
+        assert_eq!(stats.percentile_ns(0.50), 6); // bucket [4, 8)
+        assert_eq!(stats.percentile_ns(0.90), 6); // rank 90 is the last fast one
+        assert_eq!(stats.percentile_ns(0.99), 1536); // bucket [1024, 2048)
+        assert_eq!(stats.percentile_ns(1.0), 1536);
+    }
+
+    #[test]
+    fn merge_is_exact_and_treats_empty_as_identity() {
+        let mut a = MetricsSnapshot::empty();
+        a.counters[0].1 = 7; // edge_births
+        a.gauges[0] = GaugeStats {
+            name: a.gauges[0].name,
+            count: 2,
+            sum: 40,
+            min: 10,
+            max: 30,
+        };
+        a.spans[0].count = 1;
+        a.spans[0].total_ns = 5;
+        a.spans[0].min_ns = 5;
+        a.spans[0].max_ns = 5;
+        a.spans[0].hist[hist_bucket(5)] = 1;
+
+        // Identity on both sides.
+        let mut id_left = MetricsSnapshot::empty();
+        id_left.merge(&a);
+        assert_eq!(id_left, a);
+        let mut with_id = a.clone();
+        with_id.merge(&MetricsSnapshot::empty());
+        assert_eq!(with_id, a);
+
+        // Pooling combines min/max/count/sum and histogram buckets.
+        let mut b = MetricsSnapshot::empty();
+        b.counters[0].1 = 3;
+        b.gauges[0] = GaugeStats {
+            name: b.gauges[0].name,
+            count: 1,
+            sum: 2,
+            min: 2,
+            max: 2,
+        };
+        b.spans[0].count = 2;
+        b.spans[0].total_ns = 3000;
+        b.spans[0].min_ns = 1000;
+        b.spans[0].max_ns = 2000;
+        b.spans[0].hist[hist_bucket(1000)] += 1;
+        b.spans[0].hist[hist_bucket(2000)] += 1;
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge must be commutative");
+        assert_eq!(ab.counter("edge_births"), 10);
+        assert_eq!((ab.gauges[0].min, ab.gauges[0].max), (2, 30));
+        let s = ab.span("advance").unwrap();
+        assert_eq!((s.count, s.min_ns, s.max_ns), (3, 5, 2000));
+        assert_eq!(s.hist.iter().sum::<u64>(), 3);
     }
 }

@@ -213,11 +213,12 @@ fn advance_is_allocation_free_after_warmup_on_dense_and_geometric_paths() {
     );
 
     // --- recorder installed: observation must not allocate either ---------
-    // `meg::obs::install()` pre-reserves the span reservoirs (the layer's
-    // only allocations), so with the recorder live the counter adds, gauge
-    // samples, and span pushes on the advance() hot paths must all stay
-    // inside pre-sized storage. Reuses the already-warmed dense and
-    // geometric models above — same loops, now observed.
+    // The recorder's storage is entirely static: counters and gauges are
+    // atomics, and span latencies land in fixed log2-bucket histograms
+    // (`[u64; SPAN_HIST_BUCKETS]` per span), so with the recorder live the
+    // counter adds, gauge samples, and span records on the advance() hot
+    // paths must perform zero heap allocations. Reuses the already-warmed
+    // dense and geometric models above — same loops, now observed.
     meg::obs::install();
     for _ in 0..5 {
         dense.advance();
@@ -248,6 +249,26 @@ fn advance_is_allocation_free_after_warmup_on_dense_and_geometric_paths() {
     assert!(
         snap.span("advance").is_some_and(|s| s.count >= 400),
         "advance spans were not recorded"
+    );
+    // The histogram must account for every recorded span — each of the 400+
+    // observations above incremented exactly one bucket, at zero allocations
+    // (the measured window covers the records; the buckets are static).
+    let advance = snap.span("advance").unwrap();
+    let hist_total: u64 = advance.hist.iter().sum();
+    assert_eq!(
+        hist_total, advance.count,
+        "histogram bucket counts must sum to the span count"
+    );
+    // Percentiles come back as bucket midpoints, so bracket with a factor-2
+    // tolerance on each side of the observed [min, max] range.
+    let p50 = advance.percentile_ns(0.50);
+    let p99 = advance.percentile_ns(0.99);
+    assert!(
+        advance.min_ns / 2 <= p50 && p50 <= p99 && p99 <= advance.max_ns.saturating_mul(2),
+        "percentiles must be ordered and bracketed by the observed range \
+         (min {} · p50 {p50} · p99 {p99} · max {})",
+        advance.min_ns,
+        advance.max_ns
     );
     meg::obs::uninstall();
 }
