@@ -57,6 +57,15 @@ fi
 step "cargo test -q (tier-1: unit + property + integration + doc)"
 cargo test -q --workspace --offline
 
+step "test-count floor (the tier-1 suite must not shrink)"
+TEST_COUNT=$(cargo test -q --workspace --offline -- --list 2>/dev/null | grep -c ': test')
+TEST_FLOOR=600
+if [ "$TEST_COUNT" -lt "$TEST_FLOOR" ]; then
+    echo "test count $TEST_COUNT fell below the floor of $TEST_FLOOR" >&2
+    exit 1
+fi
+echo "test count: $TEST_COUNT (floor $TEST_FLOOR)"
+
 if [ "$MODE" != "quick" ]; then
     step "test-stats (gof + stepping-equivalence + delta-consistency, release)"
     cargo test -q --release --offline -p meg-stats gof
@@ -196,6 +205,33 @@ PYEOF
     done
     echo "metrics report carries live counters and spans; rows byte-identical"
     rm -rf "$MET_DIR"
+
+    step "protocol-family smoke (epidemics + rumor + byzantine, per-protocol counters live)"
+    PROTO_DIR=$(mktemp -d)
+    proto_smoke() {
+        scenario=$1; shift
+        # shellcheck disable=SC2086
+        $MEG_LAB run "$scenario" $COMMON --metrics report \
+            > "$PROTO_DIR/$scenario.jsonl" 2> "$PROTO_DIR/$scenario.metrics.txt"
+        PROWS=$(grep -c '^{"scenario":.*"completion_rate":.*}$' "$PROTO_DIR/$scenario.jsonl" || true)
+        if [ "$PROWS" -lt 1 ]; then
+            echo "$scenario produced no well-formed JSON rows" >&2
+            cat "$PROTO_DIR/$scenario.jsonl" >&2
+            exit 1
+        fi
+        for c in "$@"; do
+            grep -qE "^  $c +[1-9][0-9]*$" "$PROTO_DIR/$scenario.metrics.txt" || {
+                echo "counter $c missing or zero for $scenario:" >&2
+                cat "$PROTO_DIR/$scenario.metrics.txt" >&2
+                exit 1
+            }
+        done
+        echo "$scenario: $PROWS rows, counters live ($*)"
+    }
+    proto_smoke epidemic_threshold infections recoveries
+    proto_smoke rumor_dynamism rumor_pushes
+    proto_smoke byzantine_tamper tampered_adoptions
+    rm -rf "$PROTO_DIR"
 
     step "distributed observability smoke (fault-injected pool: shipping + trace + progress)"
     OBS_DIR=$(mktemp -d)

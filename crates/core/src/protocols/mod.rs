@@ -1,27 +1,50 @@
-//! Protocol variants built on the flooding machinery.
+//! Spreading processes as per-node state machines.
 //!
 //! The paper motivates flooding as the baseline every dissemination protocol
-//! is measured against. This module implements the most common alternatives
-//! from the literature it cites so the benchmark harness can compare them on
-//! the same evolving-graph models:
+//! is measured against; this module generalizes the protocol layer from
+//! informed-set flooding variants to a per-node **state machine** —
+//! [`state_machine::NodeState`] alphabets, [`state_machine::ProtocolMachine`]
+//! transition rules driven by each snapshot's neighborhoods, and a
+//! protocol-defined completion predicate — so epidemics, rumors and
+//! adversaries run on the exact same chassis (and through the exact same
+//! engine pipeline) as flooding:
 //!
 //! * [`probabilistic`] — each informed node forwards at each step only with
-//!   probability `β` (probabilistic flooding, \[29\] in the paper);
+//!   probability `β` (probabilistic flooding, \[29\] in the paper; β = 1 is
+//!   plain flooding);
 //! * [`parsimonious`] — each node forwards only for the first `k` steps after
 //!   becoming informed (parsimonious flooding, \[4\] in the paper);
 //! * [`push_pull`] — classic randomized push–pull gossip, the standard
-//!   point of comparison for complete-graph rumor spreading.
+//!   point of comparison for complete-graph rumor spreading;
+//! * [`epidemics`] — SIS/SIR/SIRS contagion with infection duration and
+//!   re-susceptibility windows; completion is *extinction* ("no infectious
+//!   nodes left"), and endemic runs are censored at the round budget;
+//! * [`rumor`] — push-only rumor spreading per arXiv:1302.3828, the
+//!   protocol whose sparse regime shows that dynamism *helps* spreading;
+//! * [`byzantine`] — push–pull with tampering adversaries, measured by
+//!   *correct*-information coverage.
 //!
-//! All three reduce to plain flooding in a limiting case (β = 1, k = ∞,
-//! fan-out = all neighbors), which is what their tests verify.
+//! The dissemination variants reduce to plain flooding in a limiting case
+//! (β = 1, k = ∞, fan-out = all neighbors), which is what their tests
+//! verify; the state-machine ports are additionally pinned byte-identical
+//! to the pre-refactor loops (same RNG draw order, same traces) by
+//! differential tests here and in `meg-engine`.
 
+pub mod byzantine;
+pub mod epidemics;
 pub mod parsimonious;
 pub mod probabilistic;
 pub mod push_pull;
+pub mod rumor;
+pub mod state_machine;
 
-pub use parsimonious::parsimonious_flood;
-pub use probabilistic::probabilistic_flood;
-pub use push_pull::push_pull_gossip;
+pub use byzantine::{ByzantineMachine, ByzantineState};
+pub use epidemics::{EpidemicMachine, EpidemicState};
+pub use parsimonious::{parsimonious_flood, ParsimoniousMachine, ParsimoniousState};
+pub use probabilistic::{probabilistic_flood, FloodMachine, FloodState};
+pub use push_pull::{push_pull_gossip, PushPullMachine};
+pub use rumor::{rumor_spread, RumorMachine};
+pub use state_machine::{run_machine, MachineResult, NodeState, ProtocolMachine, RunOutcome};
 
 /// Outcome of a protocol run (shared by all protocol variants).
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -7,16 +7,164 @@
 //! exactly like plain flooding. On a *dynamic* graph a silent node can later
 //! meet an uninformed one and fail to inform it — the protocol may stall —
 //! which is precisely the phenomenon \[4\] studies and our dynamic tests
-//! exhibit.
+//! exhibit. The machine reports such stalls through
+//! [`ProtocolMachine::can_progress`], so the driver stops early instead of
+//! burning the round budget.
 
+use super::state_machine::{run_machine, NodeState, ProtocolMachine};
 use super::ProtocolResult;
 use crate::evolving::EvolvingGraph;
-use meg_graph::{visit_neighbors, Node, NodeSet};
+use meg_graph::{visit_neighbors, Graph, Node, NodeSet};
+use rand::Rng;
+
+/// Per-node state of parsimonious flooding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParsimoniousState {
+    /// The node has not received the message yet.
+    Uninformed,
+    /// The node holds the message and still forwards it.
+    Active,
+    /// The node holds the message but its activity window has expired.
+    Silent,
+}
+
+impl NodeState for ParsimoniousState {
+    const ALL: &'static [Self] = &[
+        ParsimoniousState::Uninformed,
+        ParsimoniousState::Active,
+        ParsimoniousState::Silent,
+    ];
+
+    fn label(self) -> &'static str {
+        match self {
+            ParsimoniousState::Uninformed => "uninformed",
+            ParsimoniousState::Active => "active",
+            ParsimoniousState::Silent => "silent",
+        }
+    }
+
+    fn is_covered(self) -> bool {
+        !matches!(self, ParsimoniousState::Uninformed)
+    }
+}
+
+/// The parsimonious flooding machine.
+///
+/// Draws **no** randomness: the process is deterministic given the snapshot
+/// sequence. Completion: every node informed; permanent stall: every
+/// informed node silent.
+pub struct ParsimoniousMachine {
+    active_rounds: u64,
+    informed: NodeSet,
+    // remaining_active[v] is meaningful only for informed nodes.
+    remaining_active: Vec<u64>,
+    newly: Vec<Node>,
+    messages: u64,
+    // Did the last step see at least one active node? Initially true so a
+    // fresh machine never reports a stall before its first round.
+    any_active: bool,
+}
+
+impl ParsimoniousMachine {
+    /// Creates the machine with `source` informed and active.
+    ///
+    /// Panics if `active_rounds` is zero or `source` is out of range.
+    pub fn new(n: usize, source: Node, active_rounds: u64) -> Self {
+        assert!(
+            active_rounds > 0,
+            "a node must be active for at least one round"
+        );
+        assert!((source as usize) < n, "source out of range");
+        let mut remaining_active = vec![0; n];
+        remaining_active[source as usize] = active_rounds;
+        ParsimoniousMachine {
+            active_rounds,
+            informed: NodeSet::singleton(n, source),
+            remaining_active,
+            newly: Vec::new(),
+            messages: 0,
+            any_active: true,
+        }
+    }
+}
+
+impl ProtocolMachine for ParsimoniousMachine {
+    type State = ParsimoniousState;
+
+    fn num_nodes(&self) -> usize {
+        self.informed.universe()
+    }
+
+    fn state_of(&self, v: Node) -> ParsimoniousState {
+        if !self.informed.contains(v) {
+            ParsimoniousState::Uninformed
+        } else if self.remaining_active[v as usize] > 0 {
+            ParsimoniousState::Active
+        } else {
+            ParsimoniousState::Silent
+        }
+    }
+
+    fn step<G, R>(&mut self, g: &G, _rng: &mut R)
+    where
+        G: Graph + ?Sized,
+        R: Rng,
+    {
+        let active_rounds = self.active_rounds;
+        let Self {
+            informed,
+            remaining_active,
+            newly,
+            messages,
+            ..
+        } = self;
+        newly.clear();
+        let mut any_active = false;
+        for u in informed.iter() {
+            if remaining_active[u as usize] == 0 {
+                continue;
+            }
+            any_active = true;
+            remaining_active[u as usize] -= 1;
+            visit_neighbors(g, u, |v| {
+                *messages += 1;
+                if !informed.contains(v) {
+                    newly.push(v);
+                }
+            });
+        }
+        for &v in newly.iter() {
+            if informed.insert(v) {
+                remaining_active[v as usize] = active_rounds;
+            }
+        }
+        self.any_active = any_active;
+    }
+
+    fn is_complete(&self) -> bool {
+        self.informed.is_full()
+    }
+
+    fn can_progress(&self) -> bool {
+        // Every informed node silent ⇒ the protocol can never make progress
+        // again, regardless of future topology.
+        self.any_active
+    }
+
+    fn coverage(&self) -> usize {
+        self.informed.len()
+    }
+
+    fn messages_sent(&self) -> u64 {
+        self.messages
+    }
+}
 
 /// Runs parsimonious flooding from `source`.
 ///
 /// `active_rounds` is the number of rounds a newly informed node keeps
-/// forwarding (`u64::MAX` recovers plain flooding).
+/// forwarding (`u64::MAX` recovers plain flooding). The process draws no
+/// randomness, so no RNG parameter is needed.
 pub fn parsimonious_flood<M>(
     meg: &mut M,
     source: Node,
@@ -26,59 +174,10 @@ pub fn parsimonious_flood<M>(
 where
     M: EvolvingGraph,
 {
-    assert!(
-        active_rounds > 0,
-        "a node must be active for at least one round"
-    );
-    let n = meg.num_nodes();
-    assert!((source as usize) < n, "source out of range");
-    let mut informed = NodeSet::singleton(n, source);
-    // remaining_active[v] is meaningful only for informed nodes.
-    let mut remaining_active: Vec<u64> = vec![0; n];
-    remaining_active[source as usize] = active_rounds;
-    let mut informed_per_round = vec![informed.len()];
-    let mut messages = 0u64;
-    let mut rounds = 0u64;
-    let mut completed = informed.is_full();
-    // Reused across rounds: no per-round allocation after warm-up.
-    let mut newly: Vec<Node> = Vec::new();
-    while rounds < max_rounds && !completed {
-        let snapshot = meg.advance();
-        newly.clear();
-        let mut any_active = false;
-        for u in informed.iter() {
-            if remaining_active[u as usize] == 0 {
-                continue;
-            }
-            any_active = true;
-            remaining_active[u as usize] -= 1;
-            visit_neighbors(snapshot, u, |v| {
-                messages += 1;
-                if !informed.contains(v) {
-                    newly.push(v);
-                }
-            });
-        }
-        for &v in &newly {
-            if informed.insert(v) {
-                remaining_active[v as usize] = active_rounds;
-            }
-        }
-        rounds += 1;
-        informed_per_round.push(informed.len());
-        completed = informed.is_full();
-        if !completed && !any_active {
-            // Every informed node is silent: the protocol can never make
-            // progress again, regardless of future topology.
-            break;
-        }
-    }
-    ProtocolResult {
-        completed,
-        rounds,
-        informed_per_round,
-        messages_sent: messages,
-    }
+    let mut machine = ParsimoniousMachine::new(meg.num_nodes(), source, active_rounds);
+    // The machine is RNG-free; feed the driver an inert mock.
+    let mut rng = rand::rngs::mock::StepRng::new(0, 0);
+    run_machine(meg, &mut machine, max_rounds, &mut rng).into_protocol_result()
 }
 
 #[cfg(test)]

@@ -8,10 +8,100 @@
 //! per-round message count is `n` (one contact per node) instead of flooding's
 //! `Σ deg`.
 
+use super::state_machine::{random_contact, run_machine, ProtocolMachine};
 use super::ProtocolResult;
 use crate::evolving::EvolvingGraph;
-use meg_graph::{Node, NodeSet};
+use meg_graph::{Graph, Node, NodeSet};
 use rand::Rng;
+
+pub use super::probabilistic::FloodState;
+
+/// The push–pull gossip machine.
+///
+/// Each round every node (informed or not) draws one uniformly random
+/// current neighbor — exactly one `gen_range` per non-isolated node, in
+/// ascending node order — and the pair exchanges the message in both
+/// directions. Completion: every node informed.
+pub struct PushPullMachine {
+    informed: NodeSet,
+    newly: Vec<Node>,
+    scratch: Vec<Node>,
+    messages: u64,
+}
+
+impl PushPullMachine {
+    /// Creates the machine with `source` informed.
+    ///
+    /// Panics if `source` is out of range.
+    pub fn new(n: usize, source: Node) -> Self {
+        assert!((source as usize) < n, "source out of range");
+        PushPullMachine {
+            informed: NodeSet::singleton(n, source),
+            newly: Vec::new(),
+            scratch: Vec::new(),
+            messages: 0,
+        }
+    }
+}
+
+impl ProtocolMachine for PushPullMachine {
+    type State = FloodState;
+
+    fn num_nodes(&self) -> usize {
+        self.informed.universe()
+    }
+
+    fn state_of(&self, v: Node) -> FloodState {
+        if self.informed.contains(v) {
+            FloodState::Informed
+        } else {
+            FloodState::Uninformed
+        }
+    }
+
+    fn step<G, R>(&mut self, g: &G, rng: &mut R)
+    where
+        G: Graph + ?Sized,
+        R: Rng,
+    {
+        let n = self.informed.universe();
+        let Self {
+            informed,
+            newly,
+            scratch,
+            messages,
+        } = self;
+        newly.clear();
+        for u in 0..n as Node {
+            let Some(v) = random_contact(g, u, scratch, rng) else {
+                continue;
+            };
+            *messages += 1;
+            let u_informed = informed.contains(u);
+            let v_informed = informed.contains(v);
+            if u_informed && !v_informed {
+                newly.push(v); // push
+            } else if v_informed && !u_informed {
+                newly.push(u); // pull
+            }
+        }
+        for &v in newly.iter() {
+            informed.insert(v);
+        }
+    }
+
+    fn is_complete(&self) -> bool {
+        self.informed.is_full()
+    }
+
+    fn coverage(&self) -> usize {
+        self.informed.len()
+    }
+
+    fn messages_sent(&self) -> u64 {
+        self.messages
+    }
+}
 
 /// Runs push–pull gossip from `source` for at most `max_rounds` rounds.
 pub fn push_pull_gossip<M, R>(
@@ -24,48 +114,8 @@ where
     M: EvolvingGraph,
     R: Rng,
 {
-    let n = meg.num_nodes();
-    assert!((source as usize) < n, "source out of range");
-    let mut informed = NodeSet::singleton(n, source);
-    let mut informed_per_round = vec![informed.len()];
-    let mut messages = 0u64;
-    let mut rounds = 0u64;
-    let mut completed = informed.is_full();
-    // The contact buffer is reused across rounds; the snapshot's CSR layout
-    // lets each node draw its random contact straight off the neighbor
-    // slice.
-    let mut newly: Vec<Node> = Vec::new();
-    while rounds < max_rounds && !completed {
-        let snapshot = meg.advance();
-        newly.clear();
-        for u in 0..n as Node {
-            let slice = snapshot.neighbors(u);
-            if slice.is_empty() {
-                continue;
-            }
-            let v = slice[rng.gen_range(0..slice.len())];
-            messages += 1;
-            let u_informed = informed.contains(u);
-            let v_informed = informed.contains(v);
-            if u_informed && !v_informed {
-                newly.push(v); // push
-            } else if v_informed && !u_informed {
-                newly.push(u); // pull
-            }
-        }
-        for &v in &newly {
-            informed.insert(v);
-        }
-        rounds += 1;
-        informed_per_round.push(informed.len());
-        completed = informed.is_full();
-    }
-    ProtocolResult {
-        completed,
-        rounds,
-        informed_per_round,
-        messages_sent: messages,
-    }
+    let mut machine = PushPullMachine::new(meg.num_nodes(), source);
+    run_machine(meg, &mut machine, max_rounds, rng).into_protocol_result()
 }
 
 #[cfg(test)]

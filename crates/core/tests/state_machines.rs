@@ -1,0 +1,201 @@
+//! Property tests for the protocol state machines: structural invariants
+//! that must hold for *every* machine after *every* round, on random static
+//! and random dynamic (scheduled) graphs.
+//!
+//! * the per-state tallies partition `n` at all times;
+//! * SIR recovery is monotone — a removed node never becomes infectious
+//!   again, and coverage (ever-infected) never shrinks;
+//! * Byzantine correct-information coverage never exceeds total coverage;
+//! * completion predicates terminate within their provable round caps
+//!   (SIR within `n·d` infectious rounds, parsimonious within `n·k` active
+//!   rounds) — the driver never spins past them.
+
+use meg_core::evolving::{EvolvingGraph, ScheduledGraph};
+use meg_core::protocols::{
+    run_machine, ByzantineMachine, EpidemicMachine, EpidemicState, FloodMachine,
+    ParsimoniousMachine, ProtocolMachine, PushPullMachine, RumorMachine, RunOutcome,
+};
+use meg_graph::{generators, Node};
+use proptest::prelude::*;
+use proptest::Strategy;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A random dynamic graph: a short cyclic schedule of Erdős–Rényi
+/// snapshots (possibly disconnected, possibly empty — machines must cope).
+fn random_meg(n: usize, p: f64, snapshots: usize, seed: u64) -> ScheduledGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    ScheduledGraph::new(
+        (0..snapshots)
+            .map(|_| generators::erdos_renyi(n, p, &mut rng))
+            .collect(),
+    )
+}
+
+/// Steps `machine` over `meg` for at most `rounds` rounds, asserting after
+/// every round that the state tallies partition `n`.
+fn check_partition<P: ProtocolMachine>(
+    machine: &mut P,
+    meg: &mut ScheduledGraph,
+    rounds: u64,
+    rng: &mut ChaCha8Rng,
+) -> Result<(), TestCaseError> {
+    let n = machine.num_nodes();
+    for _ in 0..rounds {
+        let total: usize = machine.state_counts().iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(total, n, "state counts must partition n");
+        prop_assert!(machine.coverage() <= n);
+        if machine.is_complete() || !machine.can_progress() {
+            break;
+        }
+        let snapshot = meg.advance();
+        machine.step(snapshot, rng);
+    }
+    let total: usize = machine.state_counts().iter().map(|&(_, c)| c).sum();
+    prop_assert_eq!(total, n);
+    Ok(())
+}
+
+fn arb_world() -> impl Strategy<Value = (usize, f64, u64)> {
+    // (n, edge probability, seed)
+    (2usize..24, 0.0f64..=1.0, 0u64..u64::MAX)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every machine's state tallies partition `n` after every round.
+    #[test]
+    fn state_counts_partition_n_for_every_machine(
+        (n, p, seed) in arb_world(),
+        beta in 0.0f64..=1.0,
+        k in 1u64..5,
+        contagion in 0.0f64..=1.0,
+        d in 1u64..4,
+        w in 0u64..3,
+        b in 0usize..8,
+    ) {
+        let rounds = 20u64;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 1);
+        let mut meg = random_meg(n, p, 3, seed);
+        check_partition(&mut FloodMachine::new(n, 0, beta), &mut meg, rounds, &mut rng)?;
+        let mut meg = random_meg(n, p, 3, seed);
+        check_partition(&mut ParsimoniousMachine::new(n, 0, k), &mut meg, rounds, &mut rng)?;
+        let mut meg = random_meg(n, p, 3, seed);
+        check_partition(&mut PushPullMachine::new(n, 0), &mut meg, rounds, &mut rng)?;
+        let mut meg = random_meg(n, p, 3, seed);
+        check_partition(&mut RumorMachine::new(n, 0), &mut meg, rounds, &mut rng)?;
+        let mut meg = random_meg(n, p, 3, seed);
+        check_partition(
+            &mut EpidemicMachine::new(n, 0, contagion, d, None),
+            &mut meg, rounds, &mut rng,
+        )?;
+        let mut meg = random_meg(n, p, 3, seed);
+        check_partition(
+            &mut EpidemicMachine::new(n, 0, contagion, d, Some(w)),
+            &mut meg, rounds, &mut rng,
+        )?;
+        let mut meg = random_meg(n, p, 3, seed);
+        check_partition(&mut ByzantineMachine::new(n, 0, b), &mut meg, rounds, &mut rng)?;
+    }
+
+    /// SIR is monotone: a removed node stays removed forever, an
+    /// ever-infected node stays counted, and coverage never decreases.
+    #[test]
+    fn sir_recovery_is_monotone_and_permanent(
+        (n, p, seed) in arb_world(),
+        contagion in 0.0f64..=1.0,
+        d in 1u64..4,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 2);
+        let mut meg = random_meg(n, p, 4, seed);
+        let mut m = EpidemicMachine::new(n, 0, contagion, d, None);
+        let mut recovered = vec![false; n];
+        let mut last_coverage = m.coverage();
+        for _ in 0..40 {
+            if m.is_complete() {
+                break;
+            }
+            let snapshot = meg.advance();
+            m.step(snapshot, &mut rng);
+            for v in 0..n as Node {
+                let state = m.state_of(v);
+                if recovered[v as usize] {
+                    prop_assert_eq!(
+                        state,
+                        EpidemicState::Recovered,
+                        "SIR removal must be permanent"
+                    );
+                } else if state == EpidemicState::Recovered {
+                    recovered[v as usize] = true;
+                }
+            }
+            prop_assert!(m.coverage() >= last_coverage, "ever-infected never shrinks");
+            last_coverage = m.coverage();
+        }
+    }
+
+    /// Correct-information coverage can never exceed total coverage, and
+    /// both are bounded by `n`; completion means everyone holds *some*
+    /// version of the rumor.
+    #[test]
+    fn byzantine_correct_coverage_is_bounded_by_total_coverage(
+        (n, p, seed) in arb_world(),
+        b in 0usize..10,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 3);
+        let mut meg = random_meg(n, p, 4, seed);
+        let mut m = ByzantineMachine::new(n, 0, b);
+        for _ in 0..30 {
+            prop_assert!(m.correct_count() <= m.coverage());
+            prop_assert!(m.coverage() <= n);
+            if m.is_complete() {
+                prop_assert_eq!(m.coverage(), n);
+                break;
+            }
+            let snapshot = meg.advance();
+            m.step(snapshot, &mut rng);
+        }
+    }
+
+    /// SIR always goes extinct within `n·d + 2` rounds: the total remaining
+    /// infectious time is at most `n·d` and every round with an infectious
+    /// node burns at least one unit. The driver must report `Completed`
+    /// inside that cap — never spin to the budget.
+    #[test]
+    fn sir_terminates_within_its_provable_round_cap(
+        (n, p, seed) in arb_world(),
+        contagion in 0.0f64..=1.0,
+        d in 1u64..4,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 4);
+        let mut meg = random_meg(n, p, 3, seed);
+        let mut m = EpidemicMachine::new(n, 0, contagion, d, None);
+        let cap = n as u64 * d + 2;
+        let r = run_machine(&mut meg, &mut m, cap, &mut rng);
+        prop_assert_eq!(r.outcome, RunOutcome::Completed);
+        prop_assert!(r.rounds < cap);
+        prop_assert_eq!(m.infectious_count(), 0);
+    }
+
+    /// Parsimonious flooding either completes or *proves* a stall within
+    /// `n·k + 2` rounds (total activity mass is at most `n·k`): a run is
+    /// never censored at that budget.
+    #[test]
+    fn parsimonious_never_reaches_a_budget_of_n_times_k(
+        (n, p, seed) in arb_world(),
+        k in 1u64..5,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 5);
+        let mut meg = random_meg(n, p, 3, seed);
+        let mut m = ParsimoniousMachine::new(n, 0, k);
+        let cap = n as u64 * k + 2;
+        let r = run_machine(&mut meg, &mut m, cap, &mut rng);
+        prop_assert!(
+            r.outcome != RunOutcome::Censored,
+            "parsimonious must complete or stall within n·k rounds, got {:?} after {}",
+            r.outcome,
+            r.rounds
+        );
+    }
+}

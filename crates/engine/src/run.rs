@@ -23,7 +23,8 @@ use meg_core::adversarial::{RotatingBridge, RotatingStar};
 use meg_core::analysis::{measure_expansion_sequence, ExpansionMeasurement};
 use meg_core::evolving::{EvolvingGraph, FrozenGraph};
 use meg_core::protocols::{
-    parsimonious_flood, probabilistic_flood, push_pull_gossip, ProtocolResult,
+    parsimonious_flood, probabilistic_flood, push_pull_gossip, rumor_spread, run_machine,
+    ByzantineMachine, EpidemicMachine, ProtocolResult,
 };
 use meg_core::spec;
 use meg_edge::{DenseEdgeMeg, EdgeMegParams, SparseEdgeMeg};
@@ -424,6 +425,34 @@ fn resolve_cell(
                     *set_size = value.round().max(1.0) as u64;
                 }
             }
+            (Param::Contagion, _) => match &mut protocol {
+                Protocol::Sis { contagion, .. } | Protocol::Sir { contagion, .. } => {
+                    *contagion = value.clamp(0.0, 1.0)
+                }
+                _ => {}
+            },
+            (Param::InfectionRounds, _) => match &mut protocol {
+                Protocol::Sis {
+                    infection_rounds, ..
+                }
+                | Protocol::Sir {
+                    infection_rounds, ..
+                } => *infection_rounds = value.round().max(1.0) as u64,
+                _ => {}
+            },
+            (Param::ImmunityRounds, _) => {
+                if let Protocol::Sis {
+                    immunity_rounds, ..
+                } = &mut protocol
+                {
+                    *immunity_rounds = value.round().max(0.0) as u64;
+                }
+            }
+            (Param::ByzantineCount, _) => {
+                if let Protocol::Byzantine { count } = &mut protocol {
+                    *count = value.round().max(0.0) as u64;
+                }
+            }
             // Overrides for the other family are inert by design: a shared
             // sweep can drive heterogeneous substrates.
             _ => {}
@@ -593,13 +622,73 @@ fn protocol_trial<M: EvolvingGraph>(
     budget: u64,
     rng: &mut ChaCha8Rng,
 ) -> TrialOutcome {
-    let r: ProtocolResult = match protocol {
-        Protocol::Flooding => probabilistic_flood(meg, source, 1.0, budget, rng),
-        Protocol::Probabilistic { beta } => probabilistic_flood(meg, source, *beta, budget, rng),
-        Protocol::Parsimonious { active_rounds } => {
-            parsimonious_flood(meg, source, *active_rounds, budget)
+    let n = meg.num_nodes();
+    // Spreading protocols measure their completion round count; the
+    // epidemic and Byzantine arms run their machines directly so the
+    // per-protocol observables (infection/recovery totals, tampered
+    // adoptions, correct coverage) stay readable after the run.
+    let (r, value): (ProtocolResult, Option<f64>) = match protocol {
+        Protocol::Flooding => (probabilistic_flood(meg, source, 1.0, budget, rng), None),
+        Protocol::Probabilistic { beta } => {
+            (probabilistic_flood(meg, source, *beta, budget, rng), None)
         }
-        Protocol::PushPull => push_pull_gossip(meg, source, budget, rng),
+        Protocol::Parsimonious { active_rounds } => (
+            parsimonious_flood(meg, source, *active_rounds, budget),
+            None,
+        ),
+        Protocol::PushPull => (push_pull_gossip(meg, source, budget, rng), None),
+        Protocol::Sis {
+            contagion,
+            infection_rounds,
+            immunity_rounds,
+        } => {
+            let mut machine = EpidemicMachine::new(
+                n,
+                source,
+                *contagion,
+                *infection_rounds,
+                Some(*immunity_rounds),
+            );
+            let res = run_machine(meg, &mut machine, budget, rng);
+            if obs::installed() {
+                obs::add(obs::Counter::Infections, machine.infections());
+                obs::add(obs::Counter::Recoveries, machine.recoveries());
+            }
+            (res.into_protocol_result(), None)
+        }
+        Protocol::Sir {
+            contagion,
+            infection_rounds,
+        } => {
+            let mut machine = EpidemicMachine::new(n, source, *contagion, *infection_rounds, None);
+            let res = run_machine(meg, &mut machine, budget, rng);
+            if obs::installed() {
+                obs::add(obs::Counter::Infections, machine.infections());
+                obs::add(obs::Counter::Recoveries, machine.recoveries());
+            }
+            (res.into_protocol_result(), None)
+        }
+        Protocol::Rumor => {
+            let r = rumor_spread(meg, source, budget, rng);
+            if obs::installed() {
+                obs::add(obs::Counter::RumorPushes, r.messages_sent);
+            }
+            (r, None)
+        }
+        Protocol::Byzantine { count } => {
+            let mut machine = ByzantineMachine::new(n, source, *count as usize);
+            let res = run_machine(meg, &mut machine, budget, rng);
+            if obs::installed() {
+                obs::add(
+                    obs::Counter::TamperedAdoptions,
+                    machine.tampered_adoptions(),
+                );
+            }
+            // The observable is the correct-information coverage fraction,
+            // not the completion round count.
+            let fraction = machine.correct_fraction();
+            (res.into_protocol_result(), Some(fraction))
+        }
         probe => unreachable!("probe `{}` must not reach protocol_trial", probe.label()),
     };
     if obs::installed() {
@@ -610,7 +699,7 @@ fn protocol_trial<M: EvolvingGraph>(
     }
     TrialOutcome {
         completed: r.completed,
-        value: r.rounds as f64,
+        value: value.unwrap_or(r.rounds as f64),
         messages: r.messages_sent as f64,
     }
 }
@@ -881,6 +970,23 @@ pub fn aggregate_row(
             params.push(("active_rounds".into(), active_rounds as f64))
         }
         Protocol::ExpansionProbe { set_size, .. } => params.push(("h".into(), set_size as f64)),
+        Protocol::Sis {
+            contagion,
+            infection_rounds,
+            immunity_rounds,
+        } => {
+            params.push(("contagion".into(), contagion));
+            params.push(("infection_rounds".into(), infection_rounds as f64));
+            params.push(("immunity_rounds".into(), immunity_rounds as f64));
+        }
+        Protocol::Sir {
+            contagion,
+            infection_rounds,
+        } => {
+            params.push(("contagion".into(), contagion));
+            params.push(("infection_rounds".into(), infection_rounds as f64));
+        }
+        Protocol::Byzantine { count } => params.push(("byzantine_count".into(), count as f64)),
         _ => {}
     }
 

@@ -605,6 +605,45 @@ pub enum Protocol {
     },
     /// Classic randomized push–pull gossip.
     PushPull,
+    /// SIS/SIRS epidemic: contagion per exposure, a fixed infection
+    /// duration, and a re-susceptibility window (`immunity_rounds = 0` is
+    /// classic SIS). Completion is *extinction* — no infectious nodes left —
+    /// and endemic cells are censored at the round budget
+    /// (`completion_rate` < 1 marks censored trials).
+    Sis {
+        /// Infection probability per exposure, `∈ [0, 1]`
+        /// (sweepable via [`Param::Contagion`]).
+        contagion: f64,
+        /// Rounds a node stays infectious, `≥ 1`
+        /// (sweepable via [`Param::InfectionRounds`]).
+        infection_rounds: u64,
+        /// Rounds of immunity after recovery before becoming susceptible
+        /// again; `0` = immediately susceptible (classic SIS). Sweepable
+        /// via [`Param::ImmunityRounds`].
+        immunity_rounds: u64,
+    },
+    /// SIR epidemic: like [`Protocol::Sis`] but recovery is permanent, so
+    /// the epidemic always goes extinct; the interesting observable is the
+    /// final size (`mean_messages` carries exposures, extinction time is
+    /// the round count).
+    Sir {
+        /// Infection probability per exposure, `∈ [0, 1]`.
+        contagion: f64,
+        /// Rounds a node stays infectious, `≥ 1`.
+        infection_rounds: u64,
+    },
+    /// Push-only rumor spreading (arXiv:1302.3828): each informed node
+    /// pushes to one uniformly random current neighbor per round. The
+    /// protocol whose sparse regime shows dynamism *helps* spreading.
+    Rumor,
+    /// Push–pull gossip with `count` Byzantine nodes spreading a tampered
+    /// message; the trial observable is the *correct*-information coverage
+    /// fraction, not a round count.
+    Byzantine {
+        /// Number of Byzantine (tampering) nodes, clamped to `n - 1` at
+        /// run time (sweepable via [`Param::ByzantineCount`]).
+        count: u64,
+    },
     /// Measurement probe: minimum sampled node-expansion ratio at one set
     /// size `h` (sweepable via [`Param::SetSize`]; clamped to `n/2` at
     /// resolution). The trial observable is the ratio, not a round count.
@@ -638,6 +677,17 @@ impl Protocol {
             Protocol::Probabilistic { beta } => format!("probabilistic(beta={beta})"),
             Protocol::Parsimonious { active_rounds } => format!("parsimonious(k={active_rounds})"),
             Protocol::PushPull => "push_pull".into(),
+            Protocol::Sis {
+                contagion,
+                infection_rounds,
+                immunity_rounds,
+            } => format!("sis(c={contagion},d={infection_rounds},w={immunity_rounds})"),
+            Protocol::Sir {
+                contagion,
+                infection_rounds,
+            } => format!("sir(c={contagion},d={infection_rounds})"),
+            Protocol::Rumor => "rumor".into(),
+            Protocol::Byzantine { count } => format!("byzantine(b={count})"),
             Protocol::ExpansionProbe { set_size, .. } => format!("expansion(h={set_size})"),
             Protocol::DiameterProbe => "diameter".into(),
             Protocol::BoundProbe { .. } => "bound".into(),
@@ -662,8 +712,35 @@ impl Protocol {
         match self {
             Protocol::Flooding => Json::Str("flooding".into()),
             Protocol::PushPull => Json::Str("push_pull".into()),
+            Protocol::Rumor => Json::Str("rumor".into()),
             Protocol::DiameterProbe => Json::Str("diameter_probe".into()),
             Protocol::OccupancyProbe => Json::Str("occupancy_probe".into()),
+            Protocol::Sis {
+                contagion,
+                infection_rounds,
+                immunity_rounds,
+            } => Json::obj([(
+                "sis",
+                Json::obj([
+                    ("contagion", Json::Num(*contagion)),
+                    ("infection_rounds", Json::Num(*infection_rounds as f64)),
+                    ("immunity_rounds", Json::Num(*immunity_rounds as f64)),
+                ]),
+            )]),
+            Protocol::Sir {
+                contagion,
+                infection_rounds,
+            } => Json::obj([(
+                "sir",
+                Json::obj([
+                    ("contagion", Json::Num(*contagion)),
+                    ("infection_rounds", Json::Num(*infection_rounds as f64)),
+                ]),
+            )]),
+            Protocol::Byzantine { count } => Json::obj([(
+                "byzantine",
+                Json::obj([("count", Json::Num(*count as f64))]),
+            )]),
             Protocol::Probabilistic { beta } => {
                 Json::obj([("probabilistic", Json::obj([("beta", Json::Num(*beta))]))])
             }
@@ -694,6 +771,7 @@ impl Protocol {
             return match s {
                 "flooding" => Ok(Protocol::Flooding),
                 "push_pull" => Ok(Protocol::PushPull),
+                "rumor" => Ok(Protocol::Rumor),
                 "diameter_probe" => Ok(Protocol::DiameterProbe),
                 "occupancy_probe" => Ok(Protocol::OccupancyProbe),
                 other => Err(ScenarioError(format!("unknown protocol `{other}`"))),
@@ -707,6 +785,24 @@ impl Protocol {
         if let Some(p) = v.get("parsimonious") {
             return Ok(Protocol::Parsimonious {
                 active_rounds: uint(p, "active_rounds", "parsimonious protocol")? as u64,
+            });
+        }
+        if let Some(p) = v.get("sis") {
+            return Ok(Protocol::Sis {
+                contagion: num(p, "contagion", "sis protocol")?,
+                infection_rounds: uint(p, "infection_rounds", "sis protocol")? as u64,
+                immunity_rounds: uint(p, "immunity_rounds", "sis protocol")? as u64,
+            });
+        }
+        if let Some(p) = v.get("sir") {
+            return Ok(Protocol::Sir {
+                contagion: num(p, "contagion", "sir protocol")?,
+                infection_rounds: uint(p, "infection_rounds", "sir protocol")? as u64,
+            });
+        }
+        if let Some(p) = v.get("byzantine") {
+            return Ok(Protocol::Byzantine {
+                count: uint(p, "count", "byzantine protocol")? as u64,
             });
         }
         if let Some(p) = v.get("expansion_probe") {
@@ -755,11 +851,19 @@ pub enum Param {
     Trials,
     /// Expansion-probe set size `h` (values are rounded).
     SetSize,
+    /// Epidemic contagion probability (SIS/SIR; clamped to `[0, 1]`).
+    Contagion,
+    /// Epidemic infection duration in rounds (SIS/SIR; rounded, min 1).
+    InfectionRounds,
+    /// SIS re-susceptibility window in rounds (rounded; 0 = classic SIS).
+    ImmunityRounds,
+    /// Number of Byzantine nodes (rounded).
+    ByzantineCount,
 }
 
 impl Param {
     /// All variants, in canonical order.
-    pub const ALL: [Param; 12] = [
+    pub const ALL: [Param; 16] = [
         Param::N,
         Param::Q,
         Param::PHat,
@@ -772,6 +876,10 @@ impl Param {
         Param::ActiveRounds,
         Param::Trials,
         Param::SetSize,
+        Param::Contagion,
+        Param::InfectionRounds,
+        Param::ImmunityRounds,
+        Param::ByzantineCount,
     ];
 
     /// Stable identifier used in JSON and row labels.
@@ -789,6 +897,10 @@ impl Param {
             Param::ActiveRounds => "active_rounds",
             Param::Trials => "trials",
             Param::SetSize => "set_size",
+            Param::Contagion => "contagion",
+            Param::InfectionRounds => "infection_rounds",
+            Param::ImmunityRounds => "immunity_rounds",
+            Param::ByzantineCount => "byzantine_count",
         }
     }
 
@@ -1099,6 +1211,19 @@ impl Scenario {
                 }
                 Protocol::Parsimonious { active_rounds } if *active_rounds == 0 => {
                     return err("parsimonious active_rounds must be ≥ 1".into());
+                }
+                Protocol::Sis { contagion, .. } | Protocol::Sir { contagion, .. }
+                    if !(0.0..=1.0).contains(contagion) =>
+                {
+                    return err(format!("contagion={contagion} outside [0, 1]"));
+                }
+                Protocol::Sis {
+                    infection_rounds, ..
+                }
+                | Protocol::Sir {
+                    infection_rounds, ..
+                } if *infection_rounds == 0 => {
+                    return err("epidemic infection_rounds must be ≥ 1".into());
                 }
                 Protocol::ExpansionProbe { set_size, samples }
                     if *set_size == 0 || *samples == 0 =>

@@ -145,7 +145,7 @@ fn arb_substrate() -> impl Strategy<Value = Substrate> {
 }
 
 fn arb_protocol() -> impl Strategy<Value = Protocol> {
-    (0u64..8, 0.0f64..=1.0, 1u64..20, 1u64..64).prop_map(|(kind, beta, k, h)| match kind {
+    (0u64..12, 0.0f64..=1.0, 1u64..20, 1u64..64).prop_map(|(kind, beta, k, h)| match kind {
         0 => Protocol::Flooding,
         1 => Protocol::Probabilistic { beta },
         2 => Protocol::Parsimonious { active_rounds: k },
@@ -159,7 +159,19 @@ fn arb_protocol() -> impl Strategy<Value = Protocol> {
             snapshots: k,
             samples: h,
         },
-        _ => Protocol::OccupancyProbe,
+        7 => Protocol::OccupancyProbe,
+        8 => Protocol::Sis {
+            contagion: beta,
+            infection_rounds: k,
+            // `h - 1` so the SIS special case (zero-round immunity) is hit.
+            immunity_rounds: h - 1,
+        },
+        9 => Protocol::Sir {
+            contagion: beta,
+            infection_rounds: k,
+        },
+        10 => Protocol::Rumor,
+        _ => Protocol::Byzantine { count: h },
     })
 }
 

@@ -87,11 +87,20 @@ pub enum Counter {
     WorkerRetries,
     /// Worker deaths detected (failed round trips).
     WorkerDeaths,
+    /// Epidemic infection events (SIS/SIR/SIRS), initial seeds included.
+    Infections,
+    /// Epidemic recovery events (infectious → immune/removed/susceptible).
+    Recoveries,
+    /// Push transmissions performed by the push-only rumor protocol.
+    RumorPushes,
+    /// Honest nodes that adopted a tampered message from a Byzantine or
+    /// tampered peer.
+    TamperedAdoptions,
 }
 
 impl Counter {
     /// Every counter, in rendering order.
-    pub const ALL: [Counter; 13] = [
+    pub const ALL: [Counter; 17] = [
         Counter::EdgeBirths,
         Counter::EdgeDeaths,
         Counter::DeltaRounds,
@@ -105,6 +114,10 @@ impl Counter {
         Counter::WorkerRespawns,
         Counter::WorkerRetries,
         Counter::WorkerDeaths,
+        Counter::Infections,
+        Counter::Recoveries,
+        Counter::RumorPushes,
+        Counter::TamperedAdoptions,
     ];
 
     /// The counter's snake_case name, used in reports and JSON output.
@@ -123,6 +136,10 @@ impl Counter {
             Counter::WorkerRespawns => "worker_respawns",
             Counter::WorkerRetries => "worker_retries",
             Counter::WorkerDeaths => "worker_deaths",
+            Counter::Infections => "infections",
+            Counter::Recoveries => "recoveries",
+            Counter::RumorPushes => "rumor_pushes",
+            Counter::TamperedAdoptions => "tampered_adoptions",
         }
     }
 }
