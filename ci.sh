@@ -154,9 +154,15 @@ assert doc["label"] == "ci-smoke" and doc["repetitions"] == 2, "bad meta"
 results = doc["results"]
 assert len(results) >= 5, f"only {len(results)} bench results"
 for r in results:
-    for key in ("bench", "median_ms", "iqr_ms", "min_ms", "max_ms", "checksum"):
+    for key in ("bench", "median_ms", "iqr_ms", "min_ms", "max_ms", "samples_ms",
+                "checksum"):
         assert key in r, f"missing {key} in {r}"
     assert r["min_ms"] >= 0 and r["median_ms"] >= r["min_ms"], f"bad stats in {r}"
+    # Raw repetitions ride along for offline noise analysis: one sample per
+    # measured repetition, each inside the reported [min, max] envelope.
+    assert len(r["samples_ms"]) == doc["repetitions"], f"bad samples_ms in {r}"
+    assert all(r["min_ms"] <= s <= r["max_ms"] for s in r["samples_ms"]), \
+        f"samples outside [min, max] in {r}"
 lines = [json.loads(l) for l in (d / "lines.jsonl").read_text().splitlines() if l.strip()]
 assert len(lines) == len(results), "stdout lines and document disagree"
 print(f"bench-smoke: {len(results)} workloads, JSON well-formed")
@@ -169,8 +175,35 @@ assert a and b, "stepping A/B pair missing from bench results"
 ratio = a["median_ms"] / b["median_ms"] if b["median_ms"] > 0 else float("inf")
 print(f"bench-smoke A/B: dense_flood per_pair {a['median_ms']:.2f} ms vs "
       f"transitions {b['median_ms']:.2f} ms ({ratio:.1f}x at smoke scale)")
+# Golden checksum: the scale-0.1 dense flood is fully deterministic, so its
+# checksum is a behaviour fingerprint of the whole stepping + flooding
+# pipeline — any drift in the RNG schedule or snapshot contents changes it.
+c = by_name.get("edge_dense_flood_n1024")
+assert c, "edge_dense_flood_n1024 missing from bench results"
+assert c["checksum"] == 315, \
+    f"edge_dense_flood_n1024 checksum drifted: {c['checksum']} != 315"
+print("bench-smoke golden: edge_dense_flood_n1024 checksum 315 ok")
 PYEOF
     rm -rf "$BENCH_DIR"
+
+    step "bench baseline gate smoke (--baseline BENCH_PR8.json on one workload)"
+    # Full-scale single workload (~0.3 s): the checksum must equal the
+    # committed PR 8 record exactly, and the median must stay within a loose
+    # ratio (this box is 1-core and noisy; docs/PERF.md has the honest A/B
+    # procedure — this smoke asserts the gate *mechanism*, not peak perf).
+    cargo run -q --release --offline -p meg-engine --bin meg-lab -- \
+        bench geo_flood_n4096 --repetitions 3 --warmup 1 \
+        --baseline BENCH_PR8.json --baseline-threshold 1.5 > /dev/null
+    # The gate must also *fail* correctly: an absurd threshold flags the
+    # workload and exits 4.
+    if cargo run -q --release --offline -p meg-engine --bin meg-lab -- \
+        bench geo_flood_n4096 --repetitions 2 --warmup 1 \
+        --baseline BENCH_PR8.json --baseline-threshold 0.001 \
+        > /dev/null 2>&1; then
+        echo "baseline gate failed to flag a regression at threshold 0.001" >&2
+        exit 1
+    fi
+    echo "baseline gate: pass path clean, regression path exits nonzero"
 
     step "metrics-smoke (--metrics report: counters live, stdout untouched)"
     MET_DIR=$(mktemp -d)

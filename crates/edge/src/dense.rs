@@ -6,12 +6,21 @@
 //! perfectly adequate for the dense regimes (`p̂ = Ω(1)`) and for `n` up to a
 //! few thousand.
 //!
-//! [`Stepping::Transitions`] keeps the same per-pair state vector for `O(1)`
-//! membership tests but steps by *flips only*: holding times of the two-state
-//! chain are geometric, so deaths are skip-sampled as positions in a flat
-//! alive-index array (rate `q`) and births as pair indices over the whole
-//! triangle (rate `p`, pre-step-alive candidates rejected). The flips are
-//! applied to the snapshot as a CSR delta
+//! The per-pair states live in a word-packed [`PairBits`] (64 pairs per
+//! `u64`), not a `Vec<bool>`: stepping runs word-at-a-time through
+//! [`meg_markov::WordStepper`] (one integer-threshold draw per pair, the
+//! exact `gen_bool` schedule, so trajectories are bit-identical to the old
+//! byte-per-pair loop), flip counts are `XOR` + `count_ones` per word — cheap
+//! enough to compute whether or not a recorder is installed, which removed
+//! the old observed/unobserved loop split — and snapshot rebuilds walk set
+//! bits with `trailing_zeros` instead of scanning all `C(n, 2)` flags.
+//!
+//! [`Stepping::Transitions`] keeps the same per-pair state for `O(1)`
+//! membership tests (now single-bit probes) but steps by *flips only*:
+//! holding times of the two-state chain are geometric, so deaths are
+//! skip-sampled as positions in a flat alive-index array (rate `q`) and
+//! births as pair indices over the whole triangle (rate `p`, pre-step-alive
+//! candidates rejected). The flips are applied to the snapshot as a CSR delta
 //! ([`SnapshotBuf::apply_delta`]) instead of rebuilding it, making a round
 //! `O(1 + p·C(n,2) + q·|E|)` — sub-linear in the pair count for the sparse
 //! and moderate regimes the paper's theorems live in.
@@ -20,11 +29,11 @@ use crate::model::EdgeMegParams;
 use crate::sparse::sample_bernoulli_indices;
 use meg_core::evolving::{EvolvingGraph, InitialDistribution, Stepping};
 use meg_graph::generators::pair_from_index;
-use meg_graph::{Node, SnapshotBuf};
-use meg_markov::TwoStateChain;
+use meg_graph::{Node, PairBits, SnapshotBuf};
+use meg_markov::{bernoulli_word, gen_bool_threshold, WordStepper};
 use meg_obs as obs;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{RngCore, SeedableRng};
 
 /// Spare target slots reserved per CSR row by the transition-stepping path,
 /// so a typical round's births fit without a rebuild.
@@ -34,9 +43,11 @@ pub(crate) const DELTA_SLACK: u32 = 4;
 #[derive(Clone, Debug)]
 pub struct DenseEdgeMeg {
     params: EdgeMegParams,
-    chain: TwoStateChain,
-    /// `alive[k]` is the state of the pair with linear index `k`.
-    alive: Vec<bool>,
+    /// Bit `k` is the state of the pair with linear index `k`, packed 64 per
+    /// word (tail bits of the last word are zero — the `PairBits` invariant).
+    alive: PairBits,
+    /// Precomputed integer-threshold word stepper for `chain`.
+    stepper: WordStepper,
     rng: StdRng,
     snapshot: SnapshotBuf,
     time: u64,
@@ -54,6 +65,27 @@ pub struct DenseEdgeMeg {
     /// Scratch: this round's flips as endpoint pairs, fed to `apply_delta`.
     births: Vec<(Node, Node)>,
     deaths: Vec<(Node, Node)>,
+}
+
+/// Pushes every set pair of `alive` into `snapshot` in ascending pair-index
+/// order — which *is* row-major order over the upper triangle, so the edge
+/// sequence is identical to the old full scan. The row of each set bit is
+/// tracked monotonically (rows shrink as `a` grows: row `a` holds the
+/// `n−1−a` pairs `(a, a+1) .. (a, n−1)`), so the walk is `O(words + n + m)`
+/// instead of `O(n²)`.
+fn push_alive_edges(alive: &PairBits, n: usize, snapshot: &mut SnapshotBuf) {
+    let mut a = 0usize;
+    let mut row_start = 0usize;
+    let mut row_len = n.saturating_sub(1);
+    alive.for_each_set_bit(|k| {
+        while k >= row_start + row_len {
+            row_start += row_len;
+            row_len -= 1;
+            a += 1;
+        }
+        let b = a + 1 + (k - row_start);
+        snapshot.push_edge(a as Node, b as Node);
+    });
 }
 
 impl DenseEdgeMeg {
@@ -78,12 +110,23 @@ impl DenseEdgeMeg {
         let chain = params.chain();
         let mut rng = StdRng::seed_from_u64(seed);
         let num_pairs = params.num_pairs() as usize;
-        let alive: Vec<bool> = match init {
-            InitialDistribution::Empty => vec![false; num_pairs],
-            InitialDistribution::Full => vec![true; num_pairs],
+        let alive: PairBits = match init {
+            InitialDistribution::Empty => PairBits::new(num_pairs),
+            InitialDistribution::Full => PairBits::full(num_pairs),
             InitialDistribution::Stationary => {
+                // One Bernoulli(p̂) per pair in ascending index order — the
+                // integer-threshold word fill consumes the RNG identically
+                // to a scalar `gen_bool(phat)` loop.
                 let phat = chain.stationary_edge_probability();
-                (0..num_pairs).map(|_| rng.gen_bool(phat)).collect()
+                let threshold = gen_bool_threshold(phat);
+                let mut bits = PairBits::new(num_pairs);
+                let n_words = bits.words().len();
+                let last_bits = bits.last_word_bits();
+                for (wi, w) in bits.words_mut().iter_mut().enumerate() {
+                    let nbits = if wi + 1 == n_words { last_bits } else { 64 };
+                    *w = bernoulli_word(threshold, nbits, &mut rng);
+                }
+                bits
             }
         };
         let mut alive_idx = Vec::new();
@@ -93,17 +136,12 @@ impl DenseEdgeMeg {
                 "transition stepping indexes pairs with u32; n={} has too many pairs",
                 params.n
             );
-            alive_idx = alive
-                .iter()
-                .enumerate()
-                .filter(|(_, &a)| a)
-                .map(|(k, _)| k as u32)
-                .collect();
+            alive.for_each_set_bit(|k| alive_idx.push(k as u32));
         }
         DenseEdgeMeg {
             params,
-            chain,
             alive,
+            stepper: chain.word_stepper(),
             rng,
             snapshot: SnapshotBuf::with_nodes(params.n),
             time: 0,
@@ -132,31 +170,22 @@ impl DenseEdgeMeg {
         self.params
     }
 
-    /// Number of currently alive edges.
+    /// Number of currently alive edges (one popcount per word).
     pub fn alive_edges(&self) -> usize {
-        self.alive.iter().filter(|&&a| a).count()
+        self.alive.count_ones()
+    }
+
+    /// The next draw of a *clone* of the engine RNG — a cursor probe for
+    /// differential tests (the engine's own stream is not advanced). Two
+    /// engines that have consumed the same number of draws from the same
+    /// seed probe equal.
+    pub fn rng_cursor_probe(&self) -> u64 {
+        self.rng.clone().next_u64()
     }
 
     fn rebuild_snapshot(&mut self) {
         self.snapshot.begin(self.params.n);
-        // The dense state vector is laid out row-major over the upper
-        // triangle, so scan it row by row: the inner loop is a plain slice
-        // walk whose pair (a, a+1+off) falls out of the induction variable —
-        // same edges in the same order as `pair_from_index(n, k)` random
-        // access, without the per-edge square root and without a
-        // loop-carried pair counter.
-        let n = self.params.n;
-        let mut start = 0usize;
-        for a in 0..n.saturating_sub(1) {
-            let row_len = n - 1 - a;
-            let row = &self.alive[start..start + row_len];
-            for (off, &alive) in row.iter().enumerate() {
-                if alive {
-                    self.snapshot.push_edge(a as Node, (a + 1 + off) as Node);
-                }
-            }
-            start += row_len;
-        }
+        push_alive_edges(&self.alive, self.params.n, &mut self.snapshot);
         self.snapshot.build();
     }
 
@@ -178,11 +207,12 @@ impl DenseEdgeMeg {
         self.death_pos.clear();
         self.births.clear();
         self.deaths.clear();
-        // Births: every pair absent before this step turns on w.p. p.
+        // Births: every pair absent before this step turns on w.p. p. The
+        // pre-step membership test is a single-bit probe.
         let alive = &self.alive;
         let birth_idx = &mut self.birth_idx;
         let mut draws = sample_bernoulli_indices(total, p, &mut self.rng, |k| {
-            if !alive[k as usize] {
+            if !alive.get(k as usize) {
                 birth_idx.push(k as u32);
             }
         });
@@ -198,14 +228,14 @@ impl DenseEdgeMeg {
         for i in (0..self.death_pos.len()).rev() {
             let pos = self.death_pos[i] as usize;
             let k = self.alive_idx.swap_remove(pos);
-            self.alive[k as usize] = false;
+            self.alive.clear(k as usize);
             let (a, b) = pair_from_index(n, k as u64);
             self.deaths.push((a as Node, b as Node));
         }
         // Apply births.
         for i in 0..self.birth_idx.len() {
             let k = self.birth_idx[i];
-            self.alive[k as usize] = true;
+            self.alive.set(k as usize);
             self.alive_idx.push(k);
             let (a, b) = pair_from_index(n, k as u64);
             self.births.push((a as Node, b as Node));
@@ -224,49 +254,32 @@ impl EvolvingGraph for DenseEdgeMeg {
         match self.stepping {
             Stepping::PerPair => {
                 // Snapshot G_t reflects the current edge states; the chain
-                // then moves to the states of time t+1. Flip counting stays
-                // in locals and flushes once per round — the per-pair loop is
-                // the engine's hottest path, so no per-iteration atomics.
+                // then moves to the states of time t+1. One stepping loop
+                // serves both the observed and unobserved cases: flip counts
+                // are an XOR and two popcounts per 64 pairs, cheap enough to
+                // compute unconditionally (`obs::add` no-ops when no recorder
+                // is installed), so observation changes neither the code path
+                // nor the RNG consumption. The tail word steps only its
+                // `last_word_bits()` — exactly one draw per real pair, the
+                // same schedule as a scalar per-pair loop.
                 self.rebuild_snapshot();
-                // Two monomorphic copies of the stepping loop: at ~1.5 ns per
-                // pair even the flip-count bookkeeping is a measurable tax,
-                // so the unobserved path must not carry it. Both branches
-                // call `chain.step` identically — RNG consumption (and hence
-                // the trajectory) is the same with or without a recorder.
-                if obs::installed() {
-                    // Walk the state vector row by row (the same layout as
-                    // `rebuild_snapshot`) and batch the flip counts into
-                    // narrow per-row locals, widening once per row: the u32
-                    // accumulators stay out of the chain-step dependency path
-                    // and a row (< n pairs) cannot overflow them.
-                    let chain = &self.chain;
-                    let rng = &mut self.rng;
-                    let mut born = 0u64;
-                    let mut died = 0u64;
-                    let n = self.params.n;
-                    let mut start = 0usize;
-                    for a in 0..n.saturating_sub(1) {
-                        let row_len = n - 1 - a;
-                        let row = &mut self.alive[start..start + row_len];
-                        let mut row_born = 0u32;
-                        let mut row_died = 0u32;
-                        for state in row.iter_mut() {
-                            let was = *state;
-                            *state = chain.step(was, rng);
-                            row_born += (!was & *state) as u32;
-                            row_died += (was & !*state) as u32;
-                        }
-                        born += row_born as u64;
-                        died += row_died as u64;
-                        start += row_len;
-                    }
-                    obs::add(obs::Counter::EdgeBirths, born);
-                    obs::add(obs::Counter::EdgeDeaths, died);
-                } else {
-                    for state in self.alive.iter_mut() {
-                        *state = self.chain.step(*state, &mut self.rng);
-                    }
+                let stepper = self.stepper;
+                let rng = &mut self.rng;
+                let n_words = self.alive.words().len();
+                let last_bits = self.alive.last_word_bits();
+                let mut born = 0u64;
+                let mut died = 0u64;
+                for (wi, w) in self.alive.words_mut().iter_mut().enumerate() {
+                    let nbits = if wi + 1 == n_words { last_bits } else { 64 };
+                    let old = *w;
+                    let new = stepper.step_word(old, nbits, rng);
+                    born += (new & !old).count_ones() as u64;
+                    died += (old & !new).count_ones() as u64;
+                    *w = new;
                 }
+                debug_assert!(self.alive.tail_is_clean());
+                obs::add(obs::Counter::EdgeBirths, born);
+                obs::add(obs::Counter::EdgeDeaths, died);
             }
             Stepping::Transitions => {
                 // The snapshot persistently mirrors the edge states: built in
@@ -276,18 +289,7 @@ impl EvolvingGraph for DenseEdgeMeg {
                 // `G_{k−1}`, exactly like the per-pair path.
                 if !self.snapshot_synced {
                     self.snapshot.begin(self.params.n);
-                    let n = self.params.n;
-                    let mut start = 0usize;
-                    for a in 0..n.saturating_sub(1) {
-                        let row_len = n - 1 - a;
-                        let row = &self.alive[start..start + row_len];
-                        for (off, &alive) in row.iter().enumerate() {
-                            if alive {
-                                self.snapshot.push_edge(a as Node, (a + 1 + off) as Node);
-                            }
-                        }
-                        start += row_len;
-                    }
+                    push_alive_edges(&self.alive, self.params.n, &mut self.snapshot);
                     self.snapshot.build_with_slack(DELTA_SLACK);
                     self.snapshot_synced = true;
                 } else {
@@ -317,6 +319,17 @@ mod tests {
     use meg_core::flooding::{flood, FloodingOutcome};
     use meg_graph::{degree, Graph};
 
+    /// The alive pairs as endpoint tuples in index order (the private-state
+    /// reference the snapshots are checked against).
+    fn alive_pairs(alive: &PairBits, n: usize) -> Vec<(Node, Node)> {
+        let mut out = Vec::new();
+        alive.for_each_set_bit(|k| {
+            let (a, b) = pair_from_index(n as u64, k as u64);
+            out.push((a as Node, b as Node));
+        });
+        out
+    }
+
     #[test]
     fn initial_distributions() {
         let params = EdgeMegParams::new(60, 0.05, 0.05);
@@ -334,6 +347,26 @@ mod tests {
     }
 
     #[test]
+    fn stationary_init_matches_scalar_gen_bool_draws() {
+        // The word-filled stationary start must equal a scalar
+        // `gen_bool(phat)` per pair on the same stream — same bits, same
+        // number of draws.
+        use rand::Rng;
+        let params = EdgeMegParams::new(37, 0.12, 0.3);
+        let meg = DenseEdgeMeg::stationary(params, 41);
+        let phat = params.chain().stationary_edge_probability();
+        let mut reference = StdRng::seed_from_u64(41);
+        for k in 0..params.num_pairs() as usize {
+            assert_eq!(meg.alive.get(k), reference.gen_bool(phat), "pair {k}");
+        }
+        assert_eq!(
+            meg.rng_cursor_probe(),
+            reference.next_u64(),
+            "RNG cursor drifted"
+        );
+    }
+
+    #[test]
     fn snapshot_edge_set_equals_alive_state_exactly() {
         // The CSR snapshot must reproduce the alive pair set bit-for-bit —
         // the dense engine's private state is the independent reference the
@@ -341,16 +374,7 @@ mod tests {
         let params = EdgeMegParams::with_stationary(60, 0.15, 0.4);
         let mut meg = DenseEdgeMeg::stationary(params, 19);
         for step in 0..10 {
-            let expected: Vec<(Node, Node)> = meg
-                .alive
-                .iter()
-                .enumerate()
-                .filter(|(_, &alive)| alive)
-                .map(|(k, _)| {
-                    let (a, b) = meg_graph::generators::pair_from_index(60, k as u64);
-                    (a as Node, b as Node)
-                })
-                .collect();
+            let expected = alive_pairs(&meg.alive, 60);
             let snap = meg.advance();
             assert_eq!(snap.edges(), expected, "step {step}");
         }
@@ -374,16 +398,7 @@ mod tests {
         // so the state and the returned snapshot coincide afterwards.
         for step in 0..60 {
             fast.advance();
-            let expected: Vec<(Node, Node)> = fast
-                .alive
-                .iter()
-                .enumerate()
-                .filter(|(_, &alive)| alive)
-                .map(|(k, _)| {
-                    let (a, b) = pair_from_index(80, k as u64);
-                    (a as Node, b as Node)
-                })
-                .collect();
+            let expected = alive_pairs(&fast.alive, 80);
             let mut got = fast.snapshot.edges();
             got.sort_unstable();
             assert_eq!(got, expected, "step {step}");

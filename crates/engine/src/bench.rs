@@ -100,6 +100,10 @@ pub struct BenchResult {
     pub min_ms: f64,
     /// Maximum wall time, in milliseconds.
     pub max_ms: f64,
+    /// Every measured repetition's wall time, in milliseconds, in run order
+    /// (the raw samples behind the summary statistics — lets a later reader
+    /// recompute any quantile or spot a drifting machine).
+    pub samples_ms: Vec<f64>,
     /// Checksum folded from the workload's observable output (anti-DCE and
     /// a cheap behavioural fingerprint; identical across runs of the same
     /// code at the same scale).
@@ -140,6 +144,10 @@ impl BenchResult {
             ("iqr_ms".to_string(), Json::Num(self.iqr_ms)),
             ("min_ms".to_string(), Json::Num(self.min_ms)),
             ("max_ms".to_string(), Json::Num(self.max_ms)),
+            (
+                "samples_ms".to_string(),
+                Json::Arr(self.samples_ms.iter().map(|&t| Json::Num(t)).collect()),
+            ),
             ("checksum".to_string(), Json::Num(self.checksum)),
         ];
         if let Some(counters) = &self.counters {
@@ -449,6 +457,7 @@ pub fn run_bench(name: &str, opts: &BenchOptions) -> Option<BenchResult> {
         iqr_ms: q3 - q1,
         min_ms,
         max_ms,
+        samples_ms: times_ms,
         checksum,
         counters: None,
         spans: None,
@@ -583,6 +592,13 @@ mod tests {
             assert!(r.median_ms >= r.min_ms, "{name}");
             assert!(r.max_ms >= r.median_ms, "{name}");
             assert!(r.iqr_ms >= 0.0, "{name}");
+            assert_eq!(r.samples_ms.len(), r.repetitions, "{name}");
+            assert!(
+                r.samples_ms
+                    .iter()
+                    .all(|&t| (r.min_ms..=r.max_ms).contains(&t)),
+                "{name}: samples outside [min, max]"
+            );
             assert!(r.checksum.is_finite() && r.checksum > 0.0, "{name}");
             assert!(!r.params.is_empty(), "{name}");
         }
@@ -669,6 +685,7 @@ mod tests {
             "\"median_ms\":",
             "\"iqr_ms\":",
             "\"min_ms\":",
+            "\"samples_ms\":[",
             "\"checksum\":",
         ] {
             assert!(text.contains(key), "missing {key} in {text}");

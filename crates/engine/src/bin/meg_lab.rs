@@ -22,6 +22,14 @@
 //!                         metrics-off)
 //!   --overhead            A/B-time each workload metrics-off vs metrics-on
 //!                         and print the ratio (the ≤ 5% guard in ci.sh)
+//!   --baseline FILE       after the run, compare each workload's median
+//!                         against FILE (a committed BENCH_PR*.json or a
+//!                         previous --out document), print the per-workload
+//!                         ratio table on stderr, and exit 4 if any workload
+//!                         ran slower than threshold × baseline or its
+//!                         checksum diverged
+//!   --baseline-threshold F
+//!                         regression gate for --baseline (default 1.25)
 //!
 //! run flags:
 //!   --seed N              master seed        (default: MEG_SEED or 2009)
@@ -89,7 +97,8 @@ const USAGE: &str = "usage:
   meg-lab worker [--fail-after N]
   meg-lab merge <dir> [--format table|json|csv]
   meg-lab bench [names…] [--list] [--repetitions R] [--warmup W] \\
-          [--scale F] [--label STR] [--out FILE] [--counters] [--overhead]
+          [--scale F] [--label STR] [--out FILE] [--counters] [--overhead] \\
+          [--baseline FILE] [--baseline-threshold F]
 
 Environment defaults: MEG_SEED, MEG_TRIALS, MEG_SCALE, MEG_OUTPUT,
 MEG_METRICS. Flags win over the environment.";
@@ -495,6 +504,8 @@ fn cmd_bench(args: &[String]) {
     let mut list = false;
     let mut counters = false;
     let mut overhead = false;
+    let mut baseline: Option<PathBuf> = None;
+    let mut baseline_threshold = 1.25f64;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -529,6 +540,14 @@ fn cmd_bench(args: &[String]) {
             "--out" => out = Some(PathBuf::from(flag_value("--out"))),
             "--counters" => counters = true,
             "--overhead" => overhead = true,
+            "--baseline" => baseline = Some(PathBuf::from(flag_value("--baseline"))),
+            "--baseline-threshold" => {
+                baseline_threshold = flag_value("--baseline-threshold")
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|&f| f > 0.0)
+                    .unwrap_or_else(|| fail("--baseline-threshold must be a positive number"));
+            }
             other if other.starts_with('-') => fail(&format!("unknown bench flag `{other}`")),
             other => names.push(other.to_string()),
         }
@@ -547,6 +566,9 @@ fn cmd_bench(args: &[String]) {
         names
     };
 
+    if overhead && baseline.is_some() {
+        fail("--baseline compares timed results; it cannot be combined with --overhead");
+    }
     if overhead {
         // A/B mode: each workload timed metrics-off then metrics-on under
         // identical options; the ratio is the instrumentation overhead.
@@ -611,6 +633,23 @@ fn cmd_bench(args: &[String]) {
             results.len(),
             path.display()
         );
+    }
+
+    if let Some(path) = baseline {
+        use meg_engine::bench_baseline::{compare, parse_baseline, regressions, render_table};
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| fail(&format!("cannot read baseline `{}`: {e}", path.display())));
+        let base = parse_baseline(&text)
+            .unwrap_or_else(|e| fail(&format!("baseline `{}`: {e}", path.display())));
+        let rows = compare(&results, &base);
+        eprint!(
+            "\nbaseline comparison against {} (threshold {baseline_threshold}x):\n{}",
+            path.display(),
+            render_table(&rows, baseline_threshold)
+        );
+        if !regressions(&rows, baseline_threshold).is_empty() {
+            std::process::exit(4);
+        }
     }
 }
 

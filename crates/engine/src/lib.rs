@@ -70,6 +70,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod bench_baseline;
 pub mod builtin;
 pub mod dist;
 pub mod harness;

@@ -13,7 +13,10 @@
 //! index is a **flat counting sort** — bucket membership, node ids, and the
 //! `x`/`y` coordinates each live in one contiguous vector, so the inner
 //! candidate loops scan flat `f64` slices (cache-friendly, no per-bucket
-//! `Vec`s) and the distance test is a branch-light `#[inline]` helper.
+//! `Vec`s) through a fixed-lane chunked kernel (`compress_close`) that
+//! LLVM autovectorizes: packed squared-distance compares, branchless hit
+//! compression, safe code only (the re-verify procedure lives in
+//! `docs/PERF.md`).
 //! [`radius_graph`] is the one-shot allocating wrapper over the same core
 //! (identical edge order), kept for single-snapshot sampling and tests.
 //!
@@ -47,9 +50,11 @@ pub struct RadiusGraphWorkspace {
     xs: Vec<f64>,
     /// `y` coordinate of `nodes[i]` (flat, parallel to `nodes`).
     ys: Vec<f64>,
-    /// Branchless-compress scratch: accepted candidate slots of the current
-    /// inner scan (the accept branch mispredicts ~⅓ of the time if taken
-    /// inline; an unconditional store plus flag add is far cheaper).
+    /// Branchless-compress scratch of the lane kernel ([`compress_close`]):
+    /// accepted candidate slots of the current inner scan (the accept branch
+    /// mispredicts ~⅓ of the time if taken inline; an unconditional store
+    /// plus flag add is far cheaper, and keeping the accept test branch-free
+    /// is what lets LLVM vectorize it).
     hits: Vec<usize>,
     /// Moved-node mask for [`radius_graph_update`]: lets a pair whose two
     /// endpoints both moved be emitted exactly once.
@@ -72,22 +77,113 @@ fn within_square(ax: f64, ay: f64, bx: f64, by: f64, r2: f64) -> bool {
 }
 
 /// Toroidal variant: folds each axis delta to its minimal wrap-around
-/// representative, then applies the same squared test. `half = side / 2`.
-/// Produces bit-identical accept/reject decisions to
-/// `Region::Torus::distance_squared` (the folded magnitude is the exact
-/// negation or identity of the signed minimal delta, so its square is
-/// identical).
+/// representative, then applies the same squared test. The fold is the
+/// branchless `d.min(side − d)`, which selects the *same value* as the
+/// historical `if d > half { side − d }` on every input (for `d ≤ side/2`
+/// the direct delta is the minimum, beyond it the complement is — and at
+/// exactly `side/2` the two coincide), so accept/reject decisions are
+/// bit-identical to `Region::Torus::distance_squared`. Branch-free matters
+/// here: this predicate runs inside the lane kernel ([`compress_close`]),
+/// where any data-dependent branch would block autovectorization.
 #[inline(always)]
-fn within_torus(ax: f64, ay: f64, bx: f64, by: f64, r2: f64, side: f64, half: f64) -> bool {
-    let mut dx = (ax - bx).abs();
-    if dx > half {
-        dx = side - dx;
-    }
-    let mut dy = (ay - by).abs();
-    if dy > half {
-        dy = side - dy;
-    }
+fn within_torus(ax: f64, ay: f64, bx: f64, by: f64, r2: f64, side: f64) -> bool {
+    let dxa = (ax - bx).abs();
+    let dx = dxa.min(side - dxa);
+    let dya = (ay - by).abs();
+    let dy = dya.min(side - dya);
     dx * dx + dy * dy <= r2
+}
+
+/// Metric predicate monomorphised into the candidate kernels: a small `Copy`
+/// struct (not a closure) so the two region kinds instantiate
+/// [`compress_close`] and [`scan_buckets`] as named, inspectable
+/// monomorphizations with fully branchless `accept` bodies.
+trait LaneMetric: Copy {
+    /// Is `b` within transmission range of `a`?
+    fn accept(self, ax: f64, ay: f64, bx: f64, by: f64) -> bool;
+}
+
+/// Euclidean metric on the square, radius pre-squared.
+#[derive(Clone, Copy)]
+struct SquareMetric {
+    r2: f64,
+}
+
+impl LaneMetric for SquareMetric {
+    #[inline(always)]
+    fn accept(self, ax: f64, ay: f64, bx: f64, by: f64) -> bool {
+        within_square(ax, ay, bx, by, self.r2)
+    }
+}
+
+/// Wrap-around metric on the torus, radius pre-squared.
+#[derive(Clone, Copy)]
+struct TorusMetric {
+    r2: f64,
+    side: f64,
+}
+
+impl LaneMetric for TorusMetric {
+    #[inline(always)]
+    fn accept(self, ax: f64, ay: f64, bx: f64, by: f64) -> bool {
+        within_torus(ax, ay, bx, by, self.r2, self.side)
+    }
+}
+
+/// Lane width of the chunked distance kernel. Bucket occupancy at realistic
+/// radii is small (≈ n·r² ≲ 10 nodes), so candidate ranges are short; a
+/// narrow chunk vectorizes more of each range (fewer candidates stranded in
+/// the scalar remainder) while still filling the 2 × f64 SSE2 lanes of the
+/// x86-64 baseline twice over (and a 4 × f64 AVX register exactly, under
+/// `-C target-cpu` builds).
+const LANES: usize = 4;
+
+/// The vectorizable candidate kernel: tests every `(xs[j], ys[j])` against
+/// `(ux, uy)` and compresses the indices of accepted candidates (offset by
+/// `base`, ascending) into the front of `hits`, returning how many.
+///
+/// Safe-code autovectorization contract (see `docs/PERF.md`): the hot loop
+/// runs over `chunks_exact(LANES)` computing a `[bool; LANES]` mask — fixed
+/// trip count, no data-dependent control flow, and fixed-size `[f64; LANES]`
+/// chunk views so no bounds checks survive to block the vectorizer — which
+/// LLVM turns into packed f64 compares. The mask is then compressed serially
+/// (an unconditional store plus flag add per lane, no branch to mispredict);
+/// sub-chunk leftovers take the scalar remainder loop, same branchless
+/// compress. Emission order is ascending `j`, exactly what the historical
+/// branchy scan produced.
+#[inline]
+fn compress_close<M: LaneMetric>(
+    metric: M,
+    ux: f64,
+    uy: f64,
+    xs: &[f64],
+    ys: &[f64],
+    base: usize,
+    hits: &mut [usize],
+) -> usize {
+    debug_assert_eq!(xs.len(), ys.len());
+    let mut cnt = 0usize;
+    let mut off = 0usize;
+    let mut cx = xs.chunks_exact(LANES);
+    let mut cy = ys.chunks_exact(LANES);
+    for (chunk_x, chunk_y) in cx.by_ref().zip(cy.by_ref()) {
+        let chunk_x: &[f64; LANES] = chunk_x.try_into().expect("chunks_exact");
+        let chunk_y: &[f64; LANES] = chunk_y.try_into().expect("chunks_exact");
+        let mut mask = [false; LANES];
+        for l in 0..LANES {
+            mask[l] = metric.accept(ux, uy, chunk_x[l], chunk_y[l]);
+        }
+        for (l, &hit) in mask.iter().enumerate() {
+            hits[cnt] = base + off + l;
+            cnt += hit as usize;
+        }
+        off += LANES;
+    }
+    for (l, (&x, &y)) in cx.remainder().iter().zip(cy.remainder()).enumerate() {
+        hits[cnt] = base + off + l;
+        cnt += metric.accept(ux, uy, x, y) as usize;
+    }
+    cnt
 }
 
 /// Buckets per axis for a region of side `side`: each bucket has side
@@ -166,7 +262,6 @@ fn radius_graph_core(
     }
     let side = region.side();
     let r2 = radius * radius;
-    let half = side / 2.0;
     let wrap = region.is_torus();
     // Number of buckets per axis; each bucket has side ≥ radius so only the
     // 8-neighborhood needs to be examined. On a torus the neighborhood wraps.
@@ -174,40 +269,28 @@ fn radius_graph_core(
     let bucket_side = side / k as f64;
     build_bucket_index(positions, k, bucket_side, ws);
 
-    // Monomorphise the candidate scan per metric so the inner loops carry no
-    // per-pair branch on the region kind.
+    // Monomorphise the candidate scan per metric so the inner lane kernel
+    // carries no per-pair branch on the region kind.
     if wrap {
-        scan_buckets(
-            ws,
-            k,
-            true,
-            |ax, ay, bx, by| within_torus(ax, ay, bx, by, r2, side, half),
-            emit,
-        );
+        scan_buckets(ws, k, true, TorusMetric { r2, side }, emit);
     } else {
-        scan_buckets(
-            ws,
-            k,
-            false,
-            |ax, ay, bx, by| within_square(ax, ay, bx, by, r2),
-            emit,
-        );
+        scan_buckets(ws, k, false, SquareMetric { r2 }, emit);
     }
 }
 
 /// The bucket-pair candidate scan over an already-built workspace index.
 ///
-/// `close` is the metric predicate (monomorphised per region, so the pair
-/// loops compile branch-light); `wrap` selects toroidal neighbor offsets.
-/// Accepted candidates are compressed branchlessly into `ws.hits` before
-/// emission, so the distance loop carries no data-dependent branch; the
-/// emission order (ascending slot among accepted) is exactly the order the
-/// branchy formulation produced.
-fn scan_buckets(
+/// `metric` is the distance predicate (monomorphised per region); `wrap`
+/// selects toroidal neighbor offsets. Every candidate range runs through the
+/// chunked lane kernel [`compress_close`] — packed squared-distance compares
+/// over the SoA `xs`/`ys` slices, accepted slots compressed branchlessly
+/// into `ws.hits` before emission. The emission order (ascending slot among
+/// accepted) is exactly the order the historical branchy scan produced.
+fn scan_buckets<M: LaneMetric>(
     ws: &mut RadiusGraphWorkspace,
     k: usize,
     wrap: bool,
-    close: impl Fn(f64, f64, f64, f64) -> bool + Copy,
+    metric: M,
     emit: &mut impl FnMut(Node, Node),
 ) {
     let RadiusGraphWorkspace {
@@ -243,12 +326,16 @@ fn scan_buckets(
             // Same-bucket pairs: i < j scan order == node index order.
             for i in hs..he {
                 let (uxi, uyi) = (xs[i], ys[i]);
-                let mut m = 0usize;
-                for j in (i + 1)..he {
-                    hits[m] = j;
-                    m += close(uxi, uyi, xs[j], ys[j]) as usize;
-                }
-                for &j in &hits[..m] {
+                let cnt = compress_close(
+                    metric,
+                    uxi,
+                    uyi,
+                    &xs[i + 1..he],
+                    &ys[i + 1..he],
+                    i + 1,
+                    hits,
+                );
+                for &j in &hits[..cnt] {
                     let (u, v) = (nodes[i], nodes[j]);
                     emit(u.min(v), u.max(v));
                 }
@@ -286,12 +373,8 @@ fn scan_buckets(
                 visits += (he - hs) as u64 * (te - ts) as u64;
                 for i in hs..he {
                     let (uxi, uyi) = (xs[i], ys[i]);
-                    let mut m = 0usize;
-                    for j in ts..te {
-                        hits[m] = j;
-                        m += close(uxi, uyi, xs[j], ys[j]) as usize;
-                    }
-                    for &j in &hits[..m] {
+                    let cnt = compress_close(metric, uxi, uyi, &xs[ts..te], &ys[ts..te], ts, hits);
+                    for &j in &hits[..cnt] {
                         let (u, v) = (nodes[i], nodes[j]);
                         emit(u.min(v), u.max(v));
                     }
@@ -381,7 +464,6 @@ pub fn radius_graph_update(
     }
     let side = region.side();
     let r2 = radius * radius;
-    let half = side / 2.0;
     let wrap = region.is_torus();
     let k = grid_k(side, radius);
     let bucket_side = side / k as f64;
@@ -394,11 +476,12 @@ pub fn radius_graph_update(
         ws.flags[u as usize] = true;
     }
 
-    // Not monomorphised per metric like the full-rebuild scan: this path
-    // processes |moved| nodes, not n², so the per-pair region branch is noise.
+    // Not monomorphised (or lane-chunked) like the full-rebuild scan: this
+    // path processes |moved| nodes, not n², so the per-pair region branch is
+    // noise and scalar distance tests are plenty.
     let close = |ax: f64, ay: f64, bx: f64, by: f64| -> bool {
         if wrap {
-            within_torus(ax, ay, bx, by, r2, side, half)
+            within_torus(ax, ay, bx, by, r2, side)
         } else {
             within_square(ax, ay, bx, by, r2)
         }

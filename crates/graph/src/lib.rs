@@ -8,6 +8,8 @@
 //!
 //! * [`NodeSet`] — a word-packed bitset over `[n]`, used for informed sets and
 //!   neighborhoods;
+//! * [`PairBits`] — a word-packed bitset over the `n(n−1)/2` unordered node
+//!   pairs, the alive-flag representation of the dense edge-MEG;
 //! * [`AdjacencyList`] and [`Csr`] — mutable and frozen graph representations,
 //!   both implementing the [`Graph`] trait;
 //! * traversals and global metrics: [`bfs`], [`connectivity`], [`diameter`],
@@ -52,11 +54,13 @@ pub mod expansion;
 pub mod generators;
 pub mod metrics;
 pub mod nodeset;
+pub mod pair_bits;
 pub mod snapshot_buf;
 
 pub use adjacency::AdjacencyList;
 pub use csr::Csr;
 pub use nodeset::NodeSet;
+pub use pair_bits::PairBits;
 pub use snapshot_buf::{DeltaOutcome, SnapshotBuf};
 
 /// A node identifier. Nodes are always the integers `0 .. n`.

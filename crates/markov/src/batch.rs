@@ -1,0 +1,258 @@
+//! Batched Bernoulli draws and word-at-a-time two-state stepping.
+//!
+//! The dense edge-MEG steps `n(n−1)/2` independent copies of the two-state
+//! chain every round, one `gen_bool` per pair. The shim's `gen_bool(p)` is
+//! `(next_u64() >> 11) as f64 · 2⁻⁵³ < p`: one 53-bit uniform compared
+//! against `p` in floating point. Because `x · 2⁻⁵³` is *exact* for every
+//! integer `x < 2⁵³` (scaling by a power of two only shifts the exponent),
+//! the accept test can be rewritten as an all-integer compare
+//!
+//! ```text
+//! unit_f64(x) < p   ⟺   (x >> 11) < ⌈p · 2⁵³⌉
+//! ```
+//!
+//! with a threshold precomputed once per probability ([`gen_bool_threshold`]).
+//! The helpers here batch that compare over the 64 chain states packed into a
+//! machine word, consuming **exactly one `next_u64` per state in ascending
+//! bit order** — the same draw schedule as a scalar `gen_bool`/`step` loop,
+//! so accept decisions (and therefore trajectories) are bit-identical.
+//!
+//! `⌈p · 2⁵³⌉` itself is exact: `p · 2⁵³` is an exact f64 for `p ∈ [0, 1]`
+//! (power-of-two scaling again; subnormal `p` becomes normal), `ceil` is
+//! exact, and the result is at most `2⁵³`, well inside `u64`.
+
+use crate::TwoStateChain;
+use rand::RngCore;
+
+/// Integer accept threshold for `gen_bool(p)`: `⌈p · 2⁵³⌉`.
+///
+/// A 53-bit uniform draw `x = next_u64() >> 11` is accepted by the shim's
+/// `gen_bool(p)` **iff** `x < gen_bool_threshold(p)`. Panics unless
+/// `p ∈ [0, 1]`, matching `gen_bool`.
+#[inline]
+pub fn gen_bool_threshold(p: f64) -> u64 {
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "gen_bool_threshold: p = {p} out of range"
+    );
+    (p * (1u64 << 53) as f64).ceil() as u64
+}
+
+/// Draws `nbits` Bernoulli variables against a precomputed integer
+/// `threshold` and packs the outcomes into the low `nbits` of a word
+/// (bit `i` ← draw `i`); bits `nbits..64` are zero.
+///
+/// Consumes exactly `nbits` calls to `next_u64`, in bit order — the same
+/// schedule as `nbits` scalar `gen_bool` calls with the probability that
+/// produced `threshold` (see [`gen_bool_threshold`]).
+#[inline]
+pub fn bernoulli_word<R: RngCore + ?Sized>(threshold: u64, nbits: u32, rng: &mut R) -> u64 {
+    debug_assert!(nbits <= 64);
+    let mut word = 0u64;
+    for i in 0..nbits {
+        let x = rng.next_u64() >> 11;
+        word |= ((x < threshold) as u64) << i;
+    }
+    word
+}
+
+/// Word-at-a-time stepper for a [`TwoStateChain`]: precomputed integer
+/// thresholds for the birth (`p`, from state 0) and death (`q`, from state 1)
+/// draws. Built by [`TwoStateChain::word_stepper`].
+///
+/// The branch in the scalar step — `if state { !gen_bool(q) } else
+/// { gen_bool(p) }` — collapses to `next = (x < threshold[state]) ^ state`:
+/// from state 0 the draw against `p` *sets* the bit, from state 1 the draw
+/// against `q` *clears* it (a death), which is exactly the XOR of the accept
+/// bit with the current state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WordStepper {
+    t_birth: u64,
+    t_death: u64,
+}
+
+impl WordStepper {
+    /// Steps the `nbits` chain states packed in the low bits of `states`
+    /// (bit `i` = state of chain `i`), returning the packed next states.
+    /// Bits `nbits..64` of both input and output are zero.
+    ///
+    /// Consumes exactly one `next_u64` per chain in ascending bit order —
+    /// the identical draw schedule, with bit-identical accept decisions, as
+    /// `nbits` scalar [`TwoStateChain::step`] calls.
+    #[inline]
+    pub fn step_word<R: RngCore + ?Sized>(&self, states: u64, nbits: u32, rng: &mut R) -> u64 {
+        debug_assert!(nbits <= 64);
+        debug_assert!(nbits == 64 || states >> nbits == 0, "tail bits must be 0");
+        let mut next = 0u64;
+        for i in 0..nbits {
+            let state = (states >> i) & 1;
+            // Branchless select: threshold[0] = t_birth, threshold[1] = t_death.
+            let thr = self.t_birth ^ ((self.t_birth ^ self.t_death) & state.wrapping_neg());
+            let x = rng.next_u64() >> 11;
+            next |= (((x < thr) as u64) ^ state) << i;
+        }
+        next
+    }
+}
+
+impl TwoStateChain {
+    /// Precomputes the integer-threshold [`WordStepper`] for this chain.
+    pub fn word_stepper(&self) -> WordStepper {
+        WordStepper {
+            t_birth: gen_bool_threshold(self.birth_rate()),
+            t_death: gen_bool_threshold(self.death_rate()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Probabilities that stress the threshold conversion: extremes, exact
+    /// dyadics, values needing rounding, and a subnormal.
+    const PROBS: &[f64] = &[
+        0.0,
+        1.0,
+        0.5,
+        0.25,
+        1.0 / 3.0,
+        0.1,
+        0.9,
+        1e-9,
+        1.0 - 1e-12,
+        f64::MIN_POSITIVE,
+        2.2e-308, // subnormal after scaling concerns: still exact ·2⁵³
+    ];
+
+    #[test]
+    fn threshold_compare_equals_gen_bool() {
+        // The integer compare must replicate gen_bool draw-for-draw: run the
+        // same RNG stream through both forms and demand identical accepts.
+        for &p in PROBS {
+            let t = gen_bool_threshold(p);
+            let mut a = StdRng::seed_from_u64(0xB00B5);
+            let mut b = a.clone();
+            for _ in 0..2_000 {
+                let via_float = a.gen_bool(p);
+                let via_int = (b.next_u64() >> 11) < t;
+                assert_eq!(via_float, via_int, "p = {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_extremes() {
+        assert_eq!(gen_bool_threshold(0.0), 0);
+        assert_eq!(gen_bool_threshold(1.0), 1u64 << 53);
+        // 0.5 · 2⁵³ is exact.
+        assert_eq!(gen_bool_threshold(0.5), 1u64 << 52);
+    }
+
+    #[test]
+    #[should_panic]
+    fn threshold_rejects_out_of_range() {
+        gen_bool_threshold(1.5);
+    }
+
+    #[test]
+    fn bernoulli_word_matches_scalar_gen_bool() {
+        for &p in PROBS {
+            let t = gen_bool_threshold(p);
+            for nbits in [64u32, 63, 33, 1, 0] {
+                let mut a = StdRng::seed_from_u64(7 + nbits as u64);
+                let mut b = a.clone();
+                let word = bernoulli_word(t, nbits, &mut a);
+                for i in 0..nbits {
+                    assert_eq!((word >> i) & 1 == 1, b.gen_bool(p), "p = {p}, bit {i}");
+                }
+                if nbits < 64 {
+                    assert_eq!(word >> nbits, 0, "tail bits must stay zero");
+                }
+                // Both consumed the same number of draws.
+                assert_eq!(a.next_u64(), b.next_u64(), "RNG cursor drifted");
+            }
+        }
+    }
+
+    #[test]
+    fn step_word_matches_scalar_step() {
+        // Word stepping must agree with 64 scalar chain.step calls on the
+        // same stream, for every (p, q) corner including frozen and flipping
+        // chains, across several word patterns and tail widths.
+        let rates = [
+            (0.2, 0.3),
+            (0.0, 0.0),
+            (1.0, 1.0),
+            (0.0, 1.0),
+            (1.0, 0.0),
+            (0.013, 0.4),
+        ];
+        for &(p, q) in &rates {
+            let chain = TwoStateChain::new(p, q);
+            let stepper = chain.word_stepper();
+            for (pat_i, &pattern) in [0u64, u64::MAX, 0xDEAD_BEEF_F00D_5EED].iter().enumerate() {
+                for nbits in [64u32, 64, 17] {
+                    let states = if nbits == 64 {
+                        pattern
+                    } else {
+                        pattern & ((1u64 << nbits) - 1)
+                    };
+                    let seed = 91 + pat_i as u64;
+                    let mut a = StdRng::seed_from_u64(seed);
+                    let mut b = a.clone();
+                    let mut next = stepper.step_word(states, nbits, &mut a);
+                    for i in 0..nbits {
+                        let expect = chain.step((states >> i) & 1 == 1, &mut b);
+                        assert_eq!(
+                            (next >> i) & 1 == 1,
+                            expect,
+                            "p={p} q={q} bit {i} of {nbits}"
+                        );
+                    }
+                    if nbits < 64 {
+                        assert_eq!(next >> nbits, 0, "tail bits must stay zero");
+                    }
+                    // Probe the cursors on clones so the streams stay aligned
+                    // for the second round below.
+                    assert_eq!(
+                        a.clone().next_u64(),
+                        b.next_u64(),
+                        "RNG cursor drifted after round 1"
+                    );
+                    // A second step from the evolved word keeps agreeing with
+                    // a scalar two-round replay from the original seed.
+                    next = stepper.step_word(next, nbits, &mut a);
+                    let mut c = StdRng::seed_from_u64(seed);
+                    let mut s = states;
+                    for _round in 0..2 {
+                        let mut out = 0u64;
+                        for i in 0..nbits {
+                            out |= (chain.step((s >> i) & 1 == 1, &mut c) as u64) << i;
+                        }
+                        s = out;
+                    }
+                    assert_eq!(next, s, "two-round word trajectory diverged");
+                    assert_eq!(a.next_u64(), c.next_u64(), "RNG cursor drifted");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_and_deterministic_chains() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // p = q = 0: nothing ever changes.
+        let frozen = TwoStateChain::new(0.0, 0.0).word_stepper();
+        assert_eq!(frozen.step_word(0b1010, 4, &mut rng), 0b1010);
+        // p = q = 1: every bit flips... no — from 0 always born, from 1 always
+        // dies, i.e. the word inverts within the low nbits.
+        let flip = TwoStateChain::new(1.0, 1.0).word_stepper();
+        assert_eq!(flip.step_word(0b1010, 4, &mut rng), 0b0101);
+        // p = 1, q = 0: absorbs at all-ones.
+        let born = TwoStateChain::new(1.0, 0.0).word_stepper();
+        assert_eq!(born.step_word(0b0010, 4, &mut rng), 0b1111);
+    }
+}

@@ -34,12 +34,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod dense;
 pub mod mixing;
 pub mod stationary;
 pub mod two_state;
 pub mod walk;
 
+pub use batch::{bernoulli_word, gen_bool_threshold, WordStepper};
 pub use dense::DenseChain;
 pub use two_state::TwoStateChain;
 

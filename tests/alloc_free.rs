@@ -7,10 +7,16 @@
 //! mark — stepping the dense-edge and geometric evolving graphs must perform
 //! **zero** heap allocations (the acceptance criterion of the
 //! allocation-free snapshot pipeline refactor). Both stepping modes are
-//! covered: the per-pair reference path and the `Stepping::Transitions`
-//! skip-sampling path, whose per-round work is a `SnapshotBuf::apply_delta`
-//! edit rather than a rebuild — raw delta rounds (including the
-//! slack-exhaustion rebuild fallback) are measured directly as well. The
+//! covered: the per-pair reference path — which now steps 64 chains per
+//! round through the word-packed [`meg::graph::PairBits`] state (fixed words
+//! reused in place) — and the `Stepping::Transitions` skip-sampling path,
+//! whose per-round work is a `SnapshotBuf::apply_delta` edit rather than a
+//! rebuild — raw delta rounds (including the slack-exhaustion rebuild
+//! fallback) are measured directly as well. The geometric bucket scan runs
+//! the fixed-lane compress kernel of `meg-geometric::radius_graph` over both
+//! metrics: the square-region section covers the Euclidean lanes and a
+//! torus-walkers section covers the wrap-around lanes (the two metric
+//! monomorphisations are separate code paths, so each gets its own bar). The
 //! sparse engine's *per-pair* path stays out of scope (its alive-set
 //! `BTreeSet` allocates per birth by design); its transitions path keeps the
 //! alive set in a flat reused `Vec` and is held to the zero-allocation bar.
@@ -104,6 +110,32 @@ fn advance_is_allocation_free_after_warmup_on_dense_and_geometric_paths() {
     assert_eq!(
         geo_allocs, 0,
         "geometric advance() allocated {geo_allocs} times after warm-up"
+    );
+
+    // --- geometric-MEG (torus walkers, wrap-around metric) ----------------
+    // The torus metric is a distinct monomorphisation of the lane-compress
+    // scan kernel, so it earns its own zero-allocation window.
+    use meg::mobility::TorusWalkers;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut walker_rng = StdRng::seed_from_u64(17);
+    let side = (512f64).sqrt() * 1.5;
+    let walkers = TorusWalkers::new(512, side, 1.5, 1.0, &mut walker_rng);
+    let mut torus = GeometricMeg::new(walkers, 4.0, 17);
+    for _ in 0..100 {
+        torus.advance();
+    }
+    let (torus_allocs, torus_edges) = allocations_during(|| {
+        let mut total = 0usize;
+        for _ in 0..200 {
+            total += torus.advance().num_edges();
+        }
+        total
+    });
+    assert!(torus_edges > 0, "torus geometric workload degenerated");
+    assert_eq!(
+        torus_allocs, 0,
+        "torus geometric advance() allocated {torus_allocs} times after warm-up"
     );
 
     // --- dense edge-MEG, transitions stepping (delta snapshot path) -------
